@@ -1,0 +1,76 @@
+//! E1 — Atomic infection probability vs fanout parameter `c` (paper
+//! §III-A): relaying to `ln N + c` neighbours reaches all nodes with
+//! `p_atomic = e^{-e^{-c}}`; the paper's worked example is N = 50 000,
+//! c = 7 ⇒ fanout ≈ 18 and p ≥ 0.999.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dd_bench::{f, n, table_header, table_row};
+use dd_epidemic::analysis::atomic_infection_probability;
+use dd_epidemic::broadcast::run_dissemination;
+use dd_epidemic::push::{GossipMode, PushConfig};
+use dd_epidemic::BroadcastConfig;
+use dd_sim::Duration;
+
+fn cfg(fanout: u32) -> BroadcastConfig {
+    BroadcastConfig {
+        push: PushConfig { fanout, mode: GossipMode::InfectAndDie, max_hops: 0 },
+        anti_entropy_period: None,
+    }
+}
+
+fn experiment() {
+    table_header(
+        "E1: atomic infection vs c (fanout = ceil(ln N) + c)",
+        &["N", "c", "fanout", "p_theory", "p_measured", "mean_coverage"],
+    );
+    for &nn in &[1_000u64, 5_000, 20_000] {
+        let runs: u32 = if nn >= 20_000 { 3 } else { 8 };
+        for &c in &[0u32, 2, 4, 7] {
+            let fanout = ((nn as f64).ln().ceil() as u32) + c;
+            let mut atomic = 0u32;
+            let mut coverage_sum = 0.0;
+            for seed in 0..u64::from(runs) {
+                let (reached, _) =
+                    run_dissemination(nn, cfg(fanout), 1_000 + seed, Duration(60_000));
+                if reached as u64 == nn {
+                    atomic += 1;
+                }
+                coverage_sum += reached as f64 / nn as f64;
+            }
+            table_row(&[
+                n(nn),
+                n(u64::from(c)),
+                n(u64::from(fanout)),
+                f(atomic_infection_probability(f64::from(c))),
+                f(f64::from(atomic) / f64::from(runs)),
+                f(coverage_sum / f64::from(runs)),
+            ]);
+        }
+    }
+    // The paper's own worked example, one shot.
+    let nn = 50_000u64;
+    let fanout = 18u32;
+    let (reached, msgs) = run_dissemination(nn, cfg(fanout), 9, Duration(120_000));
+    println!(
+        "paper example: N=50000, fanout=18 -> reached {reached}/{nn} \
+         ({:.1} msgs/node; paper predicts ~18)",
+        msgs as f64 / nn as f64
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    experiment();
+    let mut g = c.benchmark_group("e01");
+    g.sample_size(10);
+    g.bench_function("dissemination_n500_f13", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            run_dissemination(500, cfg(13), seed, Duration(20_000))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

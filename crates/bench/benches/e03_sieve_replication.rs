@@ -1,0 +1,89 @@
+//! E3 — Sieve-based replication (paper §III-A): the uniform `r/N` sieve
+//! yields expected replication `r`; sieve grain adapts to disparate node
+//! capacities; range-partition sieves cover the key space exactly `r`-fold.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dd_bench::{f, n, table_header, table_row};
+use dd_sieve::{check_coverage, CapacitySieve, ItemMeta, RangeSieve, Sieve, UniformSieve};
+
+fn items(count: u64) -> Vec<ItemMeta> {
+    (0..count).map(|i| ItemMeta::from_key(format!("e3-{i}").as_bytes())).collect()
+}
+
+fn experiment() {
+    let probe = items(20_000);
+    table_header(
+        "E3a: uniform r/N sieves — replica statistics",
+        &["N", "r", "mean", "min", "max", "uncov_meas", "uncov_theory"],
+    );
+    for &nn in &[1_000u64, 10_000] {
+        for &r in &[3u32, 5, 8] {
+            let sieves: Vec<UniformSieve> =
+                (0..nn).map(|i| UniformSieve::replication(i, r, nn)).collect();
+            let rep = check_coverage(&sieves, &probe);
+            table_row(&[
+                n(nn),
+                n(u64::from(r)),
+                f(rep.replicas.mean),
+                f(rep.replicas.min),
+                f(rep.replicas.max),
+                f(rep.uncovered as f64 / rep.probes as f64),
+                f((-f64::from(r)).exp()),
+            ]);
+        }
+    }
+
+    table_header(
+        "E3b: range-partition sieves — deterministic r-fold coverage",
+        &["N", "r", "mean", "min", "max", "uncovered"],
+    );
+    for &nn in &[64u64, 1_024] {
+        let r = 3u32;
+        let sieves: Vec<RangeSieve> =
+            (0..nn).map(|i| RangeSieve::partition(i, nn, r)).collect();
+        let rep = check_coverage(&sieves, &probe);
+        table_row(&[
+            n(nn),
+            n(u64::from(r)),
+            f(rep.replicas.mean),
+            f(rep.replicas.min),
+            f(rep.replicas.max),
+            n(rep.uncovered as u64),
+        ]);
+    }
+
+    table_header(
+        "E3c: capacity-weighted sieves — stored volume tracks weight",
+        &["weight", "items_stored", "vs_weight_1"],
+    );
+    let nn = 200u64;
+    let r = 4u32;
+    let base = items(50_000);
+    let reference = {
+        let s = CapacitySieve::new(0, r, nn, 1.0);
+        base.iter().filter(|i| s.accepts(i)).count() as f64
+    };
+    for &w in &[0.25f64, 0.5, 1.0, 2.0, 4.0] {
+        let s = CapacitySieve::new(1, r, nn, w);
+        let stored = base.iter().filter(|i| s.accepts(i)).count();
+        table_row(&[f(w), n(stored as u64), f(stored as f64 / reference)]);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    experiment();
+    let mut g = c.benchmark_group("e03");
+    let sieve = UniformSieve::replication(7, 3, 10_000);
+    let probe: Vec<ItemMeta> = items(1_000);
+    g.bench_function("uniform_sieve_accept_1k", |b| {
+        b.iter(|| probe.iter().filter(|i| sieve.accepts(i)).count());
+    });
+    let range = RangeSieve::partition(5, 1_024, 3);
+    g.bench_function("range_sieve_accept_1k", |b| {
+        b.iter(|| probe.iter().filter(|i| range.accepts(i)).count());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

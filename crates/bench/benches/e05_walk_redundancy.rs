@@ -1,0 +1,103 @@
+//! E5 — Random-walk redundancy estimation (paper §III-A): per-tuple walks
+//! are "clearly impractical"; per-sieve walks "drastically reduce" the
+//! number and length of walks because "many tuples may be checked at once".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dd_bench::{f, n, table_header, table_row};
+use dd_membership::MembershipOracle;
+use dd_sim::{NodeId, Sim, SimConfig, Time};
+use dd_walks::sampling::uniformity_score;
+use dd_walks::{per_sieve_cost, per_tuple_cost, visits_histogram, RedundancyEstimator, WalkMsg, WalkNode};
+
+fn experiment() {
+    table_header(
+        "E5a: cost of redundancy checking — per-tuple vs per-sieve walks",
+        &["tuples", "N", "classes", "naive_msgs", "sieve_msgs", "ratio"],
+    );
+    for &(tuples, nn) in &[(10_000u64, 1_000u64), (100_000, 10_000), (1_000_000, 50_000)] {
+        let classes = 64u64;
+        let spt = 30u64;
+        let naive = per_tuple_cost(tuples, nn, 5, spt);
+        let sieve = per_sieve_cost(classes, spt);
+        table_row(&[
+            n(tuples),
+            n(nn),
+            n(classes),
+            n(naive.total_messages),
+            n(sieve.total_messages),
+            f(naive.total_messages as f64 / sieve.total_messages as f64),
+        ]);
+    }
+
+    // E5b: walk sampling uniformity + class-population estimation accuracy.
+    let nn = 1_000u64;
+    let classes = 16u64;
+    let mut sim: Sim<WalkNode<MembershipOracle>> = Sim::new(SimConfig::default().seed(6));
+    for i in 0..nn {
+        sim.add_node(
+            NodeId(i),
+            WalkNode::new(MembershipOracle::dense(NodeId(i), nn), i % classes, 10),
+        );
+    }
+    // 200 walks of 64 hops from node 0.
+    for w in 0..200u64 {
+        sim.inject(
+            NodeId(0),
+            NodeId(0),
+            WalkMsg::Step { id: w, ttl: 64, origin: NodeId(0), samples: vec![] },
+        );
+    }
+    sim.run_until(Time(2_000_000));
+    let origin = sim.node(NodeId(0)).unwrap();
+    let samples = origin.all_samples();
+    let score = uniformity_score(&visits_histogram(&samples), nn);
+    let mut est = RedundancyEstimator::new();
+    est.absorb(&samples);
+    table_header(
+        "E5b: per-class population estimates from 200x64-hop walks (truth = 62.5)",
+        &["class", "estimate", "rel_err"],
+    );
+    for class in 0..4u64 {
+        let e = est.class_population(class, nn as f64);
+        let truth = nn as f64 / classes as f64;
+        table_row(&[n(class), f(e), f((e - truth).abs() / truth)]);
+    }
+    println!(
+        "walk-visit uniformity score (chi^2/df, 1.0 = perfectly uniform): {score:.2}; \
+         {} samples over {} walks",
+        samples.len(),
+        origin.completed.len()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    experiment();
+    let mut g = c.benchmark_group("e05");
+    g.sample_size(10);
+    g.bench_function("walks_20x32_n200", |b| {
+        b.iter(|| {
+            let nn = 200u64;
+            let mut sim: Sim<WalkNode<MembershipOracle>> =
+                Sim::new(SimConfig::default().seed(1));
+            for i in 0..nn {
+                sim.add_node(
+                    NodeId(i),
+                    WalkNode::new(MembershipOracle::dense(NodeId(i), nn), i % 8, 1),
+                );
+            }
+            for w in 0..20u64 {
+                sim.inject(
+                    NodeId(0),
+                    NodeId(0),
+                    WalkMsg::Step { id: w, ttl: 32, origin: NodeId(0), samples: vec![] },
+                );
+            }
+            sim.run_until(Time(500_000));
+            sim.node(NodeId(0)).unwrap().completed.len()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! E8 — Distribution-aware sieves (paper §III-B-1): on skewed data,
+//! equi-depth sieves ("finer near the mean ± standard deviation") balance
+//! load where fixed-width value-range sieves hotspot.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dd_bench::{f, n, table_header, table_row};
+use dd_sieve::histogram::equi_depth_edges;
+use dd_sieve::{HistogramSieve, ItemMeta, Sieve};
+use dd_sim::metrics::Summary;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Normal, Zipf};
+
+/// Load distribution when each of `b` nodes owns one bucket, with either
+/// fixed-width or equi-depth edges over `sample`.
+fn loads(sample: &[f64], fresh: &[f64], b: usize, equi_depth: bool) -> Vec<u32> {
+    let edges = if equi_depth {
+        equi_depth_edges(sample, b)
+    } else {
+        let (min, max) = sample.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+        (1..b).map(|k| min + (max - min) * k as f64 / b as f64).collect()
+    };
+    let sieves: Vec<HistogramSieve> =
+        (0..b).map(|i| HistogramSieve::new(edges.clone(), i, 1)).collect();
+    let mut load = vec![0u32; b];
+    for &v in fresh {
+        let item = ItemMeta::from_key(b"probe").with_attr(v);
+        for (i, s) in sieves.iter().enumerate() {
+            if s.accepts(&item) {
+                load[i] += 1;
+            }
+        }
+    }
+    load
+}
+
+fn experiment() {
+    let b = 32usize;
+    let mut rng = SmallRng::seed_from_u64(8);
+    let normal = Normal::new(100.0, 15.0).unwrap();
+    let zipf = Zipf::new(10_000, 1.1).unwrap();
+
+    table_header(
+        "E8: load balance across 32 nodes (CV and max/mean of items per node)",
+        &["distribution", "edges", "cv", "max/mean", "max_items"],
+    );
+    for (name, sample, fresh) in [
+        (
+            "normal",
+            (0..40_000).map(|_| normal.sample(&mut rng)).collect::<Vec<f64>>(),
+            (0..20_000).map(|_| normal.sample(&mut rng)).collect::<Vec<f64>>(),
+        ),
+        (
+            "zipf",
+            (0..40_000).map(|_| zipf.sample(&mut rng)).collect::<Vec<f64>>(),
+            (0..20_000).map(|_| zipf.sample(&mut rng)).collect::<Vec<f64>>(),
+        ),
+    ] {
+        for (label, ed) in [("fixed", false), ("equi-depth", true)] {
+            let load = loads(&sample, &fresh, b, ed);
+            let stats = Summary::of(&load.iter().map(|&l| f64::from(l)).collect::<Vec<f64>>());
+            table_row(&[
+                name.into(),
+                label.into(),
+                f(stats.cv()),
+                f(stats.max / stats.mean),
+                n(stats.max as u64),
+            ]);
+        }
+    }
+    println!(
+        "the paper's prescription: equi-depth (distribution-aware) sieves cut \
+         the hotspot (max/mean) by an order of magnitude on skewed data while \
+         keeping value-adjacent items collocated."
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    experiment();
+    let mut g = c.benchmark_group("e08");
+    let mut rng = SmallRng::seed_from_u64(9);
+    let normal = Normal::new(0.0, 1.0).unwrap();
+    let sample: Vec<f64> = (0..50_000).map(|_| normal.sample(&mut rng)).collect();
+    g.bench_function("equi_depth_edges_50k_b64", |b| {
+        b.iter(|| equi_depth_edges(&sample, 64));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

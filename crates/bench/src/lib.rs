@@ -1,0 +1,42 @@
+//! # dd-bench — experiment harness
+//!
+//! One bench target per experiment in `DESIGN.md` §4 (E1–E12). Each target
+//! prints the experiment's table — the series a figure would plot — and
+//! then times a representative kernel with Criterion so `cargo bench`
+//! exercises the hot paths. `EXPERIMENTS.md` records claim-vs-measured.
+
+#![forbid(unsafe_code)]
+
+/// Prints a table header: `name` then right-aligned column labels.
+pub fn table_header(title: &str, cols: &[&str]) {
+    println!("\n=== {title} ===");
+    let row: Vec<String> = cols.iter().map(|c| format!("{c:>14}")).collect();
+    println!("{}", row.join(" "));
+}
+
+/// Prints one row of right-aligned cells.
+pub fn table_row(cells: &[String]) {
+    let row: Vec<String> = cells.iter().map(|c| format!("{c:>14}")).collect();
+    println!("{}", row.join(" "));
+}
+
+/// Formats a float with 3 decimals.
+#[must_use]
+pub fn f(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats an integer-ish value.
+#[must_use]
+pub fn n(v: u64) -> String {
+    v.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn formatters_behave() {
+        assert_eq!(super::f(1.23456), "1.235");
+        assert_eq!(super::n(42), "42");
+    }
+}

@@ -1,0 +1,44 @@
+//! # dd-core — DataDroplets
+//!
+//! The paper's system (Figure 1): a two-layer key-value (tuple) store.
+//! Clients talk to the **soft-state layer** — a moderately sized,
+//! DHT-organised tier that orders requests, assigns versions, caches tuples
+//! and keeps location hints — which delegates storage to the
+//! **persistent-state layer**, a large, churn-ridden population where
+//! writes spread epidemically and each node's local *sieve* decides what it
+//! retains (§II–III).
+//!
+//! ```
+//! use dd_core::{Cluster, ClusterConfig};
+//!
+//! let mut cluster = Cluster::new(ClusterConfig::small(), 42);
+//! cluster.settle();
+//! let req = cluster.put("user:1", b"alice".to_vec(), Some(31.0), None);
+//! let put = cluster.wait_put(req).expect("write acknowledged");
+//! assert!(put.acks >= 1);
+//! let read_req = cluster.get("user:1");
+//! let got = cluster.wait_get(read_req).expect("read done");
+//! assert_eq!(got.unwrap().value, b"alice".to_vec());
+//! ```
+//!
+//! Modules: `tuple` (data model), [`sieve_spec`] (wire-format sieves),
+//! [`msg`] (the composite protocol), [`soft`] and [`persist`] (the two
+//! node roles), [`cluster`] (whole-system harness + public API),
+//! [`workload`] (synthetic workloads for the experiments).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod msg;
+pub mod persist;
+pub mod sieve_spec;
+pub mod soft;
+pub mod tuple;
+pub mod workload;
+
+pub use cluster::{AggregateResult, Cluster, ClusterConfig, GetResult, PutResult};
+pub use msg::DropletMsg;
+pub use sieve_spec::SieveSpec;
+pub use tuple::{Key, StoredTuple};
+pub use workload::{Workload, WorkloadKind};

@@ -1,0 +1,162 @@
+//! The composite DataDroplets protocol: one message enum spanning both
+//! layers (the simulator hosts one process type per run).
+
+use crate::sieve_spec::SieveSpec;
+use crate::tuple::{Key, StoredTuple};
+use bytes::Bytes;
+use dd_epidemic::antientropy::Digest;
+use dd_estimation::DistSketch;
+use dd_dht::Version;
+use dd_sim::NodeId;
+
+/// All DataDroplets messages.
+#[derive(Debug, Clone)]
+pub enum DropletMsg {
+    // ------------------------------------------------------------------
+    // Client operations (injected at any soft node; forwarded to the
+    // key's coordinator).
+    // ------------------------------------------------------------------
+    /// Write request.
+    ClientPut {
+        /// Request id (unique per client).
+        req: u64,
+        /// Tuple key.
+        key: Key,
+        /// Payload.
+        value: Bytes,
+        /// Optional numeric attribute.
+        attr: Option<f64>,
+        /// Optional correlation tag.
+        tag: Option<String>,
+    },
+    /// Read request.
+    ClientGet {
+        /// Request id.
+        req: u64,
+        /// Tuple key.
+        key: Key,
+    },
+    /// Delete request (versioned tombstone).
+    ClientDelete {
+        /// Request id.
+        req: u64,
+        /// Tuple key.
+        key: Key,
+    },
+    /// Range scan over the attribute domain `[lo, hi]`.
+    ClientScan {
+        /// Request id.
+        req: u64,
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (inclusive).
+        hi: f64,
+    },
+    /// Aggregate over all stored tuples.
+    ClientAggregate {
+        /// Request id.
+        req: u64,
+    },
+
+    // ------------------------------------------------------------------
+    // Write path: epidemic dissemination into the persistent layer.
+    // ------------------------------------------------------------------
+    /// A write travelling epidemically; persist nodes relay it `fanout`
+    /// ways on first reception and offer it to their sieve.
+    Disseminate {
+        /// Hops travelled.
+        hops: u32,
+        /// The tuple (carries its own rumor id).
+        tuple: StoredTuple,
+        /// Coordinator awaiting storage acks.
+        coordinator: NodeId,
+    },
+    /// Persist → coordinator: "my sieve accepted this tuple".
+    StoredAck {
+        /// Key hash.
+        key_hash: u64,
+        /// Stored version.
+        version: Version,
+    },
+
+    // ------------------------------------------------------------------
+    // Read path.
+    // ------------------------------------------------------------------
+    /// Coordinator → persist: fetch a tuple at (at least) a version.
+    Fetch {
+        /// Request id.
+        req: u64,
+        /// Key hash.
+        key_hash: u64,
+        /// Version required (the metadata's latest).
+        version: Version,
+    },
+    /// Persist → coordinator: fetch result.
+    FetchReply {
+        /// Request id.
+        req: u64,
+        /// The tuple, if held at a sufficient version.
+        found: Option<StoredTuple>,
+    },
+
+    // ------------------------------------------------------------------
+    // Scan / aggregate paths.
+    // ------------------------------------------------------------------
+    /// Coordinator → persist: report tuples with attr in `[lo, hi]`.
+    ScanReq {
+        /// Request id.
+        req: u64,
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Persist → coordinator: local matches.
+    ScanReply {
+        /// Request id.
+        req: u64,
+        /// Matching live tuples.
+        items: Vec<StoredTuple>,
+    },
+    /// Coordinator → persist: send your local aggregate contribution.
+    AggReq {
+        /// Request id.
+        req: u64,
+    },
+    /// Persist → coordinator: duplicate-tolerant local summary.
+    AggReply {
+        /// Request id.
+        req: u64,
+        /// Bottom-k sketch of locally held (distinct) items.
+        sketch: DistSketch,
+        /// Local minimum attribute (idempotent under replication).
+        min: f64,
+        /// Local maximum attribute.
+        max: f64,
+    },
+
+    // ------------------------------------------------------------------
+    // Redundancy maintenance (same-class anti-entropy, §III-A).
+    // ------------------------------------------------------------------
+    /// "Here is my sieve and my digest" — any peer can answer with the
+    /// tuples the sender's sieve covers but its digest lacks.
+    RepairOffer {
+        /// Sender's sieve (evaluable remotely; §III-A repair pairs nodes
+        /// covering the same key-space portion).
+        sieve: SieveSpec,
+        /// Sender's digest.
+        digest: Digest,
+    },
+    /// Same-class response with missing items and the responder digest.
+    RepairSync {
+        /// Responder digest (for the reciprocal leg).
+        digest: Digest,
+        /// Items the offerer was missing.
+        items: Vec<StoredTuple>,
+    },
+    /// Reciprocal leg: items the responder was missing.
+    RepairItems(
+        /// The tuples.
+        Vec<StoredTuple>,
+    ),
+}

@@ -1,0 +1,283 @@
+//! The persistent-state layer node.
+//!
+//! §III: any node may receive operations; writes arrive epidemically
+//! ([`DropletMsg::Disseminate`]), the local [`SieveSpec`] decides retention
+//! ("global dissemination / local decision"), and same-class anti-entropy
+//! maintains redundancy. Reads, scans and aggregates are served from the
+//! local store.
+
+use crate::msg::DropletMsg;
+use crate::sieve_spec::SieveSpec;
+use crate::tuple::StoredTuple;
+use dd_epidemic::antientropy::Digest;
+use dd_epidemic::push::{PushConfig, PushState, RumorId};
+use dd_estimation::DistSketch;
+use dd_sim::{Ctx, Duration, NodeId, TimerTag};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Timer tag for repair rounds.
+pub const REPAIR_TIMER: TimerTag = TimerTag(0xFE4A);
+
+/// Persistent-layer node state.
+#[derive(Debug, Clone)]
+pub struct PersistNode {
+    /// This node's sieve.
+    pub sieve: SieveSpec,
+    /// Gossip relay state.
+    pub push: PushState,
+    /// All persist-layer peers (closed world per experiment; a Cyclon view
+    /// plugs in identically via the same `Vec<NodeId>` refresh).
+    pub peers: Vec<NodeId>,
+    /// Latest live tuple per key hash.
+    pub store: HashMap<u64, StoredTuple>,
+    /// Repair period; `None` disables maintenance.
+    pub repair_period: Option<Duration>,
+    /// Sketch capacity for aggregate replies.
+    pub sketch_k: usize,
+}
+
+impl PersistNode {
+    /// Creates a node.
+    #[must_use]
+    pub fn new(
+        sieve: SieveSpec,
+        fanout: u32,
+        peers: Vec<NodeId>,
+        repair_period: Option<Duration>,
+    ) -> Self {
+        PersistNode {
+            sieve,
+            push: PushState::new(PushConfig { fanout, ..PushConfig::default() }),
+            peers,
+            store: HashMap::new(),
+            repair_period,
+            sketch_k: 256,
+        }
+    }
+
+    /// Number of live (non-tombstone) tuples held.
+    #[must_use]
+    pub fn live_count(&self) -> usize {
+        self.store.values().filter(|t| !t.deleted).count()
+    }
+
+    /// Applies a tuple if it is newer than what we hold. Returns `true`
+    /// when the store changed.
+    pub fn apply(&mut self, tuple: StoredTuple) -> bool {
+        match self.store.get(&tuple.key_hash) {
+            Some(existing) if existing.version >= tuple.version => false,
+            _ => {
+                self.store.insert(tuple.key_hash, tuple);
+                true
+            }
+        }
+    }
+
+    /// The digest of held `(key, version)` pairs, as rumor ids.
+    #[must_use]
+    pub fn digest(&self) -> Digest {
+        Digest::from_ids(self.store.values().map(|t| RumorId(t.rumor_id())).collect())
+    }
+
+    /// Tuples the peer (per its digest) is missing *and* its sieve accepts.
+    #[must_use]
+    pub fn items_for_peer(&self, their_digest: &Digest, their_sieve: &SieveSpec) -> Vec<StoredTuple> {
+        let theirs: std::collections::HashSet<RumorId> =
+            their_digest.ids().iter().copied().collect();
+        self.store
+            .values()
+            .filter(|t| !theirs.contains(&RumorId(t.rumor_id())))
+            .filter(|t| their_sieve.accepts(&t.item_meta()))
+            .cloned()
+            .collect()
+    }
+
+    /// Handles persist-layer messages; shared by the composite process.
+    pub fn on_message(&mut self, ctx: &mut Ctx<'_, DropletMsg>, from: NodeId, msg: DropletMsg) {
+        match msg {
+            DropletMsg::Disseminate { hops, tuple, coordinator } => {
+                let id = RumorId(tuple.rumor_id());
+                let self_id = ctx.id();
+                let peers = self.peers.clone();
+                let (first, targets) = self.push.on_rumor(ctx.rng(), self_id, &peers, id, hops);
+                if first {
+                    ctx.metrics().incr("persist.received");
+                    if self.sieve.accepts(&tuple.item_meta()) {
+                        let (key_hash, version) = (tuple.key_hash, tuple.version);
+                        if self.apply(tuple.clone()) {
+                            ctx.metrics().incr("persist.stored");
+                            ctx.send(coordinator, DropletMsg::StoredAck { key_hash, version });
+                        }
+                    }
+                }
+                for t in targets {
+                    ctx.metrics().incr("persist.relays");
+                    ctx.send(
+                        t,
+                        DropletMsg::Disseminate {
+                            hops: hops + 1,
+                            tuple: tuple.clone(),
+                            coordinator,
+                        },
+                    );
+                }
+            }
+            DropletMsg::Fetch { req, key_hash, version } => {
+                let found = self
+                    .store
+                    .get(&key_hash)
+                    .filter(|t| t.version >= version)
+                    .cloned();
+                ctx.metrics().incr("persist.fetches");
+                ctx.send(from, DropletMsg::FetchReply { req, found });
+            }
+            DropletMsg::ScanReq { req, lo, hi } => {
+                let items: Vec<StoredTuple> = self
+                    .store
+                    .values()
+                    .filter(|t| !t.deleted)
+                    .filter(|t| t.attr.is_some_and(|a| a >= lo && a <= hi))
+                    .cloned()
+                    .collect();
+                ctx.send(from, DropletMsg::ScanReply { req, items });
+            }
+            DropletMsg::AggReq { req } => {
+                let mut sketch = DistSketch::new(self.sketch_k);
+                let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+                for t in self.store.values().filter(|t| !t.deleted) {
+                    if let Some(a) = t.attr {
+                        sketch.observe(t.key_hash, a);
+                        min = min.min(a);
+                        max = max.max(a);
+                    }
+                }
+                ctx.send(from, DropletMsg::AggReply { req, sketch, min, max });
+            }
+            DropletMsg::RepairOffer { sieve, digest } => {
+                // Send whatever the offerer's sieve covers and its digest
+                // lacks; reply with our own digest so the exchange is
+                // bidirectional when the sieves overlap.
+                let items = self.items_for_peer(&digest, &sieve);
+                ctx.metrics().incr("repair.syncs");
+                if !items.is_empty() || sieve.class_id() == self.sieve.class_id() {
+                    ctx.send(from, DropletMsg::RepairSync { digest: self.digest(), items });
+                } else {
+                    // Still reciprocate pulls: tell the offerer what we
+                    // hold so it can push us what our sieve needs.
+                    ctx.send(from, DropletMsg::RepairSync { digest: self.digest(), items: vec![] });
+                }
+            }
+            DropletMsg::RepairSync { digest, items } => {
+                let mut recovered = 0u64;
+                for t in items {
+                    if self.sieve.accepts(&t.item_meta()) && self.apply(t) {
+                        recovered += 1;
+                    }
+                }
+                ctx.metrics().add("repair.recovered", recovered);
+                let reciprocal = self.items_for_peer(&digest, &self.sieve.clone());
+                if !reciprocal.is_empty() {
+                    ctx.send(from, DropletMsg::RepairItems(reciprocal));
+                }
+            }
+            DropletMsg::RepairItems(items) => {
+                let mut recovered = 0u64;
+                for t in items {
+                    if self.sieve.accepts(&t.item_meta()) && self.apply(t) {
+                        recovered += 1;
+                    }
+                }
+                ctx.metrics().add("repair.recovered", recovered);
+            }
+            _ => {}
+        }
+    }
+
+    /// Arms the repair timer (called from `on_start`/`on_up`).
+    pub fn arm_timers(&self, ctx: &mut Ctx<'_, DropletMsg>) {
+        if let Some(period) = self.repair_period {
+            let jitter = ctx.rng().gen_range(0..period.0.max(1));
+            ctx.set_timer(Duration(jitter), REPAIR_TIMER);
+        }
+    }
+
+    /// Handles the repair timer.
+    pub fn on_timer(&mut self, ctx: &mut Ctx<'_, DropletMsg>, tag: TimerTag) {
+        if tag != REPAIR_TIMER {
+            return;
+        }
+        if let Some(&peer) = self.peers.choose(ctx.rng()) {
+            ctx.send(
+                peer,
+                DropletMsg::RepairOffer { sieve: self.sieve.clone(), digest: self.digest() },
+            );
+        }
+        if let Some(period) = self.repair_period {
+            ctx.set_timer(period, REPAIR_TIMER);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Key;
+    use dd_dht::Version;
+
+    fn tuple(key: &str, version: u64) -> StoredTuple {
+        StoredTuple::new(Key::from(key), Version(version), b"v".to_vec(), Some(1.0), None)
+    }
+
+    #[test]
+    fn apply_keeps_latest_version_only() {
+        let mut n = PersistNode::new(SieveSpec::Range { index: 0, of: 1, r: 1 }, 2, vec![], None);
+        assert!(n.apply(tuple("k", 1)));
+        assert!(n.apply(tuple("k", 3)));
+        assert!(!n.apply(tuple("k", 2)), "stale write rejected");
+        assert_eq!(n.store.len(), 1);
+        assert_eq!(n.store.values().next().unwrap().version, Version(3));
+    }
+
+    #[test]
+    fn tombstone_supersedes_and_live_count_drops() {
+        let mut n = PersistNode::new(SieveSpec::Range { index: 0, of: 1, r: 1 }, 2, vec![], None);
+        n.apply(tuple("k", 1));
+        assert_eq!(n.live_count(), 1);
+        n.apply(StoredTuple::tombstone("k".into(), Version(2)));
+        assert_eq!(n.live_count(), 0);
+        assert_eq!(n.store.len(), 1, "tombstone retained for ordering");
+    }
+
+    #[test]
+    fn digest_reflects_key_versions() {
+        let mut n = PersistNode::new(SieveSpec::Range { index: 0, of: 1, r: 1 }, 2, vec![], None);
+        n.apply(tuple("a", 1));
+        let d1 = n.digest();
+        n.apply(tuple("a", 2));
+        let d2 = n.digest();
+        assert_ne!(d1, d2, "new version changes the digest");
+        assert_eq!(d2.len(), 1);
+    }
+
+    #[test]
+    fn items_for_peer_respects_their_sieve_and_digest() {
+        let all = SieveSpec::Range { index: 0, of: 1, r: 1 };
+        let mut n = PersistNode::new(all.clone(), 2, vec![], None);
+        // 8-segment sieve for the peer: accepts only a fraction of keys.
+        let peer_sieve = SieveSpec::Range { index: 0, of: 8, r: 1 };
+        for i in 0..64 {
+            n.apply(tuple(&format!("k{i}"), 1));
+        }
+        let sent = n.items_for_peer(&Digest::default(), &peer_sieve);
+        assert!(!sent.is_empty());
+        assert!(sent.len() < 32, "only the peer's share is sent: {}", sent.len());
+        for t in &sent {
+            assert!(peer_sieve.accepts(&t.item_meta()));
+        }
+        // With the peer already holding everything, nothing is sent.
+        let full = n.digest();
+        assert!(n.items_for_peer(&full, &all).is_empty());
+    }
+}

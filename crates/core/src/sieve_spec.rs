@@ -1,0 +1,186 @@
+//! Wire-format sieve descriptions.
+//!
+//! Repair peers must evaluate *each other's* sieves ("nodes responsible to
+//! the same key space … check tuple redundancy directly between them",
+//! §III-A), so a node's sieve must be expressible as plain data. A
+//! [`SieveSpec`] is that serialisable form; it evaluates via the concrete
+//! sieve types of `dd-sieve`.
+
+use dd_sieve::{HistogramSieve, ItemMeta, RangeSieve, Sieve, TagSieve, UniformSieve};
+
+/// A sieve as shippable data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SieveSpec {
+    /// `r`-fold key-range partition: this node is segment `index` of `of`.
+    Range {
+        /// Segment index.
+        index: u64,
+        /// Number of segments.
+        of: u64,
+        /// Replication degree.
+        r: u32,
+    },
+    /// Uniform `r/n` acceptance with a per-node salt.
+    Uniform {
+        /// Node salt.
+        salt: u64,
+        /// Replication degree.
+        r: u32,
+        /// Population estimate.
+        n: u64,
+    },
+    /// Tag collocation over `slots` slots (untagged items fall back to
+    /// uniform `r/slots`).
+    Tag {
+        /// This node's slot.
+        slot: u64,
+        /// Total slots.
+        slots: u64,
+        /// Replication degree.
+        r: u32,
+    },
+    /// Distribution-aware: equi-depth bucket ownership in the value domain.
+    Histogram {
+        /// Interior bucket edges (ascending).
+        edges: Vec<f64>,
+        /// Starting bucket index.
+        index: usize,
+        /// Replication degree (consecutive buckets).
+        r: u32,
+    },
+}
+
+impl SieveSpec {
+    /// Whether this sieve retains `item`.
+    #[must_use]
+    pub fn accepts(&self, item: &ItemMeta) -> bool {
+        match self {
+            SieveSpec::Range { index, of, r } => {
+                RangeSieve::partition(*index, *of, *r).accepts(item)
+            }
+            SieveSpec::Uniform { salt, r, n } => {
+                UniformSieve::replication(*salt, *r, *n).accepts(item)
+            }
+            SieveSpec::Tag { slot, slots, r } => TagSieve::new(*slot, *slots, *r).accepts(item),
+            SieveSpec::Histogram { edges, index, r } => {
+                HistogramSieve::new(edges.clone(), *index, *r).accepts(item)
+            }
+        }
+    }
+
+    /// The sieve-class id (same semantics as
+    /// [`dd_sieve::Sieve::class_id`]): nodes with equal class cover the
+    /// same key-space portion and pair up for repair.
+    #[must_use]
+    pub fn class_id(&self) -> u64 {
+        match self {
+            SieveSpec::Range { index, of, r } => {
+                RangeSieve::partition(*index, *of, *r).class_id()
+            }
+            SieveSpec::Uniform { salt, r, n } => {
+                UniformSieve::replication(*salt, *r, *n).class_id()
+            }
+            SieveSpec::Tag { slot, slots, r } => TagSieve::new(*slot, *slots, *r).class_id(),
+            SieveSpec::Histogram { edges, index, r } => {
+                HistogramSieve::new(edges.clone(), *index, *r).class_id()
+            }
+        }
+    }
+
+    /// Expected fraction of the key space retained.
+    #[must_use]
+    pub fn grain(&self) -> f64 {
+        match self {
+            SieveSpec::Range { index, of, r } => RangeSieve::partition(*index, *of, *r).grain(),
+            SieveSpec::Uniform { salt, r, n } => {
+                UniformSieve::replication(*salt, *r, *n).grain()
+            }
+            SieveSpec::Tag { slot, slots, r } => TagSieve::new(*slot, *slots, *r).grain(),
+            SieveSpec::Histogram { edges, index, r } => {
+                HistogramSieve::new(edges.clone(), *index, *r).grain()
+            }
+        }
+    }
+
+    /// The default persistent-layer assignment: node `i` of `n` covers
+    /// range segment `i` with replication `r` — the paper's "responsible
+    /// for a given portion of the key space".
+    #[must_use]
+    pub fn default_for(i: u64, n: u64, r: u32) -> SieveSpec {
+        SieveSpec::Range { index: i, of: n, r }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(key: &str) -> ItemMeta {
+        ItemMeta::from_key(key.as_bytes())
+    }
+
+    #[test]
+    fn range_spec_matches_concrete_sieve() {
+        let spec = SieveSpec::Range { index: 2, of: 8, r: 3 };
+        let concrete = RangeSieve::partition(2, 8, 3);
+        for k in 0..200 {
+            let it = item(&format!("k{k}"));
+            assert_eq!(spec.accepts(&it), concrete.accepts(&it));
+        }
+        assert_eq!(spec.class_id(), concrete.class_id());
+        assert!((spec.grain() - concrete.grain()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_spec_matches_concrete_sieve() {
+        let spec = SieveSpec::Uniform { salt: 9, r: 4, n: 100 };
+        let concrete = UniformSieve::replication(9, 4, 100);
+        for k in 0..200 {
+            let it = item(&format!("u{k}"));
+            assert_eq!(spec.accepts(&it), concrete.accepts(&it));
+        }
+    }
+
+    #[test]
+    fn default_population_covers_key_space_r_times() {
+        let n = 10u64;
+        let r = 3u32;
+        let specs: Vec<SieveSpec> = (0..n).map(|i| SieveSpec::default_for(i, n, r)).collect();
+        for k in 0..500 {
+            let it = item(&format!("cover{k}"));
+            let owners = specs.iter().filter(|s| s.accepts(&it)).count();
+            assert_eq!(owners, r as usize);
+        }
+    }
+
+    #[test]
+    fn same_range_specs_share_class() {
+        let a = SieveSpec::Range { index: 1, of: 4, r: 2 };
+        let b = SieveSpec::Range { index: 1, of: 4, r: 2 };
+        let c = SieveSpec::Range { index: 2, of: 4, r: 2 };
+        assert_eq!(a.class_id(), b.class_id());
+        assert_ne!(a.class_id(), c.class_id());
+    }
+
+    #[test]
+    fn histogram_spec_accepts_by_attr() {
+        let spec = SieveSpec::Histogram { edges: vec![10.0, 20.0], index: 1, r: 1 };
+        let mid = ItemMeta::from_key(b"m").with_attr(15.0);
+        let low = ItemMeta::from_key(b"l").with_attr(5.0);
+        assert!(spec.accepts(&mid));
+        assert!(!spec.accepts(&low));
+    }
+
+    #[test]
+    fn tag_spec_collocates() {
+        let n = 20u64;
+        let specs: Vec<SieveSpec> =
+            (0..n).map(|s| SieveSpec::Tag { slot: s, slots: n, r: 2 }).collect();
+        let a = ItemMeta::from_key(b"p1").with_tag(b"feed:x");
+        let b = ItemMeta::from_key(b"p2").with_tag(b"feed:x");
+        let oa: Vec<usize> = specs.iter().enumerate().filter(|(_, s)| s.accepts(&a)).map(|(i, _)| i).collect();
+        let ob: Vec<usize> = specs.iter().enumerate().filter(|(_, s)| s.accepts(&b)).map(|(i, _)| i).collect();
+        assert_eq!(oa, ob);
+        assert_eq!(oa.len(), 2);
+    }
+}

@@ -1,0 +1,372 @@
+//! The soft-state layer node: request ordering, versions, tuple cache,
+//! metadata and read/write coordination (§II of the paper).
+
+use crate::msg::DropletMsg;
+use crate::tuple::{Key, StoredTuple};
+use dd_dht::{HashRing, Metadata, TupleCache, Version, VersionAuthority};
+use dd_sim::{Ctx, NodeId};
+use rand::seq::SliceRandom;
+use std::collections::HashMap;
+
+/// Outcome of a write, as tracked by its coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PutStatus {
+    /// Version the write was ordered at.
+    pub version: Version,
+    /// Storage acks received from the persistent layer so far.
+    pub acks: u32,
+}
+
+#[derive(Debug, Clone)]
+struct PendingGet {
+    outstanding: usize,
+    done: bool,
+}
+
+#[derive(Debug, Clone)]
+struct PendingScan {
+    outstanding: usize,
+    items: Vec<StoredTuple>,
+}
+
+#[derive(Debug, Clone)]
+struct PendingAgg {
+    outstanding: usize,
+    sketch: dd_estimation::DistSketch,
+    min: f64,
+    max: f64,
+}
+
+/// Soft-state layer node.
+#[derive(Debug, Clone)]
+pub struct SoftNode {
+    /// Ring over the *soft* nodes only (the moderately sized tier).
+    pub ring: HashRing,
+    /// Per-key version authority (coordinator role).
+    pub authority: VersionAuthority,
+    /// Latest-version + location-hint metadata.
+    pub metadata: Metadata,
+    /// The tuple cache.
+    pub cache: TupleCache<StoredTuple>,
+    /// All persistent-layer node ids.
+    pub persist_peers: Vec<NodeId>,
+    /// Dissemination fanout used when originating writes.
+    pub fanout: u32,
+    /// Fallback fetch width when no location hints exist.
+    pub fallback_fetches: usize,
+
+    /// Completed writes: req → status (public: the harness polls this).
+    pub completed_puts: HashMap<u64, PutStatus>,
+    /// Completed reads: req → tuple (None = unknown key/deleted/not found).
+    pub completed_gets: HashMap<u64, Option<StoredTuple>>,
+    /// Completed scans: req → matching tuples.
+    pub completed_scans: HashMap<u64, Vec<StoredTuple>>,
+    /// Completed aggregates: req → (sketch, min, max).
+    pub completed_aggs: HashMap<u64, (dd_estimation::DistSketch, f64, f64)>,
+
+    put_index: HashMap<(u64, Version), u64>,
+    pending_gets: HashMap<u64, PendingGet>,
+    pending_scans: HashMap<u64, PendingScan>,
+    pending_aggs: HashMap<u64, PendingAgg>,
+}
+
+impl SoftNode {
+    /// Creates a soft node.
+    #[must_use]
+    pub fn new(
+        soft_members: &[NodeId],
+        persist_peers: Vec<NodeId>,
+        fanout: u32,
+        cache_capacity: usize,
+    ) -> Self {
+        let mut ring = HashRing::new();
+        for &m in soft_members {
+            ring.add(m, 16);
+        }
+        SoftNode {
+            ring,
+            authority: VersionAuthority::new(),
+            metadata: Metadata::new(8),
+            cache: TupleCache::new(cache_capacity),
+            persist_peers,
+            fanout,
+            fallback_fetches: 5,
+            completed_puts: HashMap::new(),
+            completed_gets: HashMap::new(),
+            completed_scans: HashMap::new(),
+            completed_aggs: HashMap::new(),
+            put_index: HashMap::new(),
+            pending_gets: HashMap::new(),
+            pending_scans: HashMap::new(),
+            pending_aggs: HashMap::new(),
+        }
+    }
+
+    /// The coordinator for a key: the primary soft-ring owner.
+    #[must_use]
+    pub fn coordinator_of(&self, key_hash: u64) -> Option<NodeId> {
+        self.ring.primary(key_hash)
+    }
+
+    fn is_coordinator(&self, me: NodeId, key_hash: u64) -> bool {
+        self.coordinator_of(key_hash) == Some(me)
+    }
+
+    fn disseminate(&mut self, ctx: &mut Ctx<'_, DropletMsg>, tuple: StoredTuple) {
+        let me = ctx.id();
+        let mut targets = self.persist_peers.clone();
+        targets.shuffle(ctx.rng());
+        targets.truncate(self.fanout as usize);
+        for t in targets {
+            ctx.metrics().incr("soft.disseminations");
+            ctx.send(t, DropletMsg::Disseminate { hops: 0, tuple: tuple.clone(), coordinator: me });
+        }
+    }
+
+    fn start_write(
+        &mut self,
+        ctx: &mut Ctx<'_, DropletMsg>,
+        req: u64,
+        key: Key,
+        value: bytes::Bytes,
+        attr: Option<f64>,
+        tag: Option<String>,
+        delete: bool,
+    ) {
+        let key_hash = key.hash();
+        let version = self.authority.assign(key_hash);
+        let tuple = if delete {
+            StoredTuple::tombstone(key, version)
+        } else {
+            StoredTuple::new(key, version, value, attr, tag.as_deref())
+        };
+        self.metadata.record_write(key_hash, version, &[]);
+        self.cache.put(key_hash, version, tuple.clone());
+        self.put_index.insert((key_hash, version), req);
+        self.completed_puts.insert(req, PutStatus { version, acks: 0 });
+        ctx.metrics().incr("soft.writes");
+        self.disseminate(ctx, tuple);
+    }
+
+    fn start_read(&mut self, ctx: &mut Ctx<'_, DropletMsg>, req: u64, key: &Key) {
+        let key_hash = key.hash();
+        let latest = self.metadata.latest(key_hash);
+        ctx.metrics().incr("soft.reads");
+        if latest == Version::ZERO {
+            // Key never written through this (healthy) soft layer.
+            self.completed_gets.insert(req, None);
+            return;
+        }
+        // §II: "the soft-layer always knows the most recent version … the
+        // use of quorums at the persistent-state layer is not necessary."
+        if let Some(t) = self.cache.get(key_hash, latest) {
+            ctx.metrics().incr("soft.cache_hits");
+            self.completed_gets.insert(req, (!t.deleted).then_some(t));
+            return;
+        }
+        ctx.metrics().incr("soft.cache_misses");
+        // Location hints first; random fallback otherwise.
+        let mut targets: Vec<NodeId> = self.metadata.holders(key_hash).to_vec();
+        if targets.is_empty() {
+            let mut pool = self.persist_peers.clone();
+            pool.shuffle(ctx.rng());
+            pool.truncate(self.fallback_fetches);
+            targets = pool;
+            ctx.metrics().incr("soft.fallback_fetches");
+        }
+        if targets.is_empty() {
+            self.completed_gets.insert(req, None);
+            return;
+        }
+        self.pending_gets.insert(req, PendingGet { outstanding: targets.len(), done: false });
+        for t in targets {
+            ctx.send(t, DropletMsg::Fetch { req, key_hash, version: latest });
+        }
+    }
+
+    /// Handles soft-layer messages; shared by the composite process.
+    pub fn on_message(&mut self, ctx: &mut Ctx<'_, DropletMsg>, from: NodeId, msg: DropletMsg) {
+        let me = ctx.id();
+        match msg {
+            DropletMsg::ClientPut { req, key, value, attr, tag } => {
+                if self.is_coordinator(me, key.hash()) {
+                    self.start_write(ctx, req, key, value, attr, tag, false);
+                } else if let Some(c) = self.coordinator_of(key.hash()) {
+                    ctx.send(c, DropletMsg::ClientPut { req, key, value, attr, tag });
+                }
+            }
+            DropletMsg::ClientDelete { req, key } => {
+                if self.is_coordinator(me, key.hash()) {
+                    self.start_write(ctx, req, key, bytes::Bytes::new(), None, None, true);
+                } else if let Some(c) = self.coordinator_of(key.hash()) {
+                    ctx.send(c, DropletMsg::ClientDelete { req, key });
+                }
+            }
+            DropletMsg::ClientGet { req, key } => {
+                if self.is_coordinator(me, key.hash()) {
+                    self.start_read(ctx, req, &key);
+                } else if let Some(c) = self.coordinator_of(key.hash()) {
+                    ctx.send(c, DropletMsg::ClientGet { req, key });
+                }
+            }
+            DropletMsg::ClientScan { req, lo, hi } => {
+                let targets = self.persist_peers.clone();
+                if targets.is_empty() {
+                    self.completed_scans.insert(req, Vec::new());
+                    return;
+                }
+                self.pending_scans
+                    .insert(req, PendingScan { outstanding: targets.len(), items: Vec::new() });
+                for t in targets {
+                    ctx.send(t, DropletMsg::ScanReq { req, lo, hi });
+                }
+            }
+            DropletMsg::ClientAggregate { req } => {
+                let targets = self.persist_peers.clone();
+                if targets.is_empty() {
+                    self.completed_aggs.insert(
+                        req,
+                        (dd_estimation::DistSketch::new(16), f64::INFINITY, f64::NEG_INFINITY),
+                    );
+                    return;
+                }
+                self.pending_aggs.insert(
+                    req,
+                    PendingAgg {
+                        outstanding: targets.len(),
+                        sketch: dd_estimation::DistSketch::new(512),
+                        min: f64::INFINITY,
+                        max: f64::NEG_INFINITY,
+                    },
+                );
+                for t in targets {
+                    ctx.send(t, DropletMsg::AggReq { req });
+                }
+            }
+            DropletMsg::StoredAck { key_hash, version } => {
+                self.metadata.add_holder(key_hash, version, from);
+                if let Some(&req) = self.put_index.get(&(key_hash, version)) {
+                    if let Some(s) = self.completed_puts.get_mut(&req) {
+                        s.acks += 1;
+                    }
+                }
+            }
+            DropletMsg::FetchReply { req, found } => {
+                let Some(p) = self.pending_gets.get_mut(&req) else { return };
+                p.outstanding = p.outstanding.saturating_sub(1);
+                match found {
+                    Some(t) if !p.done => {
+                        p.done = true;
+                        self.metadata.add_holder(t.key_hash, t.version, from);
+                        self.cache.put(t.key_hash, t.version, t.clone());
+                        self.completed_gets.insert(req, (!t.deleted).then_some(t));
+                        self.pending_gets.remove(&req);
+                    }
+                    _ => {
+                        if self.pending_gets.get(&req).is_some_and(|p| p.outstanding == 0) {
+                            self.pending_gets.remove(&req);
+                            self.completed_gets.entry(req).or_insert(None);
+                        }
+                    }
+                }
+            }
+            DropletMsg::ScanReply { req, items } => {
+                let Some(p) = self.pending_scans.get_mut(&req) else { return };
+                p.items.extend(items);
+                p.outstanding -= 1;
+                if p.outstanding == 0 {
+                    let p = self.pending_scans.remove(&req).expect("present");
+                    // Deduplicate replicas: keep the latest version per key.
+                    let mut latest: HashMap<u64, StoredTuple> = HashMap::new();
+                    for t in p.items {
+                        match latest.get(&t.key_hash) {
+                            Some(e) if e.version >= t.version => {}
+                            _ => {
+                                latest.insert(t.key_hash, t);
+                            }
+                        }
+                    }
+                    let mut out: Vec<StoredTuple> =
+                        latest.into_values().filter(|t| !t.deleted).collect();
+                    out.sort_by(|a, b| {
+                        a.attr
+                            .unwrap_or(f64::NAN)
+                            .total_cmp(&b.attr.unwrap_or(f64::NAN))
+                            .then(a.key.cmp(&b.key))
+                    });
+                    self.completed_scans.insert(req, out);
+                }
+            }
+            DropletMsg::AggReply { req, sketch, min, max } => {
+                let Some(p) = self.pending_aggs.get_mut(&req) else { return };
+                p.sketch.merge(&sketch);
+                p.min = p.min.min(min);
+                p.max = p.max.max(max);
+                p.outstanding -= 1;
+                if p.outstanding == 0 {
+                    let p = self.pending_aggs.remove(&req).expect("present");
+                    self.completed_aggs.insert(req, (p.sketch, p.min, p.max));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Wipes all soft state (catastrophic failure, §II) — versions,
+    /// metadata, cache, pending operations.
+    pub fn wipe(&mut self) {
+        self.authority = VersionAuthority::new();
+        self.metadata = Metadata::new(8);
+        self.cache.clear();
+        self.put_index.clear();
+        self.pending_gets.clear();
+        self.pending_scans.clear();
+        self.pending_aggs.clear();
+    }
+
+    /// Reconstructs metadata and version counters from a persistent-layer
+    /// scan (§II: "metadata can be reconstructed from the data reliably
+    /// stored at the underlying persistent-state layer").
+    pub fn reconstruct(&mut self, scan: impl IntoIterator<Item = (u64, Version, NodeId)>) {
+        let scan: Vec<(u64, Version, NodeId)> = scan.into_iter().collect();
+        self.metadata = Metadata::rebuild(8, scan.iter().copied());
+        for &(key, version, _) in &scan {
+            self.authority.observe(key, version);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coordinator_is_consistent_across_nodes() {
+        let members: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let nodes: Vec<SoftNode> =
+            (0..4).map(|_| SoftNode::new(&members, vec![], 4, 16)).collect();
+        for k in 0..100u64 {
+            let c0 = nodes[0].coordinator_of(k);
+            for n in &nodes {
+                assert_eq!(n.coordinator_of(k), c0);
+            }
+        }
+    }
+
+    #[test]
+    fn wipe_and_reconstruct_restores_versions() {
+        let members = vec![NodeId(0)];
+        let mut n = SoftNode::new(&members, vec![], 4, 16);
+        // Simulate three writes' worth of authority state.
+        let kh = Key::from("k").hash();
+        n.authority.assign(kh);
+        n.authority.assign(kh);
+        n.metadata.record_write(kh, Version(2), &[NodeId(7)]);
+        n.wipe();
+        assert_eq!(n.metadata.latest(kh), Version::ZERO);
+        n.reconstruct(vec![(kh, Version(2), NodeId(7))]);
+        assert_eq!(n.metadata.latest(kh), Version(2));
+        assert_eq!(n.metadata.holders(kh), &[NodeId(7)]);
+        assert_eq!(n.authority.assign(kh), Version(3), "versions continue after rebuild");
+    }
+}

@@ -1,0 +1,159 @@
+//! The tuple data model.
+//!
+//! DataDroplets stores *tuples*: a string key, an opaque value, and two
+//! optional pieces of metadata the paper's placement strategies exploit —
+//! a numeric attribute (distribution-aware sieves, ordered overlays,
+//! §III-B) and a correlation tag (collocation sieves, §III-B-1).
+
+use bytes::Bytes;
+use dd_dht::Version;
+use dd_sieve::ItemMeta;
+use dd_sim::rng::{mix, stable_hash};
+
+/// A tuple key: UTF-8 text hashed to a uniform 64-bit key space.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Key(pub String);
+
+impl Key {
+    /// The key's position in the hashed key space.
+    #[must_use]
+    pub fn hash(&self) -> u64 {
+        stable_hash(self.0.as_bytes())
+    }
+}
+
+impl From<&str> for Key {
+    fn from(s: &str) -> Self {
+        Key(s.to_owned())
+    }
+}
+
+impl From<String> for Key {
+    fn from(s: String) -> Self {
+        Key(s)
+    }
+}
+
+impl std::fmt::Display for Key {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A versioned tuple as held by the persistent layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredTuple {
+    /// The key.
+    pub key: Key,
+    /// Cached `key.hash()` (hot path: sieves, routing).
+    pub key_hash: u64,
+    /// Write version assigned by the soft-state layer.
+    pub version: Version,
+    /// Opaque payload; empty for tombstones.
+    pub value: Bytes,
+    /// Optional numeric attribute.
+    pub attr: Option<f64>,
+    /// Optional correlation-tag hash.
+    pub tag_hash: Option<u64>,
+    /// Tombstone marker (deletes are versioned writes, §III "simple read
+    /// and write operations … ordered and identified with a request
+    /// version").
+    pub deleted: bool,
+}
+
+impl StoredTuple {
+    /// Builds a live tuple.
+    #[must_use]
+    pub fn new(
+        key: Key,
+        version: Version,
+        value: impl Into<Bytes>,
+        attr: Option<f64>,
+        tag: Option<&str>,
+    ) -> Self {
+        let key_hash = key.hash();
+        StoredTuple {
+            key,
+            key_hash,
+            version,
+            value: value.into(),
+            attr,
+            tag_hash: tag.map(|t| stable_hash(t.as_bytes())),
+            deleted: false,
+        }
+    }
+
+    /// Builds a tombstone superseding earlier versions of `key`.
+    #[must_use]
+    pub fn tombstone(key: Key, version: Version) -> Self {
+        let key_hash = key.hash();
+        StoredTuple {
+            key,
+            key_hash,
+            version,
+            value: Bytes::new(),
+            attr: None,
+            tag_hash: None,
+            deleted: true,
+        }
+    }
+
+    /// The sieve-visible projection.
+    #[must_use]
+    pub fn item_meta(&self) -> ItemMeta {
+        ItemMeta { key_hash: self.key_hash, attr: self.attr, tag_hash: self.tag_hash }
+    }
+
+    /// Unique dissemination id of this write: one rumor per
+    /// `(key, version)`.
+    #[must_use]
+    pub fn rumor_id(&self) -> u64 {
+        mix(self.key_hash, self.version.0 ^ 0xD0_1E7)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_hash_is_stable_and_discriminating() {
+        assert_eq!(Key::from("a").hash(), Key::from("a").hash());
+        assert_ne!(Key::from("a").hash(), Key::from("b").hash());
+    }
+
+    #[test]
+    fn key_conversions_and_display() {
+        let k: Key = "users:7".into();
+        assert_eq!(k.to_string(), "users:7");
+        let k2: Key = String::from("users:7").into();
+        assert_eq!(k, k2);
+    }
+
+    #[test]
+    fn stored_tuple_caches_key_hash() {
+        let t = StoredTuple::new("x".into(), Version(1), b"v".to_vec(), Some(2.0), Some("g"));
+        assert_eq!(t.key_hash, t.key.hash());
+        assert!(!t.deleted);
+        assert_eq!(t.item_meta().attr, Some(2.0));
+        assert!(t.item_meta().tag_hash.is_some());
+    }
+
+    #[test]
+    fn tombstone_is_empty_and_marked() {
+        let t = StoredTuple::tombstone("gone".into(), Version(4));
+        assert!(t.deleted);
+        assert!(t.value.is_empty());
+        assert_eq!(t.version, Version(4));
+    }
+
+    #[test]
+    fn rumor_ids_are_unique_per_key_version() {
+        let a1 = StoredTuple::new("a".into(), Version(1), b"".to_vec(), None, None);
+        let a2 = StoredTuple::new("a".into(), Version(2), b"".to_vec(), None, None);
+        let b1 = StoredTuple::new("b".into(), Version(1), b"".to_vec(), None, None);
+        assert_ne!(a1.rumor_id(), a2.rumor_id());
+        assert_ne!(a1.rumor_id(), b1.rumor_id());
+        assert_eq!(a1.rumor_id(), a1.clone().rumor_id());
+    }
+}

@@ -1,0 +1,196 @@
+//! Synthetic workload generators for the experiments.
+//!
+//! The paper motivates three data shapes: uniformly keyed tuples, skewed
+//! popularity ("item request popularity … avoid hotspots", §III-B-1),
+//! normally distributed attributes (the distribution-aware sieve example),
+//! and correlated tuples ("tuple correlation", §III-B-1) — the social-feed
+//! workload of the authors' prior DataDroplets evaluation \[18\].
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal, Zipf};
+
+/// One generated write.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PutOp {
+    /// Tuple key.
+    pub key: String,
+    /// Payload.
+    pub value: Vec<u8>,
+    /// Numeric attribute.
+    pub attr: Option<f64>,
+    /// Correlation tag.
+    pub tag: Option<String>,
+}
+
+/// The supported workload shapes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadKind {
+    /// Distinct keys, no attribute, no tag.
+    Uniform,
+    /// Normally distributed attribute `N(mean, std_dev)`.
+    NormalAttr {
+        /// Mean of the attribute distribution.
+        mean: f64,
+        /// Standard deviation.
+        std_dev: f64,
+    },
+    /// Zipf-popular keys (overwrites concentrate on few keys).
+    ZipfKeys {
+        /// Number of distinct keys.
+        keys: u64,
+        /// Zipf exponent (≈1 for web-like skew).
+        exponent: f64,
+    },
+    /// Social-feed: each write belongs to one of `users` feeds (tag), with
+    /// a timestamp-like attribute.
+    SocialFeed {
+        /// Number of distinct users/feeds.
+        users: u64,
+    },
+}
+
+/// A deterministic workload generator.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    kind: WorkloadKind,
+    rng: SmallRng,
+    counter: u64,
+}
+
+impl Workload {
+    /// Creates a generator.
+    #[must_use]
+    pub fn new(kind: WorkloadKind, seed: u64) -> Self {
+        Workload { kind, rng: SmallRng::seed_from_u64(seed), counter: 0 }
+    }
+
+    /// Generates the next write.
+    pub fn next_put(&mut self) -> PutOp {
+        self.counter += 1;
+        let i = self.counter;
+        match self.kind {
+            WorkloadKind::Uniform => PutOp {
+                key: format!("key:{i}"),
+                value: i.to_le_bytes().to_vec(),
+                attr: None,
+                tag: None,
+            },
+            WorkloadKind::NormalAttr { mean, std_dev } => {
+                let dist = Normal::new(mean, std_dev).expect("valid normal");
+                PutOp {
+                    key: format!("key:{i}"),
+                    value: i.to_le_bytes().to_vec(),
+                    attr: Some(dist.sample(&mut self.rng)),
+                    tag: None,
+                }
+            }
+            WorkloadKind::ZipfKeys { keys, exponent } => {
+                let dist = Zipf::new(keys, exponent).expect("valid zipf");
+                let k = dist.sample(&mut self.rng) as u64;
+                PutOp {
+                    key: format!("key:{k}"),
+                    value: i.to_le_bytes().to_vec(),
+                    attr: None,
+                    tag: None,
+                }
+            }
+            WorkloadKind::SocialFeed { users } => {
+                let user = self.rng.gen_range(0..users);
+                PutOp {
+                    key: format!("post:{user}:{i}"),
+                    value: format!("post body {i}").into_bytes(),
+                    attr: Some(i as f64),
+                    tag: Some(format!("feed:{user}")),
+                }
+            }
+        }
+    }
+
+    /// Generates `n` writes.
+    pub fn take_puts(&mut self, n: usize) -> Vec<PutOp> {
+        (0..n).map(|_| self.next_put()).collect()
+    }
+
+    /// A read key matching the workload's key population (for mixed
+    /// read/write traffic).
+    pub fn next_read_key(&mut self) -> String {
+        match self.kind {
+            WorkloadKind::Uniform | WorkloadKind::NormalAttr { .. } => {
+                let upper = self.counter.max(1);
+                format!("key:{}", self.rng.gen_range(1..=upper))
+            }
+            WorkloadKind::ZipfKeys { keys, exponent } => {
+                let dist = Zipf::new(keys, exponent).expect("valid zipf");
+                format!("key:{}", dist.sample(&mut self.rng) as u64)
+            }
+            WorkloadKind::SocialFeed { users } => {
+                format!("feed:{}", self.rng.gen_range(0..users))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn uniform_keys_are_distinct() {
+        let mut w = Workload::new(WorkloadKind::Uniform, 1);
+        let ops = w.take_puts(100);
+        let keys: std::collections::HashSet<&String> = ops.iter().map(|o| &o.key).collect();
+        assert_eq!(keys.len(), 100);
+        assert!(ops.iter().all(|o| o.attr.is_none() && o.tag.is_none()));
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = Workload::new(WorkloadKind::SocialFeed { users: 10 }, 7).take_puts(50);
+        let b = Workload::new(WorkloadKind::SocialFeed { users: 10 }, 7).take_puts(50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn normal_attrs_cluster_around_the_mean() {
+        let mut w = Workload::new(WorkloadKind::NormalAttr { mean: 100.0, std_dev: 10.0 }, 2);
+        let ops = w.take_puts(5_000);
+        let mean: f64 =
+            ops.iter().filter_map(|o| o.attr).sum::<f64>() / ops.len() as f64;
+        assert!((mean - 100.0).abs() < 1.0, "sample mean {mean}");
+    }
+
+    #[test]
+    fn zipf_keys_are_skewed() {
+        let mut w = Workload::new(WorkloadKind::ZipfKeys { keys: 100, exponent: 1.1 }, 3);
+        let ops = w.take_puts(5_000);
+        let mut counts: HashMap<&String, u32> = HashMap::new();
+        for o in &ops {
+            *counts.entry(&o.key).or_insert(0) += 1;
+        }
+        let max = counts.values().max().copied().unwrap_or(0);
+        assert!(max > 500, "hottest key should dominate, got {max}");
+    }
+
+    #[test]
+    fn social_feed_tags_group_posts() {
+        let mut w = Workload::new(WorkloadKind::SocialFeed { users: 5 }, 4);
+        let ops = w.take_puts(200);
+        let tags: std::collections::HashSet<&String> =
+            ops.iter().filter_map(|o| o.tag.as_ref()).collect();
+        assert!(tags.len() <= 5);
+        assert!(ops.iter().all(|o| o.tag.is_some() && o.attr.is_some()));
+    }
+
+    #[test]
+    fn read_keys_stay_in_population() {
+        let mut w = Workload::new(WorkloadKind::Uniform, 5);
+        let _ = w.take_puts(10);
+        for _ in 0..20 {
+            let k = w.next_read_key();
+            let n: u64 = k.strip_prefix("key:").unwrap().parse().unwrap();
+            assert!((1..=10).contains(&n));
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the DataDroplets data model and placement
+//! invariants.
+
+use dd_core::{Key, SieveSpec, StoredTuple};
+use dd_dht::Version;
+use dd_sieve::ItemMeta;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any population of default (range) sieves covers any key exactly
+    /// min(r, n) times — the paper's data-loss safety requirement holds
+    /// for every (n, r, key).
+    #[test]
+    fn default_sieves_cover_every_key(
+        n in 1u64..48,
+        r in 1u32..6,
+        key in "[a-z0-9:/_-]{1,32}",
+    ) {
+        let specs: Vec<SieveSpec> = (0..n).map(|i| SieveSpec::default_for(i, n, r)).collect();
+        let item = ItemMeta::from_key(key.as_bytes());
+        let owners = specs.iter().filter(|s| s.accepts(&item)).count() as u64;
+        prop_assert_eq!(owners, u64::from(r).min(n));
+    }
+
+    /// Rumor ids are injective over (key, version) for realistic keys.
+    #[test]
+    fn rumor_ids_do_not_collide(
+        keys in prop::collection::hash_set("[a-z]{1,12}", 2..20),
+        versions in prop::collection::hash_set(1u64..1000, 2..10),
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        for k in &keys {
+            for &v in &versions {
+                let t = StoredTuple::new(Key::from(k.as_str()), Version(v), b"".to_vec(), None, None);
+                prop_assert!(seen.insert(t.rumor_id()), "collision for {}@{}", k, v);
+            }
+        }
+    }
+
+    /// A tombstone always supersedes the value it deletes and projects the
+    /// same key hash.
+    #[test]
+    fn tombstone_matches_key(key in "[a-z0-9]{1,20}", v in 1u64..100) {
+        let live = StoredTuple::new(Key::from(key.as_str()), Version(v), b"x".to_vec(), Some(1.0), None);
+        let dead = StoredTuple::tombstone(Key::from(key.as_str()), Version(v + 1));
+        prop_assert_eq!(live.key_hash, dead.key_hash);
+        prop_assert!(dead.version > live.version);
+        prop_assert!(dead.deleted && !live.deleted);
+    }
+
+    /// Sieve specs are stable: accepting is a pure function of the spec and
+    /// the item (same inputs, same answer through clones).
+    #[test]
+    fn spec_acceptance_is_pure(
+        idx in 0u64..16,
+        r in 1u32..4,
+        key in any::<u64>(),
+    ) {
+        let spec = SieveSpec::Range { index: idx, of: 16, r };
+        let item = ItemMeta::from_key_hash(key);
+        let a = spec.accepts(&item);
+        prop_assert_eq!(a, spec.accepts(&item));
+        prop_assert_eq!(a, spec.clone().accepts(&item));
+        // class id is likewise stable
+        prop_assert_eq!(spec.class_id(), spec.clone().class_id());
+    }
+
+    /// Grain equals the measured acceptance fraction for range specs.
+    #[test]
+    fn grain_matches_acceptance_rate(n in 2u64..32, r in 1u32..4) {
+        let spec = SieveSpec::Range { index: 0, of: n, r };
+        let probes = 4_000u64;
+        let accepted = (0..probes)
+            .filter(|&i| {
+                spec.accepts(&ItemMeta::from_key(format!("g{i}").as_bytes()))
+            })
+            .count() as f64;
+        let rate = accepted / probes as f64;
+        prop_assert!((rate - spec.grain()).abs() < 0.05,
+            "rate {} vs grain {}", rate, spec.grain());
+    }
+}

@@ -1,0 +1,399 @@
+//! The structured (Dynamo/Cassandra-style) baseline store.
+//!
+//! This is the incumbent design the paper's introduction critiques:
+//! *"Structure maintenance in a dynamic environment is hard because several
+//! invariants need to be observed and costly as repair mechanisms are
+//! reactive and thus induce an overhead proportional to churn"* (§I).
+//!
+//! Every node keeps a full ring view (the soft-state tier is "moderately
+//! sized", §II, so this is the realistic design point), replicates each key
+//! on its `r` ring successors, detects failures by heartbeat timeout, and
+//! *reacts*: when a peer is declared dead it is dropped from the ring and
+//! every key whose owner set changed is re-replicated. Experiment E11
+//! measures exactly that reactive overhead against the epidemic substrate.
+
+use crate::ordering::Version;
+use crate::ring::HashRing;
+use dd_membership::HeartbeatDetector;
+use dd_sim::{Ctx, Duration, NodeId, Process, TimerTag};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Timer for heartbeat emission.
+pub const HEARTBEAT_TIMER: TimerTag = TimerTag(0xB417);
+/// Timer for suspicion checks.
+pub const CHECK_TIMER: TimerTag = TimerTag(0xB418);
+
+/// Baseline store parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineConfig {
+    /// Replication degree (successor-list length).
+    pub replication: usize,
+    /// Virtual nodes per physical node.
+    pub vnodes: u32,
+    /// Ticks between heartbeats.
+    pub heartbeat_period: Duration,
+    /// Silence after which a peer is declared dead.
+    pub suspect_timeout: Duration,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig {
+            replication: 3,
+            vnodes: 16,
+            heartbeat_period: Duration(500),
+            suspect_timeout: Duration(2_000),
+        }
+    }
+}
+
+/// Baseline protocol messages.
+#[derive(Debug, Clone)]
+pub enum BaselineMsg {
+    /// Client write entering at any node.
+    Put {
+        /// Hashed key.
+        key: u64,
+        /// Version assigned upstream.
+        version: Version,
+        /// Payload.
+        value: u64,
+    },
+    /// Replica transfer (write path or repair).
+    Replicate {
+        /// Hashed key.
+        key: u64,
+        /// Version.
+        version: Version,
+        /// Payload.
+        value: u64,
+    },
+    /// Client read entering at `origin` (which also collects the answer).
+    Get {
+        /// Hashed key.
+        key: u64,
+        /// Request id, unique per origin.
+        req: u64,
+        /// Node that owns the request state.
+        origin: NodeId,
+    },
+    /// Answer to a [`BaselineMsg::Get`].
+    GetReply {
+        /// Request id.
+        req: u64,
+        /// Found tuple, if any.
+        found: Option<(Version, u64)>,
+    },
+    /// Liveness beacon.
+    Heartbeat,
+}
+
+/// One node of the baseline store.
+#[derive(Debug, Clone)]
+pub struct BaselineNode {
+    config: BaselineConfig,
+    /// This node's current ring view.
+    pub ring: HashRing,
+    detector: HeartbeatDetector,
+    /// Local replicas: key → (version, value).
+    pub store: HashMap<u64, (Version, u64)>,
+    /// Completed reads issued through this node: req → result.
+    pub completed: HashMap<u64, Option<(Version, u64)>>,
+}
+
+impl BaselineNode {
+    /// Creates a node with an initial ring over `members`.
+    #[must_use]
+    pub fn new(config: BaselineConfig, members: impl IntoIterator<Item = NodeId>) -> Self {
+        let mut ring = HashRing::new();
+        for m in members {
+            ring.add(m, config.vnodes);
+        }
+        BaselineNode {
+            config,
+            ring,
+            detector: HeartbeatDetector::new(config.suspect_timeout),
+            store: HashMap::new(),
+            completed: HashMap::new(),
+        }
+    }
+
+    fn owners(&self, key: u64) -> Vec<NodeId> {
+        self.ring.owners(key, self.config.replication)
+    }
+
+    fn store_if_newer(&mut self, key: u64, version: Version, value: u64) -> bool {
+        match self.store.get(&key) {
+            Some(&(v, _)) if v >= version => false,
+            _ => {
+                self.store.insert(key, (version, value));
+                true
+            }
+        }
+    }
+
+    /// Declares `dead` failed: drops it from the ring and re-replicates
+    /// every locally stored key whose owner set this node now leads.
+    fn react_to_failure(&mut self, ctx: &mut Ctx<'_, BaselineMsg>, dead: NodeId) {
+        self.ring.remove(dead);
+        self.detector.forget(dead);
+        ctx.metrics().incr("baseline.failures_detected");
+        // Reactive repair: for each key we hold, if we are now the primary,
+        // push the replica to the new owner set.
+        let me = ctx.id();
+        let work: Vec<(u64, Version, u64)> = self
+            .store
+            .iter()
+            .filter(|(&k, _)| self.owners(k).first() == Some(&me))
+            .map(|(&k, &(v, val))| (k, v, val))
+            .collect();
+        for (k, v, val) in work {
+            for owner in self.owners(k) {
+                if owner != me {
+                    ctx.metrics().incr("baseline.repair_sent");
+                    ctx.send(owner, BaselineMsg::Replicate { key: k, version: v, value: val });
+                }
+            }
+        }
+    }
+}
+
+impl Process for BaselineNode {
+    type Msg = BaselineMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, BaselineMsg>) {
+        let now = ctx.now();
+        let me = ctx.id();
+        for m in self.ring.members().collect::<Vec<_>>() {
+            if m != me {
+                self.detector.monitor(m, now);
+            }
+        }
+        let jitter = ctx.rng().gen_range(0..self.config.heartbeat_period.0.max(1));
+        ctx.set_timer(Duration(jitter), HEARTBEAT_TIMER);
+        ctx.set_timer(self.config.suspect_timeout, CHECK_TIMER);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, BaselineMsg>, from: NodeId, msg: BaselineMsg) {
+        self.detector.heard_from(from, ctx.now());
+        match msg {
+            BaselineMsg::Put { key, version, value } => {
+                let me = ctx.id();
+                for owner in self.owners(key) {
+                    if owner == me {
+                        self.store_if_newer(key, version, value);
+                    } else {
+                        ctx.send(owner, BaselineMsg::Replicate { key, version, value });
+                    }
+                }
+                ctx.metrics().incr("baseline.puts");
+            }
+            BaselineMsg::Replicate { key, version, value } => {
+                if self.store_if_newer(key, version, value) {
+                    ctx.metrics().incr("baseline.replicas_stored");
+                }
+            }
+            BaselineMsg::Get { key, req, origin } => {
+                let me = ctx.id();
+                if let Some(&(v, val)) = self.store.get(&key) {
+                    if origin == me {
+                        self.completed.insert(req, Some((v, val)));
+                    } else {
+                        ctx.send(origin, BaselineMsg::GetReply { req, found: Some((v, val)) });
+                    }
+                    return;
+                }
+                // Not local: forward to the primary owner (if that is us,
+                // the key is simply absent).
+                match self.owners(key).into_iter().find(|&o| o != me) {
+                    Some(primary) if !self.store.contains_key(&key) && primary != origin => {
+                        ctx.send(primary, BaselineMsg::Get { key, req, origin });
+                    }
+                    _ => {
+                        if origin == me {
+                            self.completed.insert(req, None);
+                        } else {
+                            ctx.send(origin, BaselineMsg::GetReply { req, found: None });
+                        }
+                    }
+                }
+            }
+            BaselineMsg::GetReply { req, found } => {
+                self.completed.insert(req, found);
+            }
+            BaselineMsg::Heartbeat => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, BaselineMsg>, tag: TimerTag) {
+        match tag {
+            HEARTBEAT_TIMER => {
+                let me = ctx.id();
+                for m in self.ring.members().collect::<Vec<_>>() {
+                    if m != me {
+                        ctx.send(m, BaselineMsg::Heartbeat);
+                        ctx.metrics().incr("baseline.heartbeats");
+                    }
+                }
+                ctx.set_timer(self.config.heartbeat_period, HEARTBEAT_TIMER);
+            }
+            CHECK_TIMER => {
+                for dead in self.detector.suspects(ctx.now()) {
+                    self.react_to_failure(ctx, dead);
+                }
+                ctx.set_timer(self.config.suspect_timeout, CHECK_TIMER);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_up(&mut self, ctx: &mut Ctx<'_, BaselineMsg>) {
+        // After downtime, refresh suspicion clocks so the node does not
+        // instantly declare everyone dead.
+        let now = ctx.now();
+        let me = ctx.id();
+        for m in self.ring.members().collect::<Vec<_>>() {
+            if m != me {
+                self.detector.heard_from(m, now);
+            }
+        }
+        ctx.set_timer(self.config.heartbeat_period, HEARTBEAT_TIMER);
+        ctx.set_timer(self.config.suspect_timeout, CHECK_TIMER);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_sim::rng::fnv1a;
+    use dd_sim::{Sim, SimConfig, Time};
+
+    fn build(n: u64, config: BaselineConfig, seed: u64) -> Sim<BaselineNode> {
+        let mut sim = Sim::new(SimConfig::default().seed(seed));
+        let members: Vec<NodeId> = (0..n).map(NodeId).collect();
+        for &m in &members {
+            sim.add_node(m, BaselineNode::new(config, members.iter().copied()));
+        }
+        sim
+    }
+
+    #[test]
+    fn put_replicates_to_r_owners() {
+        let mut sim = build(10, BaselineConfig::default(), 1);
+        let key = fnv1a(b"alpha");
+        sim.inject(NodeId(0), NodeId(0), BaselineMsg::Put { key, version: Version(1), value: 7 });
+        sim.run_until(Time(1_000));
+        let holders = (0..10)
+            .filter(|&i| sim.node(NodeId(i)).unwrap().store.contains_key(&key))
+            .count();
+        assert_eq!(holders, 3, "replication degree respected");
+    }
+
+    #[test]
+    fn get_routes_to_owner_and_returns_value() {
+        let mut sim = build(10, BaselineConfig::default(), 2);
+        let key = fnv1a(b"beta");
+        sim.inject(NodeId(0), NodeId(0), BaselineMsg::Put { key, version: Version(1), value: 42 });
+        sim.run_until(Time(1_000));
+        // Issue the read through a node that is (very likely) not an owner.
+        let owners = sim.node(NodeId(0)).unwrap().owners(key);
+        let reader = (0..10).map(NodeId).find(|n| !owners.contains(n)).unwrap();
+        sim.inject(reader, reader, BaselineMsg::Get { key, req: 1, origin: reader });
+        sim.run_until(Time(2_000));
+        let got = sim.node(reader).unwrap().completed.get(&1).copied().flatten();
+        assert_eq!(got, Some((Version(1), 42)));
+    }
+
+    #[test]
+    fn missing_key_returns_none() {
+        let mut sim = build(6, BaselineConfig::default(), 3);
+        let key = fnv1a(b"ghost");
+        sim.inject(NodeId(2), NodeId(2), BaselineMsg::Get { key, req: 9, origin: NodeId(2) });
+        sim.run_until(Time(2_000));
+        let entry = sim.node(NodeId(2)).unwrap().completed.get(&9).copied();
+        assert_eq!(entry, Some(None), "read completed with no value");
+    }
+
+    #[test]
+    fn newer_version_wins_older_is_ignored() {
+        let mut sim = build(5, BaselineConfig::default(), 4);
+        let key = fnv1a(b"ver");
+        sim.inject(NodeId(0), NodeId(0), BaselineMsg::Put { key, version: Version(2), value: 2 });
+        sim.run_until(Time(500));
+        sim.inject(NodeId(1), NodeId(1), BaselineMsg::Put { key, version: Version(1), value: 1 });
+        sim.run_until(Time(1_500));
+        for i in 0..5 {
+            if let Some(&(v, val)) = sim.node(NodeId(i)).unwrap().store.get(&key) {
+                assert_eq!((v, val), (Version(2), 2), "node {i} kept stale write");
+            }
+        }
+    }
+
+    #[test]
+    fn reactive_repair_restores_replication_after_permanent_failure() {
+        let config = BaselineConfig::default();
+        let mut sim = build(10, config, 5);
+        let key = fnv1a(b"survivor");
+        sim.inject(NodeId(0), NodeId(0), BaselineMsg::Put { key, version: Version(1), value: 9 });
+        sim.run_until(Time(1_000));
+        let owners = sim.node(NodeId(0)).unwrap().owners(key);
+        // Permanently remove the primary owner.
+        sim.remove(owners[0]);
+        // Give detectors time to fire (suspect_timeout + slack) and repair.
+        sim.run_until(Time(10_000));
+        let holders = (0..10)
+            .filter(|&i| {
+                sim.node(NodeId(i)).map_or(false, |n| n.store.contains_key(&key))
+            })
+            .count();
+        assert!(holders >= 3, "replication restored, got {holders}");
+        assert!(sim.metrics().counter("baseline.repair_sent") > 0);
+        assert!(sim.metrics().counter("baseline.failures_detected") > 0);
+    }
+
+    #[test]
+    fn repair_traffic_grows_with_churn() {
+        let config = BaselineConfig::default();
+        let run = |kills: u64, seed: u64| {
+            let mut sim = build(20, config, seed);
+            for k in 0..200u64 {
+                let key = fnv1a(format!("k{k}").as_bytes());
+                sim.inject(
+                    NodeId(k % 20),
+                    NodeId(k % 20),
+                    BaselineMsg::Put { key, version: Version(1), value: k },
+                );
+            }
+            sim.run_until(Time(2_000));
+            for i in 0..kills {
+                sim.remove(NodeId(i));
+            }
+            sim.run_until(Time(20_000));
+            sim.metrics().counter("baseline.repair_sent")
+        };
+        let calm = run(1, 7);
+        let stormy = run(6, 7);
+        assert!(
+            stormy > 2 * calm,
+            "repair should scale with churn: calm {calm}, stormy {stormy}"
+        );
+    }
+
+    #[test]
+    fn transient_downtime_does_not_lose_local_data() {
+        let mut sim = build(8, BaselineConfig::default(), 8);
+        let key = fnv1a(b"transient");
+        sim.inject(NodeId(0), NodeId(0), BaselineMsg::Put { key, version: Version(1), value: 5 });
+        sim.run_until(Time(1_000));
+        let owner = sim.node(NodeId(0)).unwrap().owners(key)[0];
+        sim.kill(owner);
+        sim.run_until(Time(3_000));
+        sim.revive(owner);
+        sim.run_until(Time(6_000));
+        assert!(
+            sim.node(owner).unwrap().store.contains_key(&key),
+            "transient failure keeps on-disk state"
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! The soft-state tuple cache.
+//!
+//! §II: *"We take advantage of spare capacity to serve as a tuple cache,
+//! thus avoiding unnecessary operations at the persistent-state layer. As
+//! the soft-layer always knows the most recent version of an item, cache
+//! inconsistency issues are eliminated."*
+//!
+//! The cache is an LRU keyed by key hash; every entry carries the version
+//! it was cached at, and lookups state the version they require (the
+//! metadata's latest), so a stale entry can never be returned.
+
+use crate::ordering::Version;
+use std::collections::HashMap;
+
+/// LRU tuple cache with version-checked lookups.
+#[derive(Debug, Clone)]
+pub struct TupleCache<V> {
+    capacity: usize,
+    clock: u64,
+    entries: HashMap<u64, Entry<V>>,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<V> {
+    value: V,
+    version: Version,
+    used: u64,
+}
+
+impl<V: Clone> TupleCache<V> {
+    /// Cache holding at most `capacity` tuples.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        TupleCache { capacity, clock: 0, entries: HashMap::new(), hits: 0, misses: 0 }
+    }
+
+    /// Number of cached tuples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses)` counters.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Inserts/refreshes a tuple cached at `version`, evicting the least
+    /// recently used entry when full. An insert with an *older* version
+    /// than the cached one is ignored (the cache only moves forward).
+    pub fn put(&mut self, key_hash: u64, version: Version, value: V) {
+        self.clock += 1;
+        if let Some(e) = self.entries.get_mut(&key_hash) {
+            if version >= e.version {
+                e.value = value;
+                e.version = version;
+                e.used = self.clock;
+            }
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            if let Some((&lru, _)) = self.entries.iter().min_by_key(|(_, e)| e.used) {
+                self.entries.remove(&lru);
+            }
+        }
+        self.entries.insert(key_hash, Entry { value, version, used: self.clock });
+    }
+
+    /// Looks up `key_hash` requiring at least `required` (the latest
+    /// version per the metadata). A cached entry older than `required` is
+    /// treated as a miss and evicted — it can never become valid again.
+    pub fn get(&mut self, key_hash: u64, required: Version) -> Option<V> {
+        self.clock += 1;
+        match self.entries.get_mut(&key_hash) {
+            Some(e) if e.version >= required => {
+                e.used = self.clock;
+                self.hits += 1;
+                Some(e.value.clone())
+            }
+            Some(_) => {
+                self.entries.remove(&key_hash);
+                self.misses += 1;
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Drops a key (e.g. on delete).
+    pub fn invalidate(&mut self, key_hash: u64) {
+        self.entries.remove(&key_hash);
+    }
+
+    /// Clears everything (soft-state loss).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_requires_sufficient_version() {
+        let mut c: TupleCache<&str> = TupleCache::new(4);
+        c.put(1, Version(3), "v3");
+        assert_eq!(c.get(1, Version(3)), Some("v3"));
+        assert_eq!(c.get(1, Version(2)), Some("v3"), "newer than required is fine");
+        assert_eq!(c.get(1, Version(4)), None, "stale entry is a miss");
+        assert_eq!(c.get(1, Version(3)), None, "stale entry was evicted");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c: TupleCache<u32> = TupleCache::new(2);
+        c.put(1, Version(1), 10);
+        c.put(2, Version(1), 20);
+        let _ = c.get(1, Version(1)); // touch 1 → 2 is LRU
+        c.put(3, Version(1), 30);
+        assert_eq!(c.get(2, Version(1)), None, "2 evicted");
+        assert_eq!(c.get(1, Version(1)), Some(10));
+        assert_eq!(c.get(3, Version(1)), Some(30));
+    }
+
+    #[test]
+    fn put_with_older_version_is_ignored() {
+        let mut c: TupleCache<&str> = TupleCache::new(2);
+        c.put(1, Version(5), "new");
+        c.put(1, Version(2), "old");
+        assert_eq!(c.get(1, Version(5)), Some("new"));
+    }
+
+    #[test]
+    fn refresh_updates_value_and_version() {
+        let mut c: TupleCache<&str> = TupleCache::new(2);
+        c.put(1, Version(1), "a");
+        c.put(1, Version(2), "b");
+        assert_eq!(c.get(1, Version(2)), Some("b"));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let mut c: TupleCache<u32> = TupleCache::new(2);
+        c.put(1, Version(1), 1);
+        let _ = c.get(1, Version(1));
+        let _ = c.get(9, Version(1));
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn invalidate_and_clear() {
+        let mut c: TupleCache<u32> = TupleCache::new(4);
+        c.put(1, Version(1), 1);
+        c.put(2, Version(1), 2);
+        c.invalidate(1);
+        assert_eq!(c.get(1, Version(1)), None);
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _: TupleCache<u8> = TupleCache::new(0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Consistent hashing with virtual nodes.
+
+use dd_sim::rng::mix;
+use dd_sim::NodeId;
+use std::collections::BTreeMap;
+
+/// A consistent-hash ring mapping the `u64` key space onto nodes via
+/// virtual nodes (Cassandra/Dynamo style).
+#[derive(Debug, Clone, Default)]
+pub struct HashRing {
+    /// vnode position → physical node.
+    vnodes: BTreeMap<u64, NodeId>,
+    /// physical node → vnode count (for membership queries/removal).
+    members: BTreeMap<NodeId, u32>,
+}
+
+impl HashRing {
+    /// Empty ring.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ring with `vnodes` virtual nodes for each of `0..n`.
+    #[must_use]
+    pub fn dense(n: u64, vnodes: u32) -> Self {
+        let mut ring = Self::new();
+        for i in 0..n {
+            ring.add(NodeId(i), vnodes);
+        }
+        ring
+    }
+
+    /// Adds a node with `vnodes` virtual positions (deterministic from the
+    /// node id). Re-adding is a no-op.
+    ///
+    /// # Panics
+    /// Panics if `vnodes == 0`.
+    pub fn add(&mut self, node: NodeId, vnodes: u32) {
+        assert!(vnodes > 0, "need at least one virtual node");
+        if self.members.contains_key(&node) {
+            return;
+        }
+        for v in 0..u64::from(vnodes) {
+            let pos = mix(node.0 ^ 0xD47, v.wrapping_mul(0x9E37_79B9) ^ v);
+            self.vnodes.insert(pos, node);
+        }
+        self.members.insert(node, vnodes);
+    }
+
+    /// Removes a node and all its virtual positions.
+    pub fn remove(&mut self, node: NodeId) {
+        if self.members.remove(&node).is_some() {
+            self.vnodes.retain(|_, n| *n != node);
+        }
+    }
+
+    /// Whether the node is on the ring.
+    #[must_use]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.members.contains_key(&node)
+    }
+
+    /// Number of physical nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the ring has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Physical members, in id order.
+    pub fn members(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.members.keys().copied()
+    }
+
+    /// The primary owner of `key_hash`: the first vnode clockwise.
+    #[must_use]
+    pub fn primary(&self, key_hash: u64) -> Option<NodeId> {
+        self.vnodes
+            .range(key_hash..)
+            .next()
+            .or_else(|| self.vnodes.iter().next())
+            .map(|(_, &n)| n)
+    }
+
+    /// The `r` distinct physical owners of `key_hash`, clockwise from its
+    /// position (successor-list replication). Returns fewer when the ring
+    /// has fewer than `r` nodes.
+    #[must_use]
+    pub fn owners(&self, key_hash: u64, r: usize) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(r);
+        if self.vnodes.is_empty() {
+            return out;
+        }
+        for (_, &n) in self.vnodes.range(key_hash..).chain(self.vnodes.iter()) {
+            if !out.contains(&n) {
+                out.push(n);
+                if out.len() == r {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether `node` is among the `r` owners of `key_hash`.
+    #[must_use]
+    pub fn is_owner(&self, node: NodeId, key_hash: u64, r: usize) -> bool {
+        self.owners(key_hash, r).contains(&node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_sim::rng::fnv1a;
+    use std::collections::HashMap;
+
+    #[test]
+    fn primary_is_deterministic() {
+        let ring = HashRing::dense(10, 16);
+        let k = fnv1a(b"some-key");
+        assert_eq!(ring.primary(k), ring.primary(k));
+    }
+
+    #[test]
+    fn owners_are_distinct_and_bounded() {
+        let ring = HashRing::dense(8, 8);
+        let owners = ring.owners(fnv1a(b"k"), 3);
+        assert_eq!(owners.len(), 3);
+        let mut d = owners.clone();
+        d.sort();
+        d.dedup();
+        assert_eq!(d.len(), 3);
+        // r beyond population:
+        assert_eq!(ring.owners(fnv1a(b"k"), 20).len(), 8);
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        let ring = HashRing::new();
+        assert_eq!(ring.primary(7), None);
+        assert!(ring.owners(7, 3).is_empty());
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn load_is_roughly_balanced_with_vnodes() {
+        let n = 20u64;
+        let ring = HashRing::dense(n, 64);
+        let mut load: HashMap<NodeId, u32> = HashMap::new();
+        for i in 0..40_000u64 {
+            let k = mix_key(i);
+            *load.entry(ring.primary(k).unwrap()).or_insert(0) += 1;
+        }
+        let mean = 40_000.0 / n as f64;
+        for (node, l) in load {
+            let ratio = f64::from(l) / mean;
+            assert!((0.5..2.0).contains(&ratio), "node {node} load ratio {ratio}");
+        }
+    }
+
+    fn mix_key(i: u64) -> u64 {
+        dd_sim::rng::mix(0xBEEF, i)
+    }
+
+    #[test]
+    fn removal_transfers_ownership_to_successors() {
+        let mut ring = HashRing::dense(6, 16);
+        let k = fnv1a(b"moving-key");
+        let before = ring.owners(k, 3);
+        ring.remove(before[0]);
+        let after = ring.owners(k, 3);
+        assert!(!after.contains(&before[0]));
+        // The old second owner becomes primary.
+        assert_eq!(after[0], before[1]);
+        assert_eq!(after.len(), 3);
+    }
+
+    #[test]
+    fn only_affected_keys_move_on_removal() {
+        let mut ring = HashRing::dense(12, 32);
+        let keys: Vec<u64> = (0..2_000).map(mix_key).collect();
+        let before: Vec<Option<NodeId>> = keys.iter().map(|&k| ring.primary(k)).collect();
+        let victim = NodeId(5);
+        ring.remove(victim);
+        let mut moved = 0;
+        for (i, &k) in keys.iter().enumerate() {
+            let now = ring.primary(k);
+            if now != before[i] {
+                moved += 1;
+                assert_eq!(before[i], Some(victim), "key moved without its owner dying");
+            }
+        }
+        // Expect ≈ 1/12 of keys to move.
+        let frac = f64::from(moved) / keys.len() as f64;
+        assert!((0.02..0.2).contains(&frac), "moved fraction {frac}");
+    }
+
+    #[test]
+    fn re_adding_is_idempotent() {
+        let mut ring = HashRing::dense(3, 8);
+        let snapshot = ring.owners(99, 3);
+        ring.add(NodeId(1), 8);
+        assert_eq!(ring.owners(99, 3), snapshot);
+        assert_eq!(ring.len(), 3);
+    }
+
+    #[test]
+    fn is_owner_matches_owner_list() {
+        let ring = HashRing::dense(10, 16);
+        let k = fnv1a(b"check");
+        let owners = ring.owners(k, 3);
+        for n in ring.members() {
+            assert_eq!(ring.is_owner(n, k, 3), owners.contains(&n));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual node")]
+    fn zero_vnodes_panics() {
+        let mut ring = HashRing::new();
+        ring.add(NodeId(0), 0);
+    }
+}

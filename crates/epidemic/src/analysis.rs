@@ -1,0 +1,177 @@
+//! Closed-form epidemic dissemination model.
+//!
+//! §III-A of the paper: *"nodes need to relay messages to ln(N) + c
+//! neighbors, where N is the system size and c a parameter related to the
+//! probability of atomic infection, given by `p_atomic = e^{-e^{-c}}`. Thus
+//! supposing a system with 50 000 nodes, in order to achieve atomic
+//! infection with high probability (p_atomic = 0.999 → c = 7) each node
+//! will have to relay around 18 copies of each single message
+//! (ln(50 000) + 7 ≈ 18)."*
+//!
+//! This is the Erdős–Rényi sharp threshold for connectivity of the random
+//! relay graph. Experiment E1 validates the formula against simulation.
+
+/// Probability that an epidemic with per-node fanout `ln N + c` infects the
+/// entire population (`p_atomic = e^{-e^{-c}}`).
+///
+/// ```
+/// let p = dd_epidemic::atomic_infection_probability(7.0);
+/// assert!(p > 0.999);
+/// ```
+#[must_use]
+pub fn atomic_infection_probability(c: f64) -> f64 {
+    (-(-c).exp()).exp()
+}
+
+/// Inverse of [`atomic_infection_probability`]: the `c` needed for a target
+/// probability of atomic infection.
+///
+/// # Panics
+/// Panics unless `0 < p < 1`.
+///
+/// ```
+/// let c = dd_epidemic::c_for_probability(0.999);
+/// assert!((c - 6.9).abs() < 0.1);
+/// ```
+#[must_use]
+pub fn c_for_probability(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probability must be strictly inside (0,1)");
+    -(-p.ln()).ln()
+}
+
+/// Per-node fanout `⌈ln N + c⌉` required to reach all `n` nodes with
+/// probability `p` — the paper's headline formula.
+///
+/// # Panics
+/// Panics when `n == 0` or `p` is not in `(0,1)`.
+///
+/// ```
+/// // The paper's own example: N = 50 000, p = 0.999 ⇒ ≈ 18 copies.
+/// assert_eq!(dd_epidemic::required_fanout(50_000, 0.999), 18);
+/// ```
+#[must_use]
+pub fn required_fanout(n: u64, p: f64) -> u32 {
+    assert!(n > 0, "population must be non-empty");
+    let c = c_for_probability(p);
+    let f = (n as f64).ln() + c;
+    // ceil with a small epsilon so 17.999999 rounds to 18, not 19.
+    let f = (f - 1e-9).ceil().max(1.0);
+    f as u32
+}
+
+/// Expected fraction of the population reached by a *sub-critical* epidemic
+/// with mean fanout `f` (mean-field approximation): the unique fixed point
+/// `π` of `π = 1 − e^{−f·π}`.
+///
+/// Used by E2 to position the measured coverage/fanout curve against
+/// theory. Returns 0 for `f ≤ 1` (below the epidemic threshold).
+#[must_use]
+pub fn expected_coverage(fanout: f64) -> f64 {
+    if fanout <= 1.0 {
+        return 0.0;
+    }
+    // Fixed-point iteration; converges quickly for f > 1.
+    let mut pi = 1.0 - (-fanout).exp();
+    for _ in 0..200 {
+        let next = 1.0 - (-fanout * pi).exp();
+        if (next - pi).abs() < 1e-12 {
+            return next;
+        }
+        pi = next;
+    }
+    pi
+}
+
+/// Total relayed copies per disseminated item for population `n` and target
+/// probability `p` — i.e. `n × required_fanout`. E2 uses this to show the
+/// paper's "substantial increase" from partial to atomic guarantees.
+#[must_use]
+pub fn dissemination_cost(n: u64, p: f64) -> u64 {
+    n * u64::from(required_fanout(n, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_holds() {
+        // p = 0.999 → c ≈ 6.9 (the paper rounds to 7); ln(50 000) ≈ 10.8;
+        // fanout ≈ 18.
+        let c = c_for_probability(0.999);
+        assert!((c - 6.907).abs() < 0.01, "c = {c}");
+        assert_eq!(required_fanout(50_000, 0.999), 18);
+    }
+
+    #[test]
+    fn probability_is_monotone_in_c() {
+        let mut last = 0.0;
+        for c10 in -30..60 {
+            let p = atomic_infection_probability(f64::from(c10) / 10.0);
+            assert!(p >= last);
+            last = p;
+        }
+        assert!(last > 0.99);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for &p in &[0.5, 0.9, 0.99, 0.999, 0.37] {
+            let c = c_for_probability(p);
+            let back = atomic_infection_probability(c);
+            assert!((back - p).abs() < 1e-9, "p {p} → c {c} → {back}");
+        }
+    }
+
+    #[test]
+    fn fanout_grows_logarithmically() {
+        let f1k = required_fanout(1_000, 0.999);
+        let f1m = required_fanout(1_000_000, 0.999);
+        // ln(10^6)/ln(10^3) = 2, so fanout should grow by ~ln(1000) ≈ 6.9.
+        assert!(f1m > f1k);
+        assert!(f1m - f1k <= 8, "f1k={f1k}, f1m={f1m}");
+    }
+
+    #[test]
+    fn fanout_is_at_least_one() {
+        assert_eq!(required_fanout(1, 0.01), 1);
+    }
+
+    #[test]
+    fn expected_coverage_matches_known_points() {
+        // Classic epidemic results: f = 2 → π ≈ 0.797; f = 3 → π ≈ 0.941.
+        assert!((expected_coverage(2.0) - 0.7968).abs() < 1e-3);
+        assert!((expected_coverage(3.0) - 0.9405).abs() < 1e-3);
+        assert_eq!(expected_coverage(0.5), 0.0);
+        assert_eq!(expected_coverage(1.0), 0.0);
+        assert!(expected_coverage(12.0) > 0.9999);
+    }
+
+    #[test]
+    fn coverage_is_monotone_in_fanout() {
+        let mut last = 0.0;
+        for f10 in 11..100 {
+            let cov = expected_coverage(f64::from(f10) / 10.0);
+            assert!(cov >= last - 1e-12, "fanout {}: {cov} < {last}", f64::from(f10) / 10.0);
+            last = cov;
+        }
+    }
+
+    #[test]
+    fn dissemination_cost_scales_with_n_and_p() {
+        assert!(dissemination_cost(10_000, 0.999) > dissemination_cost(10_000, 0.9));
+        assert!(dissemination_cost(20_000, 0.99) > 2 * dissemination_cost(10_000, 0.99) - 20_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn p_of_one_is_rejected() {
+        let _ = c_for_probability(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "population")]
+    fn empty_population_is_rejected() {
+        let _ = required_fanout(0, 0.9);
+    }
+}

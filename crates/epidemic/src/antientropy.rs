@@ -1,0 +1,200 @@
+//! Anti-entropy: periodic digest pull.
+//!
+//! Eager push leaves a small uninfected tail (1 − p_atomic of runs miss
+//! somebody); anti-entropy guarantees eventual delivery by having every
+//! node periodically compare rumor digests with a random peer and pull what
+//! it misses. §III-A's redundancy-maintenance "check tuple redundancy
+//! directly between them and restore redundancy as necessary" is this
+//! mechanism applied pairwise; `dd-walks::repair` reuses it.
+
+use crate::push::RumorId;
+use std::collections::BTreeMap;
+
+/// A compact description of the rumors a node holds.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Digest {
+    ids: Vec<RumorId>,
+}
+
+impl Digest {
+    /// Builds a digest from the ids a node currently stores.
+    #[must_use]
+    pub fn from_ids(mut ids: Vec<RumorId>) -> Self {
+        ids.sort();
+        ids.dedup();
+        Digest { ids }
+    }
+
+    /// Ids in the digest (sorted).
+    #[must_use]
+    pub fn ids(&self) -> &[RumorId] {
+        &self.ids
+    }
+
+    /// Number of ids.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the digest holds nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Ids present in `self` but missing from `other` — what the peer
+    /// should pull from us.
+    #[must_use]
+    pub fn missing_from(&self, other: &Digest) -> Vec<RumorId> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        for &id in &self.ids {
+            while i < other.ids.len() && other.ids[i] < id {
+                i += 1;
+            }
+            if i >= other.ids.len() || other.ids[i] != id {
+                out.push(id);
+            }
+        }
+        out
+    }
+}
+
+/// Store of rumor payloads supporting digest exchange.
+///
+/// This is the generic mechanism; the persistent-state layer instantiates
+/// `T` with versioned tuples.
+#[derive(Debug, Clone, Default)]
+pub struct AntiEntropyStore<T> {
+    items: BTreeMap<RumorId, T>,
+}
+
+impl<T> AntiEntropyStore<T> {
+    /// Empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        AntiEntropyStore { items: BTreeMap::new() }
+    }
+
+    /// Inserts an item (idempotent by id; later inserts win).
+    pub fn insert(&mut self, id: RumorId, value: T) {
+        self.items.insert(id, value);
+    }
+
+    /// Fetches an item.
+    #[must_use]
+    pub fn get(&self, id: RumorId) -> Option<&T> {
+        self.items.get(&id)
+    }
+
+    /// Number of items held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The store's digest.
+    #[must_use]
+    pub fn digest(&self) -> Digest {
+        Digest::from_ids(self.items.keys().copied().collect())
+    }
+}
+
+impl<T: Clone> AntiEntropyStore<T> {
+    /// Items the peer (described by `their_digest`) is missing.
+    #[must_use]
+    pub fn items_missing_from(&self, their_digest: &Digest) -> Vec<(RumorId, T)> {
+        self.digest()
+            .missing_from(their_digest)
+            .into_iter()
+            .filter_map(|id| self.items.get(&id).map(|v| (id, v.clone())))
+            .collect()
+    }
+
+    /// Applies a batch pulled from a peer; returns how many were new.
+    pub fn apply(&mut self, batch: Vec<(RumorId, T)>) -> usize {
+        let mut new = 0;
+        for (id, v) in batch {
+            if !self.items.contains_key(&id) {
+                new += 1;
+            }
+            self.items.insert(id, v);
+        }
+        new
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(ids: &[u64]) -> Digest {
+        Digest::from_ids(ids.iter().map(|&i| RumorId(i)).collect())
+    }
+
+    #[test]
+    fn digest_sorts_and_dedups() {
+        let d = digest(&[3, 1, 3, 2]);
+        assert_eq!(d.ids(), &[RumorId(1), RumorId(2), RumorId(3)]);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn missing_from_computes_set_difference() {
+        let a = digest(&[1, 2, 3, 5]);
+        let b = digest(&[2, 3, 4]);
+        assert_eq!(a.missing_from(&b), vec![RumorId(1), RumorId(5)]);
+        assert_eq!(b.missing_from(&a), vec![RumorId(4)]);
+        assert!(a.missing_from(&a).is_empty());
+    }
+
+    #[test]
+    fn missing_from_empty_digest_is_everything() {
+        let a = digest(&[7, 9]);
+        let empty = Digest::default();
+        assert_eq!(a.missing_from(&empty).len(), 2);
+        assert!(empty.missing_from(&a).is_empty());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn store_round_trip_synchronises_two_peers() {
+        let mut a: AntiEntropyStore<&str> = AntiEntropyStore::new();
+        let mut b: AntiEntropyStore<&str> = AntiEntropyStore::new();
+        a.insert(RumorId(1), "one");
+        a.insert(RumorId(2), "two");
+        b.insert(RumorId(2), "two");
+        b.insert(RumorId(3), "three");
+
+        // a pulls from b and vice versa using exchanged digests.
+        let to_b = a.items_missing_from(&b.digest());
+        let to_a = b.items_missing_from(&a.digest());
+        assert_eq!(b.apply(to_b), 1);
+        assert_eq!(a.apply(to_a), 1);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.get(RumorId(3)), Some(&"three"));
+    }
+
+    #[test]
+    fn apply_is_idempotent() {
+        let mut s: AntiEntropyStore<u32> = AntiEntropyStore::new();
+        assert_eq!(s.apply(vec![(RumorId(1), 10)]), 1);
+        assert_eq!(s.apply(vec![(RumorId(1), 10)]), 0);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn empty_store_has_empty_digest() {
+        let s: AntiEntropyStore<u8> = AntiEntropyStore::new();
+        assert!(s.is_empty());
+        assert!(s.digest().is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! # dd-epidemic — epidemic dissemination
+//!
+//! Implements the dissemination machinery of the paper's persistent-state
+//! layer (§III-A): "the key idea is to rely on an epidemic dissemination
+//! protocol to spread data and operations to relevant nodes, taking
+//! advantage of the inherent scalability and ability to mask transient node
+//! and link failures."
+//!
+//! * [`analysis`] — the closed-form model the paper quotes: relaying to
+//!   `ln N + c` neighbours infects everyone with probability
+//!   `p = e^{-e^{-c}}`; for N = 50 000 and p = 0.999 this gives the paper's
+//!   "around 18 copies of each single message".
+//! * [`push`] — eager push gossip (infect-and-die / infect-forever), the
+//!   workhorse of write dissemination.
+//! * [`rumor`] — TTL/feedback-bounded rumor mongering, the *relaxed*
+//!   dissemination mode whose coverage/cost trade-off E2 explores.
+//! * [`antientropy`] — periodic digest pull, repairing the tail of rumors
+//!   that eager push missed.
+//! * [`broadcast`] — a composed [`dd_sim::Process`] tying the above to a
+//!   peer sampler, used directly by the experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod antientropy;
+pub mod broadcast;
+pub mod push;
+pub mod rumor;
+
+pub use analysis::{atomic_infection_probability, c_for_probability, required_fanout};
+pub use broadcast::{BroadcastConfig, BroadcastMsg, BroadcastNode};
+pub use push::{GossipMode, PushConfig, PushState, Rumor, RumorId};

@@ -1,0 +1,267 @@
+//! Eager push gossip — sans-IO core.
+//!
+//! On first reception of a rumor a node relays it to `fanout` peers
+//! ("infect"); duplicates are ignored. In *infect-and-die* mode a node
+//! relays exactly once, which matches the analysis in [`crate::analysis`]
+//! (every infected node contributes `fanout` edges of the random relay
+//! graph). *Infect-forever* re-relays for a bounded number of rounds and is
+//! used where extra redundancy is wanted cheaply.
+
+use dd_sim::NodeId;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Globally unique rumor identifier (assigned by the origin).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RumorId(pub u64);
+
+/// A disseminated item: identifier, hop count and payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rumor<T> {
+    /// Unique id deduplicating receptions.
+    pub id: RumorId,
+    /// Hops travelled so far (origin sends with 0).
+    pub hops: u32,
+    /// Application payload.
+    pub payload: T,
+}
+
+/// Relay behaviour on reception.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GossipMode {
+    /// Relay to `fanout` peers on first reception only (the analytical
+    /// model of §III-A).
+    InfectAndDie,
+    /// Relay on first reception and again on each of the next
+    /// `extra_rounds` duplicate receptions.
+    InfectForever {
+        /// How many duplicate receptions still trigger a relay.
+        extra_rounds: u32,
+    },
+}
+
+/// Push gossip parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PushConfig {
+    /// Number of peers each infection relays to.
+    pub fanout: u32,
+    /// Relay mode.
+    pub mode: GossipMode,
+    /// Maximum hops a rumor may travel (0 = unlimited). A safety valve for
+    /// experiments with very large fanouts.
+    pub max_hops: u32,
+}
+
+impl Default for PushConfig {
+    fn default() -> Self {
+        PushConfig { fanout: 8, mode: GossipMode::InfectAndDie, max_hops: 0 }
+    }
+}
+
+/// Per-node push-gossip state: which rumors were seen and how often.
+#[derive(Debug, Clone, Default)]
+pub struct PushState {
+    config: PushConfig,
+    seen: HashMap<RumorId, u32>,
+}
+
+impl PushState {
+    /// Creates state with the given configuration.
+    #[must_use]
+    pub fn new(config: PushConfig) -> Self {
+        PushState { config, seen: HashMap::new() }
+    }
+
+    /// Configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &PushConfig {
+        &self.config
+    }
+
+    /// Whether this node has already received the rumor.
+    #[must_use]
+    pub fn has_seen(&self, id: RumorId) -> bool {
+        self.seen.contains_key(&id)
+    }
+
+    /// Number of distinct rumors seen.
+    #[must_use]
+    pub fn seen_count(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Processes a reception. Returns `(first_time, relay_targets)`:
+    /// `first_time` tells the caller whether the payload is new (and should
+    /// e.g. be offered to the local sieve), and `relay_targets` the peers to
+    /// forward to (empty when the rumor dies here).
+    ///
+    /// `peers` is the node's current neighbour set (from the peer-sampling
+    /// service); targets are drawn without replacement, excluding `self_id`.
+    pub fn on_rumor<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        self_id: NodeId,
+        peers: &[NodeId],
+        id: RumorId,
+        hops: u32,
+    ) -> (bool, Vec<NodeId>) {
+        let count = self.seen.entry(id).or_insert(0);
+        let first = *count == 0;
+        *count = count.saturating_add(1);
+        let relays_left = match self.config.mode {
+            GossipMode::InfectAndDie => first,
+            GossipMode::InfectForever { extra_rounds } => *count <= extra_rounds + 1,
+        };
+        if !relays_left {
+            return (first, Vec::new());
+        }
+        if self.config.max_hops > 0 && hops >= self.config.max_hops {
+            return (first, Vec::new());
+        }
+        (first, pick_targets(rng, self_id, peers, self.config.fanout as usize))
+    }
+
+    /// Starts dissemination of a new rumor from this node. Returns the
+    /// initial relay targets. The rumor is marked seen locally.
+    pub fn originate<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        self_id: NodeId,
+        peers: &[NodeId],
+        id: RumorId,
+    ) -> Vec<NodeId> {
+        self.seen.insert(id, 1);
+        pick_targets(rng, self_id, peers, self.config.fanout as usize)
+    }
+
+    /// Forgets rumors older than the caller cares about (garbage
+    /// collection; the caller supplies the ids to retain).
+    pub fn retain_ids(&mut self, keep: impl Fn(RumorId) -> bool) {
+        self.seen.retain(|id, _| keep(*id));
+    }
+}
+
+/// Draws up to `k` distinct targets from `peers`, excluding `self_id`.
+fn pick_targets<R: Rng + ?Sized>(
+    rng: &mut R,
+    self_id: NodeId,
+    peers: &[NodeId],
+    k: usize,
+) -> Vec<NodeId> {
+    use rand::seq::SliceRandom;
+    let mut candidates: Vec<NodeId> = peers.iter().copied().filter(|&p| p != self_id).collect();
+    candidates.shuffle(rng);
+    candidates.truncate(k);
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(1)
+    }
+
+    fn peers(n: u64) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn first_reception_relays_to_fanout_targets() {
+        let mut s = PushState::new(PushConfig { fanout: 4, ..PushConfig::default() });
+        let (first, targets) =
+            s.on_rumor(&mut rng(), NodeId(0), &peers(20), RumorId(1), 0);
+        assert!(first);
+        assert_eq!(targets.len(), 4);
+        assert!(!targets.contains(&NodeId(0)), "never relay to self");
+    }
+
+    #[test]
+    fn duplicate_reception_dies_in_infect_and_die() {
+        let mut s = PushState::new(PushConfig::default());
+        let mut r = rng();
+        let p = peers(20);
+        let _ = s.on_rumor(&mut r, NodeId(0), &p, RumorId(1), 0);
+        let (first, targets) = s.on_rumor(&mut r, NodeId(0), &p, RumorId(1), 1);
+        assert!(!first);
+        assert!(targets.is_empty());
+    }
+
+    #[test]
+    fn infect_forever_relays_extra_rounds() {
+        let mut s = PushState::new(PushConfig {
+            fanout: 2,
+            mode: GossipMode::InfectForever { extra_rounds: 2 },
+            max_hops: 0,
+        });
+        let mut r = rng();
+        let p = peers(10);
+        let mut relay_rounds = 0;
+        for hop in 0..5 {
+            let (_, t) = s.on_rumor(&mut r, NodeId(0), &p, RumorId(7), hop);
+            if !t.is_empty() {
+                relay_rounds += 1;
+            }
+        }
+        assert_eq!(relay_rounds, 3, "first + 2 extra rounds");
+    }
+
+    #[test]
+    fn max_hops_caps_propagation() {
+        let mut s = PushState::new(PushConfig { fanout: 3, max_hops: 2, ..PushConfig::default() });
+        let mut r = rng();
+        let p = peers(10);
+        let (_, t) = s.on_rumor(&mut r, NodeId(0), &p, RumorId(1), 2);
+        assert!(t.is_empty(), "at max hops the rumor dies");
+        let (_, t2) = s.on_rumor(&mut r, NodeId(0), &p, RumorId(2), 1);
+        assert_eq!(t2.len(), 3);
+    }
+
+    #[test]
+    fn originate_marks_seen_and_relays() {
+        let mut s = PushState::new(PushConfig { fanout: 5, ..PushConfig::default() });
+        let t = s.originate(&mut rng(), NodeId(3), &peers(30), RumorId(9));
+        assert_eq!(t.len(), 5);
+        assert!(s.has_seen(RumorId(9)));
+        // A later reception of the same rumor is a duplicate.
+        let (first, t2) = s.on_rumor(&mut rng(), NodeId(3), &peers(30), RumorId(9), 3);
+        assert!(!first);
+        assert!(t2.is_empty());
+    }
+
+    #[test]
+    fn targets_are_distinct() {
+        let mut s = PushState::new(PushConfig { fanout: 8, ..PushConfig::default() });
+        let t = s.originate(&mut rng(), NodeId(0), &peers(9), RumorId(1));
+        let mut u = t.clone();
+        u.sort();
+        u.dedup();
+        assert_eq!(t.len(), u.len());
+        assert_eq!(t.len(), 8, "all peers used when fanout exceeds candidates");
+    }
+
+    #[test]
+    fn fanout_larger_than_peers_is_bounded() {
+        let mut s = PushState::new(PushConfig { fanout: 50, ..PushConfig::default() });
+        let t = s.originate(&mut rng(), NodeId(0), &peers(4), RumorId(1));
+        assert_eq!(t.len(), 3, "self excluded, remaining peers used");
+    }
+
+    #[test]
+    fn retain_ids_garbage_collects() {
+        let mut s = PushState::new(PushConfig::default());
+        let mut r = rng();
+        let p = peers(5);
+        for i in 0..10 {
+            let _ = s.on_rumor(&mut r, NodeId(0), &p, RumorId(i), 0);
+        }
+        assert_eq!(s.seen_count(), 10);
+        s.retain_ids(|id| id.0 >= 5);
+        assert_eq!(s.seen_count(), 5);
+        assert!(!s.has_seen(RumorId(0)));
+        assert!(s.has_seen(RumorId(5)));
+    }
+}

@@ -1,0 +1,127 @@
+//! Rumor mongering with feedback suppression.
+//!
+//! The *relaxed* dissemination mode of §III-A: "with an uniform redundancy
+//! strategy … atomic dissemination is not even necessary as it is enough to
+//! reach a proportion of the system that covers the required number of
+//! replicas". Feedback-coupled rumor mongering (Demers et al.) stops
+//! relaying once a rumor feels "old" — after `k` duplicate receptions — so
+//! coverage and cost can be tuned continuously, which E2 sweeps.
+
+use crate::push::RumorId;
+use dd_sim::NodeId;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Rumor-mongering parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MongerConfig {
+    /// Peers contacted per relay round.
+    pub fanout: u32,
+    /// Number of duplicate receptions after which a node loses interest
+    /// ("blind counter" variant, `k` in Demers et al.).
+    pub lose_interest_after: u32,
+}
+
+impl Default for MongerConfig {
+    fn default() -> Self {
+        MongerConfig { fanout: 2, lose_interest_after: 2 }
+    }
+}
+
+/// Per-node rumor-mongering state.
+#[derive(Debug, Clone, Default)]
+pub struct MongerState {
+    config: MongerConfig,
+    duplicates: HashMap<RumorId, u32>,
+}
+
+impl MongerState {
+    /// Creates state with the given configuration.
+    #[must_use]
+    pub fn new(config: MongerConfig) -> Self {
+        MongerState { config, duplicates: HashMap::new() }
+    }
+
+    /// Processes a reception; returns `(first_time, relay_targets)`.
+    /// Unlike infect-and-die push, a node keeps relaying duplicates until
+    /// it has seen the rumor `lose_interest_after + 1` times.
+    pub fn on_rumor<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        self_id: NodeId,
+        peers: &[NodeId],
+        id: RumorId,
+    ) -> (bool, Vec<NodeId>) {
+        let count = self.duplicates.entry(id).or_insert(0);
+        let first = *count == 0;
+        *count = count.saturating_add(1);
+        if *count > self.config.lose_interest_after + 1 {
+            return (first, Vec::new());
+        }
+        use rand::seq::SliceRandom;
+        let mut candidates: Vec<NodeId> =
+            peers.iter().copied().filter(|&p| p != self_id).collect();
+        candidates.shuffle(rng);
+        candidates.truncate(self.config.fanout as usize);
+        (first, candidates)
+    }
+
+    /// Whether the node has seen the rumor at least once.
+    #[must_use]
+    pub fn has_seen(&self, id: RumorId) -> bool {
+        self.duplicates.contains_key(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(4)
+    }
+
+    fn peers(n: u64) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn keeps_relaying_until_interest_lost() {
+        let cfg = MongerConfig { fanout: 3, lose_interest_after: 2 };
+        let mut s = MongerState::new(cfg);
+        let mut r = rng();
+        let p = peers(10);
+        let mut relays = 0;
+        for _ in 0..6 {
+            let (_, t) = s.on_rumor(&mut r, NodeId(0), &p, RumorId(1));
+            if !t.is_empty() {
+                relays += 1;
+            }
+        }
+        assert_eq!(relays, 3, "first + lose_interest_after receptions relay");
+    }
+
+    #[test]
+    fn first_flag_only_on_first() {
+        let mut s = MongerState::new(MongerConfig::default());
+        let mut r = rng();
+        let p = peers(5);
+        let (a, _) = s.on_rumor(&mut r, NodeId(0), &p, RumorId(2));
+        let (b, _) = s.on_rumor(&mut r, NodeId(0), &p, RumorId(2));
+        assert!(a);
+        assert!(!b);
+        assert!(s.has_seen(RumorId(2)));
+        assert!(!s.has_seen(RumorId(3)));
+    }
+
+    #[test]
+    fn relay_targets_exclude_self_and_respect_fanout() {
+        let cfg = MongerConfig { fanout: 4, lose_interest_after: 1 };
+        let mut s = MongerState::new(cfg);
+        let (_, t) = s.on_rumor(&mut rng(), NodeId(2), &peers(10), RumorId(1));
+        assert_eq!(t.len(), 4);
+        assert!(!t.contains(&NodeId(2)));
+    }
+}

@@ -1,0 +1,33 @@
+//! # dd-estimation — epidemic estimation and aggregation
+//!
+//! The paper leans on three decentralised estimation primitives:
+//!
+//! * **Network size** (§III-A): *"The number of nodes could be estimated
+//!   also in an epidemic manner as in \[23\]"* — [`extrema`] implements
+//!   extrema propagation (Cardoso, Baquero, Almeida, LADC'09): gossip the
+//!   element-wise minima of per-node exponential samples; the estimator
+//!   `(K−1)/Σmin` is unbiased and churn-tolerant.
+//! * **Data distribution** (§III-B-1): *"Recent work on this subject
+//!   \\[26,27\\] based itself on epidemic techniques show that it is possible to
+//!   obtain accurate estimation of distribution for a given parameter"* —
+//!   [`sketch`] implements a bottom-k (KMV) sample sketch whose merge is a
+//!   commutative, idempotent union, making it immune to the "large number
+//!   of duplicates due to redundancy" the paper worries about;
+//!   [`gossip_dist`] gossips it.
+//! * **Aggregates** (§III-C): *"it is straightforward to offer simple
+//!   aggregations to clients with minimal overhead"* — [`pushsum`]
+//!   implements push-sum averaging/counting (Kempe et al.) plus epidemic
+//!   min/max.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod extrema;
+pub mod gossip_dist;
+pub mod pushsum;
+pub mod sketch;
+
+pub use extrema::{ExtremaEstimator, ExtremaNode};
+pub use gossip_dist::{DistEstimationNode, DistMsg};
+pub use pushsum::{Aggregate, PushSumNode, PushSumState};
+pub use sketch::DistSketch;

@@ -1,0 +1,306 @@
+//! Bottom-k (KMV) distribution sketch.
+//!
+//! The paper (§III-B-1) flags two hazards for decentralised distribution
+//! estimation: *"a large number of duplicates \[27\] due to the redundancy,
+//! and high churn rates"*. A bottom-k sketch keyed by item hash solves the
+//! duplicate problem structurally: an item replicated on 10 nodes has one
+//! hash, so unions count it once; and the merge being commutative,
+//! associative and idempotent makes gossip ordering and repetition
+//! harmless. The k kept items are a uniform sample of *distinct* items, so
+//! their attribute values estimate the data distribution, from which
+//! [`DistSketch::equi_depth_edges`] derives the bucket boundaries that
+//! distribution-aware sieves (`dd-sieve::HistogramSieve`) consume.
+
+use std::collections::BTreeMap;
+
+/// Bottom-k sketch over `(item_hash, attribute)` pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistSketch {
+    k: usize,
+    /// Item hash → attribute value, keeping the `k` smallest hashes.
+    entries: BTreeMap<u64, f64>,
+}
+
+impl DistSketch {
+    /// Empty sketch of capacity `k`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "sketch capacity must be positive");
+        DistSketch { k, entries: BTreeMap::new() }
+    }
+
+    /// Capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
+    /// Number of retained items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been observed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Observes one item (identified by a stable hash) with its attribute.
+    /// Duplicate observations of the same item are absorbed.
+    pub fn observe(&mut self, item_hash: u64, attr: f64) {
+        self.entries.insert(item_hash, attr);
+        self.truncate();
+    }
+
+    /// Union-merge with another sketch (idempotent, commutative).
+    pub fn merge(&mut self, other: &DistSketch) {
+        for (&h, &v) in &other.entries {
+            self.entries.insert(h, v);
+        }
+        self.truncate();
+    }
+
+    fn truncate(&mut self) {
+        while self.entries.len() > self.k {
+            let last = *self.entries.keys().next_back().expect("non-empty");
+            self.entries.remove(&last);
+        }
+    }
+
+    /// The retained attribute values (a uniform sample of distinct items).
+    #[must_use]
+    pub fn values(&self) -> Vec<f64> {
+        self.entries.values().copied().collect()
+    }
+
+    /// Estimated number of **distinct** items observed, via the KMV
+    /// estimator `(k−1) / max_kept_normalised_hash`. Falls back to the
+    /// exact count when fewer than `k` items were seen.
+    #[must_use]
+    pub fn distinct_estimate(&self) -> f64 {
+        if self.entries.len() < self.k {
+            return self.entries.len() as f64;
+        }
+        let max_hash = *self.entries.keys().next_back().expect("non-empty") as f64;
+        let u = max_hash / u64::MAX as f64;
+        if u <= 0.0 {
+            return self.entries.len() as f64;
+        }
+        (self.k as f64 - 1.0) / u
+    }
+
+    /// Estimated `q`-quantile (0..=1) of the attribute distribution.
+    /// Returns `None` on an empty sketch.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let mut v = self.values();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_by(f64::total_cmp);
+        let rank = ((q.clamp(0.0, 1.0) * v.len() as f64).ceil() as usize).clamp(1, v.len());
+        Some(v[rank - 1])
+    }
+
+    /// Equi-depth bucket edges (`buckets − 1` edges) from the sketch —
+    /// input for `HistogramSieve`.
+    ///
+    /// Returns `None` while the sketch holds fewer than `buckets` values.
+    #[must_use]
+    pub fn equi_depth_edges(&self, buckets: usize) -> Option<Vec<f64>> {
+        if buckets < 2 || self.len() < buckets {
+            return None;
+        }
+        let mut v = self.values();
+        v.sort_by(f64::total_cmp);
+        let n = v.len();
+        Some((1..buckets).map(|k| v[(k * n / buckets).min(n - 1)]).collect())
+    }
+
+    /// Kolmogorov–Smirnov distance between the sketch's empirical CDF and a
+    /// reference sample — the accuracy measure for experiment E7.
+    #[must_use]
+    pub fn ks_distance(&self, reference: &[f64]) -> f64 {
+        let mut a = self.values();
+        let mut b: Vec<f64> = reference.to_vec();
+        if a.is_empty() || b.is_empty() {
+            return 1.0;
+        }
+        a.sort_by(f64::total_cmp);
+        b.sort_by(f64::total_cmp);
+        let mut d: f64 = 0.0;
+        let (mut i, mut j) = (0usize, 0usize);
+        // Advance through ties on both sides before comparing CDFs —
+        // heavily tied data (e.g. Zipf-distributed integers) would
+        // otherwise inflate the statistic.
+        while i < a.len() && j < b.len() {
+            let x = if a[i] <= b[j] { a[i] } else { b[j] };
+            while i < a.len() && a[i] == x {
+                i += 1;
+            }
+            while j < b.len() && b[j] == x {
+                j += 1;
+            }
+            let fa = i as f64 / a.len() as f64;
+            let fb = j as f64 / b.len() as f64;
+            d = d.max((fa - fb).abs());
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_sim::rng::fnv1a;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use rand_distr::{Distribution, Normal};
+
+    #[test]
+    fn observe_is_duplicate_insensitive() {
+        let mut s = DistSketch::new(8);
+        for _ in 0..100 {
+            s.observe(42, 3.0);
+        }
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.values(), vec![3.0]);
+    }
+
+    #[test]
+    fn capacity_keeps_smallest_hashes() {
+        let mut s = DistSketch::new(3);
+        for h in [50u64, 10, 40, 20, 30] {
+            s.observe(h, h as f64);
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.values(), vec![10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_idempotent() {
+        let mut a = DistSketch::new(4);
+        let mut b = DistSketch::new(4);
+        for h in [1u64, 5, 9] {
+            a.observe(h, h as f64);
+        }
+        for h in [2u64, 5, 7] {
+            b.observe(h, h as f64);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        let mut abb = ab.clone();
+        abb.merge(&b);
+        assert_eq!(abb, ab, "idempotent merge");
+        assert_eq!(ab.len(), 4);
+    }
+
+    #[test]
+    fn distinct_estimate_tracks_population() {
+        let mut s = DistSketch::new(256);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 20_000u64;
+        for _ in 0..n {
+            // random 64-bit hashes ≈ distinct items
+            s.observe(rng.gen(), 0.0);
+        }
+        let est = s.distinct_estimate();
+        let rel = (est - n as f64).abs() / n as f64;
+        assert!(rel < 0.15, "distinct estimate {est} (rel {rel})");
+    }
+
+    #[test]
+    fn distinct_estimate_exact_below_capacity() {
+        let mut s = DistSketch::new(100);
+        for h in 0..37u64 {
+            s.observe(fnv1a(&h.to_le_bytes()), 1.0);
+        }
+        assert_eq!(s.distinct_estimate(), 37.0);
+    }
+
+    #[test]
+    fn quantiles_track_normal_distribution() {
+        let mut s = DistSketch::new(2048);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let dist = Normal::new(100.0, 15.0).unwrap();
+        for _ in 0..50_000 {
+            s.observe(rng.gen(), dist.sample(&mut rng));
+        }
+        let median = s.quantile(0.5).unwrap();
+        assert!((median - 100.0).abs() < 2.0, "median {median}");
+        let p84 = s.quantile(0.8413).unwrap();
+        assert!((p84 - 115.0).abs() < 3.0, "p84 {p84} (µ+σ expected)");
+    }
+
+    #[test]
+    fn ks_distance_small_for_same_distribution_large_for_different() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let dist = Normal::new(0.0, 1.0).unwrap();
+        let mut s = DistSketch::new(1024);
+        for _ in 0..20_000 {
+            s.observe(rng.gen(), dist.sample(&mut rng));
+        }
+        let same: Vec<f64> = (0..5_000).map(|_| dist.sample(&mut rng)).collect();
+        let shifted: Vec<f64> = same.iter().map(|v| v + 2.0).collect();
+        let d_same = s.ks_distance(&same);
+        let d_shift = s.ks_distance(&shifted);
+        assert!(d_same < 0.06, "same-distribution KS {d_same}");
+        assert!(d_shift > 0.5, "shifted KS {d_shift}");
+    }
+
+    #[test]
+    fn equi_depth_edges_from_sketch() {
+        let mut s = DistSketch::new(512);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for i in 0..10_000u64 {
+            s.observe(rng.gen(), (i % 100) as f64);
+        }
+        let edges = s.equi_depth_edges(4).unwrap();
+        assert_eq!(edges.len(), 3);
+        assert!(edges.windows(2).all(|w| w[0] <= w[1]));
+        // Uniform 0..100 data: quartile edges near 25/50/75.
+        assert!((edges[1] - 50.0).abs() < 8.0, "median edge {}", edges[1]);
+        assert!(s.equi_depth_edges(10_000).is_none(), "not enough values");
+    }
+
+    #[test]
+    fn ks_distance_handles_heavy_ties() {
+        // Discrete Zipf-like data: few distinct values, many repeats. A
+        // sketch over the same distribution must score a small distance.
+        let mut rng = SmallRng::seed_from_u64(12);
+        let zipfish = |r: &mut SmallRng| {
+            let u: f64 = r.gen::<f64>();
+            (1.0 / (u + 0.02)).floor().min(50.0)
+        };
+        let mut s = DistSketch::new(1024);
+        for _ in 0..20_000 {
+            s.observe(rng.gen(), zipfish(&mut rng));
+        }
+        let reference: Vec<f64> = (0..5_000).map(|_| zipfish(&mut rng)).collect();
+        let d = s.ks_distance(&reference);
+        assert!(d < 0.06, "tied-data KS should be small, got {d}");
+    }
+
+    #[test]
+    fn empty_sketch_behaviour() {
+        let s = DistSketch::new(4);
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.ks_distance(&[1.0]), 1.0);
+        assert_eq!(s.distinct_estimate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = DistSketch::new(0);
+    }
+}

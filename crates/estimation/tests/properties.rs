@@ -1,0 +1,122 @@
+//! Property-based tests for the estimation primitives' algebraic laws —
+//! the properties that make them safe under epidemic (reordered,
+//! duplicated) delivery.
+
+use dd_estimation::{DistSketch, ExtremaEstimator, PushSumState};
+use proptest::prelude::*;
+
+fn sketch_from(pairs: &[(u64, f64)], k: usize) -> DistSketch {
+    let mut s = DistSketch::new(k);
+    for &(h, v) in pairs {
+        s.observe(h, v);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sketch merge is commutative, associative and idempotent.
+    #[test]
+    fn sketch_merge_laws(
+        a in prop::collection::vec((any::<u64>(), -100.0f64..100.0), 0..40),
+        b in prop::collection::vec((any::<u64>(), -100.0f64..100.0), 0..40),
+        c in prop::collection::vec((any::<u64>(), -100.0f64..100.0), 0..40),
+        k in 1usize..32,
+    ) {
+        let (sa, sb, sc) = (sketch_from(&a, k), sketch_from(&b, k), sketch_from(&c, k));
+        // commutative
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+        // associative
+        let mut ab_c = ab.clone();
+        ab_c.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut a_bc = sa.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+        // idempotent
+        let mut abb = ab.clone();
+        abb.merge(&sb);
+        prop_assert_eq!(&abb, &ab);
+    }
+
+    /// Duplicated observations never change a sketch (replication
+    /// tolerance, paper §III-B-1).
+    #[test]
+    fn sketch_ignores_duplicates(
+        items in prop::collection::vec((any::<u64>(), -10.0f64..10.0), 1..30),
+        dups in 1usize..5,
+        k in 1usize..16,
+    ) {
+        let once = sketch_from(&items, k);
+        let mut many = DistSketch::new(k);
+        for _ in 0..dups {
+            for &(h, v) in &items {
+                many.observe(h, v);
+            }
+        }
+        prop_assert_eq!(once, many);
+    }
+
+    /// Extrema merge laws: commutative, idempotent, monotone (estimates
+    /// never decrease in information).
+    #[test]
+    fn extrema_merge_laws(
+        a in prop::collection::vec(0.0001f64..10.0, 4..32),
+        b_scale in 0.1f64..10.0,
+    ) {
+        let b: Vec<f64> = a.iter().map(|x| x * b_scale).collect();
+        let ea = ExtremaEstimator::from_mins(a.clone());
+        let eb = ExtremaEstimator::from_mins(b);
+        let mut ab = ea.clone();
+        ab.merge(&eb);
+        let mut ba = eb.clone();
+        ba.merge(&ea);
+        prop_assert_eq!(&ab, &ba);
+        let mut abb = ab.clone();
+        abb.merge(&eb);
+        prop_assert_eq!(&abb, &ab);
+        // merged estimate ≥ both inputs' estimates (smaller minima ⇒ larger N̂)
+        prop_assert!(ab.estimate() >= ea.estimate() - 1e-9);
+        prop_assert!(ab.estimate() >= eb.estimate() - 1e-9);
+    }
+
+    /// Push-sum conserves mass across arbitrary exchange schedules.
+    #[test]
+    fn pushsum_mass_conservation(
+        values in prop::collection::vec(-1000.0f64..1000.0, 2..12),
+        schedule in prop::collection::vec((0usize..12, 0usize..12), 1..100),
+    ) {
+        let n = values.len();
+        let mut states: Vec<PushSumState> =
+            values.iter().map(|&v| PushSumState::for_average(v)).collect();
+        let total: f64 = values.iter().sum();
+        for (i, j) in schedule {
+            let (i, j) = (i % n, j % n);
+            if i == j {
+                continue;
+            }
+            let (s, w) = states[i].emit_half();
+            states[j].absorb(s, w);
+        }
+        let sum: f64 = states.iter().map(|s| s.mass().0).sum();
+        let weight: f64 = states.iter().map(|s| s.mass().1).sum();
+        prop_assert!((sum - total).abs() < 1e-6 * total.abs().max(1.0));
+        prop_assert!((weight - n as f64).abs() < 1e-9);
+    }
+
+    /// The sketch's distinct estimate is exact below capacity.
+    #[test]
+    fn distinct_exact_below_capacity(
+        hashes in prop::collection::hash_set(any::<u64>(), 0..20),
+    ) {
+        let pairs: Vec<(u64, f64)> = hashes.iter().map(|&h| (h, 0.0)).collect();
+        let s = sketch_from(&pairs, 64);
+        prop_assert_eq!(s.distinct_estimate(), hashes.len() as f64);
+    }
+}

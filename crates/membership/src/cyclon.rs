@@ -1,0 +1,372 @@
+//! The Cyclon shuffle: an age-based peer-sampling protocol.
+//!
+//! Each round a node (1) ages its view, (2) removes its *oldest* neighbour,
+//! (3) sends that neighbour a random subset of its view plus a fresh entry
+//! for itself, (4) the neighbour replies with a subset of its own view, and
+//! (5) both merge what they received, preferring received entries over the
+//! ones they sent away. The resulting communication graph is close to a
+//! random graph, which is exactly the topology the epidemic dissemination
+//! analysis of the paper (§III-A) assumes.
+
+use crate::sampler::PeerSampler;
+use crate::view::{PartialView, ViewEntry};
+use dd_sim::{Ctx, Duration, NodeId, Process, TimerTag};
+use rand::Rng;
+
+/// Timer tag used by [`CyclonProcess`].
+pub const SHUFFLE_TIMER: TimerTag = TimerTag(0xC1C1);
+
+/// Protocol parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CyclonConfig {
+    /// View capacity (`c` in the Cyclon paper). 20 suits 10⁴–10⁵ nodes.
+    pub view_size: usize,
+    /// Entries exchanged per shuffle (`l`), must be ≤ `view_size`.
+    pub shuffle_len: usize,
+    /// Ticks between shuffles.
+    pub period: Duration,
+}
+
+impl Default for CyclonConfig {
+    fn default() -> Self {
+        CyclonConfig { view_size: 20, shuffle_len: 8, period: Duration(1_000) }
+    }
+}
+
+/// Messages of the shuffle protocol.
+#[derive(Debug, Clone)]
+pub enum CyclonMsg {
+    /// Shuffle request carrying the initiator's exchange set.
+    Request(Vec<ViewEntry>),
+    /// Shuffle reply carrying the responder's exchange set.
+    Reply(Vec<ViewEntry>),
+}
+
+/// Sans-IO Cyclon state machine.
+///
+/// All methods are pure state transitions returning the messages to send;
+/// binding to a transport is the adapter's job ([`CyclonProcess`] for
+/// `dd-sim`).
+#[derive(Debug, Clone)]
+pub struct CyclonState {
+    config: CyclonConfig,
+    view: PartialView,
+    /// Entries sent in the last shuffle we initiated; replaced first on merge.
+    in_flight: Vec<ViewEntry>,
+}
+
+impl CyclonState {
+    /// Creates a node's state with `bootstrap` as its initial neighbours.
+    ///
+    /// # Panics
+    /// Panics if `shuffle_len` is zero or exceeds `view_size`.
+    #[must_use]
+    pub fn new(owner: NodeId, config: CyclonConfig, bootstrap: &[NodeId]) -> Self {
+        assert!(
+            config.shuffle_len > 0 && config.shuffle_len <= config.view_size,
+            "shuffle_len must be in 1..=view_size"
+        );
+        let mut view = PartialView::new(owner, config.view_size);
+        for &n in bootstrap {
+            view.insert(ViewEntry::fresh(n));
+        }
+        CyclonState { config, view, in_flight: Vec::new() }
+    }
+
+    /// The node's current partial view.
+    #[must_use]
+    pub fn view(&self) -> &PartialView {
+        &self.view
+    }
+
+    /// Owner id.
+    #[must_use]
+    pub fn owner(&self) -> NodeId {
+        self.view.owner()
+    }
+
+    /// Configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &CyclonConfig {
+        &self.config
+    }
+
+    /// Starts one shuffle round. Returns `(target, request_entries)` or
+    /// `None` when the view is empty (isolated node).
+    pub fn start_shuffle<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+    ) -> Option<(NodeId, Vec<ViewEntry>)> {
+        self.view.increment_ages();
+        let target = self.view.take_oldest()?;
+        let mut exchange = self.view.take_random(rng, self.config.shuffle_len - 1);
+        exchange.push(ViewEntry::fresh(self.owner()));
+        // Remember what we gave away (minus our own fresh entry) so the
+        // merge can put it back if the reply leaves holes.
+        self.in_flight = exchange
+            .iter()
+            .filter(|e| e.node != self.owner())
+            .copied()
+            .chain(std::iter::once(ViewEntry { node: target.node, age: target.age }))
+            .collect();
+        Some((target.node, exchange))
+    }
+
+    /// Handles a shuffle request from `from`. Returns the reply entries.
+    pub fn on_request<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        from: NodeId,
+        received: Vec<ViewEntry>,
+    ) -> Vec<ViewEntry> {
+        let reply = self.view.take_random(rng, self.config.shuffle_len);
+        self.merge(received, &reply);
+        // The requester is alive right now: that is fresh information.
+        self.view.insert(ViewEntry::fresh(from));
+        reply
+    }
+
+    /// Handles the reply to a shuffle we initiated.
+    pub fn on_reply(&mut self, received: Vec<ViewEntry>) {
+        let sent = std::mem::take(&mut self.in_flight);
+        self.merge(received, &sent);
+    }
+
+    /// Cyclon merge rule: received entries fill empty slots first; once
+    /// full they may only replace entries that were part of the exchange;
+    /// leftovers from the exchange set are re-inserted if room remains.
+    fn merge(&mut self, received: Vec<ViewEntry>, sent: &[ViewEntry]) {
+        for entry in received {
+            if entry.node == self.owner() || self.view.contains(entry.node) {
+                continue;
+            }
+            if self.view.len() < self.view.capacity() {
+                self.view.insert(entry);
+                continue;
+            }
+            // Full: evict one of the entries we sent away, if any remain.
+            if let Some(victim) = sent.iter().find(|s| self.view.contains(s.node)) {
+                self.view.remove(victim.node);
+                self.view.insert(entry);
+            }
+        }
+        // Top back up with what we sent, oldest information last.
+        let mut leftovers: Vec<ViewEntry> = sent.to_vec();
+        leftovers.sort_by_key(|e| e.age);
+        for entry in leftovers {
+            if self.view.len() >= self.view.capacity() {
+                break;
+            }
+            self.view.insert(entry);
+        }
+    }
+
+    /// Drops a neighbour known to be dead (input from a failure detector).
+    pub fn expel(&mut self, node: NodeId) {
+        self.view.remove(node);
+    }
+}
+
+impl PeerSampler for CyclonState {
+    fn peers(&self) -> Vec<NodeId> {
+        self.view.nodes().collect()
+    }
+
+    fn sample_peers(&self, rng: &mut dyn rand::RngCore, k: usize) -> Vec<NodeId> {
+        self.view.sample(rng, k).into_iter().map(|e| e.node).collect()
+    }
+}
+
+/// [`Process`] adapter running Cyclon over `dd-sim`.
+#[derive(Debug, Clone)]
+pub struct CyclonProcess {
+    /// The protocol state (public so composite nodes can reuse the view).
+    pub state: CyclonState,
+}
+
+impl CyclonProcess {
+    /// Creates the adapter.
+    #[must_use]
+    pub fn new(state: CyclonState) -> Self {
+        CyclonProcess { state }
+    }
+}
+
+impl Process for CyclonProcess {
+    type Msg = CyclonMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, CyclonMsg>) {
+        // Desynchronise rounds across nodes.
+        let jitter = ctx.rng().gen_range(0..self.state.config.period.0.max(1));
+        ctx.set_timer(Duration(jitter), SHUFFLE_TIMER);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, CyclonMsg>, from: NodeId, msg: CyclonMsg) {
+        match msg {
+            CyclonMsg::Request(entries) => {
+                let reply = self.state.on_request(ctx.rng(), from, entries);
+                ctx.metrics().incr("cyclon.requests");
+                ctx.send(from, CyclonMsg::Reply(reply));
+            }
+            CyclonMsg::Reply(entries) => {
+                self.state.on_reply(entries);
+                ctx.metrics().incr("cyclon.replies");
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, CyclonMsg>, tag: TimerTag) {
+        if tag != SHUFFLE_TIMER {
+            return;
+        }
+        if let Some((target, entries)) = self.state.start_shuffle(ctx.rng()) {
+            ctx.metrics().incr("cyclon.shuffles");
+            ctx.send(target, CyclonMsg::Request(entries));
+        }
+        ctx.set_timer(self.state.config.period, SHUFFLE_TIMER);
+    }
+
+    fn on_up(&mut self, ctx: &mut Ctx<'_, CyclonMsg>) {
+        // Rejoin: restart the shuffle timer; the stale view will self-heal.
+        ctx.set_timer(self.state.config.period, SHUFFLE_TIMER);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_sim::{Sim, SimConfig, Time};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    fn cfg() -> CyclonConfig {
+        CyclonConfig { view_size: 5, shuffle_len: 3, period: Duration(100) }
+    }
+
+    #[test]
+    fn start_shuffle_targets_oldest_and_includes_self() {
+        let mut s = CyclonState::new(NodeId(0), cfg(), &[NodeId(1), NodeId(2)]);
+        // Age node 1 artificially by two rounds of increments.
+        let mut r = rng();
+        let (target1, entries) = s.start_shuffle(&mut r).unwrap();
+        assert!(entries.iter().any(|e| e.node == NodeId(0) && e.age == 0), "self entry present");
+        assert!(!s.view().contains(target1), "target removed from view");
+    }
+
+    #[test]
+    fn empty_view_cannot_shuffle() {
+        let mut s = CyclonState::new(NodeId(0), cfg(), &[]);
+        assert!(s.start_shuffle(&mut rng()).is_none());
+    }
+
+    #[test]
+    fn request_reply_exchanges_membership() {
+        let mut a = CyclonState::new(NodeId(1), cfg(), &[NodeId(2)]);
+        let mut b = CyclonState::new(NodeId(2), cfg(), &[NodeId(3)]);
+        let mut r = rng();
+        let (target, req) = a.start_shuffle(&mut r).unwrap();
+        assert_eq!(target, NodeId(2));
+        let reply = b.on_request(&mut r, NodeId(1), req);
+        a.on_reply(reply);
+        // b must now know a (fresh requester entry).
+        assert!(b.view().contains(NodeId(1)));
+        // a got b's knowledge of node 3 (b's only other neighbour).
+        assert!(a.view().contains(NodeId(3)) || a.view().is_empty() == false);
+    }
+
+    #[test]
+    fn merge_never_introduces_self_or_duplicates() {
+        let mut s = CyclonState::new(NodeId(5), cfg(), &[NodeId(1)]);
+        let received = vec![
+            ViewEntry::fresh(NodeId(5)), // self — must be ignored
+            ViewEntry::fresh(NodeId(1)), // duplicate
+            ViewEntry::fresh(NodeId(2)),
+        ];
+        s.on_request(&mut rng(), NodeId(9), received);
+        let ids: Vec<NodeId> = s.view().nodes().collect();
+        let set: HashSet<NodeId> = ids.iter().copied().collect();
+        assert_eq!(ids.len(), set.len(), "no duplicates");
+        assert!(!set.contains(&NodeId(5)), "no self");
+        assert!(set.contains(&NodeId(2)));
+        assert!(set.contains(&NodeId(9)), "requester learned");
+    }
+
+    #[test]
+    fn expel_removes_dead_neighbour() {
+        let mut s = CyclonState::new(NodeId(0), cfg(), &[NodeId(1), NodeId(2)]);
+        s.expel(NodeId(1));
+        assert!(!s.view().contains(NodeId(1)));
+    }
+
+    #[test]
+    fn peer_sampler_sample_is_subset_of_view() {
+        let s = CyclonState::new(NodeId(0), cfg(), &[NodeId(1), NodeId(2), NodeId(3)]);
+        let mut r = rng();
+        let sample = s.sample_peers(&mut r, 2);
+        assert_eq!(sample.len(), 2);
+        for n in sample {
+            assert!(s.view().contains(n));
+        }
+    }
+
+    /// End-to-end over the simulator: starting from a line topology (each
+    /// node knows only its predecessor), shuffling produces connected,
+    /// well-mixed views with in-degree spread far below a star/line.
+    #[test]
+    fn views_mix_over_simulated_rounds() {
+        let n = 64u64;
+        let mut sim: Sim<CyclonProcess> = Sim::new(SimConfig::default().seed(11));
+        for i in 0..n {
+            let boot = if i == 0 { vec![NodeId(n - 1)] } else { vec![NodeId(i - 1)] };
+            let state = CyclonState::new(NodeId(i), cfg(), &boot);
+            sim.add_node(NodeId(i), CyclonProcess::new(state));
+        }
+        sim.run_until(Time(30 * 100)); // 30 rounds
+        // Views should be nearly full on average and in-degrees roughly
+        // balanced (a line/star topology would concentrate them).
+        let mut indegree = vec![0u32; n as usize];
+        let mut total = 0usize;
+        for i in 0..n {
+            let v = sim.node(NodeId(i)).unwrap().state.view();
+            assert!(v.len() >= 2, "view of {i} too small: {}", v.len());
+            total += v.len();
+            for peer in v.nodes() {
+                indegree[peer.index()] += 1;
+            }
+        }
+        let avg = total as f64 / n as f64;
+        assert!(avg >= 4.0, "average view size too small: {avg}");
+        let max = *indegree.iter().max().unwrap();
+        let min = *indegree.iter().min().unwrap();
+        assert!(min >= 1, "every node referenced at least once");
+        assert!(max <= 20, "in-degree concentration too high: {max}");
+        assert!(sim.metrics().counter("cyclon.shuffles") >= u64::from(25 * n as u32));
+    }
+
+    /// Views exclude a churned node eventually (entries age out by being
+    /// shuffled away and never refreshed).
+    #[test]
+    fn dead_node_references_decay() {
+        let n = 32u64;
+        let dead = NodeId(31);
+        let mut sim: Sim<CyclonProcess> = Sim::new(SimConfig::default().seed(3));
+        for i in 0..n {
+            let boot: Vec<NodeId> = (0..n).filter(|&j| j != i).take(5).map(NodeId).collect();
+            sim.add_node(NodeId(i), CyclonProcess::new(CyclonState::new(NodeId(i), cfg(), &boot)));
+        }
+        sim.run_until(Time(5 * 100));
+        sim.kill(dead);
+        sim.run_until(Time(80 * 100));
+        let refs: usize = (0..31)
+            .filter(|&i| sim.node(NodeId(i)).unwrap().state.view().contains(dead))
+            .count();
+        // Stale pointers to the dead node should be rare after 75 rounds.
+        assert!(refs <= 6, "{refs} nodes still reference the dead node");
+    }
+}
+

@@ -1,0 +1,136 @@
+//! Heartbeat failure detection.
+//!
+//! The structured baseline (Cassandra-style, §I of the paper) must *detect*
+//! failures to react to them — its repair cost is proportional to churn
+//! precisely because detection triggers work. The epidemic layer, by
+//! contrast, masks failures probabilistically. This detector drives the
+//! baseline's reactive repair in experiment E11.
+
+use dd_sim::{Duration, NodeId, Time};
+use std::collections::HashMap;
+
+/// Timeout-based failure detector: a peer is suspected when nothing has
+/// been heard from it for `timeout` ticks.
+#[derive(Debug, Clone)]
+pub struct HeartbeatDetector {
+    timeout: Duration,
+    last_seen: HashMap<NodeId, Time>,
+}
+
+impl HeartbeatDetector {
+    /// Creates a detector with the given suspicion timeout.
+    #[must_use]
+    pub fn new(timeout: Duration) -> Self {
+        HeartbeatDetector { timeout, last_seen: HashMap::new() }
+    }
+
+    /// Records life evidence for `node` at `now` (any received message
+    /// counts as a heartbeat).
+    pub fn heard_from(&mut self, node: NodeId, now: Time) {
+        let t = self.last_seen.entry(node).or_insert(now);
+        *t = (*t).max(now);
+    }
+
+    /// Starts monitoring `node` as of `now` without evidence (e.g. on
+    /// learning of it from membership).
+    pub fn monitor(&mut self, node: NodeId, now: Time) {
+        self.last_seen.entry(node).or_insert(now);
+    }
+
+    /// Stops monitoring `node`.
+    pub fn forget(&mut self, node: NodeId) {
+        self.last_seen.remove(&node);
+    }
+
+    /// Whether `node` is currently suspected at time `now`.
+    #[must_use]
+    pub fn is_suspect(&self, node: NodeId, now: Time) -> bool {
+        self.last_seen
+            .get(&node)
+            .is_some_and(|&seen| now.since(seen) > self.timeout)
+    }
+
+    /// All suspected nodes at time `now`, in id order.
+    #[must_use]
+    pub fn suspects(&self, now: Time) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .last_seen
+            .iter()
+            .filter(|(_, &seen)| now.since(seen) > self.timeout)
+            .map(|(&n, _)| n)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Number of monitored peers.
+    #[must_use]
+    pub fn monitored(&self) -> usize {
+        self.last_seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_node_is_not_suspect() {
+        let mut d = HeartbeatDetector::new(Duration(100));
+        d.heard_from(NodeId(1), Time(0));
+        assert!(!d.is_suspect(NodeId(1), Time(100)));
+        assert!(d.is_suspect(NodeId(1), Time(101)));
+    }
+
+    #[test]
+    fn unknown_node_is_not_suspect() {
+        let d = HeartbeatDetector::new(Duration(10));
+        assert!(!d.is_suspect(NodeId(9), Time(1_000)));
+    }
+
+    #[test]
+    fn heartbeat_refreshes_suspicion() {
+        let mut d = HeartbeatDetector::new(Duration(50));
+        d.heard_from(NodeId(1), Time(0));
+        d.heard_from(NodeId(1), Time(80));
+        assert!(!d.is_suspect(NodeId(1), Time(120)));
+        assert!(d.is_suspect(NodeId(1), Time(131)));
+    }
+
+    #[test]
+    fn stale_heartbeat_does_not_rewind_clock() {
+        let mut d = HeartbeatDetector::new(Duration(50));
+        d.heard_from(NodeId(1), Time(100));
+        d.heard_from(NodeId(1), Time(40)); // reordered message
+        assert!(!d.is_suspect(NodeId(1), Time(150)));
+        assert!(d.is_suspect(NodeId(1), Time(151)));
+    }
+
+    #[test]
+    fn suspects_lists_all_expired_in_order() {
+        let mut d = HeartbeatDetector::new(Duration(10));
+        d.heard_from(NodeId(3), Time(0));
+        d.heard_from(NodeId(1), Time(0));
+        d.heard_from(NodeId(2), Time(95));
+        assert_eq!(d.suspects(Time(100)), vec![NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn forget_and_monitor_manage_the_set() {
+        let mut d = HeartbeatDetector::new(Duration(10));
+        d.monitor(NodeId(5), Time(0));
+        assert_eq!(d.monitored(), 1);
+        assert!(d.is_suspect(NodeId(5), Time(11)));
+        d.forget(NodeId(5));
+        assert_eq!(d.monitored(), 0);
+        assert!(!d.is_suspect(NodeId(5), Time(11)));
+    }
+
+    #[test]
+    fn monitor_does_not_override_existing_evidence() {
+        let mut d = HeartbeatDetector::new(Duration(10));
+        d.heard_from(NodeId(1), Time(100));
+        d.monitor(NodeId(1), Time(0));
+        assert!(!d.is_suspect(NodeId(1), Time(105)));
+    }
+}

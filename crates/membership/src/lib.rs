@@ -1,0 +1,35 @@
+//! # dd-membership — peer sampling and membership
+//!
+//! The epidemic persistent-state layer of the paper (§III) requires every
+//! node to "relay messages to *fanout* neighbors" without global membership
+//! knowledge — the paper explicitly rules out "knowing all nodes to perform
+//! some operations as in Cassandra" (§I). The standard building block is a
+//! *peer-sampling service* maintaining a small partial view; we implement
+//! the Cyclon shuffle (Voulgaris et al.), whose views are uniform random
+//! samples of the population and self-heal under churn.
+//!
+//! Contents:
+//! * [`PartialView`] — fixed-capacity aged view with the invariants the
+//!   shuffle relies on (no self, no duplicates).
+//! * [`CyclonState`] — the shuffle protocol as a sans-IO state machine, plus
+//!   [`CyclonProcess`], its [`dd_sim::Process`] adapter.
+//! * [`MembershipOracle`] — closed-world full membership, used both by
+//!   experiments that isolate a protocol from membership effects and by the
+//!   soft-state layer (which the paper says *is* moderately sized, §II).
+//! * [`HeartbeatDetector`] — timeout-based failure detector for the
+//!   DHT baseline's reactive repair.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cyclon;
+pub mod detector;
+pub mod oracle;
+pub mod sampler;
+pub mod view;
+
+pub use cyclon::{CyclonConfig, CyclonMsg, CyclonProcess, CyclonState};
+pub use detector::HeartbeatDetector;
+pub use oracle::{DensePopulation, MembershipOracle};
+pub use sampler::PeerSampler;
+pub use view::{PartialView, ViewEntry};

@@ -1,0 +1,227 @@
+//! Full-membership oracle.
+//!
+//! The paper's *soft-state layer* is "moderately sized and thus manageable
+//! with a structured approach" (§II) — full membership there is realistic.
+//! Experiments also use the oracle to isolate a protocol under test from
+//! membership noise.
+
+use crate::sampler::PeerSampler;
+use dd_sim::NodeId;
+use rand::seq::SliceRandom;
+use rand::RngCore;
+
+/// A complete, queryable membership list excluding the owner.
+#[derive(Debug, Clone)]
+pub struct MembershipOracle {
+    owner: NodeId,
+    members: Vec<NodeId>,
+}
+
+impl MembershipOracle {
+    /// Creates an oracle for `owner` over `members` (the owner is filtered
+    /// out; duplicates are removed).
+    #[must_use]
+    pub fn new(owner: NodeId, members: impl IntoIterator<Item = NodeId>) -> Self {
+        let mut v: Vec<NodeId> = members.into_iter().filter(|&m| m != owner).collect();
+        v.sort();
+        v.dedup();
+        MembershipOracle { owner, members: v }
+    }
+
+    /// Oracle for node `owner` within dense population `0..n`.
+    #[must_use]
+    pub fn dense(owner: NodeId, n: u64) -> Self {
+        Self::new(owner, (0..n).map(NodeId))
+    }
+
+    /// Owner id.
+    #[must_use]
+    pub fn owner(&self) -> NodeId {
+        self.owner
+    }
+
+    /// Adds a member (idempotent).
+    pub fn join(&mut self, node: NodeId) {
+        if node != self.owner {
+            if let Err(idx) = self.members.binary_search(&node) {
+                self.members.insert(idx, node);
+            }
+        }
+    }
+
+    /// Removes a member (idempotent).
+    pub fn leave(&mut self, node: NodeId) {
+        if let Ok(idx) = self.members.binary_search(&node) {
+            self.members.remove(idx);
+        }
+    }
+
+    /// Whether `node` is a member.
+    #[must_use]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.members.binary_search(&node).is_ok()
+    }
+}
+
+impl PeerSampler for MembershipOracle {
+    fn peers(&self) -> Vec<NodeId> {
+        self.members.clone()
+    }
+
+    fn sample_peers(&self, rng: &mut dyn RngCore, k: usize) -> Vec<NodeId> {
+        let mut v = self.members.clone();
+        v.shuffle(rng);
+        v.truncate(k);
+        v
+    }
+
+    fn degree(&self) -> usize {
+        self.members.len()
+    }
+}
+
+/// Constant-memory full-membership sampler over the dense population
+/// `0..n` — the large-scale twin of [`MembershipOracle`].
+///
+/// [`MembershipOracle`] stores the member list explicitly (O(N) per node),
+/// which is fine for the soft-state tier but O(N²) across a 50 000-node
+/// persistent layer. `DensePopulation` stores only `(owner, n)` and draws
+/// samples arithmetically, so dissemination experiments run at the paper's
+/// headline scale.
+#[derive(Debug, Clone, Copy)]
+pub struct DensePopulation {
+    owner: NodeId,
+    n: u64,
+}
+
+impl DensePopulation {
+    /// Sampler for `owner` within population `0..n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(owner: NodeId, n: u64) -> Self {
+        assert!(n > 0, "population must be non-empty");
+        DensePopulation { owner, n }
+    }
+
+    /// Population size (including the owner).
+    #[must_use]
+    pub fn population(&self) -> u64 {
+        self.n
+    }
+}
+
+impl PeerSampler for DensePopulation {
+    fn peers(&self) -> Vec<NodeId> {
+        (0..self.n).map(NodeId).filter(|&m| m != self.owner).collect()
+    }
+
+    fn sample_peers(&self, rng: &mut dyn RngCore, k: usize) -> Vec<NodeId> {
+        use rand::Rng;
+        let available = (self.n - u64::from(self.owner.0 < self.n)) as usize;
+        if k >= available {
+            return self.peers();
+        }
+        let mut seen = std::collections::HashSet::with_capacity(k);
+        let mut out = Vec::with_capacity(k);
+        while out.len() < k {
+            let cand = NodeId(rng.gen_range(0..self.n));
+            if cand != self.owner && seen.insert(cand) {
+                out.push(cand);
+            }
+        }
+        out
+    }
+
+    fn degree(&self) -> usize {
+        (self.n - u64::from(self.owner.0 < self.n)) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn dense_excludes_owner() {
+        let o = MembershipOracle::dense(NodeId(3), 10);
+        assert_eq!(o.degree(), 9);
+        assert!(!o.contains(NodeId(3)));
+        assert!(o.contains(NodeId(0)));
+    }
+
+    #[test]
+    fn join_and_leave_are_idempotent() {
+        let mut o = MembershipOracle::dense(NodeId(0), 3);
+        o.join(NodeId(9));
+        o.join(NodeId(9));
+        assert_eq!(o.degree(), 3);
+        o.leave(NodeId(9));
+        o.leave(NodeId(9));
+        assert_eq!(o.degree(), 2);
+        o.join(NodeId(0)); // owner never joins its own list
+        assert!(!o.contains(NodeId(0)));
+    }
+
+    #[test]
+    fn duplicates_in_constructor_are_removed() {
+        let o = MembershipOracle::new(NodeId(0), [NodeId(1), NodeId(1), NodeId(2)]);
+        assert_eq!(o.degree(), 2);
+    }
+
+    #[test]
+    fn sample_is_distinct_and_bounded() {
+        let o = MembershipOracle::dense(NodeId(0), 100);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let s = o.sample_peers(&mut rng, 10);
+        assert_eq!(s.len(), 10);
+        let set: HashSet<NodeId> = s.into_iter().collect();
+        assert_eq!(set.len(), 10);
+        assert!(!set.contains(&NodeId(0)));
+    }
+
+    #[test]
+    fn dense_population_samples_are_distinct_and_exclude_owner() {
+        let d = DensePopulation::new(NodeId(5), 1_000);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let s = d.sample_peers(&mut rng, 50);
+        assert_eq!(s.len(), 50);
+        let set: HashSet<NodeId> = s.into_iter().collect();
+        assert_eq!(set.len(), 50);
+        assert!(!set.contains(&NodeId(5)));
+        assert_eq!(d.degree(), 999);
+        assert_eq!(d.population(), 1_000);
+    }
+
+    #[test]
+    fn dense_population_oversample_returns_everyone() {
+        let d = DensePopulation::new(NodeId(0), 4);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut s = d.sample_peers(&mut rng, 10);
+        s.sort();
+        assert_eq!(s, vec![NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn dense_population_agrees_with_oracle_degree() {
+        let d = DensePopulation::new(NodeId(3), 100);
+        let o = MembershipOracle::dense(NodeId(3), 100);
+        assert_eq!(d.degree(), o.degree());
+        assert_eq!(d.peers(), o.peers());
+    }
+
+    #[test]
+    fn sample_covers_population_over_many_draws() {
+        let o = MembershipOracle::dense(NodeId(0), 20);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut seen = HashSet::new();
+        for _ in 0..200 {
+            seen.extend(o.sample_peers(&mut rng, 3));
+        }
+        assert_eq!(seen.len(), 19, "uniform sampling should hit everyone");
+    }
+}

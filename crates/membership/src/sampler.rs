@@ -1,0 +1,72 @@
+//! The [`PeerSampler`] abstraction: "give me some peers to gossip with".
+//!
+//! Epidemic protocols are written against this trait so that experiments can
+//! swap a realistic Cyclon view for a full-membership oracle and measure how
+//! much partial views cost (none of the paper's claims require global
+//! knowledge — this lets us verify that).
+
+use dd_sim::NodeId;
+use rand::RngCore;
+
+/// Source of gossip partners.
+///
+/// Object-safe on purpose: composite nodes hold `&dyn PeerSampler` so one
+/// membership instance can serve several protocols.
+pub trait PeerSampler {
+    /// All currently known peers (unordered; possibly a partial view).
+    fn peers(&self) -> Vec<NodeId>;
+
+    /// Uniformly samples up to `k` distinct peers.
+    fn sample_peers(&self, rng: &mut dyn RngCore, k: usize) -> Vec<NodeId>;
+
+    /// Samples a single peer, if any is known.
+    fn sample_one(&self, rng: &mut dyn RngCore) -> Option<NodeId> {
+        self.sample_peers(rng, 1).into_iter().next()
+    }
+
+    /// Number of currently known peers.
+    fn degree(&self) -> usize {
+        self.peers().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    struct Fixed(Vec<NodeId>);
+
+    impl PeerSampler for Fixed {
+        fn peers(&self) -> Vec<NodeId> {
+            self.0.clone()
+        }
+        fn sample_peers(&self, _rng: &mut dyn RngCore, k: usize) -> Vec<NodeId> {
+            self.0.iter().copied().take(k).collect()
+        }
+    }
+
+    #[test]
+    fn default_sample_one_takes_first_of_sample() {
+        let s = Fixed(vec![NodeId(4), NodeId(5)]);
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(s.sample_one(&mut rng), Some(NodeId(4)));
+        assert_eq!(s.degree(), 2);
+    }
+
+    #[test]
+    fn empty_sampler_yields_none() {
+        let s = Fixed(vec![]);
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(s.sample_one(&mut rng), None);
+        assert_eq!(s.degree(), 0);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let s = Fixed(vec![NodeId(1)]);
+        let d: &dyn PeerSampler = &s;
+        assert_eq!(d.peers(), vec![NodeId(1)]);
+    }
+}

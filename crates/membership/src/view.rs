@@ -1,0 +1,294 @@
+//! Fixed-capacity partial views with entry ages.
+
+use dd_sim::NodeId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One neighbour in a partial view: its id and the age (in shuffle rounds)
+/// of the information we hold about it. Older entries are more likely to be
+/// stale, so Cyclon preferentially shuffles them out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViewEntry {
+    /// Neighbour id.
+    pub node: NodeId,
+    /// Rounds since this entry was created by its subject.
+    pub age: u32,
+}
+
+impl ViewEntry {
+    /// Fresh entry (age zero).
+    #[must_use]
+    pub fn fresh(node: NodeId) -> Self {
+        ViewEntry { node, age: 0 }
+    }
+}
+
+/// A bounded set of [`ViewEntry`] with the Cyclon invariants:
+/// no duplicates, never contains the owner, never exceeds capacity.
+#[derive(Debug, Clone)]
+pub struct PartialView {
+    owner: NodeId,
+    capacity: usize,
+    entries: Vec<ViewEntry>,
+}
+
+impl PartialView {
+    /// Creates an empty view owned by `owner` holding at most `capacity`
+    /// neighbours.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(owner: NodeId, capacity: usize) -> Self {
+        assert!(capacity > 0, "view capacity must be positive");
+        PartialView { owner, capacity, entries: Vec::with_capacity(capacity) }
+    }
+
+    /// The owning node (never present in the view).
+    #[must_use]
+    pub fn owner(&self) -> NodeId {
+        self.owner
+    }
+
+    /// Maximum number of entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no neighbours are known.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries, unordered.
+    #[must_use]
+    pub fn entries(&self) -> &[ViewEntry] {
+        &self.entries
+    }
+
+    /// Neighbour ids, unordered.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.entries.iter().map(|e| e.node)
+    }
+
+    /// Whether `node` is in the view.
+    #[must_use]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.entries.iter().any(|e| e.node == node)
+    }
+
+    /// Inserts `entry`, preserving the invariants:
+    /// * the owner and existing nodes are skipped (existing entries keep
+    ///   the *lower* of the two ages — fresher information wins);
+    /// * when full, the oldest entry is evicted iff it is older than the
+    ///   candidate, otherwise the candidate is dropped.
+    ///
+    /// Returns `true` if the view changed.
+    pub fn insert(&mut self, entry: ViewEntry) -> bool {
+        if entry.node == self.owner {
+            return false;
+        }
+        if let Some(e) = self.entries.iter_mut().find(|e| e.node == entry.node) {
+            if entry.age < e.age {
+                e.age = entry.age;
+                return true;
+            }
+            return false;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push(entry);
+            return true;
+        }
+        if let Some(idx) = self.oldest_index() {
+            if self.entries[idx].age > entry.age {
+                self.entries[idx] = entry;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Removes `node`, returning its entry if present.
+    pub fn remove(&mut self, node: NodeId) -> Option<ViewEntry> {
+        let idx = self.entries.iter().position(|e| e.node == node)?;
+        Some(self.entries.swap_remove(idx))
+    }
+
+    /// Increments every entry's age by one (start of a shuffle round).
+    pub fn increment_ages(&mut self) {
+        for e in &mut self.entries {
+            e.age = e.age.saturating_add(1);
+        }
+    }
+
+    /// Index of the oldest entry.
+    fn oldest_index(&self) -> Option<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, e)| e.age)
+            .map(|(i, _)| i)
+    }
+
+    /// Removes and returns the oldest entry (Cyclon's shuffle target).
+    pub fn take_oldest(&mut self) -> Option<ViewEntry> {
+        let idx = self.oldest_index()?;
+        Some(self.entries.swap_remove(idx))
+    }
+
+    /// Uniformly samples up to `k` distinct entries.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, k: usize) -> Vec<ViewEntry> {
+        let mut picked: Vec<ViewEntry> = self.entries.clone();
+        picked.shuffle(rng);
+        picked.truncate(k);
+        picked
+    }
+
+    /// Uniformly samples one neighbour id.
+    pub fn sample_one<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
+        self.entries.choose(rng).map(|e| e.node)
+    }
+
+    /// Removes up to `k` random entries and returns them (used when
+    /// composing the shuffle exchange set).
+    pub fn take_random<R: Rng + ?Sized>(&mut self, rng: &mut R, k: usize) -> Vec<ViewEntry> {
+        let mut out = Vec::new();
+        for _ in 0..k {
+            if self.entries.is_empty() {
+                break;
+            }
+            let idx = rng.gen_range(0..self.entries.len());
+            out.push(self.entries.swap_remove(idx));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn view() -> PartialView {
+        PartialView::new(NodeId(0), 4)
+    }
+
+    #[test]
+    fn insert_respects_capacity_and_self_exclusion() {
+        let mut v = view();
+        assert!(!v.insert(ViewEntry::fresh(NodeId(0))), "owner must be rejected");
+        for i in 1..=4 {
+            assert!(v.insert(ViewEntry::fresh(NodeId(i))));
+        }
+        assert_eq!(v.len(), 4);
+        // Full of age-0 entries: an age-0 candidate is dropped.
+        assert!(!v.insert(ViewEntry::fresh(NodeId(9))));
+        assert!(!v.contains(NodeId(9)));
+    }
+
+    #[test]
+    fn full_view_evicts_older_entry_for_younger_candidate() {
+        let mut v = view();
+        for i in 1..=4 {
+            v.insert(ViewEntry { node: NodeId(i), age: 5 });
+        }
+        assert!(v.insert(ViewEntry::fresh(NodeId(9))));
+        assert!(v.contains(NodeId(9)));
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_fresher_age() {
+        let mut v = view();
+        v.insert(ViewEntry { node: NodeId(1), age: 3 });
+        assert!(v.insert(ViewEntry { node: NodeId(1), age: 1 }), "fresher age updates");
+        assert_eq!(v.entries()[0].age, 1);
+        assert!(!v.insert(ViewEntry { node: NodeId(1), age: 7 }), "staler age ignored");
+        assert_eq!(v.entries()[0].age, 1);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn take_oldest_returns_max_age() {
+        let mut v = view();
+        v.insert(ViewEntry { node: NodeId(1), age: 2 });
+        v.insert(ViewEntry { node: NodeId(2), age: 9 });
+        v.insert(ViewEntry { node: NodeId(3), age: 4 });
+        let oldest = v.take_oldest().unwrap();
+        assert_eq!(oldest.node, NodeId(2));
+        assert_eq!(v.len(), 2);
+        assert!(!v.contains(NodeId(2)));
+    }
+
+    #[test]
+    fn increment_ages_saturates() {
+        let mut v = view();
+        v.insert(ViewEntry { node: NodeId(1), age: u32::MAX });
+        v.insert(ViewEntry { node: NodeId(2), age: 0 });
+        v.increment_ages();
+        let ages: Vec<u32> = v.entries().iter().map(|e| e.age).collect();
+        assert!(ages.contains(&u32::MAX));
+        assert!(ages.contains(&1));
+    }
+
+    #[test]
+    fn sample_is_bounded_and_distinct() {
+        let mut v = PartialView::new(NodeId(0), 8);
+        for i in 1..=8 {
+            v.insert(ViewEntry::fresh(NodeId(i)));
+        }
+        let mut rng = SmallRng::seed_from_u64(1);
+        let s = v.sample(&mut rng, 5);
+        assert_eq!(s.len(), 5);
+        let mut ids: Vec<NodeId> = s.iter().map(|e| e.node).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 5, "sample must be distinct");
+        assert_eq!(v.sample(&mut rng, 20).len(), 8, "k beyond len returns all");
+    }
+
+    #[test]
+    fn take_random_removes_entries() {
+        let mut v = PartialView::new(NodeId(0), 8);
+        for i in 1..=6 {
+            v.insert(ViewEntry::fresh(NodeId(i)));
+        }
+        let mut rng = SmallRng::seed_from_u64(2);
+        let taken = v.take_random(&mut rng, 4);
+        assert_eq!(taken.len(), 4);
+        assert_eq!(v.len(), 2);
+        for e in &taken {
+            assert!(!v.contains(e.node));
+        }
+    }
+
+    #[test]
+    fn remove_returns_entry() {
+        let mut v = view();
+        v.insert(ViewEntry { node: NodeId(3), age: 2 });
+        assert_eq!(v.remove(NodeId(3)).unwrap().age, 2);
+        assert!(v.remove(NodeId(3)).is_none());
+    }
+
+    #[test]
+    fn sample_one_on_empty_view_is_none() {
+        let v = view();
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert!(v.sample_one(&mut rng).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = PartialView::new(NodeId(0), 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for membership invariants.
+
+use dd_membership::{CyclonConfig, CyclonState, PartialView, PeerSampler, ViewEntry};
+use dd_sim::{Duration, NodeId};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A partial view never exceeds capacity, never contains its owner and
+    /// never holds duplicates, for any insertion sequence.
+    #[test]
+    fn view_invariants_under_arbitrary_inserts(
+        capacity in 1usize..12,
+        inserts in prop::collection::vec((0u64..32, 0u32..20), 0..200),
+    ) {
+        let owner = NodeId(7);
+        let mut v = PartialView::new(owner, capacity);
+        for (id, age) in inserts {
+            v.insert(ViewEntry { node: NodeId(id), age });
+            prop_assert!(v.len() <= capacity);
+            prop_assert!(!v.contains(owner));
+            let mut ids: Vec<NodeId> = v.nodes().collect();
+            ids.sort();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), v.len());
+        }
+    }
+
+    /// A full shuffle round-trip between two nodes preserves the view
+    /// invariants on both sides and teaches the responder the initiator.
+    #[test]
+    fn shuffle_round_trip_preserves_invariants(
+        seed in any::<u64>(),
+        a_boot in prop::collection::hash_set(2u64..40, 1..8),
+        b_boot in prop::collection::hash_set(2u64..40, 1..8),
+    ) {
+        let cfg = CyclonConfig { view_size: 6, shuffle_len: 3, period: Duration(100) };
+        let a_boot: Vec<NodeId> = a_boot.into_iter().map(NodeId).collect();
+        let b_boot: Vec<NodeId> = b_boot.into_iter().map(NodeId).collect();
+        let mut a = CyclonState::new(NodeId(0), cfg, &a_boot);
+        let mut b = CyclonState::new(NodeId(1), cfg, &b_boot);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        if let Some((_target, req)) = a.start_shuffle(&mut rng) {
+            let reply = b.on_request(&mut rng, NodeId(0), req);
+            a.on_reply(reply);
+            prop_assert!(b.view().contains(NodeId(0)), "responder learned initiator");
+        }
+        for (state, owner) in [(&a, NodeId(0)), (&b, NodeId(1))] {
+            prop_assert!(state.view().len() <= 6);
+            prop_assert!(!state.view().contains(owner));
+            let mut ids: Vec<NodeId> = state.view().nodes().collect();
+            ids.sort();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), state.view().len());
+        }
+    }
+
+    /// Sampling from any view returns distinct, in-view peers.
+    #[test]
+    fn samples_are_subset_and_distinct(
+        peers in prop::collection::hash_set(1u64..64, 1..20),
+        k in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let boot: Vec<NodeId> = peers.iter().copied().map(NodeId).collect();
+        let cfg = CyclonConfig { view_size: 20, shuffle_len: 5, period: Duration(100) };
+        let s = CyclonState::new(NodeId(0), cfg, &boot);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let sample = s.sample_peers(&mut rng, k);
+        prop_assert!(sample.len() <= k);
+        let mut d = sample.clone();
+        d.sort();
+        d.dedup();
+        prop_assert_eq!(d.len(), sample.len());
+        for p in sample {
+            prop_assert!(s.view().contains(p));
+        }
+    }
+}

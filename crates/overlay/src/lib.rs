@@ -1,0 +1,36 @@
+//! # dd-overlay — value-ordered overlays and range scans
+//!
+//! §III-B-2 of the paper: item ordering *"would enable efficient range
+//! scans of items and the construction of advanced abstractions such as
+//! indexes"*. Because a rigid content-based organisation "may not be
+//! suitable to an environment subject to churn", the paper proposes
+//! gossip-based convergence: *"it is possible to establish a partial order
+//! among nodes and have them converge to the proper neighbourhood using
+//! well-known methods \[32\]"* — \[32\] is T-Man, implemented here.
+//!
+//! * [`rank`] — the distance functions ordering nodes in the value domain.
+//! * [`tman`] — the T-Man gossip protocol: each node keeps the `k` best
+//!   neighbours under the rank function and trades views with them; the
+//!   topology converges to a sorted ring in O(log N) rounds.
+//! * [`ring`] — convergence measurement against the true sorted order.
+//! * [`scan`] — greedy routing and successor-walking range scans over the
+//!   converged overlay.
+//! * [`multi`] — the multi-attribute question the paper raises: `k`
+//!   independent overlays ("not scalable as it imposes an high overhead")
+//!   versus a shared-message organisation (\[34\], STAN-like), with message
+//!   accounting so E9 can quantify the difference.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod multi;
+pub mod rank;
+pub mod ring;
+pub mod scan;
+pub mod tman;
+
+pub use multi::{MultiMsg, MultiOverlayNode, MultiStrategy};
+pub use rank::{line_distance, ring_distance};
+pub use ring::{convergence, successor_map};
+pub use scan::{RangeScan, ScanMsg, ScanNode};
+pub use tman::{TManConfig, TManMsg, TManNode, TManState};

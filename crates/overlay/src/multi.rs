@@ -1,0 +1,241 @@
+//! Multi-attribute ordered organisations.
+//!
+//! §III-B-2: *"it is necessary to support several contending such
+//! organizations in order to offer range scans and indexes on several
+//! attributes. A first naive approach could be to maintain several
+//! independent overlays … but this is not scalable as it imposes an high
+//! overhead … Alternatively, recent work \[34\] has shown that it is possible
+//! to support several independent such organizations in an efficient and
+//! scalable fashion"* (\[34\] is the authors' STAN).
+//!
+//! [`MultiStrategy::Independent`] runs one gossip exchange per ring per
+//! round (k messages); [`MultiStrategy::Shared`] piggybacks all rings'
+//! descriptors in a single exchange per round (1 message), the STAN-style
+//! amortisation. Experiment E9 compares message cost and convergence.
+
+use crate::tman::{Descriptor, TManConfig, TManState};
+use dd_sim::{Ctx, Duration, NodeId, Process, TimerTag};
+use rand::Rng;
+
+/// Timer tag for multi-overlay rounds.
+pub const MULTI_TIMER: TimerTag = TimerTag(0x3017);
+
+/// How exchanges for multiple rings are scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultiStrategy {
+    /// One message per ring per round — the naive approach.
+    Independent,
+    /// One message per round carrying every ring's payload — STAN-style.
+    Shared,
+}
+
+/// Batch of per-ring descriptor payloads: `(ring index, descriptors)`.
+pub type RingBatch = Vec<(usize, Vec<Descriptor>)>;
+
+/// Multi-ring gossip messages.
+#[derive(Debug, Clone)]
+pub enum MultiMsg {
+    /// Push of one or more rings' payloads.
+    Push(RingBatch),
+    /// Symmetric reply.
+    Reply(RingBatch),
+}
+
+/// A node maintaining `k` value-ordered rings (one per indexed attribute).
+#[derive(Debug, Clone)]
+pub struct MultiOverlayNode {
+    /// Per-ring T-Man state (public for convergence measurement).
+    pub rings: Vec<TManState>,
+    strategy: MultiStrategy,
+    period: Duration,
+    round: u64,
+}
+
+impl MultiOverlayNode {
+    /// Creates a node with one T-Man state per attribute.
+    ///
+    /// # Panics
+    /// Panics if `rings` is empty.
+    #[must_use]
+    pub fn new(rings: Vec<TManState>, strategy: MultiStrategy, period: Duration) -> Self {
+        assert!(!rings.is_empty(), "need at least one ring");
+        MultiOverlayNode { rings, strategy, period, round: 0 }
+    }
+
+    /// Number of rings.
+    #[must_use]
+    pub fn ring_count(&self) -> usize {
+        self.rings.len()
+    }
+
+    fn payload(&self, ring: usize) -> (usize, Vec<Descriptor>) {
+        (ring, self.rings[ring].exchange_payload())
+    }
+
+    fn full_batch(&self) -> RingBatch {
+        (0..self.rings.len()).map(|r| self.payload(r)).collect()
+    }
+
+    fn merge_batch(&mut self, batch: &RingBatch) {
+        for (ring, descs) in batch {
+            if let Some(state) = self.rings.get_mut(*ring) {
+                state.merge(descs);
+            }
+        }
+    }
+}
+
+impl Process for MultiOverlayNode {
+    type Msg = MultiMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, MultiMsg>) {
+        let jitter = ctx.rng().gen_range(0..self.period.0.max(1));
+        ctx.set_timer(Duration(jitter), MULTI_TIMER);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, MultiMsg>, from: NodeId, msg: MultiMsg) {
+        match msg {
+            MultiMsg::Push(batch) => {
+                // Reply with our payload for the same rings.
+                let reply: RingBatch =
+                    batch.iter().map(|(r, _)| self.payload(*r)).collect();
+                self.merge_batch(&batch);
+                ctx.metrics().incr("multi.exchanges");
+                ctx.send(from, MultiMsg::Reply(reply));
+            }
+            MultiMsg::Reply(batch) => self.merge_batch(&batch),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, MultiMsg>, tag: TimerTag) {
+        if tag != MULTI_TIMER {
+            return;
+        }
+        self.round += 1;
+        match self.strategy {
+            MultiStrategy::Independent => {
+                for r in 0..self.rings.len() {
+                    if let Some(partner) = self.rings[r].pick_partner(ctx.rng()) {
+                        ctx.metrics().incr("multi.msgs_out");
+                        ctx.send(partner, MultiMsg::Push(vec![self.payload(r)]));
+                    }
+                }
+            }
+            MultiStrategy::Shared => {
+                // Rotate the partner-selecting ring so every ring's
+                // neighbourhood drives some exchanges.
+                let k = self.rings.len();
+                let lead = (self.round as usize) % k;
+                let partner = (0..k)
+                    .map(|off| (lead + off) % k)
+                    .find_map(|r| self.rings[r].pick_partner(ctx.rng()));
+                if let Some(partner) = partner {
+                    ctx.metrics().incr("multi.msgs_out");
+                    ctx.send(partner, MultiMsg::Push(self.full_batch()));
+                }
+            }
+        }
+        ctx.set_timer(self.period, MULTI_TIMER);
+    }
+
+    fn on_up(&mut self, ctx: &mut Ctx<'_, MultiMsg>) {
+        ctx.set_timer(self.period, MULTI_TIMER);
+    }
+}
+
+/// Harness for E9: runs `n` nodes × `k` rings for `rounds` and returns
+/// `(mean convergence across rings, messages sent)`.
+#[must_use]
+pub fn run_multi(
+    n: u64,
+    k: usize,
+    strategy: MultiStrategy,
+    rounds: u64,
+    seed: u64,
+) -> (f64, u64) {
+    use crate::ring::convergence;
+    use dd_sim::rng::mix;
+    use dd_sim::{Sim, SimConfig, Time};
+    use std::collections::HashMap;
+
+    let period = 100u64;
+    let config = TManConfig { per_side: 3, period: Duration(period) };
+    // Coordinates per ring: independent pseudo-random permutations.
+    let coord = |ring: usize, node: u64| (mix(ring as u64 + 1, node) % 1_000_000) as f64;
+
+    let mut sim: Sim<MultiOverlayNode> = Sim::new(SimConfig::default().seed(seed));
+    for i in 0..n {
+        let rings: Vec<TManState> = (0..k)
+            .map(|r| {
+                // Bootstrap: a couple of random acquaintances per ring.
+                let boots: Vec<Descriptor> = (1..=3)
+                    .map(|j| {
+                        let peer = mix(seed ^ (r as u64) << 8, i * 31 + j) % n;
+                        let peer = if peer == i { (peer + 1) % n } else { peer };
+                        (NodeId(peer), coord(r, peer))
+                    })
+                    .collect();
+                TManState::new(NodeId(i), coord(r, i), config, &boots)
+            })
+            .collect();
+        sim.add_node(NodeId(i), MultiOverlayNode::new(rings, strategy, Duration(period)));
+    }
+    sim.run_until(Time(rounds * period));
+
+    let mut conv_sum = 0.0;
+    for r in 0..k {
+        let nodes: Vec<(NodeId, f64)> = (0..n).map(|i| (NodeId(i), coord(r, i))).collect();
+        let believed: HashMap<NodeId, Option<NodeId>> = (0..n)
+            .map(|i| {
+                let succ = sim.node(NodeId(i)).unwrap().rings[r].successor().map(|d| d.0);
+                (NodeId(i), succ)
+            })
+            .collect();
+        conv_sum += convergence(&nodes, &believed);
+    }
+    (conv_sum / k as f64, sim.metrics().counter("net.sent"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_strategies_converge_one_ring() {
+        let (conv_i, _) = run_multi(64, 1, MultiStrategy::Independent, 40, 1);
+        let (conv_s, _) = run_multi(64, 1, MultiStrategy::Shared, 40, 1);
+        assert!(conv_i > 0.9, "independent convergence {conv_i}");
+        assert!(conv_s > 0.9, "shared convergence {conv_s}");
+    }
+
+    #[test]
+    fn shared_strategy_sends_far_fewer_messages() {
+        let k = 4;
+        let (_, msgs_i) = run_multi(48, k, MultiStrategy::Independent, 30, 2);
+        let (_, msgs_s) = run_multi(48, k, MultiStrategy::Shared, 30, 2);
+        // Independent sends k pushes per round (plus replies); shared sends
+        // one. Expect roughly a k-fold gap, allow slack.
+        assert!(
+            msgs_i as f64 > 2.5 * msgs_s as f64,
+            "independent {msgs_i} vs shared {msgs_s}"
+        );
+    }
+
+    #[test]
+    fn shared_strategy_still_converges_multiple_rings() {
+        let (conv, _) = run_multi(48, 3, MultiStrategy::Shared, 60, 3);
+        assert!(conv > 0.8, "multi-ring shared convergence {conv}");
+    }
+
+    #[test]
+    fn independent_converges_multiple_rings() {
+        let (conv, _) = run_multi(48, 3, MultiStrategy::Independent, 40, 4);
+        assert!(conv > 0.85, "multi-ring independent convergence {conv}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one ring")]
+    fn empty_rings_panics() {
+        let _ = MultiOverlayNode::new(vec![], MultiStrategy::Shared, Duration(100));
+    }
+}

@@ -1,0 +1,51 @@
+//! Distance functions for value-ordered topologies.
+
+/// Absolute distance on the line — orders nodes by attribute value.
+#[must_use]
+pub fn line_distance(a: f64, b: f64) -> f64 {
+    (a - b).abs()
+}
+
+/// Distance on a ring of circumference `span` (values are positions in
+/// `[0, span)`): the shorter way around. Used when the value domain wraps
+/// (e.g. hashed keys).
+///
+/// # Panics
+/// Panics if `span` is not positive.
+#[must_use]
+pub fn ring_distance(a: f64, b: f64, span: f64) -> f64 {
+    assert!(span > 0.0, "ring span must be positive");
+    let d = (a - b).abs() % span;
+    d.min(span - d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_distance_is_symmetric_and_zero_on_self() {
+        assert_eq!(line_distance(3.0, 7.5), 4.5);
+        assert_eq!(line_distance(7.5, 3.0), 4.5);
+        assert_eq!(line_distance(2.0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn ring_distance_takes_shorter_way() {
+        assert_eq!(ring_distance(0.0, 9.0, 10.0), 1.0);
+        assert_eq!(ring_distance(9.0, 0.0, 10.0), 1.0);
+        assert_eq!(ring_distance(2.0, 7.0, 10.0), 5.0);
+        assert_eq!(ring_distance(1.0, 1.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn ring_distance_handles_values_beyond_span() {
+        assert_eq!(ring_distance(12.0, 1.0, 10.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "span")]
+    fn non_positive_span_panics() {
+        let _ = ring_distance(0.0, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Convergence measurement for ordered overlays.
+
+use dd_sim::NodeId;
+use std::collections::HashMap;
+
+/// The true successor of every node in the value-sorted ring over
+/// `(node, coord)` pairs: ties broken by id, the maximum wraps to the
+/// minimum.
+#[must_use]
+pub fn successor_map(nodes: &[(NodeId, f64)]) -> HashMap<NodeId, NodeId> {
+    let mut sorted: Vec<(NodeId, f64)> = nodes.to_vec();
+    sorted.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    let mut map = HashMap::with_capacity(sorted.len());
+    for (i, &(n, _)) in sorted.iter().enumerate() {
+        let succ = sorted[(i + 1) % sorted.len()].0;
+        map.insert(n, succ);
+    }
+    map
+}
+
+/// Fraction of nodes whose believed successor matches the true sorted
+/// order. `believed` maps node → its claimed successor (absent/`None`
+/// entries count as wrong). The wrap-around node is excluded from the
+/// denominator because a line-topology T-Man never learns the wrap edge.
+#[must_use]
+pub fn convergence(
+    nodes: &[(NodeId, f64)],
+    believed: &HashMap<NodeId, Option<NodeId>>,
+) -> f64 {
+    if nodes.len() <= 1 {
+        return 1.0;
+    }
+    let truth = successor_map(nodes);
+    let max_node = nodes
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+        .expect("non-empty")
+        .0;
+    let mut correct = 0usize;
+    let mut counted = 0usize;
+    for &(n, _) in nodes {
+        if n == max_node {
+            continue; // its true successor wraps around
+        }
+        counted += 1;
+        if believed.get(&n).copied().flatten() == truth.get(&n).copied() {
+            correct += 1;
+        }
+    }
+    if counted == 0 {
+        1.0
+    } else {
+        correct as f64 / counted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes() -> Vec<(NodeId, f64)> {
+        vec![(NodeId(0), 10.0), (NodeId(1), 30.0), (NodeId(2), 20.0), (NodeId(3), 40.0)]
+    }
+
+    #[test]
+    fn successor_map_follows_sorted_order() {
+        let m = successor_map(&nodes());
+        assert_eq!(m[&NodeId(0)], NodeId(2)); // 10 → 20
+        assert_eq!(m[&NodeId(2)], NodeId(1)); // 20 → 30
+        assert_eq!(m[&NodeId(1)], NodeId(3)); // 30 → 40
+        assert_eq!(m[&NodeId(3)], NodeId(0)); // wrap
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let m = successor_map(&[(NodeId(5), 1.0), (NodeId(2), 1.0), (NodeId(9), 1.0)]);
+        assert_eq!(m[&NodeId(2)], NodeId(5));
+        assert_eq!(m[&NodeId(5)], NodeId(9));
+        assert_eq!(m[&NodeId(9)], NodeId(2));
+    }
+
+    #[test]
+    fn perfect_belief_scores_one() {
+        let ns = nodes();
+        let truth = successor_map(&ns);
+        let believed: HashMap<NodeId, Option<NodeId>> =
+            ns.iter().map(|&(n, _)| (n, Some(truth[&n]))).collect();
+        assert_eq!(convergence(&ns, &believed), 1.0);
+    }
+
+    #[test]
+    fn wrong_or_missing_beliefs_reduce_score() {
+        let ns = nodes();
+        let mut believed: HashMap<NodeId, Option<NodeId>> = HashMap::new();
+        believed.insert(NodeId(0), Some(NodeId(2))); // right
+        believed.insert(NodeId(2), Some(NodeId(3))); // wrong
+        // NodeId(1) missing → wrong; NodeId(3) is the wrap node → excluded.
+        let score = convergence(&ns, &believed);
+        assert!((score - 1.0 / 3.0).abs() < 1e-9, "score {score}");
+    }
+
+    #[test]
+    fn single_node_is_trivially_converged() {
+        assert_eq!(convergence(&[(NodeId(0), 1.0)], &HashMap::new()), 1.0);
+        assert_eq!(convergence(&[], &HashMap::new()), 1.0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Range scans over a converged ordered overlay.
+//!
+//! §III-B-2: *"the natural approach is to order nodes such that each node
+//! knows the next node from which data needs to be retrieved/processed"*.
+//! A scan is routed greedily towards the range's lower bound, then walks
+//! successor pointers collecting in-range items until it passes the upper
+//! bound, and finally returns to its origin.
+
+use dd_sim::{Ctx, NodeId, Process};
+use std::collections::HashMap;
+
+/// A range-scan request/result travelling through the overlay.
+#[derive(Debug, Clone)]
+pub struct RangeScan {
+    /// Scan identifier (unique per origin).
+    pub id: u64,
+    /// Inclusive lower bound in the value domain.
+    pub lo: f64,
+    /// Inclusive upper bound.
+    pub hi: f64,
+    /// Node that issued the scan.
+    pub origin: NodeId,
+    /// Hops travelled so far (routing + collection).
+    pub hops: u32,
+    /// Values collected so far.
+    pub collected: Vec<f64>,
+    /// Nodes visited during the collection phase.
+    pub visited: Vec<NodeId>,
+}
+
+impl RangeScan {
+    /// Creates a scan of `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or either bound is NaN.
+    #[must_use]
+    pub fn new(id: u64, lo: f64, hi: f64, origin: NodeId) -> Self {
+        assert!(lo <= hi, "scan bounds must satisfy lo <= hi");
+        RangeScan { id, lo, hi, origin, hops: 0, collected: Vec::new(), visited: Vec::new() }
+    }
+}
+
+/// Scan protocol messages.
+#[derive(Debug, Clone)]
+pub enum ScanMsg {
+    /// Routing phase: looking for the first node ≥ `lo`.
+    Route(RangeScan),
+    /// Collection phase: walking successors through the range.
+    Collect(RangeScan),
+    /// Result returned to the origin.
+    Done(RangeScan),
+}
+
+/// A node participating in range scans.
+///
+/// Routing state (`neighbors`, `successor`) is produced by the T-Man layer
+/// once converged; items are whatever the store assigned to this node.
+#[derive(Debug, Clone)]
+pub struct ScanNode {
+    /// This node's coordinate in the value domain.
+    pub coord: f64,
+    /// Long-range routing candidates `(node, coord)` (the T-Man view).
+    pub neighbors: Vec<(NodeId, f64)>,
+    /// Ring successor, if known.
+    pub successor: Option<(NodeId, f64)>,
+    /// Attribute values of locally stored items.
+    pub items: Vec<f64>,
+    /// Finished scans issued by this node: id → result.
+    pub completed: HashMap<u64, RangeScan>,
+}
+
+impl ScanNode {
+    /// Creates a scan node.
+    #[must_use]
+    pub fn new(
+        coord: f64,
+        neighbors: Vec<(NodeId, f64)>,
+        successor: Option<(NodeId, f64)>,
+        items: Vec<f64>,
+    ) -> Self {
+        ScanNode { coord, neighbors, successor, items, completed: HashMap::new() }
+    }
+
+    fn collect_local(&self, scan: &mut RangeScan, me: NodeId) {
+        scan.visited.push(me);
+        for &v in &self.items {
+            if v >= scan.lo && v <= scan.hi {
+                scan.collected.push(v);
+            }
+        }
+    }
+
+    /// Best routing hop towards coordinate `target`: the neighbour whose
+    /// coordinate is closest to it and strictly closer than ours.
+    fn route_towards(&self, target: f64) -> Option<NodeId> {
+        let mine = (self.coord - target).abs();
+        self.neighbors
+            .iter()
+            .map(|&(n, c)| (n, (c - target).abs()))
+            .filter(|&(_, d)| d < mine)
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(n, _)| n)
+    }
+}
+
+impl Process for ScanNode {
+    type Msg = ScanMsg;
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, ScanMsg>, _from: NodeId, msg: ScanMsg) {
+        match msg {
+            ScanMsg::Route(mut scan) => {
+                scan.hops += 1;
+                ctx.metrics().incr("scan.route_hops");
+                match self.route_towards(scan.lo) {
+                    Some(next) => ctx.send(next, ScanMsg::Route(scan)),
+                    None => {
+                        // We are the closest node to `lo`: start collecting.
+                        let me = ctx.id();
+                        self.collect_local(&mut scan, me);
+                        match self.successor {
+                            Some((succ, c)) if c <= scan.hi => {
+                                ctx.send(succ, ScanMsg::Collect(scan));
+                            }
+                            _ => ctx.send(scan.origin, ScanMsg::Done(scan)),
+                        }
+                    }
+                }
+            }
+            ScanMsg::Collect(mut scan) => {
+                scan.hops += 1;
+                ctx.metrics().incr("scan.collect_hops");
+                let me = ctx.id();
+                self.collect_local(&mut scan, me);
+                match self.successor {
+                    Some((succ, c)) if c <= scan.hi => {
+                        ctx.send(succ, ScanMsg::Collect(scan));
+                    }
+                    _ => ctx.send(scan.origin, ScanMsg::Done(scan)),
+                }
+            }
+            ScanMsg::Done(scan) => {
+                ctx.metrics().incr("scan.done");
+                self.completed.insert(scan.id, scan);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_sim::{Sim, SimConfig, Time};
+
+    /// Builds a perfectly converged ring of `n` nodes at coordinates
+    /// 0,10,20,… each holding items `[coord, coord+1, …, coord+9]`, with a
+    /// handful of long-range neighbours for routing.
+    fn build(n: u64, seed: u64) -> Sim<ScanNode> {
+        let mut sim = Sim::new(SimConfig::default().seed(seed));
+        for i in 0..n {
+            let coord = i as f64 * 10.0;
+            let succ = (i + 1 < n).then(|| (NodeId(i + 1), (i + 1) as f64 * 10.0));
+            // neighbours: ±1, ±2, ±4, … (finger-like for O(log n) routing)
+            let mut neigh = Vec::new();
+            let mut step = 1u64;
+            while step < n {
+                if i >= step {
+                    neigh.push((NodeId(i - step), (i - step) as f64 * 10.0));
+                }
+                if i + step < n {
+                    neigh.push((NodeId(i + step), (i + step) as f64 * 10.0));
+                }
+                step *= 2;
+            }
+            let items: Vec<f64> = (0..10).map(|k| coord + f64::from(k)).collect();
+            sim.add_node(NodeId(i), ScanNode::new(coord, neigh, succ, items));
+        }
+        sim
+    }
+
+    #[test]
+    fn scan_collects_exactly_the_range() {
+        let mut sim = build(32, 1);
+        let scan = RangeScan::new(1, 95.0, 125.0, NodeId(0));
+        sim.inject(NodeId(0), NodeId(0), ScanMsg::Route(scan));
+        sim.run_until(Time(50_000));
+        let done = &sim.node(NodeId(0)).unwrap().completed[&1];
+        let mut got = done.collected.clone();
+        got.sort_by(f64::total_cmp);
+        let want: Vec<f64> = (95..=125).map(f64::from).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn scan_visits_only_range_owners_plus_routing() {
+        let mut sim = build(64, 2);
+        let scan = RangeScan::new(9, 300.0, 340.0, NodeId(0));
+        sim.inject(NodeId(0), NodeId(0), ScanMsg::Route(scan));
+        sim.run_until(Time(50_000));
+        let done = &sim.node(NodeId(0)).unwrap().completed[&9];
+        // Collection phase should visit nodes 30..=34 (coords 300..340).
+        assert_eq!(
+            done.visited,
+            vec![NodeId(30), NodeId(31), NodeId(32), NodeId(33), NodeId(34)]
+        );
+        // Routing is logarithmic with finger-like neighbours.
+        assert!(done.hops < 20, "hops {}", done.hops);
+    }
+
+    #[test]
+    fn empty_range_returns_empty_result() {
+        let mut sim = build(16, 3);
+        let scan = RangeScan::new(4, 41.5, 41.7, NodeId(2));
+        sim.inject(NodeId(2), NodeId(2), ScanMsg::Route(scan));
+        sim.run_until(Time(50_000));
+        let done = &sim.node(NodeId(2)).unwrap().completed[&4];
+        assert!(done.collected.is_empty());
+    }
+
+    #[test]
+    fn scan_to_the_end_of_the_ring_terminates() {
+        let mut sim = build(8, 4);
+        let scan = RangeScan::new(2, 60.0, 1_000.0, NodeId(0));
+        sim.inject(NodeId(0), NodeId(0), ScanMsg::Route(scan));
+        sim.run_until(Time(50_000));
+        let done = &sim.node(NodeId(0)).unwrap().completed[&2];
+        // Items 60..=79 exist (nodes 6 and 7).
+        assert_eq!(done.collected.len(), 20);
+    }
+
+    #[test]
+    fn wider_ranges_cost_proportionally_more_collect_hops() {
+        let mut sim = build(64, 5);
+        sim.inject(NodeId(0), NodeId(0), ScanMsg::Route(RangeScan::new(1, 100.0, 140.0, NodeId(0))));
+        sim.run_until(Time(50_000));
+        let narrow_hops = sim.metrics().counter("scan.collect_hops");
+        sim.inject(NodeId(0), NodeId(0), ScanMsg::Route(RangeScan::new(2, 100.0, 420.0, NodeId(0))));
+        sim.run_until(Time(100_000));
+        let wide_hops = sim.metrics().counter("scan.collect_hops") - narrow_hops;
+        assert!(
+            wide_hops > 4 * narrow_hops,
+            "wide {wide_hops} vs narrow {narrow_hops}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn inverted_bounds_panic() {
+        let _ = RangeScan::new(0, 5.0, 1.0, NodeId(0));
+    }
+}

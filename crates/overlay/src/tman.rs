@@ -1,0 +1,302 @@
+//! The T-Man topology-construction protocol (Jelasity, Montresor,
+//! Babaoglu — Computer Networks 2009), specialised to sorted-ring
+//! construction over a node coordinate in the value domain.
+//!
+//! Each node keeps the `view_size` neighbours *closest by coordinate*
+//! (balanced between both sides to form a ring rather than a blob). Every
+//! period it picks its best current neighbour, sends its view (plus
+//! itself), and merges the symmetric reply. Selection-by-rank makes the
+//! overlay converge to the target topology exponentially fast.
+
+use crate::rank::line_distance;
+use dd_sim::{Ctx, Duration, NodeId, Process, TimerTag};
+use rand::Rng;
+
+/// Timer tag for T-Man rounds.
+pub const TMAN_TIMER: TimerTag = TimerTag(0x73A1);
+
+/// T-Man parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TManConfig {
+    /// Neighbours kept per side (total view ≤ 2 × per_side).
+    pub per_side: usize,
+    /// Ticks between gossip rounds.
+    pub period: Duration,
+}
+
+impl Default for TManConfig {
+    fn default() -> Self {
+        TManConfig { per_side: 4, period: Duration(1_000) }
+    }
+}
+
+/// A `(node, coordinate)` pair exchanged between peers.
+pub type Descriptor = (NodeId, f64);
+
+/// Messages: a view push (expecting a reply) or the reply.
+#[derive(Debug, Clone)]
+pub enum TManMsg {
+    /// Push of the sender's descriptors (including itself).
+    Push(Vec<Descriptor>),
+    /// Symmetric reply.
+    Reply(Vec<Descriptor>),
+}
+
+/// Sans-IO T-Man state.
+#[derive(Debug, Clone)]
+pub struct TManState {
+    owner: NodeId,
+    coord: f64,
+    config: TManConfig,
+    below: Vec<Descriptor>,
+    above: Vec<Descriptor>,
+}
+
+impl TManState {
+    /// Creates state for `owner` at coordinate `coord` with bootstrap
+    /// descriptors.
+    #[must_use]
+    pub fn new(owner: NodeId, coord: f64, config: TManConfig, bootstrap: &[Descriptor]) -> Self {
+        let mut s = TManState { owner, coord, config, below: Vec::new(), above: Vec::new() };
+        for &d in bootstrap {
+            s.consider(d);
+        }
+        s
+    }
+
+    /// This node's coordinate.
+    #[must_use]
+    pub fn coord(&self) -> f64 {
+        self.coord
+    }
+
+    /// Owner id.
+    #[must_use]
+    pub fn owner(&self) -> NodeId {
+        self.owner
+    }
+
+    /// Offers a descriptor to the view; it is kept if it is among the
+    /// `per_side` closest on its side. Self-descriptors are ignored, as is
+    /// any node already present (first coordinate wins — coordinates are
+    /// stable in this system, so a differing duplicate is stale gossip).
+    pub fn consider(&mut self, d: Descriptor) {
+        if d.0 == self.owner {
+            return;
+        }
+        if self.below.iter().chain(self.above.iter()).any(|&(n, _)| n == d.0) {
+            return;
+        }
+        let side = if d.1 < self.coord || (d.1 == self.coord && d.0 < self.owner) {
+            &mut self.below
+        } else {
+            &mut self.above
+        };
+        side.push(d);
+        let coord = self.coord;
+        side.sort_by(|a, b| line_distance(a.1, coord).total_cmp(&line_distance(b.1, coord)));
+        side.truncate(self.config.per_side);
+    }
+
+    /// Removes a node from the view (failure detector input).
+    pub fn expel(&mut self, node: NodeId) {
+        self.below.retain(|&(n, _)| n != node);
+        self.above.retain(|&(n, _)| n != node);
+    }
+
+    /// The full view: below ∪ above.
+    #[must_use]
+    pub fn view(&self) -> Vec<Descriptor> {
+        let mut v = self.below.clone();
+        v.extend_from_slice(&self.above);
+        v
+    }
+
+    /// The believed ring successor: nearest neighbour strictly above.
+    #[must_use]
+    pub fn successor(&self) -> Option<Descriptor> {
+        self.above.first().copied()
+    }
+
+    /// The believed ring predecessor: nearest neighbour strictly below.
+    #[must_use]
+    pub fn predecessor(&self) -> Option<Descriptor> {
+        self.below.first().copied()
+    }
+
+    /// What we send in an exchange: our view plus ourselves.
+    #[must_use]
+    pub fn exchange_payload(&self) -> Vec<Descriptor> {
+        let mut v = self.view();
+        v.push((self.owner, self.coord));
+        v
+    }
+
+    /// Picks the exchange partner: the closest current neighbour, with an
+    /// occasional random pick to escape local minima.
+    pub fn pick_partner<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
+        let view = self.view();
+        if view.is_empty() {
+            return None;
+        }
+        if rng.gen_bool(0.2) {
+            return Some(view[rng.gen_range(0..view.len())].0);
+        }
+        let coord = self.coord;
+        view.iter()
+            .min_by(|a, b| line_distance(a.1, coord).total_cmp(&line_distance(b.1, coord)))
+            .map(|&(n, _)| n)
+    }
+
+    /// Merges a received descriptor batch.
+    pub fn merge(&mut self, batch: &[Descriptor]) {
+        for &d in batch {
+            self.consider(d);
+        }
+    }
+}
+
+/// T-Man bound to the simulator.
+#[derive(Debug, Clone)]
+pub struct TManNode {
+    /// Protocol state (public for measurement).
+    pub state: TManState,
+}
+
+impl TManNode {
+    /// Creates the process.
+    #[must_use]
+    pub fn new(state: TManState) -> Self {
+        TManNode { state }
+    }
+}
+
+impl Process for TManNode {
+    type Msg = TManMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, TManMsg>) {
+        let jitter = ctx.rng().gen_range(0..self.state.config.period.0.max(1));
+        ctx.set_timer(Duration(jitter), TMAN_TIMER);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, TManMsg>, from: NodeId, msg: TManMsg) {
+        match msg {
+            TManMsg::Push(batch) => {
+                let reply = self.state.exchange_payload();
+                self.state.merge(&batch);
+                ctx.send(from, TManMsg::Reply(reply));
+                ctx.metrics().incr("tman.exchanges");
+            }
+            TManMsg::Reply(batch) => self.state.merge(&batch),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, TManMsg>, tag: TimerTag) {
+        if tag != TMAN_TIMER {
+            return;
+        }
+        if let Some(partner) = self.state.pick_partner(ctx.rng()) {
+            ctx.send(partner, TManMsg::Push(self.state.exchange_payload()));
+        }
+        ctx.set_timer(self.state.config.period, TMAN_TIMER);
+    }
+
+    fn on_up(&mut self, ctx: &mut Ctx<'_, TManMsg>) {
+        ctx.set_timer(self.state.config.period, TMAN_TIMER);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> TManConfig {
+        TManConfig { per_side: 2, period: Duration(100) }
+    }
+
+    #[test]
+    fn consider_keeps_closest_per_side() {
+        let mut s = TManState::new(NodeId(0), 50.0, cfg(), &[]);
+        for (n, c) in [(1u64, 10.0), (2, 40.0), (3, 45.0), (4, 60.0), (5, 55.0), (6, 90.0)] {
+            s.consider((NodeId(n), c));
+        }
+        // below: closest two of {10,40,45} → 45, 40; above: 55, 60.
+        let below: Vec<f64> = s.below.iter().map(|d| d.1).collect();
+        let above: Vec<f64> = s.above.iter().map(|d| d.1).collect();
+        assert_eq!(below, vec![45.0, 40.0]);
+        assert_eq!(above, vec![55.0, 60.0]);
+        assert_eq!(s.successor().unwrap().1, 55.0);
+        assert_eq!(s.predecessor().unwrap().1, 45.0);
+    }
+
+    #[test]
+    fn self_descriptor_is_ignored() {
+        let mut s = TManState::new(NodeId(3), 1.0, cfg(), &[]);
+        s.consider((NodeId(3), 5.0));
+        assert!(s.view().is_empty());
+    }
+
+    #[test]
+    fn duplicate_nodes_are_not_double_counted() {
+        let mut s = TManState::new(NodeId(0), 0.0, cfg(), &[]);
+        s.consider((NodeId(1), 2.0));
+        s.consider((NodeId(1), 2.0));
+        assert_eq!(s.view().len(), 1);
+    }
+
+    #[test]
+    fn expel_removes_from_both_sides() {
+        let mut s = TManState::new(NodeId(0), 5.0, cfg(), &[(NodeId(1), 2.0), (NodeId(2), 9.0)]);
+        s.expel(NodeId(1));
+        s.expel(NodeId(2));
+        assert!(s.view().is_empty());
+    }
+
+    #[test]
+    fn exchange_payload_includes_self() {
+        let s = TManState::new(NodeId(7), 3.0, cfg(), &[(NodeId(1), 1.0)]);
+        let p = s.exchange_payload();
+        assert!(p.contains(&(NodeId(7), 3.0)));
+        assert!(p.contains(&(NodeId(1), 1.0)));
+    }
+
+    #[test]
+    fn pick_partner_prefers_closest() {
+        let s = TManState::new(
+            NodeId(0),
+            10.0,
+            cfg(),
+            &[(NodeId(1), 50.0), (NodeId(2), 11.0), (NodeId(3), 30.0)],
+        );
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut closest_picks = 0;
+        for _ in 0..100 {
+            if s.pick_partner(&mut rng) == Some(NodeId(2)) {
+                closest_picks += 1;
+            }
+        }
+        assert!(closest_picks > 60, "closest partner picked {closest_picks}/100");
+    }
+
+    #[test]
+    fn empty_view_has_no_partner() {
+        let s = TManState::new(NodeId(0), 0.0, cfg(), &[]);
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!(s.pick_partner(&mut rng).is_none());
+        assert!(s.successor().is_none());
+        assert!(s.predecessor().is_none());
+    }
+
+    #[test]
+    fn equal_coordinates_are_ordered_by_id() {
+        // Two nodes at the same coordinate must deterministically sort by
+        // id so the ring stays a total order.
+        let mut a = TManState::new(NodeId(5), 1.0, cfg(), &[]);
+        a.consider((NodeId(3), 1.0)); // lower id → below
+        a.consider((NodeId(9), 1.0)); // higher id → above
+        assert_eq!(a.predecessor().unwrap().0, NodeId(3));
+        assert_eq!(a.successor().unwrap().0, NodeId(9));
+    }
+}

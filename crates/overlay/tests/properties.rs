@@ -1,0 +1,106 @@
+//! Property-based tests for ordered-overlay invariants.
+
+use dd_overlay::ring::{convergence, successor_map};
+use dd_overlay::tman::{TManConfig, TManState};
+use dd_sim::{Duration, NodeId};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn cfg(per_side: usize) -> TManConfig {
+    TManConfig { per_side, period: Duration(100) }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The true successor map is a single cycle covering every node.
+    #[test]
+    fn successor_map_is_a_permutation_cycle(
+        coords in prop::collection::vec(-1000.0f64..1000.0, 1..40),
+    ) {
+        let nodes: Vec<(NodeId, f64)> =
+            coords.iter().enumerate().map(|(i, &c)| (NodeId(i as u64), c)).collect();
+        let map = successor_map(&nodes);
+        prop_assert_eq!(map.len(), nodes.len());
+        // Follow the cycle: must return to start after exactly n steps.
+        let start = nodes[0].0;
+        let mut cur = start;
+        for _ in 0..nodes.len() {
+            cur = map[&cur];
+        }
+        prop_assert_eq!(cur, start, "successors form one cycle");
+        // Every node appears exactly once as a successor.
+        let mut seen = std::collections::HashSet::new();
+        for &v in map.values() {
+            prop_assert!(seen.insert(v));
+        }
+    }
+
+    /// T-Man views never contain the owner, never contain duplicates, and
+    /// never exceed 2×per_side, for arbitrary descriptor streams.
+    #[test]
+    fn tman_view_invariants(
+        coord in -100.0f64..100.0,
+        per_side in 1usize..6,
+        descriptors in prop::collection::vec((0u64..64, -100.0f64..100.0), 0..200),
+    ) {
+        let mut s = TManState::new(NodeId(999), coord, cfg(per_side), &[]);
+        for (id, c) in descriptors {
+            s.consider((NodeId(id), c));
+            let view = s.view();
+            prop_assert!(view.len() <= 2 * per_side);
+            prop_assert!(view.iter().all(|d| d.0 != NodeId(999)));
+            let mut ids: Vec<NodeId> = view.iter().map(|d| d.0).collect();
+            ids.sort();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), view.len(), "duplicate in view");
+        }
+    }
+
+    /// The successor is always the closest-from-above descriptor ever
+    /// offered that survived eviction; in particular it is never below the
+    /// node's own coordinate.
+    #[test]
+    fn successor_is_above_owner(
+        coord in -50.0f64..50.0,
+        descriptors in prop::collection::vec((0u64..64, -100.0f64..100.0), 1..100),
+    ) {
+        let mut s = TManState::new(NodeId(999), coord, cfg(3), &[]);
+        for (id, c) in &descriptors {
+            s.consider((NodeId(*id), *c));
+        }
+        if let Some((_, c)) = s.successor() {
+            prop_assert!(c >= coord, "successor coord {} below owner {}", c, coord);
+        }
+        if let Some((_, c)) = s.predecessor() {
+            prop_assert!(c <= coord, "predecessor coord {} above owner {}", c, coord);
+        }
+    }
+
+    /// Convergence is 1.0 exactly when all (non-wrap) believed successors
+    /// match the truth, and decreases when one is corrupted.
+    #[test]
+    fn convergence_detects_corruption(
+        coords in prop::collection::hash_set(0u32..10_000, 3..30),
+    ) {
+        let nodes: Vec<(NodeId, f64)> = coords
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (NodeId(i as u64), f64::from(c)))
+            .collect();
+        let truth = successor_map(&nodes);
+        let max_node = nodes
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+            .unwrap()
+            .0;
+        let believed: HashMap<NodeId, Option<NodeId>> =
+            nodes.iter().map(|&(n, _)| (n, Some(truth[&n]))).collect();
+        prop_assert_eq!(convergence(&nodes, &believed), 1.0);
+        // Corrupt one non-wrap node's belief.
+        let victim = nodes.iter().map(|&(n, _)| n).find(|&n| n != max_node).unwrap();
+        let mut bad = believed.clone();
+        bad.insert(victim, Some(victim));
+        prop_assert!(convergence(&nodes, &bad) < 1.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Capacity-weighted sieves.
+//!
+//! §III-A: *"This gives also enough flexibility to cope with nodes with
+//! disparate storage capabilities, as it is only a matter of adjusting the
+//! sieve grain in order to impact the amount of stored data."*
+//!
+//! [`CapacitySieve`] scales a base acceptance probability by the node's
+//! capacity weight, so a node with twice the disk stores twice the data in
+//! expectation. E3 verifies stored volume tracks the weights.
+
+use crate::{ItemMeta, Sieve, UniformSieve};
+use dd_sim::rng::mix;
+
+/// A uniform sieve whose grain is scaled by a capacity weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacitySieve {
+    inner: UniformSieve,
+    weight: f64,
+}
+
+impl CapacitySieve {
+    /// Creates a capacity-aware replication sieve: base probability
+    /// `r / n_estimate`, scaled by `weight` (1.0 = average node).
+    ///
+    /// With weights averaging 1 across the population, the expected number
+    /// of replicas per item remains `r` while individual load follows the
+    /// weights.
+    ///
+    /// # Panics
+    /// Panics if `weight` is negative or `n_estimate` is zero.
+    #[must_use]
+    pub fn new(salt: u64, r: u32, n_estimate: u64, weight: f64) -> Self {
+        assert!(weight >= 0.0, "capacity weight must be non-negative");
+        assert!(n_estimate > 0, "population estimate must be positive");
+        let p = (f64::from(r) * weight / n_estimate as f64).min(1.0);
+        CapacitySieve { inner: UniformSieve::new(salt, p), weight }
+    }
+
+    /// The node's capacity weight.
+    #[must_use]
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+}
+
+impl Sieve for CapacitySieve {
+    fn accepts(&self, item: &ItemMeta) -> bool {
+        self.inner.accepts(item)
+    }
+
+    fn grain(&self) -> f64 {
+        self.inner.grain()
+    }
+
+    fn class_id(&self) -> u64 {
+        mix(self.inner.class_id(), 0xCAFE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(n: u64) -> impl Iterator<Item = ItemMeta> {
+        (0..n).map(|i| ItemMeta::from_key(format!("cap-{i}").as_bytes()))
+    }
+
+    #[test]
+    fn stored_volume_tracks_weight() {
+        let n = 100u64;
+        let r = 4u32;
+        let light = CapacitySieve::new(1, r, n, 0.5);
+        let heavy = CapacitySieve::new(2, r, n, 2.0);
+        let l = items(100_000).filter(|i| light.accepts(i)).count() as f64;
+        let h = items(100_000).filter(|i| heavy.accepts(i)).count() as f64;
+        let ratio = h / l;
+        assert!((ratio - 4.0).abs() < 0.8, "heavy/light ratio {ratio}, expected ≈4");
+    }
+
+    #[test]
+    fn mean_replication_preserved_with_unit_mean_weights() {
+        let n = 300u64;
+        let r = 3u32;
+        // Alternate 0.5 / 1.5 weights: mean 1.0.
+        let sieves: Vec<CapacitySieve> = (0..n)
+            .map(|i| CapacitySieve::new(i, r, n, if i % 2 == 0 { 0.5 } else { 1.5 }))
+            .collect();
+        let samples = 3_000u64;
+        let total: usize =
+            items(samples).map(|it| sieves.iter().filter(|s| s.accepts(&it)).count()).sum();
+        let mean = total as f64 / samples as f64;
+        assert!((mean - f64::from(r)).abs() < 0.4, "mean replicas {mean}");
+    }
+
+    #[test]
+    fn zero_weight_stores_nothing() {
+        let s = CapacitySieve::new(3, 5, 100, 0.0);
+        assert!(items(1_000).all(|i| !s.accepts(&i)));
+        assert_eq!(s.grain(), 0.0);
+        assert_eq!(s.weight(), 0.0);
+    }
+
+    #[test]
+    fn probability_caps_at_one() {
+        let s = CapacitySieve::new(3, 5, 10, 10.0);
+        assert_eq!(s.grain(), 1.0);
+        assert!(items(100).all(|i| s.accepts(&i)));
+    }
+
+    #[test]
+    #[should_panic(expected = "weight")]
+    fn negative_weight_panics() {
+        let _ = CapacitySieve::new(0, 1, 10, -0.1);
+    }
+}

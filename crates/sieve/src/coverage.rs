@@ -1,0 +1,109 @@
+//! Key-space coverage checking.
+//!
+//! §III-A: *"The only correctness requirement is that all the possibilities
+//! in the key space are covered in order to avoid data-loss."* The checker
+//! samples the item space against a whole population of sieves and reports
+//! the replica-count distribution, flagging uncovered regions.
+
+use crate::{ItemMeta, Sieve};
+use dd_sim::metrics::Summary;
+
+/// Result of a coverage check over a population of sieves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageReport {
+    /// Items probed.
+    pub probes: usize,
+    /// Number of probed items accepted by zero sieves — any non-zero value
+    /// is a data-loss hazard.
+    pub uncovered: usize,
+    /// Replica-count statistics over the probes.
+    pub replicas: Summary,
+}
+
+impl CoverageReport {
+    /// Whether every probe was covered at least once.
+    #[must_use]
+    pub fn is_fully_covered(&self) -> bool {
+        self.uncovered == 0
+    }
+
+    /// Whether every probe reached at least `r` replicas.
+    #[must_use]
+    pub fn meets_replication(&self, r: u32) -> bool {
+        self.replicas.min >= f64::from(r)
+    }
+}
+
+/// Probes `items` against every sieve in `sieves` and reports coverage.
+pub fn check_coverage<'a, S, I>(sieves: &[S], items: I) -> CoverageReport
+where
+    S: Sieve,
+    I: IntoIterator<Item = &'a ItemMeta>,
+{
+    let mut counts: Vec<f64> = Vec::new();
+    let mut uncovered = 0usize;
+    for item in items {
+        let c = sieves.iter().filter(|s| s.accepts(item)).count();
+        if c == 0 {
+            uncovered += 1;
+        }
+        counts.push(c as f64);
+    }
+    CoverageReport { probes: counts.len(), uncovered, replicas: Summary::of(&counts) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RangeSieve, UniformSieve};
+
+    fn probe_items(n: u64) -> Vec<ItemMeta> {
+        (0..n).map(|i| ItemMeta::from_key(format!("probe-{i}").as_bytes())).collect()
+    }
+
+    #[test]
+    fn partition_sieves_are_fully_covered() {
+        let n = 32u64;
+        let r = 3u32;
+        let sieves: Vec<RangeSieve> = (0..n).map(|i| RangeSieve::partition(i, n, r)).collect();
+        let items = probe_items(5_000);
+        let report = check_coverage(&sieves, &items);
+        assert!(report.is_fully_covered());
+        assert!(report.meets_replication(r));
+        assert_eq!(report.replicas.mean, f64::from(r));
+        assert_eq!(report.probes, 5_000);
+    }
+
+    #[test]
+    fn uniform_sieves_cover_probabilistically() {
+        // 200 nodes with r/N sieves at r=8: P(zero replicas) = (1-8/200)^200
+        // ≈ e^-8 ≈ 0.03%; with 2 000 probes we expect ≈0–3 uncovered.
+        let n = 200u64;
+        let sieves: Vec<UniformSieve> =
+            (0..n).map(|i| UniformSieve::replication(i, 8, n)).collect();
+        let items = probe_items(2_000);
+        let report = check_coverage(&sieves, &items);
+        assert!(report.uncovered <= 5, "uncovered {}", report.uncovered);
+        assert!((report.replicas.mean - 8.0).abs() < 0.6);
+    }
+
+    #[test]
+    fn empty_population_covers_nothing() {
+        let sieves: Vec<UniformSieve> = Vec::new();
+        let items = probe_items(10);
+        let report = check_coverage(&sieves, &items);
+        assert_eq!(report.uncovered, 10);
+        assert!(!report.is_fully_covered());
+    }
+
+    #[test]
+    fn report_flags_under_replication() {
+        let n = 16u64;
+        let sieves: Vec<RangeSieve> = (0..n).map(|i| RangeSieve::partition(i, n, 1)).collect();
+        let items = probe_items(1_000);
+        let report = check_coverage(&sieves, &items);
+        assert!(report.is_fully_covered());
+        assert!(report.meets_replication(1));
+        assert!(!report.meets_replication(2));
+    }
+}

@@ -1,0 +1,77 @@
+//! The sieve-visible projection of a stored tuple.
+
+use dd_sim::rng::stable_hash;
+
+/// What a sieve can see of an item: its hashed key, an optional numeric
+/// attribute (for value-domain sieves) and an optional correlation tag
+/// (for collocation sieves).
+///
+/// The persistent layer projects every tuple to an `ItemMeta` before
+/// offering it to the local sieve; sieves never see values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ItemMeta {
+    /// 64-bit hash of the tuple key (uniform over the key space).
+    pub key_hash: u64,
+    /// Numeric attribute used by distribution-aware sieves and ordered
+    /// overlays, when the tuple carries one.
+    pub attr: Option<f64>,
+    /// Hash of the correlation tag ("same feed", "same user" …), when the
+    /// tuple carries one.
+    pub tag_hash: Option<u64>,
+}
+
+impl ItemMeta {
+    /// Item with only a key.
+    #[must_use]
+    pub fn from_key_hash(key_hash: u64) -> Self {
+        ItemMeta { key_hash, attr: None, tag_hash: None }
+    }
+
+    /// Item from a raw key string/bytes.
+    #[must_use]
+    pub fn from_key(key: &[u8]) -> Self {
+        Self::from_key_hash(stable_hash(key))
+    }
+
+    /// Builder: attaches a numeric attribute.
+    #[must_use]
+    pub fn with_attr(mut self, attr: f64) -> Self {
+        self.attr = Some(attr);
+        self
+    }
+
+    /// Builder: attaches a correlation tag.
+    #[must_use]
+    pub fn with_tag(mut self, tag: &[u8]) -> Self {
+        self.tag_hash = Some(stable_hash(tag));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_key_hashes_deterministically() {
+        let a = ItemMeta::from_key(b"user:42");
+        let b = ItemMeta::from_key(b"user:42");
+        assert_eq!(a, b);
+        assert_ne!(a.key_hash, ItemMeta::from_key(b"user:43").key_hash);
+    }
+
+    #[test]
+    fn builders_attach_metadata() {
+        let m = ItemMeta::from_key(b"k").with_attr(3.5).with_tag(b"feed:7");
+        assert_eq!(m.attr, Some(3.5));
+        assert!(m.tag_hash.is_some());
+        assert_eq!(m.tag_hash, ItemMeta::from_key(b"other").with_tag(b"feed:7").tag_hash);
+    }
+
+    #[test]
+    fn default_fields_are_absent() {
+        let m = ItemMeta::from_key_hash(9);
+        assert_eq!(m.attr, None);
+        assert_eq!(m.tag_hash, None);
+    }
+}

@@ -1,0 +1,166 @@
+//! Probabilistic uniform sieves (`1/N` and `r/N`).
+
+use crate::{ItemMeta, Sieve};
+use dd_sim::rng::mix;
+
+/// Accepts each key independently with a fixed probability, derived
+/// deterministically from `hash(key, node_salt)`.
+///
+/// §III-A: *"A simple sieve function could simply store locally an item
+/// with probability given by 1/number of nodes … Using replication, the
+/// sieve function could be simply extended to take into account the
+/// replication degree, r, as r/number of nodes."*
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformSieve {
+    salt: u64,
+    probability: f64,
+    threshold: u64,
+}
+
+impl UniformSieve {
+    /// Sieve accepting with the given probability; `salt` should be unique
+    /// per node (e.g. derived from its id) so acceptance sets are
+    /// independent across nodes.
+    ///
+    /// # Panics
+    /// Panics if `probability` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(salt: u64, probability: f64) -> Self {
+        assert!((0.0..=1.0).contains(&probability), "probability must be in [0,1]");
+        let threshold = if probability >= 1.0 {
+            u64::MAX
+        } else {
+            (probability * (u64::MAX as f64)) as u64
+        };
+        UniformSieve { salt, probability, threshold }
+    }
+
+    /// The paper's replicated uniform sieve: acceptance probability
+    /// `r / n_estimate`, capped at 1. `n_estimate` typically comes from the
+    /// epidemic size estimator (`dd-estimation`).
+    ///
+    /// # Panics
+    /// Panics if `n_estimate` is zero.
+    #[must_use]
+    pub fn replication(salt: u64, r: u32, n_estimate: u64) -> Self {
+        assert!(n_estimate > 0, "population estimate must be positive");
+        let p = (f64::from(r) / n_estimate as f64).min(1.0);
+        Self::new(salt, p)
+    }
+
+    /// The acceptance probability.
+    #[must_use]
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+}
+
+impl Sieve for UniformSieve {
+    fn accepts(&self, item: &ItemMeta) -> bool {
+        if self.probability >= 1.0 {
+            return true;
+        }
+        mix(item.key_hash, self.salt) <= self.threshold
+    }
+
+    fn grain(&self) -> f64 {
+        self.probability
+    }
+
+    fn class_id(&self) -> u64 {
+        // Uniform sieves are all in one logical class per salt: replicas of
+        // a key live wherever the hash fell, so grouping is by salt.
+        mix(0x5EED_u64, self.salt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(n: u64) -> impl Iterator<Item = ItemMeta> {
+        (0..n).map(|i| ItemMeta::from_key(format!("key-{i}").as_bytes()))
+    }
+
+    #[test]
+    fn acceptance_rate_tracks_probability() {
+        for &p in &[0.01, 0.1, 0.5] {
+            let sieve = UniformSieve::new(42, p);
+            let accepted = items(200_000).filter(|i| sieve.accepts(i)).count();
+            let rate = accepted as f64 / 200_000.0;
+            assert!((rate - p).abs() < 0.01, "p={p} rate={rate}");
+        }
+    }
+
+    #[test]
+    fn acceptance_is_deterministic() {
+        let sieve = UniformSieve::new(7, 0.3);
+        let item = ItemMeta::from_key(b"stable");
+        assert_eq!(sieve.accepts(&item), sieve.accepts(&item));
+    }
+
+    #[test]
+    fn different_salts_accept_different_sets() {
+        let a = UniformSieve::new(1, 0.2);
+        let b = UniformSieve::new(2, 0.2);
+        let overlap = items(50_000).filter(|i| a.accepts(i) && b.accepts(i)).count();
+        let only_a = items(50_000).filter(|i| a.accepts(i)).count();
+        // Independent sieves: overlap ≈ p² not p.
+        assert!(overlap < only_a / 2, "overlap {overlap} vs a {only_a}");
+    }
+
+    #[test]
+    fn replication_formula_matches_r_over_n() {
+        let sieve = UniformSieve::replication(3, 5, 1_000);
+        assert!((sieve.probability() - 0.005).abs() < 1e-12);
+        let capped = UniformSieve::replication(3, 10, 4);
+        assert_eq!(capped.probability(), 1.0);
+    }
+
+    #[test]
+    fn expected_replicas_across_population_is_r() {
+        // n nodes each with an independent r/n sieve: each item should be
+        // kept by ≈ r nodes.
+        let n = 400u64;
+        let r = 5u32;
+        let sieves: Vec<UniformSieve> =
+            (0..n).map(|i| UniformSieve::replication(i, r, n)).collect();
+        let mut total = 0usize;
+        let samples = 2_000u64;
+        for item in items(samples) {
+            total += sieves.iter().filter(|s| s.accepts(&item)).count();
+        }
+        let mean = total as f64 / samples as f64;
+        assert!((mean - f64::from(r)).abs() < 0.4, "mean replicas {mean}");
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        let never = UniformSieve::new(9, 0.0);
+        let always = UniformSieve::new(9, 1.0);
+        for item in items(100) {
+            assert!(!never.accepts(&item));
+            assert!(always.accepts(&item));
+        }
+        assert_eq!(never.grain(), 0.0);
+        assert_eq!(always.grain(), 1.0);
+    }
+
+    #[test]
+    fn class_id_groups_by_salt() {
+        assert_eq!(UniformSieve::new(5, 0.1).class_id(), UniformSieve::new(5, 0.9).class_id());
+        assert_ne!(UniformSieve::new(5, 0.1).class_id(), UniformSieve::new(6, 0.1).class_id());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_panics() {
+        let _ = UniformSieve::new(0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "estimate")]
+    fn zero_population_panics() {
+        let _ = UniformSieve::replication(0, 3, 0);
+    }
+}

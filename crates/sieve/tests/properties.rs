@@ -1,0 +1,116 @@
+//! Property-based tests for sieve invariants (paper §III-A correctness
+//! requirement: full key-space coverage, deterministic acceptance).
+
+use dd_sieve::{
+    check_coverage, HistogramSieve, ItemMeta, RangeSieve, Sieve, TagSieve, UniformSieve,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// A partition sieve population covers every key hash exactly r times,
+    /// for arbitrary population sizes, replication degrees and keys.
+    #[test]
+    fn partition_covers_exactly_r(
+        n in 1u64..64,
+        r in 1u32..8,
+        hashes in prop::collection::vec(any::<u64>(), 1..50),
+    ) {
+        let sieves: Vec<RangeSieve> = (0..n).map(|i| RangeSieve::partition(i, n, r)).collect();
+        let expect = u64::from(r).min(n) as usize;
+        for h in hashes {
+            let owners = sieves.iter().filter(|s| s.contains_hash(h)).count();
+            prop_assert_eq!(owners, expect, "hash {} owners {}", h, owners);
+        }
+    }
+
+    /// Uniform sieve acceptance is a pure function of (salt, probability,
+    /// key): evaluating twice or through a clone never disagrees.
+    #[test]
+    fn uniform_acceptance_is_deterministic(
+        salt in any::<u64>(),
+        p in 0.0f64..=1.0,
+        key in any::<u64>(),
+    ) {
+        let s = UniformSieve::new(salt, p);
+        let item = ItemMeta::from_key_hash(key);
+        let first = s.accepts(&item);
+        prop_assert_eq!(first, s.accepts(&item));
+        prop_assert_eq!(first, s.clone().accepts(&item));
+    }
+
+    /// Range normalisation yields sorted, disjoint, non-empty ranges, and
+    /// membership is preserved for the range endpoints.
+    #[test]
+    fn range_normalisation_invariants(
+        raw in prop::collection::vec((any::<u64>(), any::<u64>()), 0..12),
+    ) {
+        let sieve = RangeSieve::new(raw.clone());
+        let rs = sieve.ranges();
+        for w in rs.windows(2) {
+            prop_assert!(w[0].1 < w[1].0, "ranges must be disjoint and sorted");
+        }
+        for &(s, e) in rs {
+            prop_assert!(s < e, "ranges must be non-empty");
+        }
+        // Any point inside an original valid range must still be accepted.
+        for (s, e) in raw {
+            if s < e {
+                prop_assert!(sieve.contains_hash(s));
+                let mid = s + (e - s) / 2;
+                prop_assert!(sieve.contains_hash(mid));
+            }
+        }
+    }
+
+    /// Histogram sieves with r-fold successor buckets cover every finite
+    /// attribute value exactly min(r, B) times.
+    #[test]
+    fn histogram_covers_value_domain(
+        mut edges in prop::collection::vec(-1000.0f64..1000.0, 1..10),
+        r in 1u32..6,
+        attr in -2000.0f64..2000.0,
+    ) {
+        edges.sort_by(f64::total_cmp);
+        let b = edges.len() + 1;
+        let sieves: Vec<HistogramSieve> =
+            (0..b).map(|i| HistogramSieve::new(edges.clone(), i, r)).collect();
+        let item = ItemMeta::from_key(b"probe").with_attr(attr);
+        let owners = sieves.iter().filter(|s| s.accepts(&item)).count();
+        prop_assert_eq!(owners, (r as usize).min(b));
+    }
+
+    /// Tag sieves assign every tag to exactly min(r, n) slots, and the
+    /// assignment is independent of the item key.
+    #[test]
+    fn tag_ownership_is_key_independent(
+        n in 1u64..40,
+        r in 1u32..5,
+        tag in any::<u64>(),
+        key_a in any::<u64>(),
+        key_b in any::<u64>(),
+    ) {
+        let sieves: Vec<TagSieve> = (0..n).map(|i| TagSieve::new(i, n, r)).collect();
+        let a = ItemMeta { key_hash: key_a, attr: None, tag_hash: Some(tag) };
+        let b = ItemMeta { key_hash: key_b, attr: None, tag_hash: Some(tag) };
+        let oa: Vec<u64> = (0..n).filter(|&i| sieves[i as usize].accepts(&a)).collect();
+        let ob: Vec<u64> = (0..n).filter(|&i| sieves[i as usize].accepts(&b)).collect();
+        prop_assert_eq!(&oa, &ob);
+        prop_assert_eq!(oa.len() as u64, u64::from(r).min(n));
+    }
+
+    /// The coverage checker agrees with brute force on partition sieves.
+    #[test]
+    fn coverage_report_matches_bruteforce(
+        n in 1u64..32,
+        r in 1u32..4,
+        keys in prop::collection::vec(any::<u64>(), 1..30),
+    ) {
+        let sieves: Vec<RangeSieve> = (0..n).map(|i| RangeSieve::partition(i, n, r)).collect();
+        let items: Vec<ItemMeta> = keys.iter().map(|&k| ItemMeta::from_key_hash(k)).collect();
+        let report = check_coverage(&sieves, &items);
+        prop_assert!(report.is_fully_covered());
+        prop_assert_eq!(report.probes, items.len());
+        let expect = u64::from(r).min(n) as f64;
+        prop_assert!((report.replicas.mean - expect).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,304 @@
+//! Churn generation.
+//!
+//! The paper (§III-A) argues churn is dominated by *transient* failures —
+//! "nodes suffer from transient faults solved with a reboot" — with a small
+//! fraction of permanent departures. [`ChurnModel`] captures exactly those
+//! knobs; [`ChurnSchedule`] pre-computes a deterministic event list so two
+//! protocol variants can be compared under *identical* churn.
+
+use crate::rng::stream_rng;
+use crate::time::{Duration, Time};
+use crate::types::NodeId;
+use rand::Rng;
+use rand_distr::{Distribution, Exp};
+
+/// Parameters of the synthetic churn process.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnModel {
+    /// Per-node failure rate: expected failures per node per
+    /// `period` ticks. E.g. `0.01` with `period = 1000` means each node
+    /// fails on average once every 100 000 ticks.
+    pub failure_rate: f64,
+    /// Reference period in ticks over which `failure_rate` is expressed
+    /// (conventionally one gossip round).
+    pub period: u64,
+    /// Mean downtime of a transient failure, in ticks.
+    pub mean_downtime: u64,
+    /// Probability that a failure is *permanent* (node never returns and
+    /// its state is lost). The paper expects this to be small.
+    pub permanent_prob: f64,
+}
+
+impl Default for ChurnModel {
+    fn default() -> Self {
+        ChurnModel {
+            failure_rate: 0.01,
+            period: 1_000,
+            mean_downtime: 5_000,
+            permanent_prob: 0.05,
+        }
+    }
+}
+
+impl ChurnModel {
+    /// Builder: sets the per-period failure rate.
+    #[must_use]
+    pub fn failure_rate(mut self, r: f64) -> Self {
+        assert!(r >= 0.0, "failure rate must be non-negative");
+        self.failure_rate = r;
+        self
+    }
+
+    /// Builder: sets the mean downtime.
+    #[must_use]
+    pub fn mean_downtime(mut self, d: u64) -> Self {
+        self.mean_downtime = d;
+        self
+    }
+
+    /// Builder: sets the probability a failure is permanent.
+    #[must_use]
+    pub fn permanent_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        self.permanent_prob = p;
+        self
+    }
+}
+
+/// One churn event in a pre-computed schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// Node goes down transiently at the given time.
+    Down(Time, NodeId),
+    /// Node comes back up at the given time.
+    Up(Time, NodeId),
+    /// Node departs permanently at the given time.
+    Leave(Time, NodeId),
+}
+
+impl ChurnEvent {
+    /// Time at which the event occurs.
+    #[must_use]
+    pub fn at(&self) -> Time {
+        match *self {
+            ChurnEvent::Down(t, _) | ChurnEvent::Up(t, _) | ChurnEvent::Leave(t, _) => t,
+        }
+    }
+
+    /// Node the event applies to.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        match *self {
+            ChurnEvent::Down(_, n) | ChurnEvent::Up(_, n) | ChurnEvent::Leave(_, n) => n,
+        }
+    }
+}
+
+/// A deterministic, time-ordered list of churn events over a horizon.
+#[derive(Debug, Clone, Default)]
+pub struct ChurnSchedule {
+    events: Vec<ChurnEvent>,
+}
+
+impl ChurnSchedule {
+    /// Generates the schedule for nodes `0..n` over `[0, horizon)`.
+    ///
+    /// Each node alternates exponentially distributed up-sessions (mean
+    /// `period / failure_rate`) and down-sessions (mean `mean_downtime`);
+    /// each failure is permanent with `permanent_prob`, ending the node's
+    /// timeline.
+    #[must_use]
+    pub fn generate(model: &ChurnModel, n: u64, horizon: Time, seed: u64) -> ChurnSchedule {
+        let mut events = Vec::new();
+        if model.failure_rate <= 0.0 {
+            return ChurnSchedule { events };
+        }
+        let mean_up = model.period as f64 / model.failure_rate;
+        let up_dist = Exp::new(1.0 / mean_up).expect("valid rate");
+        let down_dist = Exp::new(1.0 / (model.mean_downtime.max(1) as f64)).expect("valid rate");
+        for node in 0..n {
+            let mut rng = stream_rng(seed ^ 0xC0FF_EE00, node);
+            let mut t = Time::ZERO;
+            loop {
+                let up_for = up_dist.sample(&mut rng).max(1.0) as u64;
+                t += Duration(up_for);
+                if t >= horizon {
+                    break;
+                }
+                if rng.gen_bool(model.permanent_prob) {
+                    events.push(ChurnEvent::Leave(t, NodeId(node)));
+                    break;
+                }
+                events.push(ChurnEvent::Down(t, NodeId(node)));
+                let down_for = down_dist.sample(&mut rng).max(1.0) as u64;
+                t += Duration(down_for);
+                if t >= horizon {
+                    break;
+                }
+                events.push(ChurnEvent::Up(t, NodeId(node)));
+            }
+        }
+        events.sort_by_key(|e| (e.at(), e.node()));
+        ChurnSchedule { events }
+    }
+
+    /// All events in time order.
+    #[must_use]
+    pub fn events(&self) -> &[ChurnEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no churn was generated.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Applies every `Down`/`Up` event to the simulator's schedule.
+    /// `Leave` events are returned so the harness can decide how to model
+    /// permanent state loss (usually [`crate::Sim::remove`] at that time).
+    pub fn apply<P: crate::Process>(&self, sim: &mut crate::Sim<P>) -> Vec<(Time, NodeId)> {
+        let mut leaves = Vec::new();
+        for ev in &self.events {
+            match *ev {
+                ChurnEvent::Down(t, id) => sim.schedule_down(t, id),
+                ChurnEvent::Up(t, id) => sim.schedule_up(t, id),
+                ChurnEvent::Leave(t, id) => {
+                    // A permanent departure is a down that never comes up;
+                    // state disposal is the harness's decision.
+                    sim.schedule_down(t, id);
+                    leaves.push((t, id));
+                }
+            }
+        }
+        leaves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ChurnModel {
+        ChurnModel::default().failure_rate(0.05).mean_downtime(2_000).permanent_prob(0.1)
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let a = ChurnSchedule::generate(&model(), 50, Time(100_000), 7);
+        let b = ChurnSchedule::generate(&model(), 50, Time(100_000), 7);
+        assert_eq!(a.events(), b.events());
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ChurnSchedule::generate(&model(), 50, Time(100_000), 1);
+        let b = ChurnSchedule::generate(&model(), 50, Time(100_000), 2);
+        assert_ne!(a.events(), b.events());
+    }
+
+    #[test]
+    fn events_are_time_ordered() {
+        let s = ChurnSchedule::generate(&model(), 100, Time(200_000), 3);
+        for w in s.events().windows(2) {
+            assert!(w[0].at() <= w[1].at());
+        }
+    }
+
+    #[test]
+    fn zero_rate_produces_no_churn() {
+        let m = ChurnModel::default().failure_rate(0.0);
+        let s = ChurnSchedule::generate(&m, 100, Time(1_000_000), 1);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn per_node_timeline_alternates_down_up() {
+        let s = ChurnSchedule::generate(&model(), 20, Time(500_000), 11);
+        for node in 0..20 {
+            let mine: Vec<&ChurnEvent> =
+                s.events().iter().filter(|e| e.node() == NodeId(node)).collect();
+            let mut expect_down = true;
+            for ev in mine {
+                match ev {
+                    ChurnEvent::Down(..) => {
+                        assert!(expect_down, "two downs in a row for node {node}");
+                        expect_down = false;
+                    }
+                    ChurnEvent::Up(..) => {
+                        assert!(!expect_down, "up before down for node {node}");
+                        expect_down = true;
+                    }
+                    ChurnEvent::Leave(..) => {
+                        assert!(expect_down, "leave while down for node {node}");
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leave_terminates_a_node_timeline() {
+        let m = ChurnModel::default().failure_rate(0.5).permanent_prob(1.0);
+        let s = ChurnSchedule::generate(&m, 10, Time(1_000_000), 5);
+        for node in 0..10 {
+            let mine: Vec<&ChurnEvent> =
+                s.events().iter().filter(|e| e.node() == NodeId(node)).collect();
+            assert_eq!(mine.len(), 1, "exactly one event per always-permanent node");
+            assert!(matches!(mine[0], ChurnEvent::Leave(..)));
+        }
+    }
+
+    #[test]
+    fn higher_rate_means_more_events() {
+        let low = ChurnSchedule::generate(
+            &ChurnModel::default().failure_rate(0.01).permanent_prob(0.0),
+            200,
+            Time(1_000_000),
+            9,
+        );
+        let high = ChurnSchedule::generate(
+            &ChurnModel::default().failure_rate(0.1).permanent_prob(0.0),
+            200,
+            Time(1_000_000),
+            9,
+        );
+        assert!(high.len() > 3 * low.len(), "high {} low {}", high.len(), low.len());
+    }
+
+    #[test]
+    fn apply_schedules_events_on_sim() {
+        use crate::{Ctx, Process, Sim, SimConfig};
+        struct Idle;
+        impl Process for Idle {
+            type Msg = ();
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+        }
+        let m = ChurnModel::default().failure_rate(0.3).permanent_prob(0.0);
+        let s = ChurnSchedule::generate(&m, 10, Time(50_000), 2);
+        assert!(!s.is_empty());
+        let mut sim: Sim<Idle> = Sim::new(SimConfig::default());
+        for i in 0..10 {
+            sim.add_node(NodeId(i), Idle);
+        }
+        let leaves = s.apply(&mut sim);
+        assert!(leaves.is_empty());
+        sim.run_until(Time(50_000));
+        let downs = sim.metrics().counter("churn.down");
+        assert!(downs > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_permanent_prob_panics() {
+        let _ = ChurnModel::default().permanent_prob(2.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Lightweight metrics: named counters and value series.
+//!
+//! Experiments read these after a run to produce the rows of each
+//! table/figure. Keys are `&'static str` to keep the hot path
+//! allocation-free.
+
+use std::collections::BTreeMap;
+
+/// Counter and series sink shared by the kernel and the protocols.
+#[derive(Debug, Default, Clone)]
+pub struct Metrics {
+    counters: BTreeMap<&'static str, u64>,
+    series: BTreeMap<&'static str, Vec<f64>>,
+}
+
+impl Metrics {
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v` to the named counter (creating it at zero).
+    pub fn add(&mut self, name: &'static str, v: u64) {
+        *self.counters.entry(name).or_insert(0) += v;
+    }
+
+    /// Increments the named counter by one.
+    pub fn incr(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of a counter (zero if never touched).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Appends an observation to the named series.
+    pub fn observe(&mut self, name: &'static str, v: f64) {
+        self.series.entry(name).or_default().push(v);
+    }
+
+    /// Returns the recorded series (empty slice if absent).
+    #[must_use]
+    pub fn series(&self, name: &str) -> &[f64] {
+        self.series.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Mean of a series, or `None` when empty.
+    #[must_use]
+    pub fn mean(&self, name: &str) -> Option<f64> {
+        let s = self.series(name);
+        if s.is_empty() {
+            None
+        } else {
+            Some(s.iter().sum::<f64>() / s.len() as f64)
+        }
+    }
+
+    /// `p`-quantile (0..=1) of a series using nearest-rank, or `None` when
+    /// empty.
+    #[must_use]
+    pub fn quantile(&self, name: &str, p: f64) -> Option<f64> {
+        let mut s = self.series(name).to_vec();
+        if s.is_empty() {
+            return None;
+        }
+        s.sort_by(f64::total_cmp);
+        let rank = ((p.clamp(0.0, 1.0) * s.len() as f64).ceil() as usize).clamp(1, s.len());
+        Some(s[rank - 1])
+    }
+
+    /// Iterates over all counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Merges another sink into this one (counters add, series concatenate).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in &other.series {
+            self.series.entry(k).or_default().extend_from_slice(v);
+        }
+    }
+
+    /// Clears all recorded data.
+    pub fn reset(&mut self) {
+        self.counters.clear();
+        self.series.clear();
+    }
+}
+
+/// Summary statistics for a slice of observations.
+///
+/// ```
+/// let s = dd_sim::metrics::Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.max, 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean (0 for an empty slice).
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum value (0 for an empty slice).
+    pub min: f64,
+    /// Maximum value (0 for an empty slice).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of `xs`.
+    #[must_use]
+    pub fn of(xs: &[f64]) -> Summary {
+        if xs.is_empty() {
+            return Summary { n: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0 };
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in xs {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        Summary { n: xs.len(), mean, std_dev: var.sqrt(), min, max }
+    }
+
+    /// Coefficient of variation (`std_dev / mean`), the load-balance measure
+    /// used by experiment E8; zero when the mean is zero.
+    #[must_use]
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.incr("sent");
+        m.add("sent", 4);
+        assert_eq!(m.counter("sent"), 5);
+        assert_eq!(m.counter("absent"), 0);
+    }
+
+    #[test]
+    fn series_mean_and_quantile() {
+        let mut m = Metrics::new();
+        for v in [4.0, 1.0, 3.0, 2.0] {
+            m.observe("lat", v);
+        }
+        assert_eq!(m.mean("lat"), Some(2.5));
+        assert_eq!(m.quantile("lat", 0.5), Some(2.0));
+        assert_eq!(m.quantile("lat", 1.0), Some(4.0));
+        assert_eq!(m.quantile("lat", 0.0), Some(1.0));
+        assert_eq!(m.mean("absent"), None);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_extends_series() {
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        a.add("x", 2);
+        b.add("x", 3);
+        b.observe("s", 1.0);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 5);
+        assert_eq!(a.series("s"), &[1.0]);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = Metrics::new();
+        m.incr("x");
+        m.observe("s", 1.0);
+        m.reset();
+        assert_eq!(m.counter("x"), 0);
+        assert!(m.series("s").is_empty());
+    }
+
+    #[test]
+    fn summary_statistics_are_correct() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.mean, 5.0);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.cv() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_empty_slice_is_zeroed() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn counters_iterate_in_name_order() {
+        let mut m = Metrics::new();
+        m.incr("b");
+        m.incr("a");
+        let names: Vec<_> = m.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

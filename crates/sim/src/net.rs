@@ -1,0 +1,248 @@
+//! Network model: latency, loss and partitions.
+//!
+//! The paper's target environment is a large commodity data centre or
+//! campus-scale infrastructure (§I "Scenario"), so the default model is a
+//! LAN-like uniform latency with optional loss. Partitions are modelled as
+//! colour classes: messages only flow between nodes of the same colour.
+
+use crate::rng::mix;
+use crate::types::NodeId;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Per-message latency model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyModel {
+    /// Every message takes exactly this many ticks.
+    Constant(u64),
+    /// Latency drawn uniformly from `[min, max]` ticks.
+    Uniform {
+        /// Lower bound (inclusive).
+        min: u64,
+        /// Upper bound (inclusive).
+        max: u64,
+    },
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        // A LAN-ish default: 1–5 ticks (milliseconds).
+        LatencyModel::Uniform { min: 1, max: 5 }
+    }
+}
+
+impl LatencyModel {
+    /// Samples a latency for one message.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match *self {
+            LatencyModel::Constant(v) => v,
+            LatencyModel::Uniform { min, max } => {
+                if min >= max {
+                    min
+                } else {
+                    rng.gen_range(min..=max)
+                }
+            }
+        }
+    }
+
+    /// Upper bound of the model, used to size conservative timeouts.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        match *self {
+            LatencyModel::Constant(v) => v,
+            LatencyModel::Uniform { max, .. } => max,
+        }
+    }
+}
+
+/// Network configuration: latency, loss probability, partitions.
+#[derive(Debug, Clone, Default)]
+pub struct NetConfig {
+    /// Latency applied to every message.
+    pub latency: LatencyModel,
+    /// Independent probability that any message is silently dropped.
+    pub drop_prob: f64,
+    partitions: HashMap<NodeId, u32>,
+}
+
+impl NetConfig {
+    /// LAN-like defaults: uniform 1–5 tick latency, no loss, no partitions.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the latency model (builder style).
+    #[must_use]
+    pub fn latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets the message-loss probability (builder style).
+    ///
+    /// # Panics
+    /// Panics if `p` is not within `0.0..=1.0`.
+    #[must_use]
+    pub fn drop_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop probability must be in [0,1]");
+        self.drop_prob = p;
+        self
+    }
+
+    /// Assigns `node` to partition colour `colour`. Nodes without an explicit
+    /// colour are in colour `0`.
+    pub fn set_partition(&mut self, node: NodeId, colour: u32) {
+        if colour == 0 {
+            self.partitions.remove(&node);
+        } else {
+            self.partitions.insert(node, colour);
+        }
+    }
+
+    /// Removes all partition assignments (heals the network).
+    pub fn heal_partitions(&mut self) {
+        self.partitions.clear();
+    }
+
+    /// Colour of a node (0 when unassigned).
+    #[must_use]
+    pub fn colour(&self, node: NodeId) -> u32 {
+        self.partitions.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Whether a message from `a` to `b` can currently be delivered
+    /// (ignoring random loss).
+    #[must_use]
+    pub fn connected(&self, a: NodeId, b: NodeId) -> bool {
+        self.colour(a) == self.colour(b)
+    }
+
+    /// Decides the fate of one message: `None` when dropped or partitioned,
+    /// otherwise the sampled latency in ticks.
+    ///
+    /// Loss is derived deterministically from `(seed, from, to, seq)` via a
+    /// hash so that runs replay identically regardless of sampling order.
+    pub fn route<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        seed: u64,
+        from: NodeId,
+        to: NodeId,
+        seq: u64,
+    ) -> Option<u64> {
+        if !self.connected(from, to) {
+            return None;
+        }
+        if self.drop_prob > 0.0 {
+            let h = mix(mix(seed, from.0), mix(to.0, seq));
+            // Map hash to [0,1) with 53-bit precision.
+            let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+            if u < self.drop_prob {
+                return None;
+            }
+        }
+        Some(self.latency.sample(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn constant_latency_is_constant() {
+        let m = LatencyModel::Constant(9);
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut r), 9);
+        }
+        assert_eq!(m.max(), 9);
+    }
+
+    #[test]
+    fn uniform_latency_stays_in_bounds() {
+        let m = LatencyModel::Uniform { min: 2, max: 6 };
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = m.sample(&mut r);
+            assert!((2..=6).contains(&v));
+        }
+        assert_eq!(m.max(), 6);
+    }
+
+    #[test]
+    fn degenerate_uniform_returns_min() {
+        let m = LatencyModel::Uniform { min: 4, max: 4 };
+        assert_eq!(m.sample(&mut rng()), 4);
+    }
+
+    #[test]
+    fn partition_blocks_cross_colour_traffic() {
+        let mut net = NetConfig::new();
+        net.set_partition(NodeId(1), 1);
+        assert!(!net.connected(NodeId(0), NodeId(1)));
+        assert!(net.connected(NodeId(0), NodeId(2)));
+        assert!(net.connected(NodeId(1), NodeId(1)));
+        net.heal_partitions();
+        assert!(net.connected(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn setting_colour_zero_removes_assignment() {
+        let mut net = NetConfig::new();
+        net.set_partition(NodeId(3), 2);
+        assert_eq!(net.colour(NodeId(3)), 2);
+        net.set_partition(NodeId(3), 0);
+        assert_eq!(net.colour(NodeId(3)), 0);
+    }
+
+    #[test]
+    fn route_drops_at_configured_rate() {
+        let net = NetConfig::new().drop_prob(0.3).latency(LatencyModel::Constant(1));
+        let mut r = rng();
+        let mut dropped = 0u32;
+        let total = 20_000u64;
+        for seq in 0..total {
+            if net.route(&mut r, 7, NodeId(0), NodeId(1), seq).is_none() {
+                dropped += 1;
+            }
+        }
+        let rate = f64::from(dropped) / total as f64;
+        assert!((rate - 0.3).abs() < 0.02, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn route_loss_is_deterministic_in_seed_and_seq() {
+        let net = NetConfig::new().drop_prob(0.5);
+        let mut r1 = rng();
+        let mut r2 = rng();
+        for seq in 0..100 {
+            let a = net.route(&mut r1, 11, NodeId(2), NodeId(3), seq).is_none();
+            let b = net.route(&mut r2, 11, NodeId(2), NodeId(3), seq).is_none();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn invalid_drop_probability_panics() {
+        let _ = NetConfig::new().drop_prob(1.5);
+    }
+
+    #[test]
+    fn zero_drop_prob_never_drops() {
+        let net = NetConfig::new();
+        let mut r = rng();
+        for seq in 0..100 {
+            assert!(net.route(&mut r, 3, NodeId(0), NodeId(1), seq).is_some());
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Threaded runtime: runs the same [`Process`] implementations over real
+//! threads and channels instead of virtual time.
+//!
+//! This is the "tokio-shaped" substrate substitution: protocols written for
+//! the deterministic kernel execute unchanged over OS concurrency, which the
+//! wall-clock benches use to show the epidemic message paths are cheap in
+//! real time, not only in simulated rounds. One OS thread per node, crossbeam
+//! channels as links, per-thread timer queues. One tick of virtual
+//! [`Time`] corresponds to one millisecond of wall time.
+
+use crate::engine::{with_adhoc_ctx, AdhocEffect, Process};
+use crate::metrics::Metrics;
+use crate::rng::stream_rng;
+use crate::time::Time;
+use crate::types::{NodeId, TimerTag};
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+enum Envelope<M> {
+    Msg { from: NodeId, msg: M },
+    Stop,
+}
+
+/// Handle to a running threaded cluster.
+///
+/// Created by [`Runtime::spawn`]; stopped (and drained) by
+/// [`Runtime::shutdown`].
+pub struct Runtime<P: Process + Send + 'static>
+where
+    P::Msg: Send,
+{
+    senders: HashMap<NodeId, Sender<Envelope<P::Msg>>>,
+    handles: Vec<JoinHandle<(NodeId, P, Metrics)>>,
+}
+
+impl<P: Process + Send + 'static> Runtime<P>
+where
+    P::Msg: Send + 'static,
+{
+    /// Spawns one thread per `(id, process)` pair. Each process receives
+    /// `on_start` immediately.
+    #[must_use]
+    pub fn spawn(nodes: Vec<(NodeId, P)>, seed: u64) -> Self {
+        let mut inboxes = HashMap::new();
+        let mut receivers = Vec::new();
+        for (id, _) in &nodes {
+            let (tx, rx) = unbounded::<Envelope<P::Msg>>();
+            inboxes.insert(*id, tx);
+            receivers.push(rx);
+        }
+        let epoch = Instant::now();
+        let mut handles = Vec::new();
+        for ((id, proc), rx) in nodes.into_iter().zip(receivers) {
+            let peers = inboxes.clone();
+            handles.push(std::thread::spawn(move || {
+                node_loop(id, proc, rx, &peers, seed, epoch)
+            }));
+        }
+        Runtime { senders: inboxes, handles }
+    }
+
+    /// Injects a message into the cluster from a synthetic source id.
+    ///
+    /// Returns `false` when the destination is unknown or already stopped.
+    pub fn inject(&self, from: NodeId, to: NodeId, msg: P::Msg) -> bool {
+        self.senders
+            .get(&to)
+            .is_some_and(|tx| tx.send(Envelope::Msg { from, msg }).is_ok())
+    }
+
+    /// Stops every node and returns `(id, final_state)` pairs plus merged
+    /// metrics from all nodes.
+    pub fn shutdown(self) -> (Vec<(NodeId, P)>, Metrics) {
+        for tx in self.senders.values() {
+            let _ = tx.send(Envelope::Stop);
+        }
+        let mut out = Vec::new();
+        let mut metrics = Metrics::new();
+        for h in self.handles {
+            if let Ok((id, proc, m)) = h.join() {
+                metrics.merge(&m);
+                out.push((id, proc));
+            }
+        }
+        out.sort_by_key(|(id, _)| *id);
+        (out, metrics)
+    }
+}
+
+fn wall_now(epoch: Instant) -> Time {
+    Time(u64::try_from(epoch.elapsed().as_millis()).unwrap_or(u64::MAX))
+}
+
+fn node_loop<P: Process>(
+    id: NodeId,
+    mut proc: P,
+    rx: Receiver<Envelope<P::Msg>>,
+    peers: &HashMap<NodeId, Sender<Envelope<P::Msg>>>,
+    seed: u64,
+    epoch: Instant,
+) -> (NodeId, P, Metrics) {
+    let mut rng = stream_rng(seed, id.0);
+    let mut metrics = Metrics::new();
+    // (deadline, tag) pairs; scanned linearly — nodes hold only a few timers.
+    let mut timers: Vec<(Instant, TimerTag)> = Vec::new();
+
+    let ((), effs) =
+        with_adhoc_ctx(id, wall_now(epoch), &mut rng, &mut metrics, |c| proc.on_start(c));
+    apply(id, effs, peers, &mut timers, &mut metrics);
+
+    loop {
+        // Fire any due timers before blocking.
+        let now = Instant::now();
+        let due: Vec<TimerTag> = {
+            let mut due = Vec::new();
+            timers.retain(|(t, tag)| {
+                if *t <= now {
+                    due.push(*tag);
+                    false
+                } else {
+                    true
+                }
+            });
+            due
+        };
+        let mut fired = false;
+        for tag in due {
+            fired = true;
+            let ((), effs) = with_adhoc_ctx(id, wall_now(epoch), &mut rng, &mut metrics, |c| {
+                proc.on_timer(c, tag);
+            });
+            apply(id, effs, peers, &mut timers, &mut metrics);
+        }
+        if fired {
+            continue;
+        }
+
+        let env = match timers.iter().map(|(t, _)| *t).min() {
+            Some(deadline) => {
+                let now = Instant::now();
+                if deadline <= now {
+                    continue;
+                }
+                match rx.recv_timeout(deadline - now) {
+                    Ok(env) => env,
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            None => match rx.recv() {
+                Ok(env) => env,
+                Err(_) => break,
+            },
+        };
+        match env {
+            Envelope::Stop => break,
+            Envelope::Msg { from, msg } => {
+                metrics.incr("net.delivered");
+                let ((), effs) =
+                    with_adhoc_ctx(id, wall_now(epoch), &mut rng, &mut metrics, |c| {
+                        proc.on_message(c, from, msg);
+                    });
+                apply(id, effs, peers, &mut timers, &mut metrics);
+            }
+        }
+    }
+    (id, proc, metrics)
+}
+
+fn apply<M>(
+    from: NodeId,
+    effects: Vec<AdhocEffect<M>>,
+    peers: &HashMap<NodeId, Sender<Envelope<M>>>,
+    timers: &mut Vec<(Instant, TimerTag)>,
+    metrics: &mut Metrics,
+) {
+    for eff in effects {
+        match eff {
+            AdhocEffect::Send { to, msg } => {
+                metrics.incr("net.sent");
+                let ok = peers
+                    .get(&to)
+                    .is_some_and(|tx| tx.send(Envelope::Msg { from, msg }).is_ok());
+                if !ok {
+                    metrics.incr("net.dropped");
+                }
+            }
+            AdhocEffect::Timer { delay, tag } => {
+                timers.push((Instant::now() + Duration::from_millis(delay.0), tag));
+            }
+        }
+    }
+}
+
+/// Blocks the calling thread for `ms` milliseconds of wall time — small
+/// helper so examples don't need to import `std::time`.
+pub fn sleep_ms(ms: u64) {
+    std::thread::sleep(Duration::from_millis(ms));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Ctx;
+    use crate::time::Duration as VDuration;
+
+    struct Counter {
+        seen: u64,
+        fanout: Vec<NodeId>,
+    }
+
+    impl Process for Counter {
+        type Msg = u64;
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, _from: NodeId, msg: u64) {
+            self.seen += msg;
+            if msg > 1 {
+                for &p in &self.fanout {
+                    ctx.send(p, msg - 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_cluster_relays_messages() {
+        let nodes = vec![
+            (NodeId(0), Counter { seen: 0, fanout: vec![NodeId(1)] }),
+            (NodeId(1), Counter { seen: 0, fanout: vec![NodeId(2)] }),
+            (NodeId(2), Counter { seen: 0, fanout: vec![] }),
+        ];
+        let rt = Runtime::spawn(nodes, 3);
+        assert!(rt.inject(NodeId(99), NodeId(0), 3));
+        sleep_ms(100);
+        let (states, metrics) = rt.shutdown();
+        let by_id: HashMap<NodeId, u64> = states.into_iter().map(|(i, c)| (i, c.seen)).collect();
+        assert_eq!(by_id[&NodeId(0)], 3);
+        assert_eq!(by_id[&NodeId(1)], 2);
+        assert_eq!(by_id[&NodeId(2)], 1);
+        assert!(metrics.counter("net.delivered") >= 3);
+    }
+
+    #[test]
+    fn relayed_messages_carry_the_relay_id() {
+        struct From {
+            last: Option<NodeId>,
+            relay: Option<NodeId>,
+        }
+        impl Process for From {
+            type Msg = u8;
+            fn on_message(&mut self, ctx: &mut Ctx<'_, u8>, from: NodeId, m: u8) {
+                self.last = Some(from);
+                if let (Some(r), 1) = (self.relay, m) {
+                    ctx.send(r, 2);
+                }
+            }
+        }
+        let rt = Runtime::spawn(
+            vec![
+                (NodeId(0), From { last: None, relay: Some(NodeId(1)) }),
+                (NodeId(1), From { last: None, relay: None }),
+            ],
+            5,
+        );
+        rt.inject(NodeId(42), NodeId(0), 1);
+        sleep_ms(100);
+        let (states, _) = rt.shutdown();
+        assert_eq!(states[0].1.last, Some(NodeId(42)));
+        assert_eq!(states[1].1.last, Some(NodeId(0)));
+    }
+
+    #[test]
+    fn timers_fire_in_threaded_runtime() {
+        struct Tick {
+            fired: u32,
+        }
+        impl Process for Tick {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.set_timer(VDuration(5), TimerTag(1));
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, _: TimerTag) {
+                self.fired += 1;
+                if self.fired < 3 {
+                    ctx.set_timer(VDuration(5), TimerTag(1));
+                }
+            }
+        }
+        let rt = Runtime::spawn(vec![(NodeId(0), Tick { fired: 0 })], 1);
+        sleep_ms(200);
+        let (states, _) = rt.shutdown();
+        assert_eq!(states[0].1.fired, 3);
+    }
+
+    #[test]
+    fn inject_to_unknown_node_reports_false() {
+        let rt: Runtime<Counter> = Runtime::spawn(vec![], 1);
+        assert!(!rt.inject(NodeId(0), NodeId(42), 1));
+        let (states, _) = rt.shutdown();
+        assert!(states.is_empty());
+    }
+}

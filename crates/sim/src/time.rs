@@ -1,0 +1,140 @@
+//! Virtual time.
+//!
+//! The simulator measures time in abstract *ticks*; experiments in this
+//! workspace use one tick = one millisecond by convention (gossip periods of
+//! `1_000` ticks, LAN latencies of a few ticks), but the kernel assigns no
+//! unit.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, in ticks since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+/// A span of virtual time, in ticks.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(pub u64);
+
+impl Time {
+    /// The origin of simulated time.
+    pub const ZERO: Time = Time(0);
+
+    /// Saturating difference `self - earlier`.
+    ///
+    /// ```
+    /// use dd_sim::{Time, Duration};
+    /// assert_eq!(Time(10).since(Time(4)), Duration(6));
+    /// assert_eq!(Time(4).since(Time(10)), Duration(0));
+    /// ```
+    #[must_use]
+    pub fn since(self, earlier: Time) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Duration {
+    /// Zero-length span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Convenience constructor used by experiment code that thinks in
+    /// "rounds" of a protocol period.
+    #[must_use]
+    pub fn ticks(n: u64) -> Duration {
+        Duration(n)
+    }
+
+    /// Multiplies the span, saturating on overflow.
+    #[must_use]
+    pub fn saturating_mul(self, k: u64) -> Duration {
+        Duration(self.0.saturating_mul(k))
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    fn add(self, rhs: Duration) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+    fn sub(self, rhs: Time) -> Duration {
+        self.since(rhs)
+    }
+}
+
+impl Add<Duration> for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}t", self.0)
+    }
+}
+
+impl From<u64> for Duration {
+    fn from(v: u64) -> Self {
+        Duration(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_advances_time() {
+        assert_eq!(Time(5) + Duration(3), Time(8));
+        let mut t = Time(1);
+        t += Duration(4);
+        assert_eq!(t, Time(5));
+    }
+
+    #[test]
+    fn subtraction_is_saturating() {
+        assert_eq!(Time(3) - Time(10), Duration::ZERO);
+        assert_eq!(Time(10) - Time(3), Duration(7));
+    }
+
+    #[test]
+    fn overflow_saturates_instead_of_wrapping() {
+        assert_eq!(Time(u64::MAX) + Duration(5), Time(u64::MAX));
+        assert_eq!(Duration(u64::MAX).saturating_mul(2), Duration(u64::MAX));
+    }
+
+    #[test]
+    fn durations_add() {
+        assert_eq!(Duration(2) + Duration(3), Duration(5));
+        assert_eq!(Duration::ticks(7), Duration(7));
+    }
+
+    #[test]
+    fn debug_formats_are_nonempty() {
+        assert_eq!(format!("{:?}", Time(3)), "t3");
+        assert_eq!(format!("{:?}", Duration(3)), "3t");
+    }
+}

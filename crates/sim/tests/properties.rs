@@ -1,0 +1,140 @@
+//! Property-based tests for kernel invariants: virtual time never runs
+//! backwards, replay is deterministic, churn schedules are well-formed.
+
+use dd_sim::churn::{ChurnEvent, ChurnModel, ChurnSchedule};
+use dd_sim::{Ctx, Metrics, NodeId, Process, Sim, SimConfig, Time};
+use proptest::prelude::*;
+
+/// Test process: every node relays a decrementing counter to a
+/// pseudo-random neighbour and records the time of each delivery.
+struct Relay {
+    n: u64,
+    times: Vec<u64>,
+}
+
+impl Process for Relay {
+    type Msg = u32;
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, _from: NodeId, msg: u32) {
+        self.times.push(ctx.now().0);
+        if msg > 0 {
+            use rand::Rng;
+            let next = NodeId(ctx.rng().gen_range(0..self.n));
+            ctx.send(next, msg - 1);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Delivery timestamps observed by any node never decrease relative to
+    /// the global clock, and the final clock bounds every observation.
+    #[test]
+    fn time_is_monotone(seed in any::<u64>(), n in 2u64..20, hops in 1u32..64) {
+        let mut sim: Sim<Relay> = Sim::new(SimConfig::default().seed(seed));
+        for i in 0..n {
+            sim.add_node(NodeId(i), Relay { n, times: vec![] });
+        }
+        sim.inject(NodeId(0), NodeId(0), hops);
+        sim.run();
+        let end = sim.now().0;
+        let mut all: Vec<u64> = Vec::new();
+        for i in 0..n {
+            all.extend(&sim.node(NodeId(i)).unwrap().times);
+        }
+        prop_assert_eq!(all.len() as u32, hops + 1, "every hop delivered exactly once");
+        for &t in &all {
+            prop_assert!(t <= end);
+        }
+    }
+
+    /// Identical seeds produce identical trajectories for arbitrary
+    /// configurations (the reproducibility contract of the whole repo).
+    #[test]
+    fn replay_is_deterministic(seed in any::<u64>(), n in 2u64..16, hops in 1u32..40) {
+        let run = || {
+            let mut sim: Sim<Relay> = Sim::new(SimConfig::default().seed(seed));
+            for i in 0..n {
+                sim.add_node(NodeId(i), Relay { n, times: vec![] });
+            }
+            sim.inject(NodeId(0), NodeId(0), hops);
+            sim.run();
+            let counters: Vec<(&'static str, u64)> = sim.metrics().counters().collect();
+            (sim.now(), counters)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Churn schedules are time-ordered and per-node alternating for any
+    /// valid parameterisation.
+    #[test]
+    fn churn_schedule_invariants(
+        seed in any::<u64>(),
+        n in 1u64..40,
+        rate in 0.001f64..0.5,
+        downtime in 1u64..10_000,
+        perm in 0.0f64..1.0,
+    ) {
+        let model = ChurnModel::default()
+            .failure_rate(rate)
+            .mean_downtime(downtime)
+            .permanent_prob(perm);
+        let s = ChurnSchedule::generate(&model, n, Time(50_000), seed);
+        for w in s.events().windows(2) {
+            prop_assert!(w[0].at() <= w[1].at());
+        }
+        for node in 0..n {
+            let mut up = true; // nodes start up
+            for ev in s.events().iter().filter(|e| e.node() == NodeId(node)) {
+                match ev {
+                    ChurnEvent::Down(..) | ChurnEvent::Leave(..) => {
+                        prop_assert!(up, "down/leave while already down");
+                        up = false;
+                    }
+                    ChurnEvent::Up(..) => {
+                        prop_assert!(!up, "up while already up");
+                        up = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Metrics merging is commutative for counters.
+    #[test]
+    fn metrics_merge_commutes(a in 0u64..1000, b in 0u64..1000, c in 0u64..1000) {
+        let mut m1 = Metrics::new();
+        m1.add("x", a);
+        m1.add("y", b);
+        let mut m2 = Metrics::new();
+        m2.add("x", c);
+        let mut left = m1.clone();
+        left.merge(&m2);
+        let mut right = m2.clone();
+        right.merge(&m1);
+        prop_assert_eq!(left.counter("x"), right.counter("x"));
+        prop_assert_eq!(left.counter("y"), right.counter("y"));
+    }
+
+    /// Messages to killed nodes are never delivered, regardless of timing.
+    #[test]
+    fn dead_nodes_receive_nothing(seed in any::<u64>(), kill_at in 0u64..50) {
+        struct Sink { got: u32 }
+        impl Process for Sink {
+            type Msg = ();
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {
+                self.got += 1;
+            }
+        }
+        let mut sim: Sim<Sink> = Sim::new(SimConfig::default().seed(seed));
+        sim.add_node(NodeId(0), Sink { got: 0 });
+        sim.add_node(NodeId(1), Sink { got: 0 });
+        sim.schedule_down(Time(kill_at), NodeId(1));
+        sim.run_until(Time(kill_at));
+        for _ in 0..10 {
+            sim.inject(NodeId(0), NodeId(1), ());
+        }
+        sim.run_until(Time(kill_at + 1_000));
+        prop_assert_eq!(sim.node(NodeId(1)).unwrap().got, 0);
+    }
+}

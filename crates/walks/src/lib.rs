@@ -1,0 +1,37 @@
+//! # dd-walks — random-walk sampling and redundancy maintenance
+//!
+//! §III-A of the paper: maintaining redundancy *"due to scale and churn a
+//! centralized deterministic approach is infeasible and thus we must rely
+//! on probabilistic epidemic-based methods. Those methods, based on random
+//! walks \[24\], \[25\], allow each node to obtain an uniform sample of the
+//! data stored at other nodes and eventually determine how many copies of
+//! the items it holds exist in the system."*
+//!
+//! And the paper's key cost observation, which experiment E5 quantifies:
+//! *"Doing this on a tuple level is however clearly impractical, as it will
+//! require a random walk per tuple … as tuples are retained at nodes
+//! according to the sieve function, obtaining an estimate of how many nodes
+//! have a given sieve … suffices. This drastically reduces random walk
+//! length and the number of random walks needed as many tuples may be
+//! checked at once."*
+//!
+//! * [`walk`] — TTL random walks collecting `(node, sieve_class,
+//!   item_count)` samples.
+//! * [`sampling`] — uniformity statistics over walk visits.
+//! * [`redundancy`] — per-sieve-class population estimation from walk
+//!   samples, plus the per-tuple vs per-sieve cost model.
+//! * [`repair`] — same-class anti-entropy that restores missing replicas,
+//!   the paper's "check tuple redundancy directly between them".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod redundancy;
+pub mod repair;
+pub mod sampling;
+pub mod walk;
+
+pub use redundancy::{per_sieve_cost, per_tuple_cost, RedundancyEstimator, WalkCost};
+pub use repair::{RepairMsg, RepairNode};
+pub use sampling::{chi_square_uniform, visits_histogram};
+pub use walk::{WalkMsg, WalkNode, WalkSample};

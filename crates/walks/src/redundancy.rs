@@ -1,0 +1,175 @@
+//! Per-sieve redundancy estimation and the per-tuple vs per-sieve cost
+//! model (experiment E5).
+
+use crate::walk::WalkSample;
+use std::collections::HashMap;
+
+/// Estimates how many nodes carry each sieve class from uniform walk
+/// samples: if a fraction `f` of samples advertise class `c`, then
+/// ≈ `f · N` nodes do.
+#[derive(Debug, Clone, Default)]
+pub struct RedundancyEstimator {
+    class_counts: HashMap<u64, u64>,
+    total: u64,
+}
+
+impl RedundancyEstimator {
+    /// Empty estimator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds walk samples in (deduplicating nothing: uniform-with-
+    /// replacement sampling is what the estimator expects).
+    pub fn absorb(&mut self, samples: &[WalkSample]) {
+        for s in samples {
+            *self.class_counts.entry(s.sieve_class).or_insert(0) += 1;
+            self.total += 1;
+        }
+    }
+
+    /// Number of samples folded in.
+    #[must_use]
+    pub fn sample_count(&self) -> u64 {
+        self.total
+    }
+
+    /// Estimated number of nodes carrying `class`, given a population
+    /// estimate (from `dd-estimation`'s extrema protocol).
+    #[must_use]
+    pub fn class_population(&self, class: u64, n_estimate: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let f = self.class_counts.get(&class).copied().unwrap_or(0) as f64 / self.total as f64;
+        f * n_estimate
+    }
+
+    /// All classes observed, with their estimated populations.
+    #[must_use]
+    pub fn all_classes(&self, n_estimate: f64) -> Vec<(u64, f64)> {
+        let mut v: Vec<(u64, f64)> = self
+            .class_counts
+            .keys()
+            .map(|&c| (c, self.class_population(c, n_estimate)))
+            .collect();
+        v.sort_by_key(|&(c, _)| c);
+        v
+    }
+}
+
+/// Cost of a redundancy-checking scheme, in walk messages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WalkCost {
+    /// Number of walks launched.
+    pub walks: u64,
+    /// Hops per walk.
+    pub walk_length: u64,
+    /// Total messages (`walks × walk_length`, plus one return hop each).
+    pub total_messages: u64,
+}
+
+/// Cost of the naive scheme the paper rejects: one walk **per tuple**, each
+/// long enough to estimate that tuple's replica count. Sampling theory: to
+/// see an `r`-of-`N` subpopulation ≈ `samples_per_target · N / r` hops are
+/// needed per tuple.
+#[must_use]
+pub fn per_tuple_cost(tuples: u64, n: u64, r: u32, samples_per_target: u64) -> WalkCost {
+    let walk_length = samples_per_target * n / u64::from(r).max(1);
+    WalkCost {
+        walks: tuples,
+        walk_length,
+        total_messages: tuples * (walk_length + 1),
+    }
+}
+
+/// Cost of the paper's scheme: one walk **per sieve class**; each class is
+/// carried by `N/classes` nodes (uniform sieves), so a walk of
+/// `samples_per_target · classes` hops sees enough class members, and all
+/// tuples of the class are checked at once.
+#[must_use]
+pub fn per_sieve_cost(classes: u64, samples_per_target: u64) -> WalkCost {
+    let walk_length = samples_per_target * classes;
+    WalkCost {
+        walks: classes,
+        walk_length,
+        total_messages: classes * (walk_length + 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walk::WalkSample;
+    use dd_sim::NodeId;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn class_population_estimates_from_uniform_samples() {
+        // Population 1000: class 0 on 100 nodes, class 1 on 900.
+        let n = 1_000u64;
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut est = RedundancyEstimator::new();
+        let samples: Vec<WalkSample> = (0..50_000)
+            .map(|_| {
+                let node = rng.gen_range(0..n);
+                WalkSample {
+                    node: NodeId(node),
+                    sieve_class: u64::from(node >= 100),
+                    item_count: 0,
+                }
+            })
+            .collect();
+        est.absorb(&samples);
+        let c0 = est.class_population(0, n as f64);
+        let c1 = est.class_population(1, n as f64);
+        assert!((c0 - 100.0).abs() < 15.0, "class 0 ≈ 100, got {c0}");
+        assert!((c1 - 900.0).abs() < 30.0, "class 1 ≈ 900, got {c1}");
+        assert_eq!(est.sample_count(), 50_000);
+    }
+
+    #[test]
+    fn unknown_class_estimates_zero() {
+        let mut est = RedundancyEstimator::new();
+        est.absorb(&[WalkSample { node: NodeId(0), sieve_class: 7, item_count: 0 }]);
+        assert_eq!(est.class_population(9, 100.0), 0.0);
+        assert_eq!(est.all_classes(100.0), vec![(7, 100.0)]);
+    }
+
+    #[test]
+    fn empty_estimator_returns_zero() {
+        let est = RedundancyEstimator::new();
+        assert_eq!(est.class_population(0, 50.0), 0.0);
+    }
+
+    /// The paper's claim: per-sieve walks are drastically cheaper than
+    /// per-tuple walks. With 100k tuples, N = 10k, r = 5, 64 classes and 30
+    /// samples per target, the gap should exceed three orders of magnitude.
+    #[test]
+    fn per_sieve_is_drastically_cheaper_than_per_tuple() {
+        let tuples = 100_000u64;
+        let n = 10_000u64;
+        let r = 5u32;
+        let classes = 64u64;
+        let spt = 30u64;
+        let naive = per_tuple_cost(tuples, n, r, spt);
+        let smart = per_sieve_cost(classes, spt);
+        assert!(naive.total_messages > 1_000 * smart.total_messages,
+            "naive {} vs sieve {}", naive.total_messages, smart.total_messages);
+        assert_eq!(naive.walks, tuples);
+        assert_eq!(smart.walks, classes);
+        assert!(smart.walk_length < naive.walk_length);
+    }
+
+    #[test]
+    fn costs_scale_linearly_in_their_drivers() {
+        let a = per_tuple_cost(10, 1_000, 3, 10);
+        let b = per_tuple_cost(20, 1_000, 3, 10);
+        assert_eq!(b.total_messages, 2 * a.total_messages);
+        let c = per_sieve_cost(8, 10);
+        let d = per_sieve_cost(16, 10);
+        assert!(d.total_messages > 2 * c.total_messages, "walk length also grows");
+    }
+}

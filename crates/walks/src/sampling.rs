@@ -1,0 +1,123 @@
+//! Uniformity statistics over walk samples.
+//!
+//! The paper's redundancy estimator relies on walks producing a *uniform*
+//! sample of the population (\[24\], \[25\]). On a complete or well-mixed
+//! random graph, hop targets are uniform; these helpers quantify that so
+//! experiment E5 can report it.
+
+use crate::walk::WalkSample;
+use dd_sim::NodeId;
+use std::collections::HashMap;
+
+/// Per-node visit counts from a set of walk samples (origin samples
+/// included).
+#[must_use]
+pub fn visits_histogram(samples: &[WalkSample]) -> HashMap<NodeId, u64> {
+    let mut h = HashMap::new();
+    for s in samples {
+        *h.entry(s.node).or_insert(0) += 1;
+    }
+    h
+}
+
+/// Pearson chi-square statistic of visit counts against the uniform
+/// distribution over `population` nodes. For a uniform sampler the
+/// statistic is ≈ `population − 1` (its degrees of freedom); values far
+/// above indicate bias.
+///
+/// # Panics
+/// Panics if `population == 0`.
+#[must_use]
+pub fn chi_square_uniform(visits: &HashMap<NodeId, u64>, population: u64) -> f64 {
+    assert!(population > 0, "population must be positive");
+    let total: u64 = visits.values().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let expected = total as f64 / population as f64;
+    let mut chi2 = 0.0;
+    let mut seen = 0u64;
+    for &count in visits.values() {
+        let d = count as f64 - expected;
+        chi2 += d * d / expected;
+        seen += 1;
+    }
+    // Nodes never visited contribute (0 - e)² / e each.
+    chi2 += (population - seen.min(population)) as f64 * expected;
+    chi2
+}
+
+/// Normalised uniformity score: `chi² / (population − 1)`; ≈ 1 for a
+/// uniform sampler, larger when biased. Returns 0 for a population of 1.
+#[must_use]
+pub fn uniformity_score(visits: &HashMap<NodeId, u64>, population: u64) -> f64 {
+    if population <= 1 {
+        return 0.0;
+    }
+    chi_square_uniform(visits, population) / (population - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sample(node: u64) -> WalkSample {
+        WalkSample { node: NodeId(node), sieve_class: 0, item_count: 0 }
+    }
+
+    #[test]
+    fn histogram_counts_visits() {
+        let samples = vec![sample(1), sample(2), sample(1)];
+        let h = visits_histogram(&samples);
+        assert_eq!(h[&NodeId(1)], 2);
+        assert_eq!(h[&NodeId(2)], 1);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn uniform_draws_score_near_one() {
+        let n = 100u64;
+        let mut rng = SmallRng::seed_from_u64(1);
+        let samples: Vec<WalkSample> =
+            (0..20_000).map(|_| sample(rng.gen_range(0..n))).collect();
+        let score = uniformity_score(&visits_histogram(&samples), n);
+        assert!((0.6..1.6).contains(&score), "uniform score {score}");
+    }
+
+    #[test]
+    fn biased_draws_score_far_above_one() {
+        let n = 100u64;
+        let mut rng = SmallRng::seed_from_u64(2);
+        // 80 % of visits hit 10 % of the nodes.
+        let samples: Vec<WalkSample> = (0..20_000)
+            .map(|_| {
+                if rng.gen_bool(0.8) {
+                    sample(rng.gen_range(0..n / 10))
+                } else {
+                    sample(rng.gen_range(0..n))
+                }
+            })
+            .collect();
+        let score = uniformity_score(&visits_histogram(&samples), n);
+        assert!(score > 10.0, "biased score {score}");
+    }
+
+    #[test]
+    fn unvisited_nodes_penalise_the_statistic() {
+        // All visits on one node out of 10.
+        let samples: Vec<WalkSample> = (0..100).map(|_| sample(0)).collect();
+        let chi2 = chi_square_uniform(&visits_histogram(&samples), 10);
+        // Expected 10 per node; observed 100 on one, 0 on nine:
+        // (90²/10) + 9×10 = 810 + 90 = 900.
+        assert!((chi2 - 900.0).abs() < 1e-9, "chi2 {chi2}");
+    }
+
+    #[test]
+    fn empty_visits_score_zero() {
+        let h = HashMap::new();
+        assert_eq!(chi_square_uniform(&h, 10), 0.0);
+        assert_eq!(uniformity_score(&h, 1), 0.0);
+    }
+}

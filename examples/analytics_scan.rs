@@ -1,0 +1,57 @@
+//! Analytics over the store: range scans and aggregates (§III-B-2, §III-C).
+//!
+//! Loads normally distributed measurements, then answers "which tuples are
+//! within one sigma of the mean?" with a range scan and summarises the
+//! distribution with the duplicate-tolerant aggregate pipeline.
+//!
+//! ```sh
+//! cargo run --release --example analytics_scan
+//! ```
+
+use dd_core::{Cluster, ClusterConfig, Workload, WorkloadKind};
+
+fn main() {
+    let mut cluster = Cluster::new(ClusterConfig::small().persist_n(36), 11);
+    cluster.settle();
+
+    let n = 150usize;
+    let mut workload =
+        Workload::new(WorkloadKind::NormalAttr { mean: 100.0, std_dev: 15.0 }, 5);
+    println!("loading {n} measurements ~ N(100, 15)...");
+    let mut truth: Vec<f64> = Vec::new();
+    for op in workload.take_puts(n) {
+        let attr = op.attr.unwrap();
+        truth.push(attr);
+        let req = cluster.put(op.key, op.value, Some(attr), None);
+        cluster.wait_put(req).expect("write acknowledged");
+    }
+    cluster.run_for(5_000);
+
+    // Range scan: µ ± σ.
+    let (lo, hi) = (85.0, 115.0);
+    let req = cluster.scan(lo, hi);
+    let items = cluster.wait_scan(req).expect("scan completed");
+    let expected = truth.iter().filter(|a| (lo..=hi).contains(a)).count();
+    println!(
+        "scan [{lo}, {hi}]: {} tuples (oracle says {expected}) — \
+         ~68% of a normal population",
+        items.len()
+    );
+    assert_eq!(items.len(), expected);
+
+    // Aggregate: min / max / quantiles, deduplicated across replicas.
+    let req = cluster.aggregate();
+    let agg = cluster.wait_aggregate(req).expect("aggregate completed");
+    println!("aggregate over the cluster (replication-deduplicated):");
+    println!("  distinct tuples ≈ {:.0}", agg.distinct_estimate());
+    println!("  min = {:.1}, max = {:.1}", agg.min, agg.max);
+    for q in [0.25, 0.5, 0.75] {
+        println!("  p{:02.0} ≈ {:.1}", q * 100.0, agg.quantile(q).unwrap());
+    }
+
+    let true_min = truth.iter().copied().fold(f64::INFINITY, f64::min);
+    let true_max = truth.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    assert_eq!(agg.min, true_min);
+    assert_eq!(agg.max, true_max);
+    println!("extremes match the oracle exactly (idempotent min/max gossip).");
+}

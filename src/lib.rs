@@ -1,0 +1,21 @@
+//! # DataDroplets — umbrella crate
+//!
+//! Re-exports the whole workspace implementing *"An epidemic approach to
+//! dependable key-value substrates"* (Matos, Vilaça, Pereira, Oliveira —
+//! DSN 2011): a two-layer key-value store whose persistent layer relies on
+//! epidemic dissemination, local sieves and gossip-based maintenance instead
+//! of a rigid DHT.
+//!
+//! Most users want [`dd_core`]'s [`dd_core::Cluster`] API; the lower-level
+//! crates are re-exported for protocol-level experimentation. See the
+//! repository `README.md`, `DESIGN.md` and `EXPERIMENTS.md`.
+
+pub use dd_core as core;
+pub use dd_dht as dht;
+pub use dd_epidemic as epidemic;
+pub use dd_estimation as estimation;
+pub use dd_membership as membership;
+pub use dd_overlay as overlay;
+pub use dd_sieve as sieve;
+pub use dd_sim as sim;
+pub use dd_walks as walks;

@@ -1,0 +1,190 @@
+//! Cross-crate protocol composition tests: the pieces the paper composes
+//! (membership → dissemination → estimation → placement) working together.
+
+use dd_epidemic::{required_fanout, BroadcastConfig, BroadcastMsg, BroadcastNode};
+use dd_epidemic::push::{PushConfig, Rumor, RumorId};
+use dd_estimation::{ExtremaEstimator, ExtremaNode};
+use dd_membership::{CyclonConfig, CyclonState, MembershipOracle, PeerSampler};
+use dd_sieve::{check_coverage, ItemMeta, UniformSieve};
+use dd_sim::{Duration, NodeId, Sim, SimConfig, Time};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Dissemination over *partial views* (Cyclon-built) instead of full
+/// membership: coverage should match the full-membership prediction,
+/// confirming the paper's premise that "knowing all nodes" is unnecessary.
+#[test]
+fn broadcast_over_cyclon_views_reaches_everyone() {
+    let n = 300u64;
+    // Phase 1: run Cyclon to build well-mixed views.
+    use dd_membership::CyclonProcess;
+    let cfg = CyclonConfig { view_size: 12, shuffle_len: 6, period: Duration(100) };
+    let mut msim: Sim<CyclonProcess> = Sim::new(SimConfig::default().seed(1));
+    for i in 0..n {
+        let boot = vec![NodeId((i + 1) % n), NodeId((i + 7) % n)];
+        msim.add_node(NodeId(i), CyclonProcess::new(CyclonState::new(NodeId(i), cfg, &boot)));
+    }
+    msim.run_until(Time(40 * 100));
+    let views: Vec<Vec<NodeId>> = (0..n)
+        .map(|i| msim.node(NodeId(i)).unwrap().state.view().nodes().collect())
+        .collect();
+
+    // Phase 2: broadcast over the frozen views.
+    #[derive(Debug, Clone)]
+    struct FixedPeers(Vec<NodeId>);
+    impl PeerSampler for FixedPeers {
+        fn peers(&self) -> Vec<NodeId> {
+            self.0.clone()
+        }
+        fn sample_peers(&self, rng: &mut dyn rand::RngCore, k: usize) -> Vec<NodeId> {
+            use rand::seq::SliceRandom;
+            let mut v = self.0.clone();
+            v.shuffle(rng);
+            v.truncate(k);
+            v
+        }
+    }
+    let fanout = 8; // < view size, > ln(300)+c threshold for good coverage
+    let bcfg = BroadcastConfig {
+        push: PushConfig { fanout, ..PushConfig::default() },
+        anti_entropy_period: Some(Duration(500)),
+    };
+    let mut bsim: Sim<BroadcastNode<FixedPeers, u32>> = Sim::new(SimConfig::default().seed(2));
+    for i in 0..n {
+        bsim.add_node(
+            NodeId(i),
+            BroadcastNode::new(FixedPeers(views[i as usize].clone()), bcfg),
+        );
+    }
+    bsim.inject(
+        NodeId(0),
+        NodeId(0),
+        BroadcastMsg::Rumor(Rumor { id: RumorId(1), hops: 0, payload: 7 }),
+    );
+    bsim.run_until(Time(20_000));
+    let reached = (0..n).filter(|&i| bsim.node(NodeId(i)).unwrap().has(RumorId(1))).count();
+    assert_eq!(reached as u64, n, "partial views suffice for full dissemination");
+}
+
+/// The paper's sieve pipeline: epidemic size estimation feeds the uniform
+/// `r/N̂` sieve; expected replication must track the true `r` even though
+/// no node knows N exactly.
+#[test]
+fn size_estimate_feeds_replication_sieve() {
+    let n = 400u64;
+    let k = 256;
+    let period = Duration(100);
+    let mut sim: Sim<ExtremaNode<MembershipOracle>> = Sim::new(SimConfig::default().seed(3));
+    let mut seeder = SmallRng::seed_from_u64(33);
+    for i in 0..n {
+        sim.add_node(
+            NodeId(i),
+            ExtremaNode::new(
+                MembershipOracle::dense(NodeId(i), n),
+                ExtremaEstimator::generate(&mut seeder, k),
+                period,
+                2,
+            ),
+        );
+    }
+    sim.run_until(Time(25 * 100));
+
+    // Each node builds its sieve from ITS OWN estimate.
+    let r = 4u32;
+    let sieves: Vec<UniformSieve> = (0..n)
+        .map(|i| {
+            let est = sim.node(NodeId(i)).unwrap().estimate().round().max(1.0) as u64;
+            UniformSieve::replication(i, r, est)
+        })
+        .collect();
+    let items: Vec<ItemMeta> =
+        (0..3_000).map(|i| ItemMeta::from_key(format!("it{i}").as_bytes())).collect();
+    let report = check_coverage(&sieves, &items);
+    assert!(
+        (report.replicas.mean - f64::from(r)).abs() < 0.8,
+        "estimated-N sieves give mean replication {}",
+        report.replicas.mean
+    );
+    // Uniform r/N sieves leave ≈ e^{-r} of items uncovered (≈1.8% at r=4)
+    // — the inherent probabilistic gap the paper's redundancy maintenance
+    // closes. Expect ≈55 of 3000; assert the order of magnitude.
+    let expected_uncovered = 3_000.0 * (-f64::from(r)).exp();
+    assert!(
+        (report.uncovered as f64) < 2.5 * expected_uncovered,
+        "uncovered items {} (expected ≈{expected_uncovered:.0})",
+        report.uncovered
+    );
+}
+
+/// The paper's fanout formula at moderate scale, end to end: with
+/// `fanout = ln N + c(0.999)` a single run almost surely infects all.
+#[test]
+fn paper_fanout_formula_validates_at_2000_nodes() {
+    let n = 2_000u64;
+    let fanout = required_fanout(n, 0.999);
+    let cfg = BroadcastConfig {
+        push: PushConfig { fanout, ..PushConfig::default() },
+        anti_entropy_period: None,
+    };
+    let (reached, msgs) = dd_epidemic::broadcast::run_dissemination(n, cfg, 5, Duration(20_000));
+    assert_eq!(reached as u64, n);
+    // Message cost ≈ n × fanout.
+    let expected = n * u64::from(fanout);
+    assert!(
+        (msgs as f64 - expected as f64).abs() / (expected as f64) < 0.2,
+        "messages {msgs} vs expected ≈{expected}"
+    );
+}
+
+/// Cyclon views keep healing while the population churns, and the
+/// remaining nodes stay connected.
+#[test]
+fn membership_self_heals_under_churn() {
+    use dd_membership::CyclonProcess;
+    let n = 128u64;
+    let cfg = CyclonConfig { view_size: 10, shuffle_len: 5, period: Duration(100) };
+    let mut sim: Sim<CyclonProcess> = Sim::new(SimConfig::default().seed(8));
+    for i in 0..n {
+        let boot = vec![NodeId((i + 1) % n)];
+        sim.add_node(NodeId(i), CyclonProcess::new(CyclonState::new(NodeId(i), cfg, &boot)));
+    }
+    sim.run_until(Time(20 * 100));
+    // Kill a quarter of the nodes permanently.
+    for i in 0..n / 4 {
+        sim.kill(NodeId(i * 4));
+    }
+    sim.run_until(Time(80 * 100));
+    // Survivors' views should mostly reference live nodes.
+    let mut dead_refs = 0usize;
+    let mut total_refs = 0usize;
+    for i in 0..n {
+        if !sim.is_alive(NodeId(i)) {
+            continue;
+        }
+        for peer in sim.node(NodeId(i)).unwrap().state.view().nodes() {
+            total_refs += 1;
+            if !sim.is_alive(peer) {
+                dead_refs += 1;
+            }
+        }
+    }
+    let frac = dead_refs as f64 / total_refs.max(1) as f64;
+    assert!(frac < 0.12, "stale view references after churn: {frac}");
+}
+
+/// Sanity link between the analysis module and the sieve cost trade-off
+/// the paper describes: partial dissemination plus redundancy covers the
+/// replicas at much lower cost than atomic dissemination.
+#[test]
+fn partial_dissemination_cost_tradeoff_holds() {
+    use dd_epidemic::analysis::{dissemination_cost, expected_coverage};
+    let n = 10_000u64;
+    let atomic = dissemination_cost(n, 0.999);
+    // Reaching 95% of nodes needs fanout ≈ 4.7 (fixed point); cost n·5.
+    let partial = n * 5;
+    assert!(expected_coverage(5.0) > 0.95);
+    assert!(
+        atomic as f64 > 3.0 * partial as f64,
+        "atomic {atomic} vs partial {partial}"
+    );
+}
