@@ -1,9 +1,10 @@
 //! # dd-bench — experiment harness
 //!
-//! One bench target per experiment in `DESIGN.md` §4 (E1–E12). Each target
-//! prints the experiment's table — the series a figure would plot — and
-//! then times a representative kernel with Criterion so `cargo bench`
-//! exercises the hot paths. `EXPERIMENTS.md` records claim-vs-measured.
+//! One bench target per paper experiment (E1–E12; see the experiment
+//! catalogue in the repository `README.md`). Each target prints the
+//! experiment's table — the series a figure would plot — and then times a
+//! representative kernel with Criterion so `cargo bench` exercises the
+//! hot paths.
 
 #![forbid(unsafe_code)]
 

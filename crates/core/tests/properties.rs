@@ -1,10 +1,11 @@
 //! Property-based tests for the DataDroplets data model and placement
 //! invariants.
 
-use dd_core::{Key, SieveSpec, StoredTuple};
+use dd_core::{Cluster, ClusterConfig, Key, SieveSpec, StoredTuple};
 use dd_dht::Version;
 use dd_sieve::ItemMeta;
 use proptest::prelude::*;
+use std::collections::HashMap;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -80,5 +81,56 @@ proptest! {
         let rate = accepted / probes as f64;
         prop_assert!((rate - spec.grain()).abs() < 0.05,
             "rate {} vs grain {}", rate, spec.grain());
+    }
+}
+
+proptest! {
+    // Cluster simulations are comparatively expensive; a dozen cases at
+    // two full cluster runs each still exercises the oracle thoroughly.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// End-to-end oracle check: a settled cluster round-trips arbitrary
+    /// put/get traffic exactly like a `HashMap`, and the whole exchange is
+    /// a pure function of the seed — replaying the same operations on a
+    /// second cluster with the same seed yields identical ack traces
+    /// (version and ack count per write) and identical read results.
+    #[test]
+    fn cluster_roundtrips_against_hashmap_oracle(
+        seed in 0u64..512,
+        ops in prop::collection::vec(
+            ("[a-z]{1,6}", prop::collection::vec(any::<u8>(), 0..12)),
+            1..12,
+        ),
+    ) {
+        let run = |ops: &[(String, Vec<u8>)]| {
+            let mut cluster = Cluster::new(ClusterConfig::small(), seed);
+            cluster.settle();
+            let mut oracle: HashMap<String, Vec<u8>> = HashMap::new();
+            let mut acks = Vec::new();
+            for (key, value) in ops {
+                let req = cluster.put(key.clone(), value.clone(), None, None);
+                let status = cluster.wait_put(req).unwrap_or_else(|| {
+                    panic!("write {key} timed out")
+                });
+                acks.push((status.version, status.acks));
+                oracle.insert(key.clone(), value.clone());
+            }
+            cluster.run_for(5_000);
+            let mut reads = Vec::new();
+            for (key, expected) in &oracle {
+                let req = cluster.get(key.clone());
+                let tuple = cluster
+                    .wait_get(req)
+                    .unwrap_or_else(|| panic!("read {key} timed out"))
+                    .unwrap_or_else(|| panic!("oracle key {key} missing"));
+                assert_eq!(&tuple.value.to_vec(), expected, "value mismatch for {key}");
+                reads.push((key.clone(), tuple.version, tuple.value.to_vec()));
+            }
+            reads.sort();
+            (acks, reads)
+        };
+        let first = run(&ops);
+        let second = run(&ops);
+        prop_assert_eq!(first, second, "same seed must replay identically");
     }
 }

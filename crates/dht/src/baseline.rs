@@ -344,7 +344,7 @@ mod tests {
         sim.run_until(Time(10_000));
         let holders = (0..10)
             .filter(|&i| {
-                sim.node(NodeId(i)).map_or(false, |n| n.store.contains_key(&key))
+                sim.node(NodeId(i)).is_some_and(|n| n.store.contains_key(&key))
             })
             .count();
         assert!(holders >= 3, "replication restored, got {holders}");

@@ -16,7 +16,7 @@ use std::fmt;
 pub const ANTI_ENTROPY_TIMER: TimerTag = TimerTag(0xAE0);
 
 /// Broadcast node configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct BroadcastConfig {
     /// Eager-push parameters.
     pub push: PushConfig,
@@ -24,11 +24,6 @@ pub struct BroadcastConfig {
     pub anti_entropy_period: Option<Duration>,
 }
 
-impl Default for BroadcastConfig {
-    fn default() -> Self {
-        BroadcastConfig { push: PushConfig::default(), anti_entropy_period: None }
-    }
-}
 
 /// Messages of the composed broadcast protocol.
 #[derive(Debug, Clone)]

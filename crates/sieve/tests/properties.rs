@@ -2,7 +2,8 @@
 //! requirement: full key-space coverage, deterministic acceptance).
 
 use dd_sieve::{
-    check_coverage, HistogramSieve, ItemMeta, RangeSieve, Sieve, TagSieve, UniformSieve,
+    check_coverage, CapacitySieve, HistogramSieve, ItemMeta, RangeSieve, Sieve, TagSieve,
+    UniformSieve,
 };
 use proptest::prelude::*;
 
@@ -96,6 +97,108 @@ proptest! {
         let ob: Vec<u64> = (0..n).filter(|&i| sieves[i as usize].accepts(&b)).collect();
         prop_assert_eq!(&oa, &ob);
         prop_assert_eq!(oa.len() as u64, u64::from(r).min(n));
+    }
+
+    /// Retention is filtering: whatever a sieve keeps from an offered
+    /// batch is a subset of that batch, re-sieving the retained set keeps
+    /// all of it (idempotence), and a clone retains the identical set —
+    /// for uniform, range-partition and capacity sieves alike.
+    #[test]
+    fn retained_items_are_subset_and_stable(
+        salt in any::<u64>(),
+        p in 0.0f64..=1.0,
+        idx in 0u64..16,
+        r in 1u32..4,
+        weight in 0.0f64..4.0,
+        offered in prop::collection::vec(any::<u64>(), 0..80),
+    ) {
+        let items: Vec<ItemMeta> =
+            offered.iter().map(|&h| ItemMeta::from_key_hash(h)).collect();
+        let uniform = UniformSieve::new(salt, p);
+        let range = RangeSieve::partition(idx, 16, r);
+        let capacity = CapacitySieve::new(salt, r, 16, weight);
+
+        fn retained<S: Sieve>(sieve: &S, offered: &[ItemMeta]) -> Vec<u64> {
+            offered.iter().filter(|i| sieve.accepts(i)).map(|i| i.key_hash).collect()
+        }
+
+        macro_rules! check {
+            ($sieve:expr) => {{
+                let kept = retained(&$sieve, &items);
+                prop_assert!(kept.len() <= items.len(), "retained more than offered");
+                for h in &kept {
+                    prop_assert!(offered.contains(h), "retained item never offered");
+                }
+                // Idempotent: sieving the retained set again keeps all of it.
+                let kept_items: Vec<ItemMeta> =
+                    kept.iter().map(|&h| ItemMeta::from_key_hash(h)).collect();
+                prop_assert_eq!(&retained(&$sieve, &kept_items), &kept);
+                // Clones answer identically.
+                prop_assert_eq!(&retained(&$sieve.clone(), &items), &kept);
+            }};
+        }
+        check!(uniform);
+        check!(range);
+        check!(capacity);
+    }
+
+    /// A capacity sieve's grain is the capacity-scaled replication
+    /// probability, capped at one, and measured retention never
+    /// meaningfully exceeds it: the capacity bound holds for any weight.
+    #[test]
+    fn capacity_bound_never_exceeded(
+        salt in any::<u64>(),
+        r in 1u32..6,
+        n in 1u64..64,
+        weight in 0.0f64..8.0,
+    ) {
+        let sieve = CapacitySieve::new(salt, r, n, weight);
+        let expected = (f64::from(r) * weight / n as f64).min(1.0);
+        prop_assert!((sieve.grain() - expected).abs() < 1e-12);
+        prop_assert!(sieve.grain() <= 1.0);
+        let probes = 4_000u64;
+        let kept = (0..probes)
+            .filter(|&i| sieve.accepts(&ItemMeta::from_key(format!("cap{i}").as_bytes())))
+            .count() as f64;
+        // Tail bound on retained count: 4σ of binomial slack, plus an
+        // absolute floor of a few events so the tiny-p Poisson regime
+        // (expected count ≪ 1, where a single acceptance dwarfs 4σ)
+        // cannot produce a spurious failure.
+        let mean_count = expected * probes as f64;
+        let slack = 4.0 * (mean_count * (1.0 - expected)).sqrt();
+        prop_assert!(
+            kept <= mean_count + slack.max(6.0),
+            "retained {} of {} exceeds capacity grain {}",
+            kept,
+            probes,
+            expected
+        );
+        // Zero weight is an absolute bound: nothing may be stored.
+        if weight == 0.0 {
+            prop_assert_eq!(kept, 0.0);
+        }
+    }
+
+    /// Capacity sieves with the same salt nest by weight: anything a
+    /// lighter node stores, a heavier node with the same salt also
+    /// stores — scaling capacity never drops previously-accepted items.
+    #[test]
+    fn capacity_acceptance_nests_by_weight(
+        salt in any::<u64>(),
+        r in 1u32..4,
+        n in 4u64..64,
+        w_lo in 0.0f64..2.0,
+        w_extra in 0.0f64..2.0,
+        hashes in prop::collection::vec(any::<u64>(), 1..60),
+    ) {
+        let light = CapacitySieve::new(salt, r, n, w_lo);
+        let heavy = CapacitySieve::new(salt, r, n, w_lo + w_extra);
+        for h in hashes {
+            let item = ItemMeta::from_key_hash(h);
+            if light.accepts(&item) {
+                prop_assert!(heavy.accepts(&item), "heavier sieve dropped item {h}");
+            }
+        }
     }
 
     /// The coverage checker agrees with brute force on partition sieves.

@@ -1,0 +1,158 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the `criterion_group!` / `criterion_main!` macros,
+//! [`Criterion`], [`BenchmarkGroup`] and [`Bencher`] with simple
+//! wall-clock timing: each benchmark runs a short warm-up, then a fixed
+//! number of timed iterations and prints min/mean per iteration. No
+//! statistics, plots or saved baselines — just enough for `cargo bench`
+//! to execute the experiment binaries and report rough numbers.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), sample_size: 20 }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("bench/{id}"), 20, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed iterations each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{id}", self.name), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
+    let mut bencher = Bencher { samples, durations_ns: Vec::with_capacity(samples) };
+    f(&mut bencher);
+    if bencher.durations_ns.is_empty() {
+        println!("{label}: no measurements");
+        return;
+    }
+    let min = bencher.durations_ns.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean =
+        bencher.durations_ns.iter().sum::<f64>() / bencher.durations_ns.len() as f64;
+    println!("{label}: min {:>12} mean {:>12}", fmt_ns(min), fmt_ns(mean));
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Passed to the closure given to `bench_function`; call [`Bencher::iter`]
+/// with the code under test.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    durations_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, untimed
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.durations_ns.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// Collects benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples_and_returns_values() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(5);
+        let mut runs = 0u32;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            });
+        });
+        g.finish();
+        assert_eq!(runs, 6, "warm-up + 5 samples");
+    }
+
+    #[test]
+    fn formats_scale() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(2e9).ends_with('s'));
+    }
+}

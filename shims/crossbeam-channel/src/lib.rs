@@ -1,0 +1,59 @@
+//! Offline stand-in for `crossbeam-channel`, backed by `std::sync::mpsc`.
+//!
+//! The workspace only uses the MPSC subset — [`unbounded`], cloneable
+//! [`Sender`]s, and a single receiver per channel doing `recv` /
+//! `recv_timeout` — which `std`'s channel implements with identical
+//! semantics and error types, so the shim is a pair of re-exports.
+
+#![forbid(unsafe_code)]
+
+pub use std::sync::mpsc::{
+    RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+};
+
+/// Single receiving endpoint (std's `Receiver`; not cloneable, unlike
+/// the real crossbeam type — nothing here fans in to multiple readers).
+pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+/// Creates an unbounded channel.
+#[must_use]
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    std::sync::mpsc::channel()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_roundtrip_across_threads() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(7).unwrap());
+        assert_eq!(rx.recv().unwrap(), 7);
+        tx.send(8).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(50)).unwrap(), 8);
+    }
+
+    #[test]
+    fn timeout_and_disconnect_errors() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_fails() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+}

@@ -1,0 +1,564 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! [`proptest!`] macro with `#![proptest_config(…)]`, `pat in strategy`
+//! bindings, integer/float range strategies, regex-class string
+//! strategies, [`prelude::any`], tuple strategies, and
+//! [`collection`]`::{vec, hash_set}`. Cases are generated from a seed
+//! derived deterministically from the test's module path and name, so
+//! failures reproduce exactly; there is no shrinking — the failing case's
+//! index and seed are printed instead.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Test configuration and the deterministic case RNG.
+
+    /// Configuration accepted by `#![proptest_config(…)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Same default as real proptest; PROPTEST_CASES overrides, so
+            // CI can dial effort up or down without touching code.
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(256);
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic generator used to produce test cases (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Builds the RNG for `(test path, case index)` — stable across
+        /// runs and machines.
+        #[must_use]
+        pub fn deterministic(test_path: &str, case: u32) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for &b in test_path.as_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng { state: h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)) }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            // Rejection sampling to kill modulo bias.
+            let zone = u64::MAX - u64::MAX % bound;
+            loop {
+                let v = self.next_u64();
+                if v < zone {
+                    return v % bound;
+                }
+            }
+        }
+
+        /// Uniform draw from `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and implementations for ranges, string
+    //! patterns and tuples.
+
+    use crate::test_runner::TestRng;
+    use core::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = ((u128::from(rng.next_u64()) << 64)
+                        | u128::from(rng.next_u64())) % span;
+                    ((self.start as i128) + v as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty strategy range");
+                    let span =
+                        (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                    let v = ((u128::from(rng.next_u64()) << 64)
+                        | u128::from(rng.next_u64())) % span;
+                    ((*self.start() as i128) + v as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    self.start + (self.end - self.start) * rng.unit_f64() as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    // Include the endpoint by widening one ulp's worth.
+                    let v = lo + (hi - lo) * rng.unit_f64() as $t;
+                    if rng.next_u64() & 0xFFF == 0 { hi } else { v }
+                }
+            }
+        )*};
+    }
+    float_range_strategy!(f32, f64);
+
+    /// String strategies from a regex-class pattern, e.g.
+    /// `"[a-z0-9:/_-]{1,32}"`. Supported: literal characters, `[…]`
+    /// classes with ranges, and `{m}` / `{m,n}` repetition.
+    impl Strategy for str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let set: Vec<char> = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"))
+                    + i;
+                let class = parse_class(&chars[i + 1..close]);
+                i = close + 1;
+                class
+            } else {
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            };
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed repetition in pattern {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("repetition min"),
+                        n.trim().parse().expect("repetition max"),
+                    ),
+                    None => {
+                        let m: usize = body.trim().parse().expect("repetition count");
+                        (m, m)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(!set.is_empty(), "empty character class in {pattern:?}");
+            assert!(min <= max, "bad repetition in {pattern:?}");
+            let count = min + rng.below((max - min + 1) as u64) as usize;
+            for _ in 0..count {
+                out.push(set[rng.below(set.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+
+    fn parse_class(body: &[char]) -> Vec<char> {
+        let mut set = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                let (lo, hi) = (body[i], body[i + 2]);
+                assert!(lo <= hi, "descending class range");
+                for c in lo..=hi {
+                    set.push(c);
+                }
+                i += 3;
+            } else {
+                // `-` as first/last class member is a literal.
+                set.push(body[i]);
+                i += 1;
+            }
+        }
+        set
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0);
+        (A.0, B.1);
+        (A.0, B.1, C.2);
+        (A.0, B.1, C.2, D.3);
+        (A.0, B.1, C.2, D.3, E.4);
+    }
+
+    /// Strategy returned by [`crate::prelude::any`].
+    pub struct Any<T>(pub(crate) core::marker::PhantomData<T>);
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait ArbitraryValue {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl ArbitraryValue for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl ArbitraryValue for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl ArbitraryValue for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite, sign-symmetric, wide dynamic range.
+            let mag = (rng.unit_f64() * 600.0 - 300.0).exp2();
+            if rng.next_u64() & 1 == 1 {
+                -mag
+            } else {
+                mag
+            }
+        }
+    }
+
+    impl<T: ArbitraryValue> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies: [`vec`] and [`hash_set`].
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::ops::{Range, RangeInclusive};
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// A size specification for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl SizeRange {
+        fn sample(self, rng: &mut TestRng) -> usize {
+            self.min + rng.below((self.max_exclusive - self.min) as u64) as usize
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { min: r.start, max_exclusive: r.end }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange { min: *r.start(), max_exclusive: *r.end() + 1 }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max_exclusive: n + 1 }
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates `HashSet`s whose elements come from `element`.
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy { element, size: size.into() }
+    }
+
+    /// See [`hash_set`].
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut out = HashSet::with_capacity(target);
+            // Duplicates shrink the set; retry generously, then accept what
+            // the element domain was able to produce (still ≥ min for every
+            // strategy this workspace uses).
+            let mut attempts = 0usize;
+            let budget = 100 + target * 100;
+            while out.len() < target && attempts < budget {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::strategy::{Any, ArbitraryValue, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Whole-domain strategy for `T`, mirroring `proptest::prelude::any`.
+    #[must_use]
+    pub fn any<T: ArbitraryValue>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+
+    pub mod prop {
+        //! Namespaced re-exports (`prop::collection::vec` etc.).
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests. See the crate docs for the supported subset.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr)
+        $($(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block)*
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| {
+                        $(let $pat = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut rng,
+                        );)+
+                        $body
+                    }),
+                );
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest case {case}/{total} of {name} failed \
+                         (rerun is deterministic)",
+                        total = config.cases,
+                        name = stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}
+
+/// `assert!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `assert_eq!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `assert_ne!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn string_pattern_respects_class_and_length() {
+        let mut rng = TestRng::deterministic("shim::pattern", 0);
+        for case in 0..500 {
+            let mut r = TestRng::deterministic("shim::pattern", case);
+            let s = Strategy::generate("[a-z0-9:/_-]{1,32}", &mut r);
+            assert!(!s.is_empty() && s.len() <= 32, "bad length: {s:?}");
+            assert!(
+                s.chars().all(|c| c.is_ascii_lowercase()
+                    || c.is_ascii_digit()
+                    || ":/_-".contains(c)),
+                "bad char in {s:?}"
+            );
+        }
+        // Literal atoms outside classes are kept verbatim.
+        let lit = Strategy::generate("ab[0-9]{2}", &mut rng);
+        assert!(lit.starts_with("ab") && lit.len() == 4, "{lit:?}");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds_and_are_deterministic() {
+        for case in 0..200 {
+            let mut a = TestRng::deterministic("shim::ranges", case);
+            let mut b = TestRng::deterministic("shim::ranges", case);
+            let x = Strategy::generate(&(5u64..17), &mut a);
+            assert!((5..17).contains(&x));
+            assert_eq!(x, Strategy::generate(&(5u64..17), &mut b));
+            let f = Strategy::generate(&(-2.0f64..3.0), &mut a);
+            assert!((-2.0..3.0).contains(&f));
+            let neg = Strategy::generate(&(-8i32..-1), &mut a);
+            assert!((-8..-1).contains(&neg));
+        }
+    }
+
+    #[test]
+    fn collections_respect_size_bounds() {
+        for case in 0..100 {
+            let mut rng = TestRng::deterministic("shim::coll", case);
+            let v = Strategy::generate(&prop::collection::vec(0u64..10, 3..8), &mut rng);
+            assert!((3..8).contains(&v.len()));
+            let s =
+                Strategy::generate(&prop::collection::hash_set(any::<u64>(), 2..20), &mut rng);
+            assert!((2..20).contains(&s.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: bindings, tuples, mut patterns, trailing comma.
+        #[test]
+        fn macro_binds_all_forms(
+            a in 1u64..10,
+            mut v in prop::collection::vec((0u64..5, any::<bool>()), 0..6),
+            s in "[a-z]{1,4}",
+        ) {
+            v.push((a % 5, true));
+            prop_assert!((1..10).contains(&a));
+            prop_assert!(!s.is_empty() && s.len() <= 4);
+            prop_assert_eq!(v.last().copied().map(|(x, _)| x), Some(a % 5));
+            prop_assert_ne!(v.len(), 0);
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal, API-compatible subset of `rand` 0.8: the
+//! [`RngCore`]/[`Rng`]/[`SeedableRng`] traits, [`rngs::SmallRng`]
+//! (xoshiro256++), the [`distributions::Standard`] and uniform-range
+//! sampling machinery, and [`seq::SliceRandom`]. Determinism matters more
+//! than statistical pedigree here: every generator is a pure function of
+//! its seed, which is exactly the reproducibility contract the simulator
+//! relies on. Swap this out for the real crate by pointing the
+//! `[workspace.dependencies]` entry back at the registry.
+
+#![forbid(unsafe_code)]
+
+/// Low-level source of randomness (subset of `rand::RngCore`).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest);
+    }
+}
+
+/// User-facing convenience methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples a value via the [`distributions::Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        unit_f64(self) < p
+    }
+
+    /// Samples from an explicit distribution.
+    fn sample<T, D>(&mut self, distr: D) -> T
+    where
+        D: distributions::Distribution<T>,
+    {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Draws a uniform value in `[0, 1)` with 53 bits of precision.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Fixed-size seed material.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Constructs the generator from raw seed material.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Stretches one `u64` into full seed material via SplitMix64.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Small, fast, seedable generator — xoshiro256++ (Blackman & Vigna),
+    /// the same family the real `SmallRng` uses on 64-bit targets.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // An all-zero state is the one fixed point of xoshiro; nudge it.
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            SmallRng { s }
+        }
+    }
+}
+
+pub mod distributions {
+    //! Sampling distributions (subset of `rand::distributions`).
+
+    use super::{unit_f64, RngCore};
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// The "natural" distribution for each primitive type.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    macro_rules! standard_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Distribution<u128> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+            (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            unit_f64(rng)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+        }
+    }
+
+    pub mod uniform {
+        //! Uniform-range sampling.
+
+        use super::super::{unit_f64, RngCore};
+        use core::ops::{Range, RangeInclusive};
+
+        /// Types that support uniform sampling from a range.
+        pub trait SampleUniform: PartialOrd + Copy {
+            /// Uniform draw from `[lo, hi)` (`inclusive = false`) or
+            /// `[lo, hi]` (`inclusive = true`).
+            fn sample_between<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self;
+        }
+
+        macro_rules! uniform_int {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    #[allow(unused_comparisons)]
+                    fn sample_between<R: RngCore + ?Sized>(
+                        lo: Self,
+                        hi: Self,
+                        inclusive: bool,
+                        rng: &mut R,
+                    ) -> Self {
+                        assert!(
+                            if inclusive { lo <= hi } else { lo < hi },
+                            "cannot sample empty range"
+                        );
+                        // Span as u128 so `i64::MIN..i64::MAX` cannot overflow.
+                        let span = (hi as i128 - lo as i128) as u128 + u128::from(inclusive);
+                        if span == 0 {
+                            // Inclusive range covering the whole domain.
+                            return rng.next_u64() as $t;
+                        }
+                        // Rejection sampling to kill modulo bias.
+                        let zone = u128::MAX - u128::MAX % span;
+                        loop {
+                            let v = (u128::from(rng.next_u64()) << 64)
+                                | u128::from(rng.next_u64());
+                            if v < zone {
+                                return ((lo as i128) + (v % span) as i128) as $t;
+                            }
+                        }
+                    }
+                }
+            )*};
+        }
+        uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        macro_rules! uniform_float {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_between<R: RngCore + ?Sized>(
+                        lo: Self,
+                        hi: Self,
+                        _inclusive: bool,
+                        rng: &mut R,
+                    ) -> Self {
+                        assert!(lo <= hi, "cannot sample empty range");
+                        lo + (hi - lo) * unit_f64(rng) as $t
+                    }
+                }
+            )*};
+        }
+        uniform_float!(f32, f64);
+
+        /// Ranges that can produce a uniform sample of `T`.
+        pub trait SampleRange<T> {
+            /// Draws one value from the range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_between(self.start, self.end, false, rng)
+            }
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_between(*self.start(), *self.end(), true, rng)
+            }
+        }
+    }
+}
+
+pub mod seq {
+    //! Slice helpers (subset of `rand::seq`).
+
+    use super::distributions::uniform::SampleUniform;
+    use super::RngCore;
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, `None` on an empty slice.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Up to `amount` distinct elements in random order.
+        fn choose_multiple<R: RngCore + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = usize::sample_between(0, i, true, rng);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[usize::sample_between(0, self.len(), false, rng)])
+            }
+        }
+
+        fn choose_multiple<R: RngCore + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&T> {
+            let mut idx: Vec<usize> = (0..self.len()).collect();
+            idx.shuffle(rng);
+            idx.truncate(amount);
+            idx.into_iter().map(|i| &self[i]).collect::<Vec<_>>().into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Standard};
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let va: Vec<u64> = (0..16).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.gen()).collect();
+        assert_eq!(va, vb);
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(va[0], c.gen::<u64>());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_every_value() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn standard_f64_is_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        for _ in 0..10_000 {
+            let v: f64 = Standard.sample(&mut rng);
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn choose_is_in_slice() {
+        let mut rng = SmallRng::seed_from_u64(19);
+        let v = [1, 2, 3];
+        for _ in 0..100 {
+            assert!(v.contains(v.choose(&mut rng).unwrap()));
+        }
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,190 @@
+//! Offline stand-in for the `rand_distr` crate.
+//!
+//! Implements the distributions this workspace samples — [`Exp`], [`Exp1`],
+//! [`Normal`], [`Zipf`] — against the local `rand` shim's
+//! [`Distribution`] trait. Inverse-transform and Box–Muller sampling keep
+//! the code tiny; all draws are deterministic functions of the RNG stream.
+
+#![forbid(unsafe_code)]
+
+pub use rand::distributions::Distribution;
+use rand::RngCore;
+
+/// Draws a uniform value in the open interval `(0, 1)` — safe to take
+/// `ln` of without hitting `-inf`.
+fn open01<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let v = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if v > 0.0 {
+            return v;
+        }
+    }
+}
+
+/// Error type shared by every constructor in this shim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistError(&'static str);
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for DistError {}
+
+/// The standard exponential distribution `Exp(1)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Exp1;
+
+impl Distribution<f64> for Exp1 {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        -open01(rng).ln()
+    }
+}
+
+/// The exponential distribution `Exp(lambda)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// `Exp(lambda)`; fails on non-positive or non-finite rates.
+    pub fn new(lambda: f64) -> Result<Self, DistError> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(DistError("Exp: lambda must be positive and finite"))
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        -open01(rng).ln() / self.lambda
+    }
+}
+
+/// The normal distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// `N(mean, std_dev²)`; fails on negative or non-finite `std_dev`.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, DistError> {
+        if std_dev >= 0.0 && std_dev.is_finite() && mean.is_finite() {
+            Ok(Normal { mean, std_dev })
+        } else {
+            Err(DistError("Normal: std_dev must be non-negative and finite"))
+        }
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; one fresh pair per draw keeps the sampler stateless.
+        let u = open01(rng);
+        let v = open01(rng);
+        let z = (-2.0 * u.ln()).sqrt() * (std::f64::consts::TAU * v).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// The Zipf distribution over `{1, …, n}` with exponent `s`.
+///
+/// Sampling is inverse-transform over the precomputed CDF (O(log n) per
+/// draw); `n` in this workspace is at most a few tens of thousands.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Zipf over `{1, …, n}` with exponent `s`; fails on `n = 0` or a
+    /// negative/non-finite exponent.
+    pub fn new(n: u64, s: f64) -> Result<Self, DistError> {
+        if n == 0 {
+            return Err(DistError("Zipf: n must be positive"));
+        }
+        if !(s.is_finite() && s >= 0.0) {
+            return Err(DistError("Zipf: exponent must be non-negative and finite"));
+        }
+        let mut cdf = Vec::with_capacity(usize::try_from(n).unwrap_or(usize::MAX));
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Ok(Zipf { cdf })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = open01(rng);
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp1_mean_is_one() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| Exp1.sample(&mut rng)).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 1.0).abs() < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn exp_mean_is_inverse_rate() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let d = Exp::new(4.0).unwrap();
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn normal_moments_match() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let d = Normal::new(10.0, 2.0).unwrap();
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+        assert!(Normal::new(0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let d = Zipf::new(100, 1.1).unwrap();
+        let mut counts = [0u32; 100];
+        for _ in 0..20_000 {
+            let v = d.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&v));
+            counts[v as usize - 1] += 1;
+        }
+        assert!(counts[0] > counts[9] && counts[9] > counts[99]);
+        assert!(Zipf::new(0, 1.0).is_err());
+    }
+}

@@ -8,7 +8,8 @@
 //!
 //! Most users want [`dd_core`]'s [`dd_core::Cluster`] API; the lower-level
 //! crates are re-exported for protocol-level experimentation. See the
-//! repository `README.md`, `DESIGN.md` and `EXPERIMENTS.md`.
+//! repository `README.md` for the workspace map, build instructions and
+//! the experiment catalogue (E1–E12 under `crates/bench/benches/`).
 
 pub use dd_core as core;
 pub use dd_dht as dht;

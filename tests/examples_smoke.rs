@@ -1,0 +1,76 @@
+//! Smoke test: every example under `examples/` must build and run to
+//! completion with a zero exit status. The examples double as executable
+//! documentation, so a broken one is a broken doc — this catches it in
+//! plain `cargo test` without requiring a separate CI step.
+
+use std::path::Path;
+use std::process::Command;
+
+/// Runs `cargo run --example <name>` with the same cargo that is driving
+/// this test, and returns the combined output on failure.
+fn run_example(name: &str) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_owned());
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let output = Command::new(cargo)
+        .current_dir(manifest_dir)
+        .args(["run", "--quiet", "--example", name])
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example {name} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}
+
+#[test]
+fn every_example_is_covered_here() {
+    // If a new example lands without a smoke test below, fail loudly.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut found: Vec<String> = std::fs::read_dir(dir)
+        .expect("examples/ directory exists")
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".rs").map(str::to_owned)
+        })
+        .collect();
+    found.sort();
+    assert_eq!(
+        found,
+        vec![
+            "analytics_scan",
+            "churn_availability",
+            "quickstart",
+            "social_feed",
+            "threaded_gossip"
+        ],
+        "examples/ changed — update examples_smoke.rs to cover the new set"
+    );
+}
+
+#[test]
+fn quickstart_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn social_feed_runs() {
+    run_example("social_feed");
+}
+
+#[test]
+fn analytics_scan_runs() {
+    run_example("analytics_scan");
+}
+
+#[test]
+fn churn_availability_runs() {
+    run_example("churn_availability");
+}
+
+#[test]
+fn threaded_gossip_runs() {
+    run_example("threaded_gossip");
+}
