@@ -3,16 +3,19 @@
 //! A [`Cluster`] hosts a complete DataDroplets deployment — `soft_n`
 //! soft-state nodes and `persist_n` persistent-state nodes — inside one
 //! deterministic simulation, and exposes the paper's client interface:
-//! `put` / `get` / `delete` / `scan` / `aggregate`. Operations are
-//! asynchronous (inject, then [`Cluster::wait_put`] etc. drive virtual time
-//! until the coordinator completes them), which lets experiments interleave
-//! churn with traffic.
+//! `put` / `get` / `delete` / `scan` / `aggregate`, plus the multi-tuple
+//! operations `multi_put` (batched writes) and `multi_get` (tag-scoped
+//! reads, routed to the tag's slot-owners under
+//! [`Placement::TagCollocation`]). Operations are asynchronous (inject,
+//! then [`Cluster::wait_put`] etc. drive virtual time until the
+//! coordinator completes them), which lets experiments interleave churn
+//! with traffic.
 
 use crate::msg::DropletMsg;
 use crate::persist::PersistNode;
 use crate::sieve_spec::SieveSpec;
-use crate::soft::{PutStatus, SoftNode};
-use crate::tuple::{Key, StoredTuple};
+use crate::soft::{MultiPutStatus, PutStatus, SoftNode};
+use crate::tuple::{Key, StoredTuple, TupleSpec};
 use dd_epidemic::required_fanout;
 use dd_dht::Version;
 use dd_sim::{Ctx, Duration, NodeId, Process, Sim, SimConfig, TimerTag};
@@ -24,6 +27,27 @@ pub type PutResult = PutStatus;
 
 /// A successful read returns the stored tuple.
 pub type GetResult = StoredTuple;
+
+/// Result of a completed batched write.
+pub type MultiPutResult = MultiPutStatus;
+
+/// Persistent-layer placement strategy: which sieve family every node
+/// runs, and therefore how the coordinator can route reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// Key-range partition (the default): node `i` of `n` covers segment
+    /// `i`, `r`-fold — the paper's "responsible for a given portion of
+    /// the key space".
+    #[default]
+    RangePartition,
+    /// Uniform `r/N` acceptance with a per-node salt (the paper's
+    /// simplest sieve). Placement is random: correlated reads fan out.
+    Uniform,
+    /// Tag collocation (§III-B-1): tuples sharing a tag land on the same
+    /// `r` slot-owners, and tag-scoped reads are routed to exactly those
+    /// nodes.
+    TagCollocation,
+}
 
 /// Result of an aggregate query (§III-C): duplicate-tolerant summaries
 /// merged from every persistent node's bottom-k sketch.
@@ -72,8 +96,8 @@ pub struct ClusterConfig {
     pub cache_capacity: usize,
     /// Persistent-layer repair period in ticks; `None` disables repair.
     pub repair_period: Option<u64>,
-    /// Use uniform `r/N` sieves instead of the default range partition.
-    pub uniform_sieves: bool,
+    /// Persistent-layer placement strategy.
+    pub placement: Placement,
 }
 
 impl Default for ClusterConfig {
@@ -85,7 +109,7 @@ impl Default for ClusterConfig {
             fanout: None,
             cache_capacity: 128,
             repair_period: Some(1_000),
-            uniform_sieves: false,
+            placement: Placement::RangePartition,
         }
     }
 }
@@ -128,7 +152,15 @@ impl ClusterConfig {
     /// Builder: uniform `r/N` sieves (the paper's simplest sieve).
     #[must_use]
     pub fn uniform_sieves(mut self) -> Self {
-        self.uniform_sieves = true;
+        self.placement = Placement::Uniform;
+        self
+    }
+
+    /// Builder: tag-collocation sieves, with tag-aware read routing in
+    /// the soft layer (§III-B-1).
+    #[must_use]
+    pub fn tag_sieves(mut self) -> Self {
+        self.placement = Placement::TagCollocation;
         self
     }
 }
@@ -183,14 +215,16 @@ impl Process for DropletNode {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, DropletMsg>, tag: TimerTag) {
-        if let DropletNode::Persist(p) = self {
-            p.on_timer(ctx, tag);
+        match self {
+            DropletNode::Soft(s) => s.on_timer(ctx, tag),
+            DropletNode::Persist(p) => p.on_timer(ctx, tag),
         }
     }
 
     fn on_up(&mut self, ctx: &mut Ctx<'_, DropletMsg>) {
-        if let DropletNode::Persist(p) = self {
-            p.arm_timers(ctx);
+        match self {
+            DropletNode::Soft(s) => s.arm_timers(ctx),
+            DropletNode::Persist(p) => p.arm_timers(ctx),
         }
     }
 }
@@ -223,21 +257,28 @@ impl Cluster {
             .unwrap_or_else(|| required_fanout(config.persist_n, 0.999));
         let mut sim: Sim<DropletNode> = Sim::new(SimConfig::default().seed(seed));
         for &id in &soft_ids {
-            sim.add_node(
-                id,
-                DropletNode::Soft(SoftNode::new(
-                    &soft_ids,
-                    persist_ids.clone(),
-                    fanout,
-                    config.cache_capacity,
-                )),
-            );
+            let mut soft =
+                SoftNode::new(&soft_ids, persist_ids.clone(), fanout, config.cache_capacity);
+            if config.placement == Placement::TagCollocation {
+                // Slot s is run by persist_ids[s]; the soft node's peer
+                // list is in that order, so routed slots map directly.
+                soft = soft.with_tag_routing(config.persist_n, config.replication);
+            }
+            sim.add_node(id, DropletNode::Soft(soft));
         }
         for (i, &id) in persist_ids.iter().enumerate() {
-            let sieve = if config.uniform_sieves {
-                SieveSpec::Uniform { salt: id.0, r: config.replication, n: config.persist_n }
-            } else {
-                SieveSpec::default_for(i as u64, config.persist_n, config.replication)
+            let sieve = match config.placement {
+                Placement::RangePartition => {
+                    SieveSpec::default_for(i as u64, config.persist_n, config.replication)
+                }
+                Placement::Uniform => {
+                    SieveSpec::Uniform { salt: id.0, r: config.replication, n: config.persist_n }
+                }
+                Placement::TagCollocation => SieveSpec::Tag {
+                    slot: i as u64,
+                    slots: config.persist_n,
+                    r: config.replication,
+                },
             };
             let peers: Vec<NodeId> =
                 persist_ids.iter().copied().filter(|&p| p != id).collect();
@@ -357,66 +398,128 @@ impl Cluster {
         req
     }
 
-    fn wait<T>(
-        &mut self,
-        mut probe: impl FnMut(&Sim<DropletNode>) -> Option<T>,
-    ) -> Option<T> {
+    /// Issues a batched write (the social-feed `mput`); returns the
+    /// request id. The receiving soft node splits the batch and routes
+    /// each item to its key coordinator.
+    pub fn multi_put(&mut self, items: impl IntoIterator<Item = TupleSpec>) -> u64 {
+        let req = self.fresh_req();
+        let entry = self.entry_node();
+        let items: Vec<TupleSpec> = items.into_iter().collect();
+        self.sim.inject(entry, entry, DropletMsg::ClientMultiPut { req, items });
+        req
+    }
+
+    /// Issues a tag-scoped read (the social-feed `mget`): every live
+    /// tuple carrying `tag`. Returns the request id. Under
+    /// [`Placement::TagCollocation`] only the tag's `r` slot-owners are
+    /// contacted; other placements fan out to the whole persistent layer.
+    pub fn multi_get(&mut self, tag: &str) -> u64 {
+        let req = self.fresh_req();
+        let entry = self.entry_node();
+        self.sim.inject(entry, entry, DropletMsg::ClientMultiGet { req, tag: tag.to_owned() });
+        req
+    }
+
+    /// The shared polling driver behind every `wait_*`: drives virtual
+    /// time until `probe` finds the operation's result on some soft node.
+    fn wait_for<T>(&mut self, probe: impl Fn(&SoftNode) -> Option<T>) -> Option<T> {
+        let find = |sim: &Sim<DropletNode>, ids: &[NodeId]| {
+            ids.iter()
+                .filter_map(|&id| sim.node(id).and_then(DropletNode::as_soft))
+                .find_map(&probe)
+        };
         for _ in 0..200 {
-            if let Some(v) = probe(&self.sim) {
+            if let Some(v) = find(&self.sim, &self.soft_ids) {
                 return Some(v);
             }
             self.sim.run_for(Duration(50));
         }
-        probe(&self.sim)
-    }
-
-    fn soft_nodes<'a>(sim: &'a Sim<DropletNode>, ids: &[NodeId]) -> Vec<&'a SoftNode> {
-        ids.iter().filter_map(|&id| sim.node(id).and_then(DropletNode::as_soft)).collect()
+        find(&self.sim, &self.soft_ids)
     }
 
     /// Drives time until the write completes; `None` on timeout (e.g. the
     /// coordinator died). The result keeps updating as more acks arrive —
     /// call again later for the final count.
     pub fn wait_put(&mut self, req: u64) -> Option<PutResult> {
-        let ids = self.soft_ids.clone();
-        self.wait(|sim| {
-            Self::soft_nodes(sim, &ids)
-                .iter()
-                .find_map(|s| s.completed_puts.get(&req).copied())
-        })
+        self.wait_for(|s| s.completed_puts.get(&req).copied())
     }
 
     /// Drives time until the read completes. Outer `None` = timeout; inner
     /// `None` = key absent (never written, deleted, or unreachable).
     pub fn wait_get(&mut self, req: u64) -> Option<Option<GetResult>> {
-        let ids = self.soft_ids.clone();
-        self.wait(|sim| {
-            Self::soft_nodes(sim, &ids)
-                .iter()
-                .find_map(|s| s.completed_gets.get(&req).cloned())
-        })
+        self.wait_for(|s| s.completed_gets.get(&req).cloned())
     }
 
     /// Drives time until the scan completes.
     pub fn wait_scan(&mut self, req: u64) -> Option<Vec<StoredTuple>> {
-        let ids = self.soft_ids.clone();
-        self.wait(|sim| {
-            Self::soft_nodes(sim, &ids)
-                .iter()
-                .find_map(|s| s.completed_scans.get(&req).cloned())
-        })
+        self.wait_for(|s| s.completed_scans.get(&req).cloned())
     }
 
     /// Drives time until the aggregate completes.
     pub fn wait_aggregate(&mut self, req: u64) -> Option<AggregateResult> {
-        let ids = self.soft_ids.clone();
-        self.wait(|sim| {
-            Self::soft_nodes(sim, &ids).iter().find_map(|s| {
-                s.completed_aggs
-                    .get(&req)
-                    .map(|(sk, min, max)| AggregateResult { sketch: sk.clone(), min: *min, max: *max })
-            })
+        self.wait_for(|s| {
+            s.completed_aggs
+                .get(&req)
+                .map(|(sk, min, max)| AggregateResult { sketch: sk.clone(), min: *min, max: *max })
         })
+    }
+
+    /// Drives time until the batched write completes: every item has a
+    /// version and is disseminating (`items` == batch size), or the
+    /// deadline sweep gave up on acks from dead key coordinators
+    /// (`items` < batch size).
+    pub fn wait_multi_put(&mut self, req: u64) -> Option<MultiPutResult> {
+        self.wait_for(|s| s.completed_multi_puts.get(&req).cloned())
+    }
+
+    /// Drives time until the tag-scoped read completes; the result is the
+    /// deduplicated live tuple set, ordered by attribute then key.
+    pub fn wait_multi_get(&mut self, req: u64) -> Option<Vec<StoredTuple>> {
+        self.wait_for(|s| s.completed_multi_gets.get(&req).cloned())
+    }
+
+    /// Workload driver: feeds `batches` batched writes of `batch` items
+    /// from `workload` through [`Cluster::multi_put`], waiting for each
+    /// to be ordered, and returns the distinct tags written in
+    /// first-use order. Callers should [`Cluster::run_for`] a settle
+    /// period before reading the tags back. Shared by the benches,
+    /// examples and tests so the multi-op driving logic lives once.
+    ///
+    /// # Panics
+    /// Panics if a batch fails to order within the wait window.
+    pub fn drive_multi_puts(
+        &mut self,
+        workload: &mut crate::Workload,
+        batches: usize,
+        batch: usize,
+    ) -> Vec<String> {
+        let mut tags = Vec::new();
+        for _ in 0..batches {
+            let m = workload.next_multi_put(batch);
+            if let Some(tag) = m.tag {
+                if !tags.contains(&tag) {
+                    tags.push(tag);
+                }
+            }
+            let req = self.multi_put(m.items.into_iter().map(TupleSpec::from));
+            let status = self.wait_multi_put(req).expect("multi_put batch failed to order");
+            assert_eq!(status.items, batch);
+        }
+        tags
+    }
+
+    /// Workload driver: [`Cluster::multi_get`]s every tag and returns
+    /// the tuple sets in tag order.
+    ///
+    /// # Panics
+    /// Panics if a read times out.
+    pub fn read_tags(&mut self, tags: &[String]) -> Vec<Vec<StoredTuple>> {
+        tags.iter()
+            .map(|tag| {
+                let req = self.multi_get(tag);
+                self.wait_multi_get(req).expect("multi_get timed out")
+            })
+            .collect()
     }
 
     /// Number of live persist nodes currently holding the latest version
@@ -657,6 +760,197 @@ mod tests {
         let r = c.get("u");
         let got = c.wait_get(r).expect("completes").expect("found");
         assert_eq!(got.value, b"uniform".to_vec());
+    }
+
+    /// Writes `batches` social-feed batches of `batch` posts each through
+    /// the shared driver and returns the distinct tags.
+    fn write_feed_batches(c: &mut Cluster, seed: u64, batches: usize, batch: usize) -> Vec<String> {
+        let mut w = crate::Workload::new(crate::WorkloadKind::SocialFeed { users: 4 }, seed);
+        let tags = c.drive_multi_puts(&mut w, batches, batch);
+        c.run_for(5_000);
+        tags
+    }
+
+    /// Reads every tag back with `multi_get` and returns, per tag, the
+    /// sorted key set retrieved.
+    fn read_feeds(c: &mut Cluster, tags: &[String]) -> Vec<Vec<String>> {
+        c.read_tags(tags)
+            .into_iter()
+            .map(|tuples| {
+                let mut keys: Vec<String> = tuples.into_iter().map(|t| t.key.0).collect();
+                keys.sort();
+                keys
+            })
+            .collect()
+    }
+
+    #[test]
+    fn multi_put_then_multi_get_round_trips_under_tag_placement() {
+        let mut c = Cluster::new(ClusterConfig::small().tag_sieves(), 21);
+        c.settle();
+        let tags = write_feed_batches(&mut c, 77, 6, 5);
+        for (tag, keys) in tags.iter().zip(read_feeds(&mut c, &tags)) {
+            assert!(!keys.is_empty(), "feed {tag} reads back");
+            let user = tag.strip_prefix("feed:").unwrap();
+            assert!(
+                keys.iter().all(|k| k.starts_with(&format!("post:{user}:"))),
+                "only the tag's posts come back for {tag}: {keys:?}"
+            );
+        }
+        // Tuples written through the batch plane are ordinary tuples:
+        // single-key reads see them too.
+        let some_key = {
+            let req = c.multi_get(&tags[0]);
+            c.wait_multi_get(req).unwrap().first().unwrap().key.clone()
+        };
+        let r = c.get(some_key);
+        assert!(c.wait_get(r).unwrap().is_some());
+    }
+
+    #[test]
+    fn tag_placement_contacts_at_most_r_nodes_random_contacts_more() {
+        let run = |config: ClusterConfig| {
+            let mut c = Cluster::new(config, 33);
+            c.settle();
+            let tags = write_feed_batches(&mut c, 99, 6, 5);
+            let feeds = read_feeds(&mut c, &tags);
+            let contacts = c.sim.metrics().summary("multi_get.contacted_nodes");
+            assert_eq!(contacts.n, tags.len(), "one observation per multi_get");
+            (feeds, contacts.max)
+        };
+        // Replication 5 for both: a uniform sieve population misses a
+        // tuple entirely with probability ~e^-r (the paper's coverage
+        // trade-off, E3), so r = 3 would lose ~4% of writes and the
+        // tuple-set comparison below would be about coverage, not routing.
+        let config = ClusterConfig::small().replication(5);
+        let (tagged_feeds, tagged_max) = run(config.clone().tag_sieves());
+        let (uniform_feeds, uniform_max) = run(config.clone().uniform_sieves());
+
+        // Acceptance bound: tag routing touches at most r persist nodes
+        // (well under the r + soft_n allowance that includes soft-layer
+        // forwarding hops).
+        assert!(
+            tagged_max <= f64::from(config.replication),
+            "tag routing contacted {tagged_max} nodes"
+        );
+        // Random placement must fan out to strictly more nodes for the
+        // same workload…
+        assert!(
+            uniform_max > tagged_max,
+            "uniform placement should contact more nodes: {uniform_max} vs {tagged_max}"
+        );
+        // …yet return the same tuple sets (fallback correctness).
+        assert_eq!(tagged_feeds, uniform_feeds, "same feeds, placement-independent");
+    }
+
+    #[test]
+    fn multi_get_survives_a_dead_slot_owner() {
+        let mut c = Cluster::new(ClusterConfig::small().tag_sieves(), 66);
+        c.settle();
+        let k = 5u8;
+        let batch: Vec<TupleSpec> = (0..k)
+            .map(|i| TupleSpec::new(format!("s:{i}"), vec![i], Some(f64::from(i)), Some("feed:s")))
+            .collect();
+        let w = c.multi_put(batch);
+        c.wait_multi_put(w).expect("ordered");
+        c.run_for(5_000);
+        // Kill one of the tag's r slot-owners; the remaining replicas
+        // still hold the full feed.
+        let th = dd_sim::rng::stable_hash(b"feed:s");
+        let slots = dd_sieve::TagSieve::tag_slots(th, c.config().persist_n, c.config().replication);
+        let victim = c.persist_ids()[slots[0] as usize];
+        c.sim.kill(victim);
+        c.run_for(10);
+        let r = c.multi_get("feed:s");
+        let feed = c.wait_multi_get(r).expect("completes despite the dead owner");
+        assert_eq!(feed.len(), k as usize, "surviving owners serve the full feed");
+        assert_eq!(c.sim.metrics().counter("soft.multi_get_partials"), 1);
+    }
+
+    #[test]
+    fn multi_put_completes_partially_when_a_key_coordinator_is_dead() {
+        let mut c = Cluster::new(ClusterConfig::small().tag_sieves(), 88);
+        c.settle();
+        // Split candidate keys by whether the victim soft node is their
+        // key coordinator (the ring is identical on every soft node).
+        let victim = c.soft_ids()[0];
+        let ring_view = c.sim.node(victim).and_then(DropletNode::as_soft).unwrap().ring.clone();
+        let (orphaned, healthy): (Vec<String>, Vec<String>) = (0..40u32)
+            .map(|i| format!("mp:{i}"))
+            .partition(|k| ring_view.primary(Key::from(k.clone()).hash()) == Some(victim));
+        assert!(orphaned.len() >= 2 && healthy.len() >= 2, "both classes sampled");
+        let batch: Vec<TupleSpec> = orphaned
+            .iter()
+            .take(3)
+            .chain(healthy.iter().take(5))
+            .map(|k| TupleSpec::new(k.clone(), b"v".to_vec(), None, Some("feed:mp")))
+            .collect();
+        c.sim.kill(victim);
+        c.run_for(10);
+        let req = c.multi_put(batch);
+        let status = c.wait_multi_put(req).expect("deadline completes the batch");
+        assert_eq!(status.items, 5, "only the live coordinators' items ordered");
+        assert!(c.sim.metrics().counter("soft.multi_put_partials") >= 1);
+    }
+
+    #[test]
+    fn multi_get_survives_a_coordinator_reboot_mid_op() {
+        let mut c = Cluster::new(ClusterConfig::small().tag_sieves(), 99);
+        c.settle();
+        let batch: Vec<TupleSpec> = (0..4u8)
+            .map(|i| TupleSpec::new(format!("rb:{i}"), vec![i], Some(f64::from(i)), Some("feed:rb")))
+            .collect();
+        let w = c.multi_put(batch);
+        c.wait_multi_put(w).expect("ordered");
+        c.run_for(5_000);
+        let th = dd_sim::rng::stable_hash(b"feed:rb");
+        // Keep the read pending past its first ticks: one slot-owner is
+        // dead, so only the deadline can complete it.
+        let slots = dd_sieve::TagSieve::tag_slots(th, c.config().persist_n, c.config().replication);
+        c.sim.kill(c.persist_ids()[slots[0] as usize]);
+        c.run_for(10);
+        let req = c.multi_get("feed:rb");
+        c.run_for(100); // op reaches its soft coordinator and goes pending
+        // Bounce the tag's soft coordinator: state survives, timers don't.
+        let sc = c
+            .sim
+            .node(c.soft_ids()[0])
+            .and_then(DropletNode::as_soft)
+            .unwrap()
+            .coordinator_of(th)
+            .expect("soft ring nonempty");
+        c.sim.kill(sc);
+        c.run_for(50);
+        c.sim.revive(sc);
+        let feed = c.wait_multi_get(req).expect("re-armed deadline completes the read");
+        assert_eq!(feed.len(), 4, "surviving owners serve the full feed");
+    }
+
+    #[test]
+    fn multi_get_of_unknown_tag_is_empty() {
+        let mut c = Cluster::new(ClusterConfig::small().tag_sieves(), 44);
+        c.settle();
+        let req = c.multi_get("feed:nobody");
+        assert_eq!(c.wait_multi_get(req), Some(Vec::new()));
+    }
+
+    #[test]
+    fn deleted_tuples_leave_the_feed() {
+        let mut c = Cluster::new(ClusterConfig::small().tag_sieves(), 55);
+        c.settle();
+        let batch: Vec<TupleSpec> = (0..4u8)
+            .map(|i| TupleSpec::new(format!("p:{i}"), vec![i], Some(f64::from(i)), Some("feed:z")))
+            .collect();
+        let w = c.multi_put(batch);
+        c.wait_multi_put(w).expect("ordered");
+        c.run_for(5_000);
+        let d = c.delete("p:2");
+        c.wait_put(d).expect("delete ordered");
+        c.run_for(5_000);
+        let r = c.multi_get("feed:z");
+        let feed = c.wait_multi_get(r).expect("completes");
+        assert_eq!(feed.len(), 3);
+        assert!(feed.iter().all(|t| t.key.0 != "p:2"));
     }
 
     #[test]

@@ -21,6 +21,36 @@
 //! assert_eq!(got.unwrap().value, b"alice".to_vec());
 //! ```
 //!
+//! ## Multi-tuple operations
+//!
+//! Correlated tuples are written as one batch (`multi_put`) and read back
+//! by tag (`multi_get`) — the social-feed `mput`/`mget` of the paper's
+//! evaluation workload \[18\]. Under [`cluster::Placement::TagCollocation`]
+//! the tag's tuples co-locate on `replication` slot-owners and a
+//! `multi_get` contacts exactly those nodes; under uniform or range
+//! placement it falls back to epidemic fan-out:
+//!
+//! ```
+//! use dd_core::{Cluster, ClusterConfig, TupleSpec};
+//!
+//! let mut cluster = Cluster::new(ClusterConfig::small().tag_sieves(), 7);
+//! cluster.settle();
+//! let batch: Vec<TupleSpec> = (0..3u8)
+//!     .map(|i| {
+//!         TupleSpec::new(format!("post:{i}"), vec![i], Some(f64::from(i)), Some("feed:a"))
+//!     })
+//!     .collect();
+//! let w = cluster.multi_put(batch);
+//! assert_eq!(cluster.wait_multi_put(w).expect("batch ordered").items, 3);
+//! cluster.run_for(2_000);
+//! let r = cluster.multi_get("feed:a");
+//! let feed = cluster.wait_multi_get(r).expect("feed read");
+//! assert_eq!(feed.len(), 3, "all posts of the tag come back");
+//! // The tag's r owners answered — not the whole persistent layer.
+//! let contacted = cluster.sim.metrics().summary("multi_get.contacted_nodes").max;
+//! assert!(contacted <= f64::from(cluster.config().replication));
+//! ```
+//!
 //! Modules: `tuple` (data model), [`sieve_spec`] (wire-format sieves),
 //! [`msg`] (the composite protocol), [`soft`] and [`persist`] (the two
 //! node roles), [`cluster`] (whole-system harness + public API),
@@ -37,8 +67,11 @@ pub mod soft;
 pub mod tuple;
 pub mod workload;
 
-pub use cluster::{AggregateResult, Cluster, ClusterConfig, GetResult, PutResult};
+pub use cluster::{
+    AggregateResult, Cluster, ClusterConfig, GetResult, MultiPutResult, Placement, PutResult,
+};
 pub use msg::DropletMsg;
 pub use sieve_spec::SieveSpec;
-pub use tuple::{Key, StoredTuple};
-pub use workload::{Workload, WorkloadKind};
+pub use soft::MultiPutStatus;
+pub use tuple::{Key, StoredTuple, TupleSpec};
+pub use workload::{MultiPutOp, Workload, WorkloadKind};

@@ -2,7 +2,7 @@
 //! layers (the simulator hosts one process type per run).
 
 use crate::sieve_spec::SieveSpec;
-use crate::tuple::{Key, StoredTuple};
+use crate::tuple::{Key, StoredTuple, TupleSpec};
 use bytes::Bytes;
 use dd_epidemic::antientropy::Digest;
 use dd_estimation::DistSketch;
@@ -56,6 +56,64 @@ pub enum DropletMsg {
     ClientAggregate {
         /// Request id.
         req: u64,
+    },
+    /// Batched write (the social-feed `mput`): the receiving soft node
+    /// becomes the multi-op coordinator, splits the batch by key and
+    /// routes each item to its key coordinator.
+    ClientMultiPut {
+        /// Request id.
+        req: u64,
+        /// The batch.
+        items: Vec<TupleSpec>,
+    },
+    /// Tag-scoped read (the social-feed `mget`): fetch every live tuple
+    /// carrying `tag`. Routed to the tag's soft coordinator, which
+    /// contacts the tag's `r` slot-owners when tag sieves are active and
+    /// falls back to full fan-out otherwise.
+    ClientMultiGet {
+        /// Request id.
+        req: u64,
+        /// Correlation tag (verbatim, as written).
+        tag: String,
+    },
+
+    // ------------------------------------------------------------------
+    // Multi-op plane: soft-layer routing and tag-scoped persistent reads.
+    // ------------------------------------------------------------------
+    /// Multi-op coordinator → key coordinator: order and disseminate one
+    /// batch item on behalf of `origin`'s multi-put.
+    SubPut {
+        /// Multi-op request id.
+        req: u64,
+        /// The multi-op coordinator awaiting [`DropletMsg::SubPutAck`].
+        origin: NodeId,
+        /// The batch item.
+        item: TupleSpec,
+    },
+    /// Key coordinator → multi-op coordinator: the item was ordered (a
+    /// version is assigned and dissemination has started).
+    SubPutAck {
+        /// Multi-op request id.
+        req: u64,
+        /// Key hash of the ordered item.
+        key_hash: u64,
+        /// Version the item was ordered at.
+        version: Version,
+    },
+    /// Coordinator → persist: report every live tuple carrying the tag
+    /// (served from the secondary tag index).
+    TagFetch {
+        /// Request id.
+        req: u64,
+        /// Hash of the correlation tag.
+        tag_hash: u64,
+    },
+    /// Persist → coordinator: local live tuples with the tag.
+    TagFetchReply {
+        /// Request id.
+        req: u64,
+        /// Matching live tuples.
+        items: Vec<StoredTuple>,
     },
 
     // ------------------------------------------------------------------

@@ -15,7 +15,7 @@ use dd_estimation::DistSketch;
 use dd_sim::{Ctx, Duration, NodeId, TimerTag};
 use rand::seq::SliceRandom;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Timer tag for repair rounds.
 pub const REPAIR_TIMER: TimerTag = TimerTag(0xFE4A);
@@ -30,12 +30,17 @@ pub struct PersistNode {
     /// All persist-layer peers (closed world per experiment; a Cyclon view
     /// plugs in identically via the same `Vec<NodeId>` refresh).
     pub peers: Vec<NodeId>,
-    /// Latest live tuple per key hash.
+    /// Latest live tuple per key hash. Mutate through [`PersistNode::apply`]
+    /// only — it keeps the secondary tag index consistent.
     pub store: HashMap<u64, StoredTuple>,
     /// Repair period; `None` disables maintenance.
     pub repair_period: Option<Duration>,
     /// Sketch capacity for aggregate replies.
     pub sketch_k: usize,
+    /// Secondary index: tag hash → key hashes of live tuples carrying the
+    /// tag. Serves tag-scoped reads ([`DropletMsg::TagFetch`]) without a
+    /// store scan; maintained by [`PersistNode::apply`].
+    tag_index: HashMap<u64, HashSet<u64>>,
 }
 
 impl PersistNode {
@@ -54,6 +59,7 @@ impl PersistNode {
             store: HashMap::new(),
             repair_period,
             sketch_k: 256,
+            tag_index: HashMap::new(),
         }
     }
 
@@ -63,16 +69,56 @@ impl PersistNode {
         self.store.values().filter(|t| !t.deleted).count()
     }
 
-    /// Applies a tuple if it is newer than what we hold. Returns `true`
-    /// when the store changed.
+    /// Applies a tuple if it is newer than what we hold, keeping the tag
+    /// index in step. Returns `true` when the store changed.
     pub fn apply(&mut self, tuple: StoredTuple) -> bool {
-        match self.store.get(&tuple.key_hash) {
-            Some(existing) if existing.version >= tuple.version => false,
-            _ => {
-                self.store.insert(tuple.key_hash, tuple);
-                true
+        let previous_tag = match self.store.get(&tuple.key_hash) {
+            Some(existing) if existing.version >= tuple.version => return false,
+            Some(existing) => existing.tag_hash,
+            None => None,
+        };
+        let new_tag = (!tuple.deleted).then_some(tuple.tag_hash).flatten();
+        if previous_tag != new_tag {
+            if let Some(old) = previous_tag {
+                if let Some(keys) = self.tag_index.get_mut(&old) {
+                    keys.remove(&tuple.key_hash);
+                    if keys.is_empty() {
+                        self.tag_index.remove(&old);
+                    }
+                }
+            }
+            if let Some(t) = new_tag {
+                self.tag_index.entry(t).or_default().insert(tuple.key_hash);
             }
         }
+        self.store.insert(tuple.key_hash, tuple);
+        true
+    }
+
+    /// Whether this node should apply `tuple` when it arrives: the sieve
+    /// decides for live tuples, but tombstones are wanted *everywhere*.
+    /// A tombstone carries no tag/attr, so a collocation or histogram
+    /// sieve would never deliver the delete to the very nodes storing the
+    /// live tuple; and because epidemic delivery is unordered, a
+    /// tombstone can arrive before the live tuple it supersedes — only a
+    /// node that kept it can then reject the stale live write. Tombstones
+    /// are empty-valued, so the cost is metadata-only.
+    #[must_use]
+    pub fn wants(&self, tuple: &StoredTuple) -> bool {
+        tuple.deleted || self.sieve.accepts(&tuple.item_meta())
+    }
+
+    /// Live tuples carrying `tag_hash`, via the secondary index.
+    #[must_use]
+    pub fn by_tag(&self, tag_hash: u64) -> Vec<StoredTuple> {
+        self.tag_index
+            .get(&tag_hash)
+            .into_iter()
+            .flatten()
+            .filter_map(|kh| self.store.get(kh))
+            .filter(|t| !t.deleted)
+            .cloned()
+            .collect()
     }
 
     /// The digest of held `(key, version)` pairs, as rumor ids.
@@ -81,7 +127,9 @@ impl PersistNode {
         Digest::from_ids(self.store.values().map(|t| RumorId(t.rumor_id())).collect())
     }
 
-    /// Tuples the peer (per its digest) is missing *and* its sieve accepts.
+    /// Tuples the peer (per its digest) is missing *and* wants: live
+    /// tuples its sieve accepts, plus any tombstone (see
+    /// [`PersistNode::wants`]).
     #[must_use]
     pub fn items_for_peer(&self, their_digest: &Digest, their_sieve: &SieveSpec) -> Vec<StoredTuple> {
         let theirs: std::collections::HashSet<RumorId> =
@@ -89,7 +137,7 @@ impl PersistNode {
         self.store
             .values()
             .filter(|t| !theirs.contains(&RumorId(t.rumor_id())))
-            .filter(|t| their_sieve.accepts(&t.item_meta()))
+            .filter(|t| t.deleted || their_sieve.accepts(&t.item_meta()))
             .cloned()
             .collect()
     }
@@ -104,7 +152,7 @@ impl PersistNode {
                 let (first, targets) = self.push.on_rumor(ctx.rng(), self_id, &peers, id, hops);
                 if first {
                     ctx.metrics().incr("persist.received");
-                    if self.sieve.accepts(&tuple.item_meta()) {
+                    if self.wants(&tuple) {
                         let (key_hash, version) = (tuple.key_hash, tuple.version);
                         if self.apply(tuple.clone()) {
                             ctx.metrics().incr("persist.stored");
@@ -132,6 +180,10 @@ impl PersistNode {
                     .cloned();
                 ctx.metrics().incr("persist.fetches");
                 ctx.send(from, DropletMsg::FetchReply { req, found });
+            }
+            DropletMsg::TagFetch { req, tag_hash } => {
+                ctx.metrics().incr("persist.tag_fetches");
+                ctx.send(from, DropletMsg::TagFetchReply { req, items: self.by_tag(tag_hash) });
             }
             DropletMsg::ScanReq { req, lo, hi } => {
                 let items: Vec<StoredTuple> = self
@@ -172,7 +224,7 @@ impl PersistNode {
             DropletMsg::RepairSync { digest, items } => {
                 let mut recovered = 0u64;
                 for t in items {
-                    if self.sieve.accepts(&t.item_meta()) && self.apply(t) {
+                    if self.wants(&t) && self.apply(t) {
                         recovered += 1;
                     }
                 }
@@ -185,7 +237,7 @@ impl PersistNode {
             DropletMsg::RepairItems(items) => {
                 let mut recovered = 0u64;
                 for t in items {
-                    if self.sieve.accepts(&t.item_meta()) && self.apply(t) {
+                    if self.wants(&t) && self.apply(t) {
                         recovered += 1;
                     }
                 }
@@ -248,6 +300,90 @@ mod tests {
         n.apply(StoredTuple::tombstone("k".into(), Version(2)));
         assert_eq!(n.live_count(), 0);
         assert_eq!(n.store.len(), 1, "tombstone retained for ordering");
+    }
+
+    fn tagged(key: &str, version: u64, tag: &str) -> StoredTuple {
+        StoredTuple::new(Key::from(key), Version(version), b"v".to_vec(), Some(1.0), Some(tag))
+    }
+
+    #[test]
+    fn tag_index_serves_live_tuples_by_tag() {
+        let mut n = PersistNode::new(SieveSpec::Range { index: 0, of: 1, r: 1 }, 2, vec![], None);
+        let th = dd_sim::rng::stable_hash(b"feed:a");
+        n.apply(tagged("p1", 1, "feed:a"));
+        n.apply(tagged("p2", 1, "feed:a"));
+        n.apply(tagged("q1", 1, "feed:b"));
+        n.apply(tuple("untagged", 1));
+        let feed = n.by_tag(th);
+        assert_eq!(feed.len(), 2);
+        assert!(feed.iter().all(|t| t.tag_hash == Some(th)));
+        assert!(n.by_tag(dd_sim::rng::stable_hash(b"feed:none")).is_empty());
+    }
+
+    #[test]
+    fn tag_index_follows_overwrites_and_tombstones() {
+        let mut n = PersistNode::new(SieveSpec::Range { index: 0, of: 1, r: 1 }, 2, vec![], None);
+        let ta = dd_sim::rng::stable_hash(b"feed:a");
+        let tb = dd_sim::rng::stable_hash(b"feed:b");
+        n.apply(tagged("p", 1, "feed:a"));
+        assert_eq!(n.by_tag(ta).len(), 1);
+        // Retagging moves the key between index entries.
+        n.apply(tagged("p", 2, "feed:b"));
+        assert!(n.by_tag(ta).is_empty());
+        assert_eq!(n.by_tag(tb).len(), 1);
+        // A tombstone removes the key from the index entirely.
+        n.apply(StoredTuple::tombstone("p".into(), Version(3)));
+        assert!(n.by_tag(tb).is_empty());
+        // Stale re-delivery of the old tagged version must not resurrect it.
+        assert!(!n.apply(tagged("p", 2, "feed:b")));
+        assert!(n.by_tag(tb).is_empty());
+    }
+
+    #[test]
+    fn tombstones_are_wanted_regardless_of_sieve() {
+        // A tag sieve that owns feed:a's slot stores the live post; the
+        // tombstone (tagless, so the sieve itself would route it to the
+        // uniform fallback) must still be wanted by the holder.
+        let slots = 16u64;
+        let live = tagged("p", 1, "feed:a");
+        let th = live.tag_hash.expect("tagged");
+        let owner_slot = dd_sieve::TagSieve::tag_slots(th, slots, 1)[0];
+        let mut owner = PersistNode::new(
+            SieveSpec::Tag { slot: owner_slot, slots, r: 1 },
+            2,
+            vec![],
+            None,
+        );
+        assert!(owner.wants(&live));
+        owner.apply(live);
+        let tomb = StoredTuple::tombstone("p".into(), Version(2));
+        assert!(owner.wants(&tomb), "holder accepts the delete");
+        owner.apply(tomb);
+        assert_eq!(owner.live_count(), 0);
+    }
+
+    #[test]
+    fn early_tombstone_blocks_the_stale_live_write() {
+        // Epidemic delivery is unordered: the tombstone (v2) can arrive
+        // before the live write (v1) it supersedes. The node must keep
+        // the tombstone — even when its sieve would reject it — so the
+        // late live write cannot resurrect the deleted tuple.
+        let slots = 16u64;
+        let live = tagged("p", 1, "feed:a");
+        let th = live.tag_hash.expect("tagged");
+        let owner_slot = dd_sieve::TagSieve::tag_slots(th, slots, 1)[0];
+        let mut owner = PersistNode::new(
+            SieveSpec::Tag { slot: owner_slot, slots, r: 1 },
+            2,
+            vec![],
+            None,
+        );
+        let tomb = StoredTuple::tombstone("p".into(), Version(2));
+        assert!(owner.wants(&tomb), "tombstone wanted before any version is held");
+        owner.apply(tomb);
+        assert!(!owner.apply(live), "stale live write rejected after the delete");
+        assert_eq!(owner.live_count(), 0);
+        assert!(owner.by_tag(th).is_empty());
     }
 
     #[test]

@@ -2,11 +2,24 @@
 //! metadata and read/write coordination (§II of the paper).
 
 use crate::msg::DropletMsg;
-use crate::tuple::{Key, StoredTuple};
+use crate::tuple::{Key, StoredTuple, TupleSpec};
 use dd_dht::{HashRing, Metadata, TupleCache, Version, VersionAuthority};
-use dd_sim::{Ctx, NodeId};
+use dd_sieve::TagSieve;
+use dd_sim::rng::stable_hash;
+use dd_sim::{Ctx, Duration, NodeId, Time, TimerTag};
 use rand::seq::SliceRandom;
 use std::collections::HashMap;
+
+/// Timer tag for the multi-op deadline sweep.
+pub const MULTI_OP_TIMER: TimerTag = TimerTag(0x4D47);
+
+/// Ticks a multi-tuple operation waits for stragglers before completing
+/// with what it has. A dead slot-owner never answers a `TagFetch`, and a
+/// dead key coordinator never acks a `SubPut`; without this deadline one
+/// failed node would hang every `multi_get` on its tags (even though the
+/// surviving replicas hold the full tuple set) and every `multi_put`
+/// containing one of its keys.
+pub const MULTI_OP_TIMEOUT: u64 = 2_000;
 
 /// Outcome of a write, as tracked by its coordinator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,16 +30,57 @@ pub struct PutStatus {
     pub acks: u32,
 }
 
+/// Outcome of a batched write: the ordered items (version assigned by
+/// their key coordinator) have been handed to epidemic dissemination.
+/// `items` equals the batch size when the whole batch ordered; a smaller
+/// count means the deadline sweep completed the op without acks from
+/// dead/unreachable key coordinators.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MultiPutStatus {
+    /// Number of batch items ordered so far.
+    pub items: usize,
+    /// `(key_hash, version)` per ordered item, in ack-arrival order.
+    pub versions: Vec<(u64, Version)>,
+}
+
+/// Tag placement parameters mirrored into the soft layer so coordinators
+/// can route a tag-scoped read to the tag's `r` slot-owners directly
+/// (the slot order matches the persist-peer order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagRouting {
+    /// Number of tag slots (the persist population size).
+    pub slots: u64,
+    /// Tag replication degree.
+    pub r: u32,
+}
+
 #[derive(Debug, Clone)]
 struct PendingGet {
     outstanding: usize,
     done: bool,
 }
 
+/// Shared shape of the gather-style ops (scan, tag-scoped multi-get):
+/// `outstanding` replies left, raw replica items accumulated so far.
 #[derive(Debug, Clone)]
-struct PendingScan {
+struct PendingGather {
     outstanding: usize,
     items: Vec<StoredTuple>,
+}
+
+/// A pending tag-scoped read: a gather plus its start time, so the
+/// deadline sweep ([`MULTI_OP_TIMER`]) can expire it.
+#[derive(Debug, Clone)]
+struct PendingMultiGet {
+    gather: PendingGather,
+    started: Time,
+}
+
+#[derive(Debug, Clone)]
+struct PendingMultiPut {
+    outstanding: usize,
+    versions: Vec<(u64, Version)>,
+    started: Time,
 }
 
 #[derive(Debug, Clone)]
@@ -54,6 +108,9 @@ pub struct SoftNode {
     pub fanout: u32,
     /// Fallback fetch width when no location hints exist.
     pub fallback_fetches: usize,
+    /// Tag placement parameters when the persistent layer runs tag
+    /// sieves; `None` means tag-scoped reads fan out epidemically.
+    pub tag_routing: Option<TagRouting>,
 
     /// Completed writes: req → status (public: the harness polls this).
     pub completed_puts: HashMap<u64, PutStatus>,
@@ -63,11 +120,17 @@ pub struct SoftNode {
     pub completed_scans: HashMap<u64, Vec<StoredTuple>>,
     /// Completed aggregates: req → (sketch, min, max).
     pub completed_aggs: HashMap<u64, (dd_estimation::DistSketch, f64, f64)>,
+    /// Completed batched writes: req → status.
+    pub completed_multi_puts: HashMap<u64, MultiPutStatus>,
+    /// Completed tag-scoped reads: req → deduplicated live tuples.
+    pub completed_multi_gets: HashMap<u64, Vec<StoredTuple>>,
 
     put_index: HashMap<(u64, Version), u64>,
     pending_gets: HashMap<u64, PendingGet>,
-    pending_scans: HashMap<u64, PendingScan>,
+    pending_scans: HashMap<u64, PendingGather>,
     pending_aggs: HashMap<u64, PendingAgg>,
+    pending_multi_puts: HashMap<u64, PendingMultiPut>,
+    pending_multi_gets: HashMap<u64, PendingMultiGet>,
 }
 
 impl SoftNode {
@@ -91,15 +154,29 @@ impl SoftNode {
             persist_peers,
             fanout,
             fallback_fetches: 5,
+            tag_routing: None,
             completed_puts: HashMap::new(),
             completed_gets: HashMap::new(),
             completed_scans: HashMap::new(),
             completed_aggs: HashMap::new(),
+            completed_multi_puts: HashMap::new(),
+            completed_multi_gets: HashMap::new(),
             put_index: HashMap::new(),
             pending_gets: HashMap::new(),
             pending_scans: HashMap::new(),
             pending_aggs: HashMap::new(),
+            pending_multi_puts: HashMap::new(),
+            pending_multi_gets: HashMap::new(),
         }
+    }
+
+    /// Builder: enables tag-aware routing for tag-scoped reads. `slots`
+    /// and `r` must match the persistent layer's tag-sieve parameters,
+    /// and `persist_peers[s]` must be the node running slot `s`.
+    #[must_use]
+    pub fn with_tag_routing(mut self, slots: u64, r: u32) -> Self {
+        self.tag_routing = Some(TagRouting { slots, r });
+        self
     }
 
     /// The coordinator for a key: the primary soft-ring owner.
@@ -123,32 +200,88 @@ impl SoftNode {
         }
     }
 
-    // A write's full identity really is eight fields; bundling them into
-    // a one-off struct would only move the argument list.
-    #[allow(clippy::too_many_arguments)]
+    /// Orders one write at this (key-coordinator) node — assigns the
+    /// version, records metadata, caches, disseminates — and returns the
+    /// assigned identity. Completion tracking is the caller's business:
+    /// single puts index the request, batch sub-puts ack their origin.
+    fn order_and_disseminate(
+        &mut self,
+        ctx: &mut Ctx<'_, DropletMsg>,
+        item: TupleSpec,
+        delete: bool,
+    ) -> (u64, Version) {
+        let key_hash = item.key.hash();
+        let version = self.authority.assign(key_hash);
+        let tuple = if delete {
+            StoredTuple::tombstone(item.key, version)
+        } else {
+            StoredTuple::new(item.key, version, item.value, item.attr, item.tag.as_deref())
+        };
+        self.metadata.record_write(key_hash, version, &[]);
+        self.cache.put(key_hash, version, tuple.clone());
+        ctx.metrics().incr("soft.writes");
+        self.disseminate(ctx, tuple);
+        (key_hash, version)
+    }
+
     fn start_write(
         &mut self,
         ctx: &mut Ctx<'_, DropletMsg>,
         req: u64,
-        key: Key,
-        value: bytes::Bytes,
-        attr: Option<f64>,
-        tag: Option<String>,
+        item: TupleSpec,
         delete: bool,
     ) {
-        let key_hash = key.hash();
-        let version = self.authority.assign(key_hash);
-        let tuple = if delete {
-            StoredTuple::tombstone(key, version)
-        } else {
-            StoredTuple::new(key, version, value, attr, tag.as_deref())
-        };
-        self.metadata.record_write(key_hash, version, &[]);
-        self.cache.put(key_hash, version, tuple.clone());
+        let (key_hash, version) = self.order_and_disseminate(ctx, item, delete);
         self.put_index.insert((key_hash, version), req);
         self.completed_puts.insert(req, PutStatus { version, acks: 0 });
-        ctx.metrics().incr("soft.writes");
-        self.disseminate(ctx, tuple);
+    }
+
+    /// Records one ordered item of a pending multi-put; completes the op
+    /// when the whole batch is ordered.
+    fn note_sub_put_ack(&mut self, req: u64, key_hash: u64, version: Version) {
+        let Some(p) = self.pending_multi_puts.get_mut(&req) else { return };
+        p.versions.push((key_hash, version));
+        p.outstanding -= 1;
+        if p.outstanding == 0 {
+            let p = self.pending_multi_puts.remove(&req).expect("present");
+            self.completed_multi_puts
+                .insert(req, MultiPutStatus { items: p.versions.len(), versions: p.versions });
+        }
+    }
+
+    /// Deduplicates gathered replica replies — latest version per key,
+    /// tombstones dropped — and orders by attribute then key (the reply
+    /// order of scans and tag-scoped reads alike).
+    fn finalize_gather(items: Vec<StoredTuple>) -> Vec<StoredTuple> {
+        let mut latest: HashMap<u64, StoredTuple> = HashMap::new();
+        for t in items {
+            match latest.get(&t.key_hash) {
+                Some(e) if e.version >= t.version => {}
+                _ => {
+                    latest.insert(t.key_hash, t);
+                }
+            }
+        }
+        let mut out: Vec<StoredTuple> = latest.into_values().filter(|t| !t.deleted).collect();
+        out.sort_by(|a, b| {
+            a.attr
+                .unwrap_or(f64::NAN)
+                .total_cmp(&b.attr.unwrap_or(f64::NAN))
+                .then(a.key.cmp(&b.key))
+        });
+        out
+    }
+
+    /// The persist nodes a tag-scoped read must contact: the tag's `r`
+    /// slot-owners under tag placement, every persist peer otherwise.
+    fn tag_read_targets(&self, tag_hash: u64) -> Vec<NodeId> {
+        match self.tag_routing {
+            Some(rt) => TagSieve::tag_slots(tag_hash, rt.slots, rt.r)
+                .into_iter()
+                .filter_map(|slot| self.persist_peers.get(slot as usize).copied())
+                .collect(),
+            None => self.persist_peers.clone(),
+        }
     }
 
     fn start_read(&mut self, ctx: &mut Ctx<'_, DropletMsg>, req: u64, key: &Key) {
@@ -193,14 +326,17 @@ impl SoftNode {
         match msg {
             DropletMsg::ClientPut { req, key, value, attr, tag } => {
                 if self.is_coordinator(me, key.hash()) {
-                    self.start_write(ctx, req, key, value, attr, tag, false);
+                    let item = TupleSpec { key, value, attr, tag };
+                    self.start_write(ctx, req, item, false);
                 } else if let Some(c) = self.coordinator_of(key.hash()) {
                     ctx.send(c, DropletMsg::ClientPut { req, key, value, attr, tag });
                 }
             }
             DropletMsg::ClientDelete { req, key } => {
                 if self.is_coordinator(me, key.hash()) {
-                    self.start_write(ctx, req, key, bytes::Bytes::new(), None, None, true);
+                    let item =
+                        TupleSpec { key, value: bytes::Bytes::new(), attr: None, tag: None };
+                    self.start_write(ctx, req, item, true);
                 } else if let Some(c) = self.coordinator_of(key.hash()) {
                     ctx.send(c, DropletMsg::ClientDelete { req, key });
                 }
@@ -219,9 +355,89 @@ impl SoftNode {
                     return;
                 }
                 self.pending_scans
-                    .insert(req, PendingScan { outstanding: targets.len(), items: Vec::new() });
+                    .insert(req, PendingGather { outstanding: targets.len(), items: Vec::new() });
                 for t in targets {
                     ctx.send(t, DropletMsg::ScanReq { req, lo, hi });
+                }
+            }
+            DropletMsg::ClientMultiPut { req, items } => {
+                ctx.metrics().incr("soft.multi_puts");
+                ctx.metrics().observe("multi_put.batch", items.len() as f64);
+                if items.is_empty() {
+                    self.completed_multi_puts.insert(req, MultiPutStatus::default());
+                    return;
+                }
+                self.pending_multi_puts.insert(
+                    req,
+                    PendingMultiPut {
+                        outstanding: items.len(),
+                        versions: Vec::new(),
+                        started: ctx.now(),
+                    },
+                );
+                ctx.set_timer(Duration(MULTI_OP_TIMEOUT), MULTI_OP_TIMER);
+                let mut forwards = 0u64;
+                for item in items {
+                    let key_hash = item.key.hash();
+                    if self.is_coordinator(me, key_hash) {
+                        let (kh, version) = self.order_and_disseminate(ctx, item, false);
+                        self.note_sub_put_ack(req, kh, version);
+                    } else if let Some(c) = self.coordinator_of(key_hash) {
+                        forwards += 1;
+                        ctx.send(c, DropletMsg::SubPut { req, origin: me, item });
+                    }
+                }
+                ctx.metrics().add("multi_put.msgs", forwards);
+            }
+            DropletMsg::ClientMultiGet { req, tag } => {
+                let tag_hash = stable_hash(tag.as_bytes());
+                // Tag-scoped reads have a deterministic coordinator, like
+                // keys: route by the tag's position in the soft ring.
+                if !self.is_coordinator(me, tag_hash) {
+                    if let Some(c) = self.coordinator_of(tag_hash) {
+                        ctx.metrics().incr("soft.multi_get_forwards");
+                        ctx.send(c, DropletMsg::ClientMultiGet { req, tag });
+                    }
+                    return;
+                }
+                ctx.metrics().incr("soft.multi_gets");
+                let targets = self.tag_read_targets(tag_hash);
+                ctx.metrics().observe("multi_get.contacted_nodes", targets.len() as f64);
+                ctx.metrics().add("multi_get.msgs", targets.len() as u64);
+                if targets.is_empty() {
+                    self.completed_multi_gets.insert(req, Vec::new());
+                    return;
+                }
+                self.pending_multi_gets.insert(
+                    req,
+                    PendingMultiGet {
+                        gather: PendingGather { outstanding: targets.len(), items: Vec::new() },
+                        started: ctx.now(),
+                    },
+                );
+                for t in targets {
+                    ctx.send(t, DropletMsg::TagFetch { req, tag_hash });
+                }
+                // Deadline: when this fires, this request (and any older
+                // one) is past its timeout and completes with whatever
+                // arrived — one dead slot-owner must not hang the read.
+                ctx.set_timer(Duration(MULTI_OP_TIMEOUT), MULTI_OP_TIMER);
+            }
+            DropletMsg::SubPut { req, origin, item } => {
+                ctx.metrics().incr("soft.sub_puts");
+                let (key_hash, version) = self.order_and_disseminate(ctx, item, false);
+                ctx.send(origin, DropletMsg::SubPutAck { req, key_hash, version });
+            }
+            DropletMsg::SubPutAck { req, key_hash, version } => {
+                self.note_sub_put_ack(req, key_hash, version);
+            }
+            DropletMsg::TagFetchReply { req, items } => {
+                let Some(p) = self.pending_multi_gets.get_mut(&req) else { return };
+                p.gather.items.extend(items);
+                p.gather.outstanding -= 1;
+                if p.gather.outstanding == 0 {
+                    let p = self.pending_multi_gets.remove(&req).expect("present");
+                    self.completed_multi_gets.insert(req, Self::finalize_gather(p.gather.items));
                 }
             }
             DropletMsg::ClientAggregate { req } => {
@@ -279,25 +495,7 @@ impl SoftNode {
                 p.outstanding -= 1;
                 if p.outstanding == 0 {
                     let p = self.pending_scans.remove(&req).expect("present");
-                    // Deduplicate replicas: keep the latest version per key.
-                    let mut latest: HashMap<u64, StoredTuple> = HashMap::new();
-                    for t in p.items {
-                        match latest.get(&t.key_hash) {
-                            Some(e) if e.version >= t.version => {}
-                            _ => {
-                                latest.insert(t.key_hash, t);
-                            }
-                        }
-                    }
-                    let mut out: Vec<StoredTuple> =
-                        latest.into_values().filter(|t| !t.deleted).collect();
-                    out.sort_by(|a, b| {
-                        a.attr
-                            .unwrap_or(f64::NAN)
-                            .total_cmp(&b.attr.unwrap_or(f64::NAN))
-                            .then(a.key.cmp(&b.key))
-                    });
-                    self.completed_scans.insert(req, out);
+                    self.completed_scans.insert(req, Self::finalize_gather(p.items));
                 }
             }
             DropletMsg::AggReply { req, sketch, min, max } => {
@@ -315,6 +513,52 @@ impl SoftNode {
         }
     }
 
+    /// Handles the multi-op deadline sweep: every pending multi-get and
+    /// multi-put older than [`MULTI_OP_TIMEOUT`] completes with what it
+    /// gathered so far (each op's own timer fires exactly at its expiry,
+    /// so this never cuts a request short).
+    pub fn on_timer(&mut self, ctx: &mut Ctx<'_, DropletMsg>, tag: TimerTag) {
+        if tag != MULTI_OP_TIMER {
+            return;
+        }
+        let now = ctx.now();
+        let past_deadline =
+            |started: Time| now.0.saturating_sub(started.0) >= MULTI_OP_TIMEOUT;
+        let expired_gets: Vec<u64> = self
+            .pending_multi_gets
+            .iter()
+            .filter(|(_, p)| past_deadline(p.started))
+            .map(|(&req, _)| req)
+            .collect();
+        for req in expired_gets {
+            let p = self.pending_multi_gets.remove(&req).expect("present");
+            ctx.metrics().incr("soft.multi_get_partials");
+            self.completed_multi_gets.insert(req, Self::finalize_gather(p.gather.items));
+        }
+        let expired_puts: Vec<u64> = self
+            .pending_multi_puts
+            .iter()
+            .filter(|(_, p)| past_deadline(p.started))
+            .map(|(&req, _)| req)
+            .collect();
+        for req in expired_puts {
+            let p = self.pending_multi_puts.remove(&req).expect("present");
+            ctx.metrics().incr("soft.multi_put_partials");
+            self.completed_multi_puts
+                .insert(req, MultiPutStatus { items: p.versions.len(), versions: p.versions });
+        }
+    }
+
+    /// Re-arms the multi-op deadline sweep after a reboot: armed timers
+    /// do not survive a crash, but pending multi-ops do (node state is
+    /// retained), so without this any op in flight at crash time would
+    /// neither complete nor expire.
+    pub fn arm_timers(&self, ctx: &mut Ctx<'_, DropletMsg>) {
+        if !self.pending_multi_gets.is_empty() || !self.pending_multi_puts.is_empty() {
+            ctx.set_timer(Duration(MULTI_OP_TIMEOUT), MULTI_OP_TIMER);
+        }
+    }
+
     /// Wipes all soft state (catastrophic failure, §II) — versions,
     /// metadata, cache, pending operations.
     pub fn wipe(&mut self) {
@@ -325,6 +569,8 @@ impl SoftNode {
         self.pending_gets.clear();
         self.pending_scans.clear();
         self.pending_aggs.clear();
+        self.pending_multi_puts.clear();
+        self.pending_multi_gets.clear();
     }
 
     /// Reconstructs metadata and version counters from a persistent-layer

@@ -40,6 +40,35 @@ impl std::fmt::Display for Key {
     }
 }
 
+/// A client-supplied tuple for batched writes ([`crate::Cluster::multi_put`]):
+/// everything a write needs *except* the version, which the key's
+/// soft-layer coordinator assigns when the batch is split and routed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TupleSpec {
+    /// The key.
+    pub key: Key,
+    /// Opaque payload.
+    pub value: Bytes,
+    /// Optional numeric attribute.
+    pub attr: Option<f64>,
+    /// Optional correlation tag (shared by the batch in the mput of the
+    /// social-feed workload, but free per item).
+    pub tag: Option<String>,
+}
+
+impl TupleSpec {
+    /// Builds a batch item.
+    #[must_use]
+    pub fn new(
+        key: impl Into<Key>,
+        value: impl Into<Bytes>,
+        attr: Option<f64>,
+        tag: Option<&str>,
+    ) -> Self {
+        TupleSpec { key: key.into(), value: value.into(), attr, tag: tag.map(str::to_owned) }
+    }
+}
+
 /// A versioned tuple as held by the persistent layer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StoredTuple {

@@ -23,6 +23,23 @@ pub struct PutOp {
     pub tag: Option<String>,
 }
 
+impl From<PutOp> for crate::tuple::TupleSpec {
+    fn from(op: PutOp) -> Self {
+        crate::tuple::TupleSpec::new(op.key, op.value, op.attr, op.tag.as_deref())
+    }
+}
+
+/// One generated batched write (`mput`): the items, plus the tag they
+/// share when the workload correlates them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiPutOp {
+    /// The batch's shared correlation tag (`None` for uncorrelated
+    /// workloads, whose batches are just consecutive single writes).
+    pub tag: Option<String>,
+    /// The writes.
+    pub items: Vec<PutOp>,
+}
+
 /// The supported workload shapes.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum WorkloadKind {
@@ -112,6 +129,33 @@ impl Workload {
         (0..n).map(|_| self.next_put()).collect()
     }
 
+    /// Generates the next batched write of `batch` items. For the
+    /// social-feed shape this is a burst of posts to *one* feed — every
+    /// item shares the feed's tag, the unit the `mput`/`mget` evaluation
+    /// operates on. Other shapes batch consecutive independent writes.
+    pub fn next_multi_put(&mut self, batch: usize) -> MultiPutOp {
+        match self.kind {
+            WorkloadKind::SocialFeed { users } => {
+                let user = self.rng.gen_range(0..users);
+                let tag = format!("feed:{user}");
+                let items = (0..batch)
+                    .map(|_| {
+                        self.counter += 1;
+                        let i = self.counter;
+                        PutOp {
+                            key: format!("post:{user}:{i}"),
+                            value: format!("post body {i}").into_bytes(),
+                            attr: Some(i as f64),
+                            tag: Some(tag.clone()),
+                        }
+                    })
+                    .collect();
+                MultiPutOp { tag: Some(tag), items }
+            }
+            _ => MultiPutOp { tag: None, items: self.take_puts(batch) },
+        }
+    }
+
     /// A read key matching the workload's key population (for mixed
     /// read/write traffic).
     pub fn next_read_key(&mut self) -> String {
@@ -181,6 +225,29 @@ mod tests {
             ops.iter().filter_map(|o| o.tag.as_ref()).collect();
         assert!(tags.len() <= 5);
         assert!(ops.iter().all(|o| o.tag.is_some() && o.attr.is_some()));
+    }
+
+    #[test]
+    fn social_feed_batches_share_one_tag() {
+        let mut w = Workload::new(WorkloadKind::SocialFeed { users: 6 }, 11);
+        for _ in 0..20 {
+            let m = w.next_multi_put(5);
+            let tag = m.tag.as_ref().expect("social batches are tagged");
+            assert_eq!(m.items.len(), 5);
+            assert!(m.items.iter().all(|op| op.tag.as_ref() == Some(tag)));
+            let keys: std::collections::HashSet<&String> =
+                m.items.iter().map(|op| &op.key).collect();
+            assert_eq!(keys.len(), 5, "batch keys are distinct");
+        }
+    }
+
+    #[test]
+    fn uncorrelated_batches_are_plain_writes() {
+        let mut w = Workload::new(WorkloadKind::Uniform, 12);
+        let m = w.next_multi_put(4);
+        assert_eq!(m.tag, None);
+        assert_eq!(m.items.len(), 4);
+        assert!(m.items.iter().all(|op| op.tag.is_none()));
     }
 
     #[test]

@@ -42,11 +42,25 @@ impl TagSieve {
         TagSieve { slot, slots, r, fallback: UniformSieve::replication(slot, r, slots) }
     }
 
+    /// The slots a tag hashes to under a `(slots, r)` population — the
+    /// *routing view* of the collocation invariant. A coordinator that
+    /// knows the population parameters can name a tag's `r` owners without
+    /// holding any sieve instance, which is what lets a tag-scoped read
+    /// contact exactly those nodes instead of fanning out.
+    ///
+    /// # Panics
+    /// Panics if `slots == 0`.
+    #[must_use]
+    pub fn tag_slots(tag_hash: u64, slots: u64, r: u32) -> Vec<u64> {
+        assert!(slots > 0, "slot count must be positive");
+        let home = mix(tag_hash, 0x7A6) % slots;
+        (0..u64::from(r).min(slots)).map(|k| (home + k) % slots).collect()
+    }
+
     /// The slots a tag hashes to (its `r` consecutive owners).
     #[must_use]
     pub fn slots_for_tag(&self, tag_hash: u64) -> Vec<u64> {
-        let home = mix(tag_hash, 0x7A6) % self.slots;
-        (0..u64::from(self.r).min(self.slots)).map(|k| (home + k) % self.slots).collect()
+        Self::tag_slots(tag_hash, self.slots, self.r)
     }
 
     /// Whether this node owns `tag_hash`.
@@ -139,6 +153,14 @@ mod tests {
         let max = *load.iter().max().unwrap();
         let min = *load.iter().min().unwrap();
         assert!(max < 3 * min.max(1), "tag slots unbalanced: min {min} max {max}");
+    }
+
+    #[test]
+    fn routing_view_matches_instance_view() {
+        for tag in 0..200u64 {
+            let s = TagSieve::new(3, 17, 4);
+            assert_eq!(s.slots_for_tag(tag), TagSieve::tag_slots(tag, 17, 4));
+        }
     }
 
     #[test]

@@ -99,6 +99,35 @@ proptest! {
         prop_assert_eq!(oa.len() as u64, u64::from(r).min(n));
     }
 
+    /// The collocation invariant the multi-tuple read path relies on: for
+    /// any tag and any population, exactly min(r, n) *distinct* slots
+    /// accept items carrying that tag, every item sharing the tag is
+    /// accepted by the same slots, and the stateless routing view
+    /// ([`TagSieve::tag_slots`]) names exactly those slots — so a
+    /// coordinator can reach a tag's full tuple set by contacting only
+    /// the routed nodes.
+    #[test]
+    fn tag_collocation_matches_router_view(
+        n in 1u64..48,
+        r in 1u32..6,
+        tag in any::<u64>(),
+        keys in prop::collection::vec(any::<u64>(), 1..20),
+    ) {
+        let sieves: Vec<TagSieve> = (0..n).map(|i| TagSieve::new(i, n, r)).collect();
+        let mut routed = TagSieve::tag_slots(tag, n, r);
+        routed.sort_unstable();
+        routed.dedup();
+        prop_assert_eq!(routed.len() as u64, u64::from(r).min(n), "r distinct owners");
+        for k in keys {
+            let item = ItemMeta { key_hash: k, attr: None, tag_hash: Some(tag) };
+            let owners: Vec<u64> =
+                (0..n).filter(|&i| sieves[i as usize].accepts(&item)).collect();
+            // `owners` is ascending by construction, `routed` is sorted:
+            // equality means the same set for every key sharing the tag.
+            prop_assert_eq!(&owners, &routed);
+        }
+    }
+
     /// Retention is filtering: whatever a sieve keeps from an offered
     /// batch is a subset of that batch, re-sieving the retained set keeps
     /// all of it (idempotence), and a clone retains the identical set —

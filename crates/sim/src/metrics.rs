@@ -71,6 +71,15 @@ impl Metrics {
         Some(s[rank - 1])
     }
 
+    /// Summary statistics of the named series (zeroed when the series is
+    /// empty or absent). Per-operation accounting — e.g. nodes contacted
+    /// per multi-tuple read — is recorded with [`Metrics::observe`] and
+    /// read back through this in one call.
+    #[must_use]
+    pub fn summary(&self, name: &str) -> Summary {
+        Summary::of(self.series(name))
+    }
+
     /// Iterates over all counters in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
         self.counters.iter().map(|(k, v)| (*k, *v))
@@ -168,6 +177,19 @@ mod tests {
         assert_eq!(m.quantile("lat", 1.0), Some(4.0));
         assert_eq!(m.quantile("lat", 0.0), Some(1.0));
         assert_eq!(m.mean("absent"), None);
+    }
+
+    #[test]
+    fn series_summary_matches_direct_computation() {
+        let mut m = Metrics::new();
+        for v in [3.0, 5.0, 7.0] {
+            m.observe("op.contacts", v);
+        }
+        let s = m.summary("op.contacts");
+        assert_eq!(s.n, 3);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(m.summary("absent").n, 0);
     }
 
     #[test]

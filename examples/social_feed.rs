@@ -1,82 +1,83 @@
-//! Social-feed workload: correlation-aware placement (§III-B-1).
+//! Social-feed workload: correlated multi-tuple operations end to end
+//! (§III-B-1).
 //!
-//! Stores posts tagged by feed. With tag sieves, all posts of a feed
-//! collocate on the same r nodes, so reading a feed touches r nodes
-//! instead of scattering across the cluster — the paper's collocation
-//! argument, shown with its own workload.
+//! Runs the same `multi_put`/`multi_get` feed workload against two live
+//! clusters — one with tag-collocation sieves, one with uniform (random)
+//! placement — and reads the per-operation accounting back from the
+//! simulator's metrics. With tag sieves, every post of a feed lands on
+//! the same `r` nodes and a `multi_get` is routed to exactly those
+//! owners; with random placement the coordinator must fan out to the
+//! whole persistent layer for the same answer.
 //!
 //! ```sh
 //! cargo run --release --example social_feed
 //! ```
 
-use dd_core::{SieveSpec, Workload, WorkloadKind};
-use dd_sieve::ItemMeta;
-use std::collections::{HashMap, HashSet};
+use dd_core::{Cluster, ClusterConfig, Workload, WorkloadKind};
+
+const FEEDS: u64 = 8;
+const BATCHES: usize = 12;
+const BATCH: usize = 6;
+const REPLICATION: u32 = 3;
+
+struct RunStats {
+    tuples_read: usize,
+    contacts_mean: f64,
+    contacts_max: f64,
+    msgs: u64,
+}
+
+/// Writes the feed workload through `multi_put`, reads every feed back
+/// through `multi_get`, and returns the contact/message accounting.
+fn run(config: ClusterConfig, seed: u64) -> RunStats {
+    let mut cluster = Cluster::new(config, seed);
+    cluster.settle();
+    let mut workload = Workload::new(WorkloadKind::SocialFeed { users: FEEDS }, 7);
+    let tags = cluster.drive_multi_puts(&mut workload, BATCHES, BATCH);
+    cluster.run_for(5_000);
+    let tuples_read = cluster.read_tags(&tags).iter().map(Vec::len).sum();
+    let contacts = cluster.sim.metrics().summary("multi_get.contacted_nodes");
+    RunStats {
+        tuples_read,
+        contacts_mean: contacts.mean,
+        contacts_max: contacts.max,
+        msgs: cluster.sim.metrics().counter("multi_get.msgs"),
+    }
+}
 
 fn main() {
-    let nodes = 50u64;
-    let users = 20u64;
-    let posts = 1_000usize;
-    let r = 3u32;
+    let config = ClusterConfig::small().persist_n(32).replication(REPLICATION);
+    let tagged = run(config.clone().tag_sieves(), 2026);
+    let uniform = run(config.clone().uniform_sieves(), 2026);
 
-    let mut workload = Workload::new(WorkloadKind::SocialFeed { users }, 2026);
-    let ops = workload.take_puts(posts);
-
-    // Tag sieves: posts of one feed land on the same r nodes.
-    let tag_sieves: Vec<SieveSpec> =
-        (0..nodes).map(|s| SieveSpec::Tag { slot: s, slots: nodes, r }).collect();
-    // Plain range sieves: placement by key hash only.
-    let key_sieves: Vec<SieveSpec> =
-        (0..nodes).map(|i| SieveSpec::default_for(i, nodes, r)).collect();
-
-    let owners = |sieves: &[SieveSpec], item: &ItemMeta| -> Vec<u64> {
-        sieves
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.accepts(item))
-            .map(|(i, _)| i as u64)
-            .collect()
-    };
-
-    let mut feed_nodes_tag: HashMap<String, HashSet<u64>> = HashMap::new();
-    let mut feed_nodes_key: HashMap<String, HashSet<u64>> = HashMap::new();
-    let mut load = vec![0u32; nodes as usize];
-    for op in &ops {
-        let tag = op.tag.clone().expect("social feed posts are tagged");
-        let item = ItemMeta::from_key(op.key.as_bytes())
-            .with_attr(op.attr.unwrap())
-            .with_tag(tag.as_bytes());
-        for n in owners(&tag_sieves, &item) {
-            feed_nodes_tag.entry(tag.clone()).or_default().insert(n);
-            load[n as usize] += 1;
-        }
-        for n in owners(&key_sieves, &item) {
-            feed_nodes_key.entry(tag.clone()).or_default().insert(n);
-        }
-    }
-
-    let avg = |m: &HashMap<String, HashSet<u64>>| {
-        m.values().map(|s| s.len() as f64).sum::<f64>() / m.len() as f64
-    };
-    println!("{posts} posts across {users} feeds on {nodes} nodes (r = {r})");
-    println!("nodes touched per feed read:");
-    println!("  tag sieves (collocated):   {:>6.1}", avg(&feed_nodes_tag));
-    println!("  key sieves (scattered):    {:>6.1}", avg(&feed_nodes_key));
-
-    let max = *load.iter().max().unwrap();
-    let mean = load.iter().map(|&l| f64::from(l)).sum::<f64>() / nodes as f64;
     println!(
-        "tag-sieve load balance: mean {:.1} posts/node, max {} ({}x mean)",
-        mean,
-        max,
-        (f64::from(max) / mean * 10.0).round() / 10.0
+        "{BATCHES} multi_put batches of {BATCH} posts across {FEEDS} feeds, \
+         {} persist nodes (r = {REPLICATION})",
+        config.persist_n
+    );
+    println!("multi_get accounting (persist nodes contacted per feed read):");
+    println!(
+        "  tag sieves (collocated):  mean {:>5.1}  max {:>5.1}  msgs {:>4}  tuples {}",
+        tagged.contacts_mean, tagged.contacts_max, tagged.msgs, tagged.tuples_read
+    );
+    println!(
+        "  uniform (random):         mean {:>5.1}  max {:>5.1}  msgs {:>4}  tuples {}",
+        uniform.contacts_mean, uniform.contacts_max, uniform.msgs, uniform.tuples_read
     );
 
-    assert!(avg(&feed_nodes_tag) <= f64::from(r), "collocation bound");
+    assert!(
+        tagged.contacts_max <= f64::from(REPLICATION),
+        "tag routing contacts at most r nodes"
+    );
+    assert!(
+        uniform.contacts_mean > tagged.contacts_mean,
+        "random placement must fan out further"
+    );
+    assert_eq!(tagged.tuples_read, BATCHES * BATCH, "every post is read back");
+
     println!(
-        "\nreading one feed touches {} nodes with tag sieves vs {} without — \
-         the paper's §III-B-1 collocation win.",
-        avg(&feed_nodes_tag),
-        avg(&feed_nodes_key).round()
+        "\nreading one feed touches {:.0} nodes with tag sieves vs {:.0} without — \
+         the paper's §III-B-1 collocation win, measured on the wire.",
+        tagged.contacts_mean, uniform.contacts_mean
     );
 }

@@ -307,7 +307,7 @@ pub mod strategy {
 }
 
 pub mod collection {
-    //! Collection strategies: [`vec`] and [`hash_set`].
+    //! Collection strategies: [`vec()`] and [`hash_set()`].
 
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
@@ -353,7 +353,7 @@ pub mod collection {
         VecStrategy { element, size: size.into() }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

@@ -218,3 +218,42 @@ fn tagged_tuples_collocate_under_tag_sieves() {
     }
     assert!(per_feed.len() <= 8);
 }
+
+#[test]
+fn multi_op_feed_workload_matches_oracle_with_r_node_reads() {
+    // The full multi-tuple plane at cluster scale: social-feed batches in
+    // through `multi_put`, feeds out through tag-routed `multi_get`,
+    // checked against an in-memory oracle — and the per-op accounting
+    // proves each feed read contacted at most replication + soft_n nodes.
+    let config = ClusterConfig::small().persist_n(40).replication(3).tag_sieves();
+    let mut c = settled(config.clone(), 17);
+    let mut w = Workload::new(WorkloadKind::SocialFeed { users: 6 }, 23);
+    // The generator is deterministic: a clone replays the same batches,
+    // which is the oracle for what the cluster was fed.
+    let mut replay = w.clone();
+    let tags = c.drive_multi_puts(&mut w, 15, 4);
+    let mut oracle: HashMap<String, Vec<String>> = HashMap::new();
+    for _ in 0..15 {
+        let m = replay.next_multi_put(4);
+        let tag = m.tag.expect("tagged batch");
+        for op in m.items {
+            oracle.entry(tag.clone()).or_default().push(op.key);
+        }
+    }
+    c.run_for(8_000);
+    assert_eq!(tags.len(), oracle.len(), "driver saw every feed");
+    for (tag, tuples) in tags.iter().zip(c.read_tags(&tags)) {
+        let mut expect = oracle.remove(tag).expect("tag was written");
+        let mut got: Vec<String> = tuples.into_iter().map(|t| t.key.0).collect();
+        expect.sort();
+        got.sort();
+        assert_eq!(got, expect, "feed {tag} matches the oracle");
+    }
+    let contacts = c.sim.metrics().summary("multi_get.contacted_nodes");
+    let allowance = f64::from(config.replication) + config.soft_n as f64;
+    assert!(
+        contacts.max <= allowance,
+        "every feed read stayed within {allowance} contacts, saw {}",
+        contacts.max
+    );
+}

@@ -7,8 +7,9 @@ use std::path::Path;
 use std::process::Command;
 
 /// Runs `cargo run --example <name>` with the same cargo that is driving
-/// this test, and returns the combined output on failure.
-fn run_example(name: &str) {
+/// this test, and returns the example's stdout (panicking with the
+/// combined output on failure).
+fn run_example(name: &str) -> String {
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_owned());
     let manifest_dir = env!("CARGO_MANIFEST_DIR");
     let output = Command::new(cargo)
@@ -23,6 +24,7 @@ fn run_example(name: &str) {
         String::from_utf8_lossy(&output.stdout),
         String::from_utf8_lossy(&output.stderr),
     );
+    String::from_utf8_lossy(&output.stdout).into_owned()
 }
 
 #[test]
@@ -56,8 +58,19 @@ fn quickstart_runs() {
 }
 
 #[test]
-fn social_feed_runs() {
-    run_example("social_feed");
+fn social_feed_runs_and_exercises_multi_ops() {
+    // The example must drive the real multi-tuple operation plane
+    // (multi_put batches, tag-routed multi_get) — not a static sieve
+    // analysis — and report the measured contact accounting.
+    let out = run_example("social_feed");
+    assert!(
+        out.contains("multi_put") && out.contains("multi_get"),
+        "social_feed must exercise the multi-op path; got:\n{out}"
+    );
+    assert!(
+        out.contains("tag sieves") && out.contains("uniform"),
+        "social_feed must compare placements; got:\n{out}"
+    );
 }
 
 #[test]
