@@ -39,8 +39,7 @@ fn experiment() {
     );
     for &nn in &[64u64, 1_024] {
         let r = 3u32;
-        let sieves: Vec<RangeSieve> =
-            (0..nn).map(|i| RangeSieve::partition(i, nn, r)).collect();
+        let sieves: Vec<RangeSieve> = (0..nn).map(|i| RangeSieve::partition(i, nn, r)).collect();
         let rep = check_coverage(&sieves, &probe);
         table_row(&[
             n(nn),

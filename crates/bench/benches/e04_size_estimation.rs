@@ -61,10 +61,7 @@ fn experiment() {
         sim.run_until(Time(round * period));
         let ests: Vec<f64> = (0..nn).map(|i| sim.node(NodeId(i)).unwrap().estimate()).collect();
         let mean = ests.iter().sum::<f64>() / nn as f64;
-        let max_err = ests
-            .iter()
-            .map(|e| (e - nn as f64).abs() / nn as f64)
-            .fold(0.0f64, f64::max);
+        let max_err = ests.iter().map(|e| (e - nn as f64).abs() / nn as f64).fold(0.0f64, f64::max);
         let spread = ests.iter().copied().fold(f64::NEG_INFINITY, f64::max)
             - ests.iter().copied().fold(f64::INFINITY, f64::min);
         table_row(&[n(round), f(mean), f(max_err), f(spread)]);

@@ -7,7 +7,9 @@ use dd_bench::{f, n, table_header, table_row};
 use dd_membership::MembershipOracle;
 use dd_sim::{NodeId, Sim, SimConfig, Time};
 use dd_walks::sampling::uniformity_score;
-use dd_walks::{per_sieve_cost, per_tuple_cost, visits_histogram, RedundancyEstimator, WalkMsg, WalkNode};
+use dd_walks::{
+    per_sieve_cost, per_tuple_cost, visits_histogram, RedundancyEstimator, WalkMsg, WalkNode,
+};
 
 fn experiment() {
     table_header(
@@ -77,8 +79,7 @@ fn bench(c: &mut Criterion) {
     g.bench_function("walks_20x32_n200", |b| {
         b.iter(|| {
             let nn = 200u64;
-            let mut sim: Sim<WalkNode<MembershipOracle>> =
-                Sim::new(SimConfig::default().seed(1));
+            let mut sim: Sim<WalkNode<MembershipOracle>> = Sim::new(SimConfig::default().seed(1));
             for i in 0..nn {
                 sim.add_node(
                     NodeId(i),

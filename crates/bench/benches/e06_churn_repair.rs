@@ -30,10 +30,7 @@ fn run(rate: f64, repair: bool, seed: u64) -> Outcome {
     // Churn runs across the whole write window: nodes that are down while
     // a key is disseminated miss it, and only repair can catch them up —
     // the paper's redundancy-maintenance scenario.
-    let model = ChurnModel::default()
-        .failure_rate(rate)
-        .mean_downtime(6_000)
-        .permanent_prob(0.05);
+    let model = ChurnModel::default().failure_rate(rate).mean_downtime(6_000).permanent_prob(0.05);
     let horizon = 40_000u64;
     let schedule = ChurnSchedule::generate(&model, persist_n, Time(horizon), seed ^ 0xC4);
     let offset = c.soft_ids().len() as u64;
@@ -45,9 +42,10 @@ fn run(rate: f64, repair: bool, seed: u64) -> Outcome {
         }
     }
     // Interleave writes with the churn window.
+    let mut client = c.client();
     for i in 0..keys {
-        let req = c.put(format!("k:{i}"), vec![i as u8], None, None);
-        c.wait_put(req);
+        let req = client.put(&mut c, format!("k:{i}"), vec![i as u8], None, None);
+        let _ = client.recv(&mut c, req);
         c.run_for(horizon / u64::from(keys));
     }
     c.run_for(15_000); // post-storm repair window
@@ -58,16 +56,12 @@ fn run(rate: f64, repair: bool, seed: u64) -> Outcome {
         / f64::from(keys);
     let mut reads_ok = 0;
     for i in 0..keys {
-        let r = c.get(format!("k:{i}"));
-        if matches!(c.wait_get(r), Some(Some(_))) {
+        let r = client.get(&mut c, format!("k:{i}"));
+        if matches!(client.recv(&mut c, r), Ok(Some(_))) {
             reads_ok += 1;
         }
     }
-    Outcome {
-        mean_replicas,
-        reads_ok,
-        recovered: c.sim.metrics().counter("repair.recovered"),
-    }
+    Outcome { mean_replicas, reads_ok, recovered: c.sim.metrics().counter("repair.recovered") }
 }
 
 fn experiment() {
@@ -105,9 +99,10 @@ fn bench(c: &mut Criterion) {
             seed += 1;
             let mut c = Cluster::new(ClusterConfig::small().persist_n(16), seed);
             c.settle();
+            let mut client = c.client();
             for i in 0..20 {
-                let req = c.put(format!("b:{i}"), vec![i as u8], None, None);
-                c.wait_put(req);
+                let req = client.put(&mut c, format!("b:{i}"), vec![i as u8], None, None);
+                let _ = client.recv(&mut c, req);
             }
             c.sim.kill(c.persist_ids()[0]);
             c.run_for(5_000);

@@ -17,9 +17,9 @@ fn loads(sample: &[f64], fresh: &[f64], b: usize, equi_depth: bool) -> Vec<u32> 
     let edges = if equi_depth {
         equi_depth_edges(sample, b)
     } else {
-        let (min, max) = sample.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
-            (lo.min(v), hi.max(v))
-        });
+        let (min, max) = sample
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
         (1..b).map(|k| min + (max - min) * k as f64 / b as f64).collect()
     };
     let sieves: Vec<HistogramSieve> =

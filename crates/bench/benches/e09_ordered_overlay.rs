@@ -67,10 +67,7 @@ fn scan_fixture(nn: u64, seed: u64) -> Sim<ScanNode> {
 }
 
 fn experiment() {
-    table_header(
-        "E9a: T-Man rounds to 90% ring convergence",
-        &["N", "rounds", "convergence"],
-    );
+    table_header("E9a: T-Man rounds to 90% ring convergence", &["N", "rounds", "convergence"]);
     for &nn in &[256u64, 1_024, 4_096] {
         let (rounds, conv) = tman_rounds_to_converge(nn, 0.9, 3);
         table_row(&[n(nn), n(rounds), f(conv)]);

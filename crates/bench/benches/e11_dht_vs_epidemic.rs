@@ -20,8 +20,7 @@ struct Outcome {
 }
 
 fn churn(nn: u64, rate: f64, seed: u64) -> ChurnSchedule {
-    let model =
-        ChurnModel::default().failure_rate(rate).mean_downtime(4_000).permanent_prob(0.1);
+    let model = ChurnModel::default().failure_rate(rate).mean_downtime(4_000).permanent_prob(0.1);
     ChurnSchedule::generate(&model, nn, Time(HORIZON), seed)
 }
 
@@ -78,9 +77,10 @@ fn run_baseline(nn: u64, rate: f64, seed: u64) -> Outcome {
 fn run_epidemic(nn: u64, rate: f64, seed: u64) -> Outcome {
     let mut c = Cluster::new(ClusterConfig::small().persist_n(nn), seed);
     c.settle();
+    let mut client = c.client();
     for k in 0..KEYS {
-        let req = c.put(format!("k{k}"), vec![k as u8], None, None);
-        c.wait_put(req);
+        let req = client.put(&mut c, format!("k{k}"), vec![k as u8], None, None);
+        let _ = client.recv(&mut c, req);
     }
     c.run_for(2_000);
     let offset = c.soft_ids().len() as u64;
@@ -94,8 +94,8 @@ fn run_epidemic(nn: u64, rate: f64, seed: u64) -> Outcome {
     c.run_for(HORIZON + 8_000);
     let mut reads_ok = 0;
     for k in 0..KEYS {
-        let r = c.get(format!("k{k}"));
-        if matches!(c.wait_get(r), Some(Some(_))) {
+        let r = client.get(&mut c, format!("k{k}"));
+        if matches!(client.recv(&mut c, r), Ok(Some(_))) {
             reads_ok += 1;
         }
     }

@@ -12,18 +12,19 @@ fn read_workload(cache_capacity: usize, seed: u64) -> (f64, u64) {
     config.cache_capacity = cache_capacity;
     let mut c = Cluster::new(config, seed);
     c.settle();
+    let mut client = c.client();
     let keys = 100u64;
     for i in 0..keys {
-        let req = c.put(format!("key:{i}"), vec![i as u8], None, None);
-        c.wait_put(req);
+        let req = client.put(&mut c, format!("key:{i}"), vec![i as u8], None, None);
+        let _ = client.recv(&mut c, req);
     }
     c.run_for(4_000);
     // Zipf-skewed reads: hot keys repeat.
     let mut w = Workload::new(WorkloadKind::ZipfKeys { keys, exponent: 1.1 }, seed);
     for _ in 0..300 {
         let key = w.next_read_key();
-        let r = c.get(key);
-        let _ = c.wait_get(r);
+        let r = client.get(&mut c, key);
+        let _ = client.recv(&mut c, r);
     }
     let m = c.sim.metrics();
     let hits = m.counter("soft.cache_hits");
@@ -45,25 +46,26 @@ fn experiment() {
     // E12b: catastrophic soft-state loss and reconstruction.
     let mut c = Cluster::new(ClusterConfig::small().persist_n(24), 5);
     c.settle();
+    let mut client = c.client();
     let keys = 50u64;
     for i in 0..keys {
-        let req = c.put(format!("key:{i}"), vec![i as u8], Some(i as f64), None);
-        c.wait_put(req);
+        let req = client.put(&mut c, format!("key:{i}"), vec![i as u8], Some(i as f64), None);
+        let _ = client.recv(&mut c, req);
     }
     c.run_for(4_000);
     c.wipe_soft_layer();
     let mut before = 0u64;
     for i in 0..keys {
-        let r = c.get(format!("key:{i}"));
-        if matches!(c.wait_get(r), Some(Some(_))) {
+        let r = client.get(&mut c, format!("key:{i}"));
+        if matches!(client.recv(&mut c, r), Ok(Some(_))) {
             before += 1;
         }
     }
     c.rebuild_soft_layer();
     let mut after = 0u64;
     for i in 0..keys {
-        let r = c.get(format!("key:{i}"));
-        if matches!(c.wait_get(r), Some(Some(_))) {
+        let r = client.get(&mut c, format!("key:{i}"));
+        if matches!(client.recv(&mut c, r), Ok(Some(_))) {
             after += 1;
         }
     }

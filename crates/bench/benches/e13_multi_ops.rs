@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dd_bench::{f, n, table_header, table_row};
-use dd_core::{Cluster, ClusterConfig, Workload, WorkloadKind};
+use dd_core::{Cluster, ClusterConfig, Placement, Workload, WorkloadKind};
 
 const FEEDS: u64 = 10;
 const BATCHES: usize = 20;
@@ -27,10 +27,11 @@ struct Row {
 fn run(placement: &'static str, config: ClusterConfig, seed: u64) -> Row {
     let mut c = Cluster::new(config, seed);
     c.settle();
+    let mut client = c.client();
     let mut w = Workload::new(WorkloadKind::SocialFeed { users: FEEDS }, 5);
-    let tags = c.drive_multi_puts(&mut w, BATCHES, BATCH);
+    let tags = client.drive_multi_puts(&mut c, &mut w, BATCHES, BATCH);
     c.run_for(6_000);
-    let tuples_read = c.read_tags(&tags).iter().map(Vec::len).sum::<usize>() as u64;
+    let tuples_read = client.read_tags(&mut c, &tags).iter().map(Vec::len).sum::<usize>() as u64;
     let m = c.sim.metrics();
     let contacts = m.summary("multi_get.contacted_nodes");
     let gets = m.counter("soft.multi_gets");
@@ -48,8 +49,8 @@ fn run(placement: &'static str, config: ClusterConfig, seed: u64) -> Row {
 fn rows() -> Vec<Row> {
     let config = ClusterConfig::small().persist_n(40).replication(3);
     vec![
-        run("tag", config.clone().tag_sieves(), 9),
-        run("uniform", config.clone().uniform_sieves(), 9),
+        run("tag", config.clone().placement(Placement::TagCollocation), 9),
+        run("uniform", config.clone().placement(Placement::Uniform), 9),
         run("range", config, 9),
     ]
 }

@@ -1,0 +1,132 @@
+//! E14 — Pipelined client sessions: ops/tick vs pipeline depth.
+//!
+//! The old client plane was lock-step — one `u64` request id, one
+//! blocking wait, one operation in flight per client — so throughput was
+//! capped at one round-trip per wait window. The typed session plane
+//! (`Client` + `Pending<T>`) holds many operations outstanding; this
+//! experiment sweeps the closed-loop driver across pipeline depths on
+//! seed-replayed clusters and measures successful operations per virtual
+//! tick. Depth 1 reproduces the old lock-step ceiling; the acceptance
+//! bar is depth 16 ≥ 4× depth 1 on the uniform workload. Emits a
+//! machine-readable summary to `BENCH_pipeline.json` at the workspace
+//! root so the perf trajectory accumulates across runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dd_bench::{f, n, table_header, table_row};
+use dd_core::{drive_pipeline, Cluster, ClusterConfig, PipelineConfig, Workload, WorkloadKind};
+
+const SESSIONS: usize = 4;
+const TOTAL_OPS: u64 = 2_000;
+const QUANTUM: u64 = 5;
+const DEPTHS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+struct Row {
+    depth: usize,
+    completed: u64,
+    errors: u64,
+    ticks: u64,
+    ops_per_tick: f64,
+    p50: f64,
+    p95: f64,
+}
+
+fn run(depth: usize, seed: u64) -> Row {
+    let mut c = Cluster::new(ClusterConfig::small().persist_n(32), seed);
+    c.settle();
+    let mut w = Workload::new(WorkloadKind::Uniform, seed ^ 0xE14);
+    let config =
+        PipelineConfig { sessions: SESSIONS, depth, total_ops: TOTAL_OPS, quantum: QUANTUM };
+    let report = drive_pipeline(&mut c, &mut w, config);
+    let lat = c.sim.metrics().quantiles("client.op_ticks", &[0.5, 0.95]);
+    Row {
+        depth,
+        completed: report.completed,
+        errors: report.errors,
+        ticks: report.ticks,
+        ops_per_tick: report.ops_per_tick(),
+        p50: lat[0].unwrap_or(0.0),
+        p95: lat[1].unwrap_or(0.0),
+    }
+}
+
+/// Writes the summary JSON (hand-rolled: the workspace has no serde) for
+/// trend tracking; one object per depth, stable field names.
+fn write_summary(rows: &[Row]) {
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"depth\": {}, \"sessions\": {SESSIONS}, \"completed\": {}, \
+                 \"errors\": {}, \"ticks\": {}, \"ops_per_tick\": {:.5}, \
+                 \"latency_p50_ticks\": {:.1}, \"latency_p95_ticks\": {:.1}}}",
+                r.depth, r.completed, r.errors, r.ticks, r.ops_per_tick, r.p50, r.p95
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"e14_pipeline\",\n  \"workload\": {{\"kind\": \"uniform\", \
+         \"total_ops\": {TOTAL_OPS}, \"quantum\": {QUANTUM}}},\n  \"depths\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("e14: could not write {path}: {e}");
+    } else {
+        println!("\nwrote machine-readable summary to BENCH_pipeline.json");
+    }
+}
+
+fn experiment() {
+    let rows: Vec<Row> = DEPTHS.iter().map(|&d| run(d, 77)).collect();
+    table_header(
+        "E14: pipelined sessions — ops/tick vs depth (4 sessions, 2000 puts)",
+        &["depth", "completed", "errors", "ticks", "ops/tick", "p50_lat", "p95_lat"],
+    );
+    for r in &rows {
+        table_row(&[
+            n(r.depth as u64),
+            n(r.completed),
+            n(r.errors),
+            n(r.ticks),
+            f(r.ops_per_tick),
+            f(r.p50),
+            f(r.p95),
+        ]);
+    }
+    let d1 = rows.iter().find(|r| r.depth == 1).expect("depth 1 measured");
+    let d16 = rows.iter().find(|r| r.depth == 16).expect("depth 16 measured");
+    let speedup = d16.ops_per_tick / d1.ops_per_tick;
+    println!(
+        "\ndepth 16 achieves {speedup:.1}x the lock-step (depth 1) throughput; every \
+         extra slot of pipeline depth overlaps another round-trip until the \
+         coordinator tier saturates."
+    );
+    assert!(rows.iter().all(|r| r.errors == 0), "no op may fail on the uniform workload");
+    assert!(
+        speedup >= 4.0,
+        "acceptance: depth 16 must reach >= 4x the depth-1 ops/tick, got {speedup:.2}x"
+    );
+    write_summary(&rows);
+}
+
+fn bench(c: &mut Criterion) {
+    experiment();
+    let mut g = c.benchmark_group("e14");
+    g.sample_size(10);
+    // The closed-loop kernel: a short depth-8 pipeline burst per iteration.
+    g.bench_function("pipeline_depth8_200ops", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let mut c = Cluster::new(ClusterConfig::small().persist_n(16), seed);
+            c.settle();
+            let mut w = Workload::new(WorkloadKind::Uniform, seed);
+            let config = PipelineConfig { sessions: 2, depth: 8, total_ops: 200, quantum: QUANTUM };
+            drive_pipeline(&mut c, &mut w, config).completed
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

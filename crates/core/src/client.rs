@@ -1,0 +1,629 @@
+//! Typed, pipelined client sessions (the client plane of §II).
+//!
+//! A [`Client`] is a session against a [`Cluster`]: every operation
+//! returns immediately with a typed [`Pending<K>`] completion handle, so
+//! one session can keep thousands of operations outstanding while
+//! [`Cluster::pump`] advances virtual time. Completions are harvested
+//! non-blockingly with [`Client::poll`] (one handle) or in bulk with
+//! [`Client::drain`] (everything ready), and every completion is a
+//! `Result<T, OpError>` — timeouts, partial batches and a dead entry tier
+//! are errors, distinct from an ordinary "key absent" read.
+//!
+//! ```
+//! use dd_core::{Cluster, ClusterConfig};
+//!
+//! let mut cluster = Cluster::new(ClusterConfig::small(), 42);
+//! cluster.settle();
+//! let mut client = cluster.client();
+//! // Pipelined: both writes are in flight at once.
+//! let a = client.put(&mut cluster, "user:1", b"alice".to_vec(), None, None);
+//! let b = client.put(&mut cluster, "user:2", b"bob".to_vec(), None, None);
+//! let a = client.recv(&mut cluster, a).expect("write ordered");
+//! let b = client.recv(&mut cluster, b).expect("write ordered");
+//! assert_eq!(u64::from(a.version.0) + u64::from(b.version.0), 2);
+//! ```
+
+use crate::cluster::{AggregateResult, Cluster, DropletNode, GetResult, MultiPutResult, PutResult};
+use crate::msg::DropletMsg;
+use crate::soft::SoftNode;
+use crate::tuple::{Key, StoredTuple, TupleSpec};
+use crate::workload::Workload;
+use dd_sim::Time;
+use rand::rngs::SmallRng;
+use std::collections::HashMap;
+use std::fmt;
+use std::marker::PhantomData;
+
+/// Virtual ticks an operation may stay outstanding before the session
+/// reports [`OpError::Timeout`] (the old lock-step wait window, kept so a
+/// dead coordinator surfaces as an error rather than a hang).
+pub const OP_TIMEOUT: u64 = 10_000;
+
+/// Virtual-time quantum [`Client::recv`] advances between polls.
+const RECV_QUANTUM: u64 = 50;
+
+/// Why a client operation did not produce a result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpError {
+    /// No completion within [`OP_TIMEOUT`] virtual ticks of submission —
+    /// e.g. the key's soft coordinator died mid-operation.
+    Timeout,
+    /// A batched operation completed with fewer items than submitted
+    /// (dead or unreachable key coordinators were given up on).
+    PartialResult {
+        /// Items that completed.
+        got: usize,
+        /// Items submitted.
+        want: usize,
+    },
+    /// No live soft node existed to accept the operation at submission.
+    NoLiveEntry,
+    /// The session has no record of this operation: its completion was
+    /// already harvested (by `poll`, `recv` or a `drain` sweep), or the
+    /// handle came from a different session.
+    AlreadyHarvested,
+}
+
+impl fmt::Display for OpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpError::Timeout => write!(f, "operation timed out after {OP_TIMEOUT} ticks"),
+            OpError::PartialResult { got, want } => {
+                write!(f, "batched operation completed {got} of {want} items")
+            }
+            OpError::NoLiveEntry => write!(f, "no live soft node to accept the operation"),
+            OpError::AlreadyHarvested => {
+                write!(f, "operation already harvested or unknown to this session")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OpError {}
+
+mod sealed {
+    /// Prevents downstream [`super::OpKind`] impls: the op set is the
+    /// protocol's, not the caller's.
+    pub trait Sealed {}
+}
+
+/// One operation kind of the client plane. Implemented only by the
+/// markers in [`ops`]; the associated `Output` is what a successful
+/// completion carries.
+pub trait OpKind: sealed::Sealed {
+    /// Payload of a successful completion.
+    type Output;
+    #[doc(hidden)]
+    const KIND: Kind;
+    #[doc(hidden)]
+    fn take(soft: &mut SoftNode, req: u64) -> Option<Self::Output>;
+    #[doc(hidden)]
+    fn finish(raw: Self::Output, _want: usize) -> Result<Self::Output, OpError> {
+        Ok(raw)
+    }
+}
+
+/// Marker types naming each operation kind (the `K` of [`Pending<K>`]).
+pub mod ops {
+    /// A single write ([`super::Client::put`]).
+    #[derive(Debug, Clone, Copy)]
+    pub enum Put {}
+    /// A single read ([`super::Client::get`]).
+    #[derive(Debug, Clone, Copy)]
+    pub enum Get {}
+    /// A versioned delete ([`super::Client::delete`]).
+    #[derive(Debug, Clone, Copy)]
+    pub enum Delete {}
+    /// An attribute range scan ([`super::Client::scan`]).
+    #[derive(Debug, Clone, Copy)]
+    pub enum Scan {}
+    /// A cluster-wide aggregate ([`super::Client::aggregate`]).
+    #[derive(Debug, Clone, Copy)]
+    pub enum Aggregate {}
+    /// A batched write ([`super::Client::multi_put`]).
+    #[derive(Debug, Clone, Copy)]
+    pub enum MultiPut {}
+    /// A tag-scoped read ([`super::Client::multi_get`]).
+    #[derive(Debug, Clone, Copy)]
+    pub enum MultiGet {}
+}
+
+/// Runtime tag mirroring the [`ops`] markers, used by [`Client::drain`]
+/// to harvest without knowing static types.
+#[doc(hidden)]
+#[allow(missing_docs)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    Put,
+    Get,
+    Delete,
+    Scan,
+    Aggregate,
+    MultiPut,
+    MultiGet,
+}
+
+/// Harvests one completion through kind `K`'s [`OpKind`] impl — the
+/// single source of take/finish semantics for both the typed
+/// ([`Client::poll`]) and runtime ([`Client::drain`]) paths.
+fn harvest<K: OpKind>(
+    soft: &mut SoftNode,
+    req: u64,
+    want: usize,
+    wrap: fn(Result<K::Output, OpError>) -> Completion,
+) -> Option<Completion> {
+    K::take(soft, req).map(|raw| wrap(K::finish(raw, want)))
+}
+
+impl Kind {
+    /// Probes one soft node for this kind's completion of `req`.
+    fn take(self, soft: &mut SoftNode, req: u64, want: usize) -> Option<Completion> {
+        match self {
+            Kind::Put => harvest::<ops::Put>(soft, req, want, Completion::Put),
+            Kind::Delete => harvest::<ops::Delete>(soft, req, want, Completion::Delete),
+            Kind::Get => harvest::<ops::Get>(soft, req, want, Completion::Get),
+            Kind::Scan => harvest::<ops::Scan>(soft, req, want, Completion::Scan),
+            Kind::Aggregate => harvest::<ops::Aggregate>(soft, req, want, Completion::Aggregate),
+            Kind::MultiPut => harvest::<ops::MultiPut>(soft, req, want, Completion::MultiPut),
+            Kind::MultiGet => harvest::<ops::MultiGet>(soft, req, want, Completion::MultiGet),
+        }
+    }
+
+    /// The failed completion of this kind.
+    fn failed(self, err: OpError) -> Completion {
+        match self {
+            Kind::Put => Completion::Put(Err(err)),
+            Kind::Delete => Completion::Delete(Err(err)),
+            Kind::Get => Completion::Get(Err(err)),
+            Kind::Scan => Completion::Scan(Err(err)),
+            Kind::Aggregate => Completion::Aggregate(Err(err)),
+            Kind::MultiPut => Completion::MultiPut(Err(err)),
+            Kind::MultiGet => Completion::MultiGet(Err(err)),
+        }
+    }
+}
+
+impl sealed::Sealed for ops::Put {}
+impl OpKind for ops::Put {
+    type Output = PutResult;
+    const KIND: Kind = Kind::Put;
+    fn take(soft: &mut SoftNode, req: u64) -> Option<PutResult> {
+        soft.take_put(req)
+    }
+}
+
+impl sealed::Sealed for ops::Delete {}
+impl OpKind for ops::Delete {
+    type Output = PutResult;
+    const KIND: Kind = Kind::Delete;
+    fn take(soft: &mut SoftNode, req: u64) -> Option<PutResult> {
+        soft.take_put(req)
+    }
+}
+
+impl sealed::Sealed for ops::Get {}
+impl OpKind for ops::Get {
+    type Output = Option<GetResult>;
+    const KIND: Kind = Kind::Get;
+    fn take(soft: &mut SoftNode, req: u64) -> Option<Option<GetResult>> {
+        soft.take_get(req)
+    }
+}
+
+impl sealed::Sealed for ops::Scan {}
+impl OpKind for ops::Scan {
+    type Output = Vec<StoredTuple>;
+    const KIND: Kind = Kind::Scan;
+    fn take(soft: &mut SoftNode, req: u64) -> Option<Vec<StoredTuple>> {
+        soft.take_scan(req)
+    }
+}
+
+impl sealed::Sealed for ops::Aggregate {}
+impl OpKind for ops::Aggregate {
+    type Output = AggregateResult;
+    const KIND: Kind = Kind::Aggregate;
+    fn take(soft: &mut SoftNode, req: u64) -> Option<AggregateResult> {
+        soft.take_agg(req).map(|(sketch, min, max)| AggregateResult::from_parts(sketch, min, max))
+    }
+}
+
+impl sealed::Sealed for ops::MultiPut {}
+impl OpKind for ops::MultiPut {
+    type Output = MultiPutResult;
+    const KIND: Kind = Kind::MultiPut;
+    fn take(soft: &mut SoftNode, req: u64) -> Option<MultiPutResult> {
+        soft.take_multi_put(req)
+    }
+    fn finish(raw: MultiPutResult, want: usize) -> Result<MultiPutResult, OpError> {
+        if raw.items < want {
+            Err(OpError::PartialResult { got: raw.items, want })
+        } else {
+            Ok(raw)
+        }
+    }
+}
+
+impl sealed::Sealed for ops::MultiGet {}
+impl OpKind for ops::MultiGet {
+    type Output = Vec<StoredTuple>;
+    const KIND: Kind = Kind::MultiGet;
+    fn take(soft: &mut SoftNode, req: u64) -> Option<Vec<StoredTuple>> {
+        soft.take_multi_get(req)
+    }
+}
+
+/// A typed completion handle: proof that operation `req` of kind `K` was
+/// submitted. Harvest it with [`Client::poll`] (non-blocking) or
+/// [`Client::recv`] (drives time). The phantom kind makes cross-kind
+/// mix-ups — the old untyped plane let a put's req id be harvested as a
+/// read — a type error.
+pub struct Pending<K: OpKind> {
+    req: u64,
+    _kind: PhantomData<fn() -> K>,
+}
+
+impl<K: OpKind> Pending<K> {
+    fn new(req: u64) -> Self {
+        Pending { req, _kind: PhantomData }
+    }
+
+    /// The cluster-unique request id (correlates with [`Client::drain`]).
+    #[must_use]
+    pub fn req(&self) -> u64 {
+        self.req
+    }
+}
+
+impl<K: OpKind> fmt::Debug for Pending<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pending({}, {:?})", self.req, K::KIND)
+    }
+}
+
+impl<K: OpKind> Clone for Pending<K> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<K: OpKind> Copy for Pending<K> {}
+
+/// A harvested completion, as surfaced by [`Client::drain`]: one variant
+/// per op kind, each carrying the kind's `Result<T, OpError>`.
+#[derive(Debug, Clone)]
+pub enum Completion {
+    /// A write completed.
+    Put(Result<PutResult, OpError>),
+    /// A read completed (`Ok(None)` = key absent).
+    Get(Result<Option<GetResult>, OpError>),
+    /// A delete completed.
+    Delete(Result<PutResult, OpError>),
+    /// A scan completed.
+    Scan(Result<Vec<StoredTuple>, OpError>),
+    /// An aggregate completed.
+    Aggregate(Result<AggregateResult, OpError>),
+    /// A batched write completed.
+    MultiPut(Result<MultiPutResult, OpError>),
+    /// A tag-scoped read completed.
+    MultiGet(Result<Vec<StoredTuple>, OpError>),
+}
+
+impl Completion {
+    /// Whether this completion carries a success.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.err().is_none()
+    }
+
+    /// The error, if this completion failed.
+    #[must_use]
+    pub fn err(&self) -> Option<OpError> {
+        match self {
+            Completion::Put(r) | Completion::Delete(r) => r.as_ref().err().copied(),
+            Completion::Get(r) => r.as_ref().err().copied(),
+            Completion::Scan(r) | Completion::MultiGet(r) => r.as_ref().err().copied(),
+            Completion::Aggregate(r) => r.as_ref().err().copied(),
+            Completion::MultiPut(r) => r.as_ref().err().copied(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Outstanding {
+    kind: Kind,
+    issued: Time,
+    /// Batch size for multi-puts (what `items` must reach for `Ok`).
+    want: usize,
+    /// Submission found no live entry node; completes as `NoLiveEntry`.
+    stillborn: bool,
+}
+
+/// A client session against one [`Cluster`].
+///
+/// Obtained from [`Cluster::client`]; each session owns a private RNG
+/// stream for entry-node selection (so sessions are independent and the
+/// whole run replays from the seed) and tracks its outstanding
+/// operations. Many sessions can run concurrently, each holding many
+/// in-flight operations — the pipelined client plane the paper's
+/// million-user workloads need.
+///
+/// ```
+/// use dd_core::{Cluster, ClusterConfig, OpError};
+///
+/// let mut cluster = Cluster::new(ClusterConfig::small(), 7);
+/// cluster.settle();
+/// let mut client = cluster.client();
+/// let w = client.put(&mut cluster, "k", b"v".to_vec(), None, None);
+/// assert!(client.recv(&mut cluster, w).is_ok());
+/// // Reads distinguish "absent" (Ok(None)) from failure (Err(..)).
+/// let r = client.get(&mut cluster, "nope");
+/// assert_eq!(client.recv(&mut cluster, r), Ok(None));
+/// let s = client.scan(&mut cluster, 0.0, 1.0);
+/// assert!(matches!(client.recv(&mut cluster, s), Ok(items) if items.is_empty()));
+/// # let _: fn(OpError) = |e| match e { OpError::Timeout => {}, _ => {} };
+/// ```
+#[derive(Debug)]
+pub struct Client {
+    session: u64,
+    rng: SmallRng,
+    outstanding: HashMap<u64, Outstanding>,
+}
+
+impl Client {
+    pub(crate) fn new(session: u64, rng: SmallRng) -> Self {
+        Client { session, rng, outstanding: HashMap::new() }
+    }
+
+    /// This session's id (unique per cluster).
+    #[must_use]
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// Operations submitted and not yet harvested.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    fn submit(
+        &mut self,
+        cluster: &mut Cluster,
+        kind: Kind,
+        want: usize,
+        make: impl FnOnce(u64) -> DropletMsg,
+    ) -> u64 {
+        let req = cluster.fresh_req();
+        let issued = cluster.sim.now();
+        let stillborn = match cluster.entry_for(&mut self.rng) {
+            Some(entry) => {
+                cluster.sim.inject(entry, entry, make(req));
+                false
+            }
+            None => true,
+        };
+        self.outstanding.insert(req, Outstanding { kind, issued, want, stillborn });
+        req
+    }
+
+    /// Submits a write; completes with the assigned version and the
+    /// storage acks counted so far.
+    pub fn put(
+        &mut self,
+        cluster: &mut Cluster,
+        key: impl Into<Key>,
+        value: Vec<u8>,
+        attr: Option<f64>,
+        tag: Option<&str>,
+    ) -> Pending<ops::Put> {
+        let (key, value, tag) = (key.into(), value.into(), tag.map(str::to_owned));
+        Pending::new(self.submit(cluster, Kind::Put, 0, |req| DropletMsg::ClientPut {
+            req,
+            key,
+            value,
+            attr,
+            tag,
+        }))
+    }
+
+    /// Submits a read; completes with `Ok(None)` when the key was never
+    /// written (or is deleted) — distinct from `Err(OpError::Timeout)`.
+    pub fn get(&mut self, cluster: &mut Cluster, key: impl Into<Key>) -> Pending<ops::Get> {
+        let key = key.into();
+        Pending::new(self.submit(cluster, Kind::Get, 0, |req| DropletMsg::ClientGet { req, key }))
+    }
+
+    /// Submits a delete (a versioned tombstone).
+    pub fn delete(&mut self, cluster: &mut Cluster, key: impl Into<Key>) -> Pending<ops::Delete> {
+        let key = key.into();
+        Pending::new(
+            self.submit(cluster, Kind::Delete, 0, |req| DropletMsg::ClientDelete { req, key }),
+        )
+    }
+
+    /// Submits an attribute range scan over `[lo, hi]`.
+    pub fn scan(&mut self, cluster: &mut Cluster, lo: f64, hi: f64) -> Pending<ops::Scan> {
+        Pending::new(self.submit(cluster, Kind::Scan, 0, |req| DropletMsg::ClientScan {
+            req,
+            lo,
+            hi,
+        }))
+    }
+
+    /// Submits an aggregate query over all stored tuples.
+    pub fn aggregate(&mut self, cluster: &mut Cluster) -> Pending<ops::Aggregate> {
+        Pending::new(
+            self.submit(cluster, Kind::Aggregate, 0, |req| DropletMsg::ClientAggregate { req }),
+        )
+    }
+
+    /// Submits a batched write (the social-feed `mput`). Completes `Ok`
+    /// only when every item ordered; dead key coordinators surface as
+    /// [`OpError::PartialResult`].
+    pub fn multi_put(
+        &mut self,
+        cluster: &mut Cluster,
+        items: impl IntoIterator<Item = TupleSpec>,
+    ) -> Pending<ops::MultiPut> {
+        let items: Vec<TupleSpec> = items.into_iter().collect();
+        let want = items.len();
+        Pending::new(
+            self.submit(cluster, Kind::MultiPut, want, |req| DropletMsg::ClientMultiPut {
+                req,
+                items,
+            }),
+        )
+    }
+
+    /// Submits a tag-scoped read (the social-feed `mget`): every live
+    /// tuple carrying `tag`, deduplicated and attribute-ordered.
+    pub fn multi_get(&mut self, cluster: &mut Cluster, tag: &str) -> Pending<ops::MultiGet> {
+        let tag = tag.to_owned();
+        Pending::new(
+            self.submit(cluster, Kind::MultiGet, 0, |req| DropletMsg::ClientMultiGet { req, tag }),
+        )
+    }
+
+    /// Non-blocking harvest of one operation: `None` while still in
+    /// flight, `Some(result)` exactly once when it completes (the soft
+    /// node's record is retired on harvest). A handle whose completion
+    /// was already delivered — e.g. by an earlier poll or a [`Client::drain`]
+    /// sweep — or that belongs to another session yields
+    /// `Some(Err(OpError::AlreadyHarvested))`.
+    pub fn poll<K: OpKind>(
+        &mut self,
+        cluster: &mut Cluster,
+        pending: &Pending<K>,
+    ) -> Option<Result<K::Output, OpError>> {
+        let Some(&o) = self.outstanding.get(&pending.req) else {
+            return Some(Err(OpError::AlreadyHarvested));
+        };
+        debug_assert_eq!(o.kind, K::KIND, "Pending kind mismatch");
+        if o.stillborn {
+            self.retire(cluster, pending.req, None);
+            return Some(Err(OpError::NoLiveEntry));
+        }
+        for id in cluster.soft_ids().to_vec() {
+            if let Some(soft) = cluster.sim.node_mut(id).and_then(DropletNode::as_soft_mut) {
+                if let Some(raw) = K::take(soft, pending.req) {
+                    self.retire(cluster, pending.req, Some(o.issued));
+                    return Some(K::finish(raw, o.want));
+                }
+            }
+        }
+        if cluster.sim.now().since(o.issued).0 >= OP_TIMEOUT {
+            self.retire(cluster, pending.req, None);
+            cluster.sim.metrics_mut().incr("client.timeouts");
+            return Some(Err(OpError::Timeout));
+        }
+        None
+    }
+
+    /// Drives virtual time until `pending` completes and returns its
+    /// result — the lock-step convenience over [`Client::poll`]. Bounded:
+    /// a lost operation returns `Err(OpError::Timeout)` after
+    /// [`OP_TIMEOUT`] virtual ticks.
+    pub fn recv<K: OpKind>(
+        &mut self,
+        cluster: &mut Cluster,
+        pending: Pending<K>,
+    ) -> Result<K::Output, OpError> {
+        loop {
+            if let Some(result) = self.poll(cluster, &pending) {
+                return result;
+            }
+            cluster.pump(RECV_QUANTUM);
+        }
+    }
+
+    /// Harvests every completed (or expired) operation of this session,
+    /// in request order: the batch companion to [`Client::poll`] for
+    /// pipelined loops that don't track individual handles.
+    pub fn drain(&mut self, cluster: &mut Cluster) -> Vec<(u64, Completion)> {
+        let now = cluster.sim.now();
+        let ids = cluster.soft_ids().to_vec();
+        let mut reqs: Vec<u64> = self.outstanding.keys().copied().collect();
+        reqs.sort_unstable();
+        let mut done = Vec::new();
+        for req in reqs {
+            let o = self.outstanding[&req];
+            if o.stillborn {
+                self.retire(cluster, req, None);
+                done.push((req, o.kind.failed(OpError::NoLiveEntry)));
+                continue;
+            }
+            let harvested = ids.iter().find_map(|&id| {
+                cluster
+                    .sim
+                    .node_mut(id)
+                    .and_then(DropletNode::as_soft_mut)
+                    .and_then(|soft| o.kind.take(soft, req, o.want))
+            });
+            if let Some(completion) = harvested {
+                self.retire(cluster, req, Some(o.issued));
+                done.push((req, completion));
+            } else if now.since(o.issued).0 >= OP_TIMEOUT {
+                self.retire(cluster, req, None);
+                cluster.sim.metrics_mut().incr("client.timeouts");
+                done.push((req, o.kind.failed(OpError::Timeout)));
+            }
+        }
+        done
+    }
+
+    fn retire(&mut self, cluster: &mut Cluster, req: u64, harvested_issue: Option<Time>) {
+        self.outstanding.remove(&req);
+        if let Some(issued) = harvested_issue {
+            let latency = cluster.sim.now().since(issued).0 as f64;
+            let m = cluster.sim.metrics_mut();
+            m.incr("client.completions");
+            m.observe("client.op_ticks", latency);
+        }
+    }
+
+    /// Workload driver: feeds `batches` batched writes of `batch` items
+    /// from `workload` through [`Client::multi_put`], receiving each
+    /// before the next (the harvest path the multi-op tests, benches and
+    /// examples share), and returns the distinct tags written in
+    /// first-use order. Callers should [`Cluster::run_for`] a settle
+    /// period before reading the tags back.
+    ///
+    /// # Panics
+    /// Panics if a batch fails to order within [`OP_TIMEOUT`].
+    pub fn drive_multi_puts(
+        &mut self,
+        cluster: &mut Cluster,
+        workload: &mut Workload,
+        batches: usize,
+        batch: usize,
+    ) -> Vec<String> {
+        let mut tags = Vec::new();
+        for _ in 0..batches {
+            let m = workload.next_multi_put(batch);
+            if let Some(tag) = m.tag {
+                if !tags.contains(&tag) {
+                    tags.push(tag);
+                }
+            }
+            let pending = self.multi_put(cluster, m.items.into_iter().map(TupleSpec::from));
+            let status =
+                self.recv(cluster, pending).expect("multi_put batch failed to order fully");
+            assert_eq!(status.items, batch);
+        }
+        tags
+    }
+
+    /// Workload driver: [`Client::multi_get`]s every tag and returns the
+    /// tuple sets in tag order.
+    ///
+    /// # Panics
+    /// Panics if a read times out.
+    pub fn read_tags(&mut self, cluster: &mut Cluster, tags: &[String]) -> Vec<Vec<StoredTuple>> {
+        tags.iter()
+            .map(|tag| {
+                let pending = self.multi_get(cluster, tag);
+                self.recv(cluster, pending).expect("multi_get completes")
+            })
+            .collect()
+    }
+}

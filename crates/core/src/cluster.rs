@@ -2,25 +2,27 @@
 //!
 //! A [`Cluster`] hosts a complete DataDroplets deployment — `soft_n`
 //! soft-state nodes and `persist_n` persistent-state nodes — inside one
-//! deterministic simulation, and exposes the paper's client interface:
-//! `put` / `get` / `delete` / `scan` / `aggregate`, plus the multi-tuple
-//! operations `multi_put` (batched writes) and `multi_get` (tag-scoped
-//! reads, routed to the tag's slot-owners under
-//! [`Placement::TagCollocation`]). Operations are asynchronous (inject,
-//! then [`Cluster::wait_put`] etc. drive virtual time until the
-//! coordinator completes them), which lets experiments interleave churn
-//! with traffic.
+//! deterministic simulation. Clients talk to it through typed, pipelined
+//! sessions: [`Cluster::client`] opens a [`crate::Client`], whose
+//! operations (`put` / `get` / `delete` / `scan` / `aggregate`, plus the
+//! multi-tuple `multi_put` and tag-routed `multi_get`) return
+//! [`crate::Pending`] handles immediately. [`Cluster::pump`] advances
+//! virtual time while sessions harvest completions — which lets
+//! experiments hold thousands of operations in flight and interleave
+//! churn with traffic.
 
+use crate::client::Client;
 use crate::msg::DropletMsg;
 use crate::persist::PersistNode;
 use crate::sieve_spec::SieveSpec;
 use crate::soft::{MultiPutStatus, PutStatus, SoftNode};
-use crate::tuple::{Key, StoredTuple, TupleSpec};
-use dd_epidemic::required_fanout;
+use crate::tuple::{Key, StoredTuple};
 use dd_dht::Version;
+use dd_epidemic::required_fanout;
+use dd_sim::rng::mix;
 use dd_sim::{Ctx, Duration, NodeId, Process, Sim, SimConfig, TimerTag};
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 /// Result of a completed write.
 pub type PutResult = PutStatus;
@@ -61,6 +63,11 @@ pub struct AggregateResult {
 }
 
 impl AggregateResult {
+    /// Assembles a result from a harvested completion record.
+    pub(crate) fn from_parts(sketch: dd_estimation::DistSketch, min: f64, max: f64) -> Self {
+        AggregateResult { sketch, min, max }
+    }
+
     /// Estimated number of distinct tuples with attributes.
     #[must_use]
     pub fn distinct_estimate(&self) -> f64 {
@@ -149,18 +156,11 @@ impl ClusterConfig {
         self
     }
 
-    /// Builder: uniform `r/N` sieves (the paper's simplest sieve).
+    /// Builder: persistent-layer placement strategy. Tag collocation also
+    /// enables tag-aware read routing in the soft layer (§III-B-1).
     #[must_use]
-    pub fn uniform_sieves(mut self) -> Self {
-        self.placement = Placement::Uniform;
-        self
-    }
-
-    /// Builder: tag-collocation sieves, with tag-aware read routing in
-    /// the soft layer (§III-B-1).
-    #[must_use]
-    pub fn tag_sieves(mut self) -> Self {
-        self.placement = Placement::TagCollocation;
+    pub fn placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
         self
     }
 }
@@ -182,6 +182,15 @@ impl DropletNode {
     /// The soft role, if this node has it.
     #[must_use]
     pub fn as_soft(&self) -> Option<&SoftNode> {
+        match self {
+            DropletNode::Soft(s) => Some(s),
+            DropletNode::Persist(_) => None,
+        }
+    }
+
+    /// The soft role, mutably (the client plane harvests through this).
+    #[must_use]
+    pub fn as_soft_mut(&mut self) -> Option<&mut SoftNode> {
         match self {
             DropletNode::Soft(s) => Some(s),
             DropletNode::Persist(_) => None,
@@ -236,8 +245,9 @@ pub struct Cluster {
     config: ClusterConfig,
     soft_ids: Vec<NodeId>,
     persist_ids: Vec<NodeId>,
+    seed: u64,
     next_req: u64,
-    entry_rng: SmallRng,
+    next_session: u64,
 }
 
 impl Cluster {
@@ -252,9 +262,7 @@ impl Cluster {
         let soft_ids: Vec<NodeId> = (0..config.soft_n).map(NodeId).collect();
         let persist_ids: Vec<NodeId> =
             (config.soft_n..config.soft_n + config.persist_n).map(NodeId).collect();
-        let fanout = config
-            .fanout
-            .unwrap_or_else(|| required_fanout(config.persist_n, 0.999));
+        let fanout = config.fanout.unwrap_or_else(|| required_fanout(config.persist_n, 0.999));
         let mut sim: Sim<DropletNode> = Sim::new(SimConfig::default().seed(seed));
         for &id in &soft_ids {
             let mut soft =
@@ -280,8 +288,7 @@ impl Cluster {
                     r: config.replication,
                 },
             };
-            let peers: Vec<NodeId> =
-                persist_ids.iter().copied().filter(|&p| p != id).collect();
+            let peers: Vec<NodeId> = persist_ids.iter().copied().filter(|&p| p != id).collect();
             sim.add_node(
                 id,
                 DropletNode::Persist(PersistNode::new(
@@ -292,14 +299,7 @@ impl Cluster {
                 )),
             );
         }
-        Cluster {
-            sim,
-            config,
-            soft_ids,
-            persist_ids,
-            next_req: 0,
-            entry_rng: SmallRng::seed_from_u64(seed ^ 0x00C1_1E47),
-        }
+        Cluster { sim, config, soft_ids, persist_ids, seed, next_req: 0, next_session: 0 }
     }
 
     /// The configuration in use.
@@ -325,201 +325,42 @@ impl Cluster {
         self.sim.run_for(Duration(ticks));
     }
 
+    /// Advances virtual time so in-flight client operations make
+    /// progress — the verb of the pipelined harvest loop (submit via
+    /// [`Client`], `pump`, then [`Client::poll`]/[`Client::drain`]).
+    /// Identical to [`Cluster::run_for`]; the two names separate client
+    /// loops from protocol settling in calling code.
+    pub fn pump(&mut self, ticks: u64) {
+        self.run_for(ticks);
+    }
+
     /// Lets start-up timers and gossip settle (one repair period).
     pub fn settle(&mut self) {
         self.run_for(self.config.repair_period.unwrap_or(1_000));
     }
 
-    fn fresh_req(&mut self) -> u64 {
+    /// Opens a new client session. Each session pins its own RNG stream
+    /// (split from the cluster seed and the session id, so concurrent
+    /// sessions replay deterministically) and tracks its own outstanding
+    /// operations — any number of sessions may be open at once.
+    pub fn client(&mut self) -> Client {
+        self.next_session += 1;
+        let rng = SmallRng::seed_from_u64(mix(self.seed ^ 0x00C1_1E47, self.next_session));
+        Client::new(self.next_session, rng)
+    }
+
+    pub(crate) fn fresh_req(&mut self) -> u64 {
         self.next_req += 1;
         self.next_req
     }
 
-    fn entry_node(&mut self) -> NodeId {
+    /// Picks a live entry node with the session's RNG stream; `None` when
+    /// the whole soft tier is down.
+    pub(crate) fn entry_for(&self, rng: &mut SmallRng) -> Option<NodeId> {
+        use rand::seq::SliceRandom;
         let alive: Vec<NodeId> =
             self.soft_ids.iter().copied().filter(|&s| self.sim.is_alive(s)).collect();
-        assert!(!alive.is_empty(), "no live soft node to accept the request");
-        alive[self.entry_rng.gen_range(0..alive.len())]
-    }
-
-    /// Issues a write; returns the request id.
-    pub fn put(
-        &mut self,
-        key: impl Into<Key>,
-        value: Vec<u8>,
-        attr: Option<f64>,
-        tag: Option<&str>,
-    ) -> u64 {
-        let req = self.fresh_req();
-        let entry = self.entry_node();
-        self.sim.inject(
-            entry,
-            entry,
-            DropletMsg::ClientPut {
-                req,
-                key: key.into(),
-                value: value.into(),
-                attr,
-                tag: tag.map(str::to_owned),
-            },
-        );
-        req
-    }
-
-    /// Issues a read; returns the request id.
-    pub fn get(&mut self, key: impl Into<Key>) -> u64 {
-        let req = self.fresh_req();
-        let entry = self.entry_node();
-        self.sim.inject(entry, entry, DropletMsg::ClientGet { req, key: key.into() });
-        req
-    }
-
-    /// Issues a delete; returns the request id.
-    pub fn delete(&mut self, key: impl Into<Key>) -> u64 {
-        let req = self.fresh_req();
-        let entry = self.entry_node();
-        self.sim.inject(entry, entry, DropletMsg::ClientDelete { req, key: key.into() });
-        req
-    }
-
-    /// Issues an attribute range scan; returns the request id.
-    pub fn scan(&mut self, lo: f64, hi: f64) -> u64 {
-        let req = self.fresh_req();
-        let entry = self.entry_node();
-        self.sim.inject(entry, entry, DropletMsg::ClientScan { req, lo, hi });
-        req
-    }
-
-    /// Issues an aggregate query; returns the request id.
-    pub fn aggregate(&mut self) -> u64 {
-        let req = self.fresh_req();
-        let entry = self.entry_node();
-        self.sim.inject(entry, entry, DropletMsg::ClientAggregate { req });
-        req
-    }
-
-    /// Issues a batched write (the social-feed `mput`); returns the
-    /// request id. The receiving soft node splits the batch and routes
-    /// each item to its key coordinator.
-    pub fn multi_put(&mut self, items: impl IntoIterator<Item = TupleSpec>) -> u64 {
-        let req = self.fresh_req();
-        let entry = self.entry_node();
-        let items: Vec<TupleSpec> = items.into_iter().collect();
-        self.sim.inject(entry, entry, DropletMsg::ClientMultiPut { req, items });
-        req
-    }
-
-    /// Issues a tag-scoped read (the social-feed `mget`): every live
-    /// tuple carrying `tag`. Returns the request id. Under
-    /// [`Placement::TagCollocation`] only the tag's `r` slot-owners are
-    /// contacted; other placements fan out to the whole persistent layer.
-    pub fn multi_get(&mut self, tag: &str) -> u64 {
-        let req = self.fresh_req();
-        let entry = self.entry_node();
-        self.sim.inject(entry, entry, DropletMsg::ClientMultiGet { req, tag: tag.to_owned() });
-        req
-    }
-
-    /// The shared polling driver behind every `wait_*`: drives virtual
-    /// time until `probe` finds the operation's result on some soft node.
-    fn wait_for<T>(&mut self, probe: impl Fn(&SoftNode) -> Option<T>) -> Option<T> {
-        let find = |sim: &Sim<DropletNode>, ids: &[NodeId]| {
-            ids.iter()
-                .filter_map(|&id| sim.node(id).and_then(DropletNode::as_soft))
-                .find_map(&probe)
-        };
-        for _ in 0..200 {
-            if let Some(v) = find(&self.sim, &self.soft_ids) {
-                return Some(v);
-            }
-            self.sim.run_for(Duration(50));
-        }
-        find(&self.sim, &self.soft_ids)
-    }
-
-    /// Drives time until the write completes; `None` on timeout (e.g. the
-    /// coordinator died). The result keeps updating as more acks arrive —
-    /// call again later for the final count.
-    pub fn wait_put(&mut self, req: u64) -> Option<PutResult> {
-        self.wait_for(|s| s.completed_puts.get(&req).copied())
-    }
-
-    /// Drives time until the read completes. Outer `None` = timeout; inner
-    /// `None` = key absent (never written, deleted, or unreachable).
-    pub fn wait_get(&mut self, req: u64) -> Option<Option<GetResult>> {
-        self.wait_for(|s| s.completed_gets.get(&req).cloned())
-    }
-
-    /// Drives time until the scan completes.
-    pub fn wait_scan(&mut self, req: u64) -> Option<Vec<StoredTuple>> {
-        self.wait_for(|s| s.completed_scans.get(&req).cloned())
-    }
-
-    /// Drives time until the aggregate completes.
-    pub fn wait_aggregate(&mut self, req: u64) -> Option<AggregateResult> {
-        self.wait_for(|s| {
-            s.completed_aggs
-                .get(&req)
-                .map(|(sk, min, max)| AggregateResult { sketch: sk.clone(), min: *min, max: *max })
-        })
-    }
-
-    /// Drives time until the batched write completes: every item has a
-    /// version and is disseminating (`items` == batch size), or the
-    /// deadline sweep gave up on acks from dead key coordinators
-    /// (`items` < batch size).
-    pub fn wait_multi_put(&mut self, req: u64) -> Option<MultiPutResult> {
-        self.wait_for(|s| s.completed_multi_puts.get(&req).cloned())
-    }
-
-    /// Drives time until the tag-scoped read completes; the result is the
-    /// deduplicated live tuple set, ordered by attribute then key.
-    pub fn wait_multi_get(&mut self, req: u64) -> Option<Vec<StoredTuple>> {
-        self.wait_for(|s| s.completed_multi_gets.get(&req).cloned())
-    }
-
-    /// Workload driver: feeds `batches` batched writes of `batch` items
-    /// from `workload` through [`Cluster::multi_put`], waiting for each
-    /// to be ordered, and returns the distinct tags written in
-    /// first-use order. Callers should [`Cluster::run_for`] a settle
-    /// period before reading the tags back. Shared by the benches,
-    /// examples and tests so the multi-op driving logic lives once.
-    ///
-    /// # Panics
-    /// Panics if a batch fails to order within the wait window.
-    pub fn drive_multi_puts(
-        &mut self,
-        workload: &mut crate::Workload,
-        batches: usize,
-        batch: usize,
-    ) -> Vec<String> {
-        let mut tags = Vec::new();
-        for _ in 0..batches {
-            let m = workload.next_multi_put(batch);
-            if let Some(tag) = m.tag {
-                if !tags.contains(&tag) {
-                    tags.push(tag);
-                }
-            }
-            let req = self.multi_put(m.items.into_iter().map(TupleSpec::from));
-            let status = self.wait_multi_put(req).expect("multi_put batch failed to order");
-            assert_eq!(status.items, batch);
-        }
-        tags
-    }
-
-    /// Workload driver: [`Cluster::multi_get`]s every tag and returns
-    /// the tuple sets in tag order.
-    ///
-    /// # Panics
-    /// Panics if a read times out.
-    pub fn read_tags(&mut self, tags: &[String]) -> Vec<Vec<StoredTuple>> {
-        tags.iter()
-            .map(|tag| {
-                let req = self.multi_get(tag);
-                self.wait_multi_get(req).expect("multi_get timed out")
-            })
-            .collect()
+        alive.choose(rng).copied()
     }
 
     /// Number of live persist nodes currently holding the latest version
@@ -583,6 +424,8 @@ impl Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::client::{Completion, OpError};
+    use crate::tuple::TupleSpec;
 
     fn cluster(seed: u64) -> Cluster {
         let mut c = Cluster::new(ClusterConfig::small(), seed);
@@ -593,12 +436,13 @@ mod tests {
     #[test]
     fn put_then_get_round_trips() {
         let mut c = cluster(1);
-        let w = c.put("user:1", b"alice".to_vec(), Some(30.0), None);
-        let put = c.wait_put(w).expect("put completes");
+        let mut s = c.client();
+        let w = s.put(&mut c, "user:1", b"alice".to_vec(), Some(30.0), None);
+        let put = s.recv(&mut c, w).expect("put completes");
         assert_eq!(put.version, Version(1));
         c.run_for(2_000);
-        let r = c.get("user:1");
-        let got = c.wait_get(r).expect("get completes").expect("key found");
+        let r = s.get(&mut c, "user:1");
+        let got = s.recv(&mut c, r).expect("get completes").expect("key found");
         assert_eq!(got.value, b"alice".to_vec());
         assert_eq!(got.attr, Some(30.0));
     }
@@ -606,45 +450,50 @@ mod tests {
     #[test]
     fn writes_reach_the_replication_target() {
         let mut c = cluster(2);
-        let w = c.put("replicated", b"x".to_vec(), None, None);
-        c.wait_put(w).expect("put completes");
+        let mut s = c.client();
+        let w = s.put(&mut c, "replicated", b"x".to_vec(), None, None);
+        s.recv(&mut c, w).expect("put completes");
         c.run_for(5_000);
         let rc = c.replica_count(&Key::from("replicated"));
         assert!(rc >= 3, "replica count {rc}");
     }
 
     #[test]
-    fn unknown_key_reads_none() {
+    fn unknown_key_reads_ok_none() {
         let mut c = cluster(3);
-        let r = c.get("never-written");
-        assert_eq!(c.wait_get(r), Some(None));
+        let mut s = c.client();
+        let r = s.get(&mut c, "never-written");
+        // Key absent is a *successful* read of nothing — not an error.
+        assert_eq!(s.recv(&mut c, r), Ok(None));
     }
 
     #[test]
     fn delete_tombstones_the_key() {
         let mut c = cluster(4);
-        let w = c.put("temp", b"data".to_vec(), None, None);
-        c.wait_put(w).unwrap();
+        let mut s = c.client();
+        let w = s.put(&mut c, "temp", b"data".to_vec(), None, None);
+        s.recv(&mut c, w).unwrap();
         c.run_for(2_000);
-        let d = c.delete("temp");
-        c.wait_put(d).unwrap();
+        let d = s.delete(&mut c, "temp");
+        s.recv(&mut c, d).unwrap();
         c.run_for(2_000);
-        let r = c.get("temp");
-        assert_eq!(c.wait_get(r), Some(None), "deleted key reads as absent");
+        let r = s.get(&mut c, "temp");
+        assert_eq!(s.recv(&mut c, r), Ok(None), "deleted key reads as absent");
     }
 
     #[test]
     fn overwrites_read_latest_version() {
         let mut c = cluster(5);
-        let w1 = c.put("k", b"v1".to_vec(), None, None);
-        c.wait_put(w1).unwrap();
+        let mut s = c.client();
+        let w1 = s.put(&mut c, "k", b"v1".to_vec(), None, None);
+        s.recv(&mut c, w1).unwrap();
         c.run_for(1_000);
-        let w2 = c.put("k", b"v2".to_vec(), None, None);
-        let p2 = c.wait_put(w2).unwrap();
+        let w2 = s.put(&mut c, "k", b"v2".to_vec(), None, None);
+        let p2 = s.recv(&mut c, w2).unwrap();
         assert_eq!(p2.version, Version(2));
         c.run_for(2_000);
-        let r = c.get("k");
-        let got = c.wait_get(r).unwrap().unwrap();
+        let r = s.get(&mut c, "k");
+        let got = s.recv(&mut c, r).unwrap().unwrap();
         assert_eq!(got.value, b"v2".to_vec());
         assert_eq!(got.version, Version(2));
     }
@@ -652,13 +501,14 @@ mod tests {
     #[test]
     fn scan_returns_attribute_range_sorted_and_deduplicated() {
         let mut c = cluster(6);
+        let mut s = c.client();
         for i in 0..20 {
-            let w = c.put(format!("item:{i}"), vec![i as u8], Some(f64::from(i)), None);
-            c.wait_put(w).unwrap();
+            let w = s.put(&mut c, format!("item:{i}"), vec![i as u8], Some(f64::from(i)), None);
+            s.recv(&mut c, w).unwrap();
         }
         c.run_for(5_000);
-        let s = c.scan(5.0, 9.0);
-        let items = c.wait_scan(s).expect("scan completes");
+        let scan = s.scan(&mut c, 5.0, 9.0);
+        let items = s.recv(&mut c, scan).expect("scan completes");
         let attrs: Vec<f64> = items.iter().map(|t| t.attr.unwrap()).collect();
         assert_eq!(attrs, vec![5.0, 6.0, 7.0, 8.0, 9.0], "range, sorted, no duplicates");
     }
@@ -666,14 +516,15 @@ mod tests {
     #[test]
     fn aggregate_estimates_are_duplicate_tolerant() {
         let mut c = cluster(7);
+        let mut s = c.client();
         let n = 40;
         for i in 0..n {
-            let w = c.put(format!("m:{i}"), vec![], Some(f64::from(i)), None);
-            c.wait_put(w).unwrap();
+            let w = s.put(&mut c, format!("m:{i}"), vec![], Some(f64::from(i)), None);
+            s.recv(&mut c, w).unwrap();
         }
         c.run_for(5_000);
-        let a = c.aggregate();
-        let agg = c.wait_aggregate(a).expect("aggregate completes");
+        let a = s.aggregate(&mut c);
+        let agg = s.recv(&mut c, a).expect("aggregate completes");
         assert_eq!(agg.min, 0.0);
         assert_eq!(agg.max, f64::from(n - 1));
         let est = agg.distinct_estimate();
@@ -687,8 +538,9 @@ mod tests {
     #[test]
     fn repair_restores_replicas_after_transient_churn() {
         let mut c = cluster(8);
-        let w = c.put("churn-key", b"z".to_vec(), None, None);
-        c.wait_put(w).unwrap();
+        let mut s = c.client();
+        let w = s.put(&mut c, "churn-key", b"z".to_vec(), None, None);
+        s.recv(&mut c, w).unwrap();
         c.run_for(3_000);
         let before = c.replica_count(&Key::from("churn-key"));
         assert!(before >= 3);
@@ -699,7 +551,10 @@ mod tests {
             .iter()
             .copied()
             .filter(|&id| {
-                c.sim.node(id).and_then(DropletNode::as_persist).is_some_and(|p| p.store.contains_key(&kh))
+                c.sim
+                    .node(id)
+                    .and_then(DropletNode::as_persist)
+                    .is_some_and(|p| p.store.contains_key(&kh))
             })
             .take(2)
             .collect();
@@ -720,31 +575,33 @@ mod tests {
     #[test]
     fn reads_survive_soft_layer_catastrophe_after_rebuild() {
         let mut c = cluster(9);
+        let mut s = c.client();
         for i in 0..10 {
-            let w = c.put(format!("p:{i}"), vec![i], Some(f64::from(i)), None);
-            c.wait_put(w).unwrap();
+            let w = s.put(&mut c, format!("p:{i}"), vec![i], Some(f64::from(i)), None);
+            s.recv(&mut c, w).unwrap();
         }
         c.run_for(4_000);
         c.wipe_soft_layer();
         // Without metadata, reads of known keys return None (unknown key).
-        let r = c.get("p:3");
-        assert_eq!(c.wait_get(r), Some(None), "wiped soft layer has no metadata");
+        let r = s.get(&mut c, "p:3");
+        assert_eq!(s.recv(&mut c, r), Ok(None), "wiped soft layer has no metadata");
         // Rebuild from the persistent layer (§II) and read again.
         c.rebuild_soft_layer();
-        let r2 = c.get("p:3");
-        let got = c.wait_get(r2).expect("completes").expect("found after rebuild");
+        let r2 = s.get(&mut c, "p:3");
+        let got = s.recv(&mut c, r2).expect("completes").expect("found after rebuild");
         assert_eq!(got.value, vec![3u8]);
     }
 
     #[test]
     fn cache_serves_repeat_reads() {
         let mut c = cluster(10);
-        let w = c.put("hot", b"cached".to_vec(), None, None);
-        c.wait_put(w).unwrap();
+        let mut s = c.client();
+        let w = s.put(&mut c, "hot", b"cached".to_vec(), None, None);
+        s.recv(&mut c, w).unwrap();
         c.run_for(2_000);
         for _ in 0..5 {
-            let r = c.get("hot");
-            assert!(c.wait_get(r).unwrap().is_some());
+            let r = s.get(&mut c, "hot");
+            assert!(s.recv(&mut c, r).unwrap().is_some());
         }
         let hits: u64 = c.sim.metrics().counter("soft.cache_hits");
         assert!(hits >= 4, "cache hits {hits}");
@@ -752,21 +609,147 @@ mod tests {
 
     #[test]
     fn uniform_sieve_cluster_also_round_trips() {
-        let mut c = Cluster::new(ClusterConfig::small().uniform_sieves().replication(5), 11);
+        let mut c =
+            Cluster::new(ClusterConfig::small().placement(Placement::Uniform).replication(5), 11);
         c.settle();
-        let w = c.put("u", b"uniform".to_vec(), None, None);
-        c.wait_put(w).unwrap();
+        let mut s = c.client();
+        let w = s.put(&mut c, "u", b"uniform".to_vec(), None, None);
+        s.recv(&mut c, w).unwrap();
         c.run_for(3_000);
-        let r = c.get("u");
-        let got = c.wait_get(r).expect("completes").expect("found");
+        let r = s.get(&mut c, "u");
+        let got = s.recv(&mut c, r).expect("completes").expect("found");
         assert_eq!(got.value, b"uniform".to_vec());
+    }
+
+    #[test]
+    fn pipelined_ops_overlap_in_one_session() {
+        let mut c = cluster(12);
+        let mut s = c.client();
+        let pendings: Vec<_> =
+            (0..32u8).map(|i| s.put(&mut c, format!("pipe:{i}"), vec![i], None, None)).collect();
+        assert_eq!(s.in_flight(), 32, "all writes outstanding at once");
+        for p in pendings {
+            assert!(s.recv(&mut c, p).is_ok());
+        }
+        assert_eq!(s.in_flight(), 0, "every completion harvested");
+        // Reads pipeline the same way, harvested in bulk via drain.
+        c.run_for(3_000);
+        for i in 0..32u8 {
+            let _ = s.get(&mut c, format!("pipe:{i}"));
+        }
+        let mut got = 0;
+        while s.in_flight() > 0 {
+            c.pump(50);
+            for (_req, completion) in s.drain(&mut c) {
+                match completion {
+                    Completion::Get(Ok(Some(_))) => got += 1,
+                    other => panic!("unexpected completion {other:?}"),
+                }
+            }
+        }
+        assert_eq!(got, 32, "drain surfaces every pipelined read");
+    }
+
+    #[test]
+    fn a_handle_swept_by_drain_reports_already_harvested() {
+        let mut c = cluster(18);
+        let mut s = c.client();
+        let kept = s.put(&mut c, "kept", b"x".to_vec(), None, None);
+        // A housekeeping drain loop harvests the completion first…
+        while s.in_flight() > 0 {
+            c.pump(50);
+            let _ = s.drain(&mut c);
+        }
+        // …so the still-held typed handle yields a typed error, not a
+        // panic — mixed drain + handle loops stay safe.
+        assert_eq!(s.recv(&mut c, kept), Err(OpError::AlreadyHarvested));
+        // Same for a handle from a different session.
+        let mut other = c.client();
+        let foreign = other.put(&mut c, "foreign", b"y".to_vec(), None, None);
+        assert_eq!(s.poll(&mut c, &foreign), Some(Err(OpError::AlreadyHarvested)));
+        assert!(other.recv(&mut c, foreign).is_ok(), "owning session still harvests it");
+    }
+
+    #[test]
+    fn sessions_are_independent_streams() {
+        let mut c = cluster(13);
+        let mut a = c.client();
+        let mut b = c.client();
+        let wa = a.put(&mut c, "from:a", b"a".to_vec(), None, None);
+        let wb = b.put(&mut c, "from:b", b"b".to_vec(), None, None);
+        assert_ne!(wa.req(), wb.req(), "request ids are cluster-unique");
+        assert!(a.recv(&mut c, wa).is_ok());
+        assert!(b.recv(&mut c, wb).is_ok());
+        assert_ne!(a.session(), b.session());
+    }
+
+    #[test]
+    fn dead_coordinator_surfaces_as_timeout() {
+        let mut c = cluster(14);
+        let mut s = c.client();
+        // Find a key whose soft coordinator is a specific victim node.
+        let victim = c.soft_ids()[1];
+        let ring = c.sim.node(victim).and_then(DropletNode::as_soft).unwrap().ring.clone();
+        let key = (0..200u32)
+            .map(|i| format!("orphan:{i}"))
+            .find(|k| ring.primary(Key::from(k.as_str()).hash()) == Some(victim))
+            .expect("some key maps to the victim");
+        c.sim.kill(victim);
+        c.run_for(10);
+        let w = s.put(&mut c, key, b"lost".to_vec(), None, None);
+        assert_eq!(s.recv(&mut c, w), Err(OpError::Timeout), "dead coordinator = timeout");
+        assert_eq!(c.sim.metrics().counter("client.timeouts"), 1);
+    }
+
+    #[test]
+    fn no_live_entry_is_an_error_not_a_panic() {
+        let mut c = cluster(15);
+        let mut s = c.client();
+        for &id in &c.soft_ids().to_vec() {
+            c.sim.kill(id);
+        }
+        c.run_for(10);
+        let w = s.put(&mut c, "nowhere", b"x".to_vec(), None, None);
+        assert_eq!(s.recv(&mut c, w), Err(OpError::NoLiveEntry));
+    }
+
+    #[test]
+    fn abandoned_sessions_cannot_grow_soft_state_unboundedly() {
+        use crate::soft::COMPLETION_RETENTION;
+        // One soft node so every completion lands on the same log.
+        let mut config = ClusterConfig::small();
+        config.soft_n = 1;
+        let mut c = Cluster::new(config, 16);
+        c.settle();
+        let mut abandoned = c.client();
+        let total = COMPLETION_RETENTION as u64 + 200;
+        for i in 0..total {
+            let _ = abandoned.put(&mut c, format!("leak:{i}"), vec![], None, None);
+            if i % 64 == 0 {
+                c.pump(200);
+            }
+        }
+        c.run_for(5_000);
+        drop(abandoned); // never harvests
+        let backlog = c
+            .sim
+            .node(c.soft_ids()[0])
+            .and_then(DropletNode::as_soft)
+            .map(SoftNode::completion_backlog)
+            .unwrap();
+        assert_eq!(backlog, COMPLETION_RETENTION, "un-harvested completions capped, not leaked");
+        // The node still serves fresh sessions.
+        let mut fresh = c.client();
+        let w = fresh.put(&mut c, "alive", b"y".to_vec(), None, None);
+        assert!(fresh.recv(&mut c, w).is_ok());
     }
 
     /// Writes `batches` social-feed batches of `batch` posts each through
     /// the shared driver and returns the distinct tags.
     fn write_feed_batches(c: &mut Cluster, seed: u64, batches: usize, batch: usize) -> Vec<String> {
         let mut w = crate::Workload::new(crate::WorkloadKind::SocialFeed { users: 4 }, seed);
-        let tags = c.drive_multi_puts(&mut w, batches, batch);
+        let mut s = c.client();
+        let tags = s.drive_multi_puts(c, &mut w, batches, batch);
         c.run_for(5_000);
         tags
     }
@@ -774,7 +757,8 @@ mod tests {
     /// Reads every tag back with `multi_get` and returns, per tag, the
     /// sorted key set retrieved.
     fn read_feeds(c: &mut Cluster, tags: &[String]) -> Vec<Vec<String>> {
-        c.read_tags(tags)
+        let mut s = c.client();
+        s.read_tags(c, tags)
             .into_iter()
             .map(|tuples| {
                 let mut keys: Vec<String> = tuples.into_iter().map(|t| t.key.0).collect();
@@ -786,7 +770,7 @@ mod tests {
 
     #[test]
     fn multi_put_then_multi_get_round_trips_under_tag_placement() {
-        let mut c = Cluster::new(ClusterConfig::small().tag_sieves(), 21);
+        let mut c = Cluster::new(ClusterConfig::small().placement(Placement::TagCollocation), 21);
         c.settle();
         let tags = write_feed_batches(&mut c, 77, 6, 5);
         for (tag, keys) in tags.iter().zip(read_feeds(&mut c, &tags)) {
@@ -799,12 +783,13 @@ mod tests {
         }
         // Tuples written through the batch plane are ordinary tuples:
         // single-key reads see them too.
+        let mut s = c.client();
         let some_key = {
-            let req = c.multi_get(&tags[0]);
-            c.wait_multi_get(req).unwrap().first().unwrap().key.clone()
+            let req = s.multi_get(&mut c, &tags[0]);
+            s.recv(&mut c, req).unwrap().first().unwrap().key.clone()
         };
-        let r = c.get(some_key);
-        assert!(c.wait_get(r).unwrap().is_some());
+        let r = s.get(&mut c, some_key);
+        assert!(s.recv(&mut c, r).unwrap().is_some());
     }
 
     #[test]
@@ -823,8 +808,8 @@ mod tests {
         // trade-off, E3), so r = 3 would lose ~4% of writes and the
         // tuple-set comparison below would be about coverage, not routing.
         let config = ClusterConfig::small().replication(5);
-        let (tagged_feeds, tagged_max) = run(config.clone().tag_sieves());
-        let (uniform_feeds, uniform_max) = run(config.clone().uniform_sieves());
+        let (tagged_feeds, tagged_max) = run(config.clone().placement(Placement::TagCollocation));
+        let (uniform_feeds, uniform_max) = run(config.clone().placement(Placement::Uniform));
 
         // Acceptance bound: tag routing touches at most r persist nodes
         // (well under the r + soft_n allowance that includes soft-layer
@@ -845,14 +830,15 @@ mod tests {
 
     #[test]
     fn multi_get_survives_a_dead_slot_owner() {
-        let mut c = Cluster::new(ClusterConfig::small().tag_sieves(), 66);
+        let mut c = Cluster::new(ClusterConfig::small().placement(Placement::TagCollocation), 66);
         c.settle();
+        let mut s = c.client();
         let k = 5u8;
         let batch: Vec<TupleSpec> = (0..k)
             .map(|i| TupleSpec::new(format!("s:{i}"), vec![i], Some(f64::from(i)), Some("feed:s")))
             .collect();
-        let w = c.multi_put(batch);
-        c.wait_multi_put(w).expect("ordered");
+        let w = s.multi_put(&mut c, batch);
+        s.recv(&mut c, w).expect("ordered");
         c.run_for(5_000);
         // Kill one of the tag's r slot-owners; the remaining replicas
         // still hold the full feed.
@@ -861,16 +847,17 @@ mod tests {
         let victim = c.persist_ids()[slots[0] as usize];
         c.sim.kill(victim);
         c.run_for(10);
-        let r = c.multi_get("feed:s");
-        let feed = c.wait_multi_get(r).expect("completes despite the dead owner");
+        let r = s.multi_get(&mut c, "feed:s");
+        let feed = s.recv(&mut c, r).expect("completes despite the dead owner");
         assert_eq!(feed.len(), k as usize, "surviving owners serve the full feed");
         assert_eq!(c.sim.metrics().counter("soft.multi_get_partials"), 1);
     }
 
     #[test]
-    fn multi_put_completes_partially_when_a_key_coordinator_is_dead() {
-        let mut c = Cluster::new(ClusterConfig::small().tag_sieves(), 88);
+    fn multi_put_with_dead_key_coordinator_is_a_partial_result() {
+        let mut c = Cluster::new(ClusterConfig::small().placement(Placement::TagCollocation), 88);
         c.settle();
+        let mut s = c.client();
         // Split candidate keys by whether the victim soft node is their
         // key coordinator (the ring is identical on every soft node).
         let victim = c.soft_ids()[0];
@@ -887,21 +874,30 @@ mod tests {
             .collect();
         c.sim.kill(victim);
         c.run_for(10);
-        let req = c.multi_put(batch);
-        let status = c.wait_multi_put(req).expect("deadline completes the batch");
-        assert_eq!(status.items, 5, "only the live coordinators' items ordered");
+        let req = s.multi_put(&mut c, batch);
+        // The deadline sweep completes the batch, but the completion is
+        // typed as partial: 5 of 8 items ordered — no longer conflated
+        // with a full success.
+        assert_eq!(
+            s.recv(&mut c, req),
+            Err(OpError::PartialResult { got: 5, want: 8 }),
+            "only the live coordinators' items ordered"
+        );
         assert!(c.sim.metrics().counter("soft.multi_put_partials") >= 1);
     }
 
     #[test]
     fn multi_get_survives_a_coordinator_reboot_mid_op() {
-        let mut c = Cluster::new(ClusterConfig::small().tag_sieves(), 99);
+        let mut c = Cluster::new(ClusterConfig::small().placement(Placement::TagCollocation), 99);
         c.settle();
+        let mut s = c.client();
         let batch: Vec<TupleSpec> = (0..4u8)
-            .map(|i| TupleSpec::new(format!("rb:{i}"), vec![i], Some(f64::from(i)), Some("feed:rb")))
+            .map(|i| {
+                TupleSpec::new(format!("rb:{i}"), vec![i], Some(f64::from(i)), Some("feed:rb"))
+            })
             .collect();
-        let w = c.multi_put(batch);
-        c.wait_multi_put(w).expect("ordered");
+        let w = s.multi_put(&mut c, batch);
+        s.recv(&mut c, w).expect("ordered");
         c.run_for(5_000);
         let th = dd_sim::rng::stable_hash(b"feed:rb");
         // Keep the read pending past its first ticks: one slot-owner is
@@ -909,9 +905,9 @@ mod tests {
         let slots = dd_sieve::TagSieve::tag_slots(th, c.config().persist_n, c.config().replication);
         c.sim.kill(c.persist_ids()[slots[0] as usize]);
         c.run_for(10);
-        let req = c.multi_get("feed:rb");
+        let req = s.multi_get(&mut c, "feed:rb");
         c.run_for(100); // op reaches its soft coordinator and goes pending
-        // Bounce the tag's soft coordinator: state survives, timers don't.
+                        // Bounce the tag's soft coordinator: state survives, timers don't.
         let sc = c
             .sim
             .node(c.soft_ids()[0])
@@ -922,33 +918,35 @@ mod tests {
         c.sim.kill(sc);
         c.run_for(50);
         c.sim.revive(sc);
-        let feed = c.wait_multi_get(req).expect("re-armed deadline completes the read");
+        let feed = s.recv(&mut c, req).expect("re-armed deadline completes the read");
         assert_eq!(feed.len(), 4, "surviving owners serve the full feed");
     }
 
     #[test]
     fn multi_get_of_unknown_tag_is_empty() {
-        let mut c = Cluster::new(ClusterConfig::small().tag_sieves(), 44);
+        let mut c = Cluster::new(ClusterConfig::small().placement(Placement::TagCollocation), 44);
         c.settle();
-        let req = c.multi_get("feed:nobody");
-        assert_eq!(c.wait_multi_get(req), Some(Vec::new()));
+        let mut s = c.client();
+        let req = s.multi_get(&mut c, "feed:nobody");
+        assert_eq!(s.recv(&mut c, req), Ok(Vec::new()));
     }
 
     #[test]
     fn deleted_tuples_leave_the_feed() {
-        let mut c = Cluster::new(ClusterConfig::small().tag_sieves(), 55);
+        let mut c = Cluster::new(ClusterConfig::small().placement(Placement::TagCollocation), 55);
         c.settle();
+        let mut s = c.client();
         let batch: Vec<TupleSpec> = (0..4u8)
             .map(|i| TupleSpec::new(format!("p:{i}"), vec![i], Some(f64::from(i)), Some("feed:z")))
             .collect();
-        let w = c.multi_put(batch);
-        c.wait_multi_put(w).expect("ordered");
+        let w = s.multi_put(&mut c, batch);
+        s.recv(&mut c, w).expect("ordered");
         c.run_for(5_000);
-        let d = c.delete("p:2");
-        c.wait_put(d).expect("delete ordered");
+        let d = s.delete(&mut c, "p:2");
+        s.recv(&mut c, d).expect("delete ordered");
         c.run_for(5_000);
-        let r = c.multi_get("feed:z");
-        let feed = c.wait_multi_get(r).expect("completes");
+        let r = s.multi_get(&mut c, "feed:z");
+        let feed = s.recv(&mut c, r).expect("completes");
         assert_eq!(feed.len(), 3);
         assert!(feed.iter().all(|t| t.key.0 != "p:2"));
     }
@@ -957,8 +955,9 @@ mod tests {
     fn same_seed_same_outcome() {
         let run = |seed| {
             let mut c = cluster(seed);
-            let w = c.put("det", b"x".to_vec(), None, None);
-            c.wait_put(w).unwrap();
+            let mut s = c.client();
+            let w = s.put(&mut c, "det", b"x".to_vec(), None, None);
+            s.recv(&mut c, w).unwrap();
             c.run_for(3_000);
             (c.replica_count(&Key::from("det")), c.sim.metrics().counter("net.sent"))
         };

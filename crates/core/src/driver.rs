@@ -1,0 +1,92 @@
+//! Closed-loop multi-client driver: N sessions × depth-D pipelines.
+//!
+//! The throughput harness behind experiment E14. Each of `sessions`
+//! [`Client`]s keeps up to `depth` operations outstanding; the driver
+//! alternates refilling the pipelines from a [`Workload`] with pumping
+//! virtual time and batch-harvesting completions. Depth 1 is the old
+//! lock-step client (one round-trip per operation per session); larger
+//! depths overlap round-trips, which is where the ops/tick scaling the
+//! paper's million-user workloads need comes from.
+
+use crate::client::{Client, Completion};
+use crate::cluster::Cluster;
+use crate::workload::Workload;
+
+/// Pipeline shape for one closed-loop run.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Concurrent client sessions.
+    pub sessions: usize,
+    /// Operations each session keeps in flight.
+    pub depth: usize,
+    /// Total operations to complete across all sessions.
+    pub total_ops: u64,
+    /// Virtual ticks pumped between harvest rounds.
+    pub quantum: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig { sessions: 4, depth: 1, total_ops: 400, quantum: 5 }
+    }
+}
+
+/// What a closed-loop run achieved.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineReport {
+    /// Operations that completed successfully.
+    pub completed: u64,
+    /// Operations that failed (timeout, partial, no entry).
+    pub errors: u64,
+    /// Virtual ticks the run consumed.
+    pub ticks: u64,
+}
+
+impl PipelineReport {
+    /// Successful operations per virtual tick — the throughput measure
+    /// E14 sweeps against pipeline depth.
+    #[must_use]
+    pub fn ops_per_tick(&self) -> f64 {
+        if self.ticks == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / self.ticks as f64
+    }
+}
+
+/// Runs the closed loop: writes from `workload` through `sessions`
+/// pipelined [`Client`]s until `total_ops` operations have completed
+/// (or failed), harvesting with [`Client::drain`] after every
+/// [`PipelineConfig::quantum`] ticks of virtual time.
+#[must_use]
+pub fn drive_pipeline(
+    cluster: &mut Cluster,
+    workload: &mut Workload,
+    config: PipelineConfig,
+) -> PipelineReport {
+    assert!(config.sessions > 0 && config.depth > 0, "pipeline needs sessions and depth");
+    let mut sessions: Vec<Client> = (0..config.sessions).map(|_| cluster.client()).collect();
+    let start = cluster.sim.now();
+    let mut issued = 0u64;
+    let mut completed = 0u64;
+    let mut errors = 0u64;
+    while completed + errors < config.total_ops {
+        for session in &mut sessions {
+            while session.in_flight() < config.depth && issued < config.total_ops {
+                let op = workload.next_put();
+                let _ = session.put(cluster, op.key, op.value, op.attr, op.tag.as_deref());
+                issued += 1;
+            }
+        }
+        cluster.pump(config.quantum);
+        for session in &mut sessions {
+            for (_req, completion) in session.drain(cluster) {
+                match completion {
+                    Completion::Put(Ok(_)) => completed += 1,
+                    _ => errors += 1,
+                }
+            }
+        }
+    }
+    PipelineReport { completed, errors, ticks: cluster.sim.now().since(start).0 }
+}

@@ -8,16 +8,23 @@
 //! writes spread epidemically and each node's local *sieve* decides what it
 //! retains (§II–III).
 //!
+//! Clients talk to the store through typed, pipelined sessions: every
+//! operation returns a [`Pending`] handle immediately, completions are
+//! `Result<T, OpError>` values harvested while [`Cluster::pump`] advances
+//! virtual time — so one session can hold thousands of operations in
+//! flight:
+//!
 //! ```
 //! use dd_core::{Cluster, ClusterConfig};
 //!
 //! let mut cluster = Cluster::new(ClusterConfig::small(), 42);
 //! cluster.settle();
-//! let req = cluster.put("user:1", b"alice".to_vec(), Some(31.0), None);
-//! let put = cluster.wait_put(req).expect("write acknowledged");
+//! let mut client = cluster.client();
+//! let w = client.put(&mut cluster, "user:1", b"alice".to_vec(), Some(31.0), None);
+//! let put = client.recv(&mut cluster, w).expect("write acknowledged");
 //! assert!(put.acks >= 1);
-//! let read_req = cluster.get("user:1");
-//! let got = cluster.wait_get(read_req).expect("read done");
+//! let r = client.get(&mut cluster, "user:1");
+//! let got = client.recv(&mut cluster, r).expect("read done");
 //! assert_eq!(got.unwrap().value, b"alice".to_vec());
 //! ```
 //!
@@ -31,20 +38,22 @@
 //! placement it falls back to epidemic fan-out:
 //!
 //! ```
-//! use dd_core::{Cluster, ClusterConfig, TupleSpec};
+//! use dd_core::{Cluster, ClusterConfig, Placement, TupleSpec};
 //!
-//! let mut cluster = Cluster::new(ClusterConfig::small().tag_sieves(), 7);
+//! let config = ClusterConfig::small().placement(Placement::TagCollocation);
+//! let mut cluster = Cluster::new(config, 7);
 //! cluster.settle();
+//! let mut client = cluster.client();
 //! let batch: Vec<TupleSpec> = (0..3u8)
 //!     .map(|i| {
 //!         TupleSpec::new(format!("post:{i}"), vec![i], Some(f64::from(i)), Some("feed:a"))
 //!     })
 //!     .collect();
-//! let w = cluster.multi_put(batch);
-//! assert_eq!(cluster.wait_multi_put(w).expect("batch ordered").items, 3);
+//! let w = client.multi_put(&mut cluster, batch);
+//! assert_eq!(client.recv(&mut cluster, w).expect("batch ordered").items, 3);
 //! cluster.run_for(2_000);
-//! let r = cluster.multi_get("feed:a");
-//! let feed = cluster.wait_multi_get(r).expect("feed read");
+//! let r = client.multi_get(&mut cluster, "feed:a");
+//! let feed = client.recv(&mut cluster, r).expect("feed read");
 //! assert_eq!(feed.len(), 3, "all posts of the tag come back");
 //! // The tag's r owners answered — not the whole persistent layer.
 //! let contacted = cluster.sim.metrics().summary("multi_get.contacted_nodes").max;
@@ -53,13 +62,16 @@
 //!
 //! Modules: `tuple` (data model), [`sieve_spec`] (wire-format sieves),
 //! [`msg`] (the composite protocol), [`soft`] and [`persist`] (the two
-//! node roles), [`cluster`] (whole-system harness + public API),
+//! node roles), [`cluster`] (whole-system harness), [`client`] (typed
+//! pipelined sessions), [`driver`] (closed-loop multi-client pipelines),
 //! [`workload`] (synthetic workloads for the experiments).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod cluster;
+pub mod driver;
 pub mod msg;
 pub mod persist;
 pub mod sieve_spec;
@@ -67,9 +79,11 @@ pub mod soft;
 pub mod tuple;
 pub mod workload;
 
+pub use client::{ops, Client, Completion, OpError, OpKind, Pending, OP_TIMEOUT};
 pub use cluster::{
     AggregateResult, Cluster, ClusterConfig, GetResult, MultiPutResult, Placement, PutResult,
 };
+pub use driver::{drive_pipeline, PipelineConfig, PipelineReport};
 pub use msg::DropletMsg;
 pub use sieve_spec::SieveSpec;
 pub use soft::MultiPutStatus;

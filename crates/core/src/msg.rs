@@ -4,9 +4,9 @@
 use crate::sieve_spec::SieveSpec;
 use crate::tuple::{Key, StoredTuple, TupleSpec};
 use bytes::Bytes;
+use dd_dht::Version;
 use dd_epidemic::antientropy::Digest;
 use dd_estimation::DistSketch;
-use dd_dht::Version;
 use dd_sim::NodeId;
 
 /// All DataDroplets messages.
@@ -18,7 +18,8 @@ pub enum DropletMsg {
     // ------------------------------------------------------------------
     /// Write request.
     ClientPut {
-        /// Request id (unique per client).
+        /// Request id (cluster-unique; allocated at submission by the
+        /// issuing client session, which harvests the completion).
         req: u64,
         /// Tuple key.
         key: Key,

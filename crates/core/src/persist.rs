@@ -131,7 +131,11 @@ impl PersistNode {
     /// tuples its sieve accepts, plus any tombstone (see
     /// [`PersistNode::wants`]).
     #[must_use]
-    pub fn items_for_peer(&self, their_digest: &Digest, their_sieve: &SieveSpec) -> Vec<StoredTuple> {
+    pub fn items_for_peer(
+        &self,
+        their_digest: &Digest,
+        their_sieve: &SieveSpec,
+    ) -> Vec<StoredTuple> {
         let theirs: std::collections::HashSet<RumorId> =
             their_digest.ids().iter().copied().collect();
         self.store
@@ -173,11 +177,7 @@ impl PersistNode {
                 }
             }
             DropletMsg::Fetch { req, key_hash, version } => {
-                let found = self
-                    .store
-                    .get(&key_hash)
-                    .filter(|t| t.version >= version)
-                    .cloned();
+                let found = self.store.get(&key_hash).filter(|t| t.version >= version).cloned();
                 ctx.metrics().incr("persist.fetches");
                 ctx.send(from, DropletMsg::FetchReply { req, found });
             }
@@ -348,12 +348,8 @@ mod tests {
         let live = tagged("p", 1, "feed:a");
         let th = live.tag_hash.expect("tagged");
         let owner_slot = dd_sieve::TagSieve::tag_slots(th, slots, 1)[0];
-        let mut owner = PersistNode::new(
-            SieveSpec::Tag { slot: owner_slot, slots, r: 1 },
-            2,
-            vec![],
-            None,
-        );
+        let mut owner =
+            PersistNode::new(SieveSpec::Tag { slot: owner_slot, slots, r: 1 }, 2, vec![], None);
         assert!(owner.wants(&live));
         owner.apply(live);
         let tomb = StoredTuple::tombstone("p".into(), Version(2));
@@ -372,12 +368,8 @@ mod tests {
         let live = tagged("p", 1, "feed:a");
         let th = live.tag_hash.expect("tagged");
         let owner_slot = dd_sieve::TagSieve::tag_slots(th, slots, 1)[0];
-        let mut owner = PersistNode::new(
-            SieveSpec::Tag { slot: owner_slot, slots, r: 1 },
-            2,
-            vec![],
-            None,
-        );
+        let mut owner =
+            PersistNode::new(SieveSpec::Tag { slot: owner_slot, slots, r: 1 }, 2, vec![], None);
         let tomb = StoredTuple::tombstone("p".into(), Version(2));
         assert!(owner.wants(&tomb), "tombstone wanted before any version is held");
         owner.apply(tomb);

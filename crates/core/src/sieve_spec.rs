@@ -74,9 +74,7 @@ impl SieveSpec {
     #[must_use]
     pub fn class_id(&self) -> u64 {
         match self {
-            SieveSpec::Range { index, of, r } => {
-                RangeSieve::partition(*index, *of, *r).class_id()
-            }
+            SieveSpec::Range { index, of, r } => RangeSieve::partition(*index, *of, *r).class_id(),
             SieveSpec::Uniform { salt, r, n } => {
                 UniformSieve::replication(*salt, *r, *n).class_id()
             }
@@ -92,9 +90,7 @@ impl SieveSpec {
     pub fn grain(&self) -> f64 {
         match self {
             SieveSpec::Range { index, of, r } => RangeSieve::partition(*index, *of, *r).grain(),
-            SieveSpec::Uniform { salt, r, n } => {
-                UniformSieve::replication(*salt, *r, *n).grain()
-            }
+            SieveSpec::Uniform { salt, r, n } => UniformSieve::replication(*salt, *r, *n).grain(),
             SieveSpec::Tag { slot, slots, r } => TagSieve::new(*slot, *slots, *r).grain(),
             SieveSpec::Histogram { edges, index, r } => {
                 HistogramSieve::new(edges.clone(), *index, *r).grain()
@@ -178,8 +174,10 @@ mod tests {
             (0..n).map(|s| SieveSpec::Tag { slot: s, slots: n, r: 2 }).collect();
         let a = ItemMeta::from_key(b"p1").with_tag(b"feed:x");
         let b = ItemMeta::from_key(b"p2").with_tag(b"feed:x");
-        let oa: Vec<usize> = specs.iter().enumerate().filter(|(_, s)| s.accepts(&a)).map(|(i, _)| i).collect();
-        let ob: Vec<usize> = specs.iter().enumerate().filter(|(_, s)| s.accepts(&b)).map(|(i, _)| i).collect();
+        let oa: Vec<usize> =
+            specs.iter().enumerate().filter(|(_, s)| s.accepts(&a)).map(|(i, _)| i).collect();
+        let ob: Vec<usize> =
+            specs.iter().enumerate().filter(|(_, s)| s.accepts(&b)).map(|(i, _)| i).collect();
         assert_eq!(oa, ob);
         assert_eq!(oa.len(), 2);
     }

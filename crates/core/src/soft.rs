@@ -8,10 +8,73 @@ use dd_sieve::TagSieve;
 use dd_sim::rng::stable_hash;
 use dd_sim::{Ctx, Duration, NodeId, Time, TimerTag};
 use rand::seq::SliceRandom;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Timer tag for the multi-op deadline sweep.
 pub const MULTI_OP_TIMER: TimerTag = TimerTag(0x4D47);
+
+/// Completion records a soft node retains per operation kind. Harvested
+/// completions are retired immediately; this cap bounds what *abandoned*
+/// sessions can leave behind — once exceeded, the oldest un-harvested
+/// record is retired, so sustained traffic from clients that never poll
+/// cannot grow node state without bound.
+pub const COMPLETION_RETENTION: usize = 512;
+
+/// Bounded completion store: a map plus insertion-order retirement.
+///
+/// Request ids are allocated monotonically and a record is written exactly
+/// once (later acks update in place), so insertion order is age order and
+/// retiring from the front is LRU retirement. [`CompletionLog::take`] is
+/// the harvest path — clients remove what they consume, so under a
+/// well-behaved session the log stays near-empty and the cap never bites.
+#[derive(Debug, Clone)]
+pub(crate) struct CompletionLog<T> {
+    cap: usize,
+    map: HashMap<u64, T>,
+    order: VecDeque<u64>,
+}
+
+impl<T> CompletionLog<T> {
+    fn new(cap: usize) -> Self {
+        CompletionLog { cap, map: HashMap::new(), order: VecDeque::new() }
+    }
+
+    /// Records a completion; returns the record retired to stay within the
+    /// cap, if any, so the caller can release auxiliary state.
+    fn insert(&mut self, req: u64, v: T) -> Option<(u64, T)> {
+        if self.map.insert(req, v).is_none() {
+            self.order.push_back(req);
+        }
+        if self.map.len() <= self.cap {
+            return None;
+        }
+        while let Some(old) = self.order.pop_front() {
+            if let Some(v) = self.map.remove(&old) {
+                return Some((old, v));
+            }
+        }
+        None
+    }
+
+    /// Harvests (removes) the completion for `req`. The order queue is
+    /// compacted lazily once it outgrows the live map.
+    pub(crate) fn take(&mut self, req: u64) -> Option<T> {
+        let v = self.map.remove(&req);
+        if self.order.len() > 2 * self.map.len() + 16 {
+            self.order.retain(|id| self.map.contains_key(id));
+        }
+        v
+    }
+
+    fn get_mut(&mut self, req: u64) -> Option<&mut T> {
+        self.map.get_mut(&req)
+    }
+
+    /// Number of retained (un-harvested) completions.
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+}
 
 /// Ticks a multi-tuple operation waits for stragglers before completing
 /// with what it has. A dead slot-owner never answers a `TagFetch`, and a
@@ -112,18 +175,19 @@ pub struct SoftNode {
     /// sieves; `None` means tag-scoped reads fan out epidemically.
     pub tag_routing: Option<TagRouting>,
 
-    /// Completed writes: req → status (public: the harness polls this).
-    pub completed_puts: HashMap<u64, PutStatus>,
+    /// Completed writes: req → (status, key hash). Harvested through
+    /// [`SoftNode::take_put`] by client sessions, retired on harvest.
+    completed_puts: CompletionLog<(PutStatus, u64)>,
     /// Completed reads: req → tuple (None = unknown key/deleted/not found).
-    pub completed_gets: HashMap<u64, Option<StoredTuple>>,
+    completed_gets: CompletionLog<Option<StoredTuple>>,
     /// Completed scans: req → matching tuples.
-    pub completed_scans: HashMap<u64, Vec<StoredTuple>>,
+    completed_scans: CompletionLog<Vec<StoredTuple>>,
     /// Completed aggregates: req → (sketch, min, max).
-    pub completed_aggs: HashMap<u64, (dd_estimation::DistSketch, f64, f64)>,
+    completed_aggs: CompletionLog<(dd_estimation::DistSketch, f64, f64)>,
     /// Completed batched writes: req → status.
-    pub completed_multi_puts: HashMap<u64, MultiPutStatus>,
+    completed_multi_puts: CompletionLog<MultiPutStatus>,
     /// Completed tag-scoped reads: req → deduplicated live tuples.
-    pub completed_multi_gets: HashMap<u64, Vec<StoredTuple>>,
+    completed_multi_gets: CompletionLog<Vec<StoredTuple>>,
 
     put_index: HashMap<(u64, Version), u64>,
     pending_gets: HashMap<u64, PendingGet>,
@@ -155,12 +219,12 @@ impl SoftNode {
             fanout,
             fallback_fetches: 5,
             tag_routing: None,
-            completed_puts: HashMap::new(),
-            completed_gets: HashMap::new(),
-            completed_scans: HashMap::new(),
-            completed_aggs: HashMap::new(),
-            completed_multi_puts: HashMap::new(),
-            completed_multi_gets: HashMap::new(),
+            completed_puts: CompletionLog::new(COMPLETION_RETENTION),
+            completed_gets: CompletionLog::new(COMPLETION_RETENTION),
+            completed_scans: CompletionLog::new(COMPLETION_RETENTION),
+            completed_aggs: CompletionLog::new(COMPLETION_RETENTION),
+            completed_multi_puts: CompletionLog::new(COMPLETION_RETENTION),
+            completed_multi_gets: CompletionLog::new(COMPLETION_RETENTION),
             put_index: HashMap::new(),
             pending_gets: HashMap::new(),
             pending_scans: HashMap::new(),
@@ -183,6 +247,52 @@ impl SoftNode {
     #[must_use]
     pub fn coordinator_of(&self, key_hash: u64) -> Option<NodeId> {
         self.ring.primary(key_hash)
+    }
+
+    /// Harvests a completed write or delete, retiring the record and its
+    /// ack-routing entry. Late storage acks still update metadata.
+    pub(crate) fn take_put(&mut self, req: u64) -> Option<PutStatus> {
+        let (status, key_hash) = self.completed_puts.take(req)?;
+        self.put_index.remove(&(key_hash, status.version));
+        Some(status)
+    }
+
+    /// Harvests a completed read.
+    pub(crate) fn take_get(&mut self, req: u64) -> Option<Option<StoredTuple>> {
+        self.completed_gets.take(req)
+    }
+
+    /// Harvests a completed scan.
+    pub(crate) fn take_scan(&mut self, req: u64) -> Option<Vec<StoredTuple>> {
+        self.completed_scans.take(req)
+    }
+
+    /// Harvests a completed aggregate.
+    pub(crate) fn take_agg(&mut self, req: u64) -> Option<(dd_estimation::DistSketch, f64, f64)> {
+        self.completed_aggs.take(req)
+    }
+
+    /// Harvests a completed batched write.
+    pub(crate) fn take_multi_put(&mut self, req: u64) -> Option<MultiPutStatus> {
+        self.completed_multi_puts.take(req)
+    }
+
+    /// Harvests a completed tag-scoped read.
+    pub(crate) fn take_multi_get(&mut self, req: u64) -> Option<Vec<StoredTuple>> {
+        self.completed_multi_gets.take(req)
+    }
+
+    /// Completion records currently retained across all op kinds. Bounded
+    /// by `6 ×` [`COMPLETION_RETENTION`] even when no session ever
+    /// harvests — the leak guard for abandoned clients.
+    #[must_use]
+    pub fn completion_backlog(&self) -> usize {
+        self.completed_puts.len()
+            + self.completed_gets.len()
+            + self.completed_scans.len()
+            + self.completed_aggs.len()
+            + self.completed_multi_puts.len()
+            + self.completed_multi_gets.len()
     }
 
     fn is_coordinator(&self, me: NodeId, key_hash: u64) -> bool {
@@ -233,7 +343,12 @@ impl SoftNode {
     ) {
         let (key_hash, version) = self.order_and_disseminate(ctx, item, delete);
         self.put_index.insert((key_hash, version), req);
-        self.completed_puts.insert(req, PutStatus { version, acks: 0 });
+        if let Some((_, (old, kh))) =
+            self.completed_puts.insert(req, (PutStatus { version, acks: 0 }, key_hash))
+        {
+            // Retired to stay within the cap: drop its ack routing too.
+            self.put_index.remove(&(kh, old.version));
+        }
     }
 
     /// Records one ordered item of a pending multi-put; completes the op
@@ -334,8 +449,7 @@ impl SoftNode {
             }
             DropletMsg::ClientDelete { req, key } => {
                 if self.is_coordinator(me, key.hash()) {
-                    let item =
-                        TupleSpec { key, value: bytes::Bytes::new(), attr: None, tag: None };
+                    let item = TupleSpec { key, value: bytes::Bytes::new(), attr: None, tag: None };
                     self.start_write(ctx, req, item, true);
                 } else if let Some(c) = self.coordinator_of(key.hash()) {
                     ctx.send(c, DropletMsg::ClientDelete { req, key });
@@ -465,7 +579,7 @@ impl SoftNode {
             DropletMsg::StoredAck { key_hash, version } => {
                 self.metadata.add_holder(key_hash, version, from);
                 if let Some(&req) = self.put_index.get(&(key_hash, version)) {
-                    if let Some(s) = self.completed_puts.get_mut(&req) {
+                    if let Some((s, _)) = self.completed_puts.get_mut(req) {
                         s.acks += 1;
                     }
                 }
@@ -484,7 +598,7 @@ impl SoftNode {
                     _ => {
                         if self.pending_gets.get(&req).is_some_and(|p| p.outstanding == 0) {
                             self.pending_gets.remove(&req);
-                            self.completed_gets.entry(req).or_insert(None);
+                            self.completed_gets.insert(req, None);
                         }
                     }
                 }
@@ -522,8 +636,7 @@ impl SoftNode {
             return;
         }
         let now = ctx.now();
-        let past_deadline =
-            |started: Time| now.0.saturating_sub(started.0) >= MULTI_OP_TIMEOUT;
+        let past_deadline = |started: Time| now.0.saturating_sub(started.0) >= MULTI_OP_TIMEOUT;
         let expired_gets: Vec<u64> = self
             .pending_multi_gets
             .iter()
@@ -592,14 +705,65 @@ mod tests {
     #[test]
     fn coordinator_is_consistent_across_nodes() {
         let members: Vec<NodeId> = (0..4).map(NodeId).collect();
-        let nodes: Vec<SoftNode> =
-            (0..4).map(|_| SoftNode::new(&members, vec![], 4, 16)).collect();
+        let nodes: Vec<SoftNode> = (0..4).map(|_| SoftNode::new(&members, vec![], 4, 16)).collect();
         for k in 0..100u64 {
             let c0 = nodes[0].coordinator_of(k);
             for n in &nodes {
                 assert_eq!(n.coordinator_of(k), c0);
             }
         }
+    }
+
+    #[test]
+    fn completion_log_retires_oldest_beyond_cap() {
+        let mut log = CompletionLog::new(4);
+        for req in 1..=10u64 {
+            let evicted = log.insert(req, req * 10);
+            if req > 4 {
+                assert_eq!(evicted, Some((req - 4, (req - 4) * 10)), "oldest entry retires");
+            } else {
+                assert_eq!(evicted, None);
+            }
+        }
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.take(9), Some(90));
+        assert_eq!(log.take(9), None, "harvest retires the record");
+        assert_eq!(log.take(1), None, "pre-cap entries were retired");
+    }
+
+    #[test]
+    fn completion_log_order_queue_stays_compact_under_harvest() {
+        let mut log = CompletionLog::new(64);
+        for req in 0..10_000u64 {
+            log.insert(req, req);
+            assert_eq!(log.take(req), Some(req));
+            assert!(log.order.len() <= 2 * log.map.len() + 17, "lazy compaction bounds the queue");
+        }
+        assert_eq!(log.len(), 0);
+    }
+
+    #[test]
+    fn retiring_a_put_completion_releases_its_ack_route() {
+        use rand::SeedableRng;
+        let members = vec![NodeId(0)];
+        let mut n = SoftNode::new(&members, vec![], 4, 16);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let mut metrics = dd_sim::Metrics::new();
+        // Drive writes far past the cap without ever harvesting.
+        dd_sim::engine::with_adhoc_ctx::<DropletMsg, _>(
+            NodeId(0),
+            Time(0),
+            &mut rng,
+            &mut metrics,
+            |ctx| {
+                for i in 0..(COMPLETION_RETENTION as u64 + 100) {
+                    let spec = crate::tuple::TupleSpec::new(format!("k{i}"), vec![], None, None);
+                    n.start_write(ctx, i, spec, false);
+                }
+            },
+        );
+        assert_eq!(n.completed_puts.len(), COMPLETION_RETENTION, "completions capped");
+        assert!(n.put_index.len() <= COMPLETION_RETENTION, "ack index retired with them");
     }
 
     #[test]

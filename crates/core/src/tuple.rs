@@ -40,7 +40,7 @@ impl std::fmt::Display for Key {
     }
 }
 
-/// A client-supplied tuple for batched writes ([`crate::Cluster::multi_put`]):
+/// A client-supplied tuple for batched writes ([`crate::Client::multi_put`]):
 /// everything a write needs *except* the version, which the key's
 /// soft-layer coordinator assigns when the batch is split and routed.
 #[derive(Debug, Clone, PartialEq)]

@@ -200,8 +200,7 @@ mod tests {
     fn normal_attrs_cluster_around_the_mean() {
         let mut w = Workload::new(WorkloadKind::NormalAttr { mean: 100.0, std_dev: 10.0 }, 2);
         let ops = w.take_puts(5_000);
-        let mean: f64 =
-            ops.iter().filter_map(|o| o.attr).sum::<f64>() / ops.len() as f64;
+        let mean: f64 = ops.iter().filter_map(|o| o.attr).sum::<f64>() / ops.len() as f64;
         assert!((mean - 100.0).abs() < 1.0, "sample mean {mean}");
     }
 

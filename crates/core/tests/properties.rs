@@ -105,12 +105,13 @@ proptest! {
         let run = |ops: &[(String, Vec<u8>)]| {
             let mut cluster = Cluster::new(ClusterConfig::small(), seed);
             cluster.settle();
+            let mut client = cluster.client();
             let mut oracle: HashMap<String, Vec<u8>> = HashMap::new();
             let mut acks = Vec::new();
             for (key, value) in ops {
-                let req = cluster.put(key.clone(), value.clone(), None, None);
-                let status = cluster.wait_put(req).unwrap_or_else(|| {
-                    panic!("write {key} timed out")
+                let w = client.put(&mut cluster, key.clone(), value.clone(), None, None);
+                let status = client.recv(&mut cluster, w).unwrap_or_else(|e| {
+                    panic!("write {key} failed: {e}")
                 });
                 acks.push((status.version, status.acks));
                 oracle.insert(key.clone(), value.clone());
@@ -118,10 +119,10 @@ proptest! {
             cluster.run_for(5_000);
             let mut reads = Vec::new();
             for (key, expected) in &oracle {
-                let req = cluster.get(key.clone());
-                let tuple = cluster
-                    .wait_get(req)
-                    .unwrap_or_else(|| panic!("read {key} timed out"))
+                let r = client.get(&mut cluster, key.clone());
+                let tuple = client
+                    .recv(&mut cluster, r)
+                    .unwrap_or_else(|e| panic!("read {key} failed: {e}"))
                     .unwrap_or_else(|| panic!("oracle key {key} missing"));
                 assert_eq!(&tuple.value.to_vec(), expected, "value mismatch for {key}");
                 reads.push((key.clone(), tuple.version, tuple.value.to_vec()));
@@ -132,5 +133,68 @@ proptest! {
         let first = run(&ops);
         let second = run(&ops);
         prop_assert_eq!(first, second, "same seed must replay identically");
+    }
+
+    /// Pipelining equivalence: N writes submitted concurrently through one
+    /// session settle to the same per-key results (version and value on a
+    /// fresh read) and the same persistent key population as the same
+    /// writes issued lock-step, on a seed-replayed twin cluster. Pipelining
+    /// changes *when* messages fly, not *what* the store converges to.
+    #[test]
+    fn pipelined_ops_match_sequential_outcome(
+        seed in 0u64..256,
+        values in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..8), 2..16),
+    ) {
+        // Distinct keys: concurrent writes to one key may order either way
+        // (that ambiguity is inherent to concurrency, not to the client).
+        let ops: Vec<(String, Vec<u8>)> = values
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (format!("pk:{i}"), v))
+            .collect();
+        let read_back = |cluster: &mut Cluster, ops: &[(String, Vec<u8>)]| {
+            cluster.run_for(5_000);
+            let mut client = cluster.client();
+            let mut results = Vec::new();
+            for (key, _) in ops {
+                let r = client.get(&mut *cluster, key.clone());
+                let t = client
+                    .recv(&mut *cluster, r)
+                    .expect("read completes")
+                    .unwrap_or_else(|| panic!("key {key} missing"));
+                results.push((key.clone(), t.version, t.value.to_vec()));
+            }
+            let mut stored: Vec<u64> =
+                cluster.scan_persist_state().iter().map(|&(kh, _, _)| kh).collect();
+            stored.sort_unstable();
+            stored.dedup();
+            (results, stored)
+        };
+
+        // Sequential: one round-trip at a time (the old lock-step plane).
+        let mut seq = Cluster::new(ClusterConfig::small(), seed);
+        seq.settle();
+        let mut client = seq.client();
+        for (key, value) in &ops {
+            let w = client.put(&mut seq, key.clone(), value.clone(), None, None);
+            client.recv(&mut seq, w).expect("sequential write ordered");
+        }
+        let sequential = read_back(&mut seq, &ops);
+
+        // Pipelined: everything in flight at once, harvested by poll.
+        let mut pip = Cluster::new(ClusterConfig::small(), seed);
+        pip.settle();
+        let mut client = pip.client();
+        let pendings: Vec<_> = ops
+            .iter()
+            .map(|(key, value)| client.put(&mut pip, key.clone(), value.clone(), None, None))
+            .collect();
+        prop_assert_eq!(client.in_flight(), ops.len());
+        for p in pendings {
+            client.recv(&mut pip, p).expect("pipelined write ordered");
+        }
+        let pipelined = read_back(&mut pip, &ops);
+
+        prop_assert_eq!(sequential, pipelined, "same final state and per-key results");
     }
 }

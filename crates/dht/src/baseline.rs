@@ -284,9 +284,8 @@ mod tests {
         let key = fnv1a(b"alpha");
         sim.inject(NodeId(0), NodeId(0), BaselineMsg::Put { key, version: Version(1), value: 7 });
         sim.run_until(Time(1_000));
-        let holders = (0..10)
-            .filter(|&i| sim.node(NodeId(i)).unwrap().store.contains_key(&key))
-            .count();
+        let holders =
+            (0..10).filter(|&i| sim.node(NodeId(i)).unwrap().store.contains_key(&key)).count();
         assert_eq!(holders, 3, "replication degree respected");
     }
 
@@ -343,9 +342,7 @@ mod tests {
         // Give detectors time to fire (suspect_timeout + slack) and repair.
         sim.run_until(Time(10_000));
         let holders = (0..10)
-            .filter(|&i| {
-                sim.node(NodeId(i)).is_some_and(|n| n.store.contains_key(&key))
-            })
+            .filter(|&i| sim.node(NodeId(i)).is_some_and(|n| n.store.contains_key(&key)))
             .count();
         assert!(holders >= 3, "replication restored, got {holders}");
         assert!(sim.metrics().counter("baseline.repair_sent") > 0);
@@ -374,10 +371,7 @@ mod tests {
         };
         let calm = run(1, 7);
         let stormy = run(6, 7);
-        assert!(
-            stormy > 2 * calm,
-            "repair should scale with churn: calm {calm}, stormy {stormy}"
-        );
+        assert!(stormy > 2 * calm, "repair should scale with churn: calm {calm}, stormy {stormy}");
     }
 
     #[test]

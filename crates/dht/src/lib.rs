@@ -34,6 +34,6 @@ pub mod ring;
 
 pub use baseline::{BaselineConfig, BaselineMsg, BaselineNode};
 pub use cache::TupleCache;
-pub use metadata::{Metadata, MetaEntry};
+pub use metadata::{MetaEntry, Metadata};
 pub use ordering::{Version, VersionAuthority};
 pub use ring::HashRing;

@@ -56,8 +56,7 @@ impl Metadata {
     /// sieve-acceptance ack).
     pub fn add_holder(&mut self, key_hash: u64, version: Version, holder: NodeId) {
         let e = self.entries.entry(key_hash).or_default();
-        if version == e.version && !e.holders.contains(&holder) && e.holders.len() < self.hint_cap
-        {
+        if version == e.version && !e.holders.contains(&holder) && e.holders.len() < self.hint_cap {
             e.holders.push(holder);
         }
     }

@@ -81,11 +81,7 @@ impl HashRing {
     /// The primary owner of `key_hash`: the first vnode clockwise.
     #[must_use]
     pub fn primary(&self, key_hash: u64) -> Option<NodeId> {
-        self.vnodes
-            .range(key_hash..)
-            .next()
-            .or_else(|| self.vnodes.iter().next())
-            .map(|(_, &n)| n)
+        self.vnodes.range(key_hash..).next().or_else(|| self.vnodes.iter().next()).map(|(_, &n)| n)
     }
 
     /// The `r` distinct physical owners of `key_hash`, clockwise from its

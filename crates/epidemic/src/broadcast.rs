@@ -24,7 +24,6 @@ pub struct BroadcastConfig {
     pub anti_entropy_period: Option<Duration>,
 }
 
-
 /// Messages of the composed broadcast protocol.
 #[derive(Debug, Clone)]
 pub enum BroadcastMsg<T> {
@@ -267,7 +266,10 @@ mod tests {
         let mut sim: Sim<BroadcastNode<MembershipOracle, u64>> =
             Sim::new(SimConfig::default().seed(5));
         for i in 0..n {
-            sim.add_node(NodeId(i), BroadcastNode::new(MembershipOracle::dense(NodeId(i), n), config));
+            sim.add_node(
+                NodeId(i),
+                BroadcastNode::new(MembershipOracle::dense(NodeId(i), n), config),
+            );
         }
         sim.inject(
             NodeId(0),
@@ -288,7 +290,10 @@ mod tests {
         let mut sim: Sim<BroadcastNode<MembershipOracle, u64>> =
             Sim::new(SimConfig::default().seed(8));
         for i in 0..n {
-            sim.add_node(NodeId(i), BroadcastNode::new(MembershipOracle::dense(NodeId(i), n), cfg(8)));
+            sim.add_node(
+                NodeId(i),
+                BroadcastNode::new(MembershipOracle::dense(NodeId(i), n), cfg(8)),
+            );
         }
         sim.inject(
             NodeId(0),

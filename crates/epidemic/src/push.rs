@@ -172,8 +172,7 @@ mod tests {
     #[test]
     fn first_reception_relays_to_fanout_targets() {
         let mut s = PushState::new(PushConfig { fanout: 4, ..PushConfig::default() });
-        let (first, targets) =
-            s.on_rumor(&mut rng(), NodeId(0), &peers(20), RumorId(1), 0);
+        let (first, targets) = s.on_rumor(&mut rng(), NodeId(0), &peers(20), RumorId(1), 0);
         assert!(first);
         assert_eq!(targets.len(), 4);
         assert!(!targets.contains(&NodeId(0)), "never relay to self");

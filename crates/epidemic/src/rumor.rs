@@ -59,8 +59,7 @@ impl MongerState {
             return (first, Vec::new());
         }
         use rand::seq::SliceRandom;
-        let mut candidates: Vec<NodeId> =
-            peers.iter().copied().filter(|&p| p != self_id).collect();
+        let mut candidates: Vec<NodeId> = peers.iter().copied().filter(|&p| p != self_id).collect();
         candidates.shuffle(rng);
         candidates.truncate(self.config.fanout as usize);
         (first, candidates)

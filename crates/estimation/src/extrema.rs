@@ -213,8 +213,7 @@ mod tests {
         let n = 200u64;
         let k = 256;
         let period = Duration(100);
-        let mut sim: Sim<ExtremaNode<MembershipOracle>> =
-            Sim::new(SimConfig::default().seed(9));
+        let mut sim: Sim<ExtremaNode<MembershipOracle>> = Sim::new(SimConfig::default().seed(9));
         let mut seeder = SmallRng::seed_from_u64(77);
         for i in 0..n {
             let est = ExtremaEstimator::generate(&mut seeder, k);

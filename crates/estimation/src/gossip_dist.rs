@@ -117,8 +117,9 @@ mod tests {
 
         // Generate distinct items, then replicate each onto r nodes.
         let total_items = (n as usize) * items_per_node / r;
-        let items: Vec<(u64, f64)> =
-            (0..total_items).map(|i| (dd_sim::rng::mix(0xA11, i as u64), dist.sample(&mut rng))).collect();
+        let items: Vec<(u64, f64)> = (0..total_items)
+            .map(|i| (dd_sim::rng::mix(0xA11, i as u64), dist.sample(&mut rng)))
+            .collect();
         let mut per_node: Vec<Vec<(u64, f64)>> = vec![Vec::new(); n as usize];
         for (idx, item) in items.iter().enumerate() {
             for k in 0..r {

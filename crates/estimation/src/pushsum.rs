@@ -298,8 +298,7 @@ mod tests {
         use dd_membership::MembershipOracle;
         use dd_sim::{Sim, SimConfig, Time};
         let n = 64u64;
-        let mut sim: Sim<PushSumNode<MembershipOracle>> =
-            Sim::new(SimConfig::default().seed(5));
+        let mut sim: Sim<PushSumNode<MembershipOracle>> = Sim::new(SimConfig::default().seed(5));
         for i in 0..n {
             sim.add_node(
                 NodeId(i),

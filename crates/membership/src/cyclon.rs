@@ -329,8 +329,8 @@ mod tests {
             sim.add_node(NodeId(i), CyclonProcess::new(state));
         }
         sim.run_until(Time(30 * 100)); // 30 rounds
-        // Views should be nearly full on average and in-degrees roughly
-        // balanced (a line/star topology would concentrate them).
+                                       // Views should be nearly full on average and in-degrees roughly
+                                       // balanced (a line/star topology would concentrate them).
         let mut indegree = vec![0u32; n as usize];
         let mut total = 0usize;
         for i in 0..n {
@@ -364,11 +364,9 @@ mod tests {
         sim.run_until(Time(5 * 100));
         sim.kill(dead);
         sim.run_until(Time(80 * 100));
-        let refs: usize = (0..31)
-            .filter(|&i| sim.node(NodeId(i)).unwrap().state.view().contains(dead))
-            .count();
+        let refs: usize =
+            (0..31).filter(|&i| sim.node(NodeId(i)).unwrap().state.view().contains(dead)).count();
         // Stale pointers to the dead node should be rare after 75 rounds.
         assert!(refs <= 6, "{refs} nodes still reference the dead node");
     }
 }
-

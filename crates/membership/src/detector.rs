@@ -45,9 +45,7 @@ impl HeartbeatDetector {
     /// Whether `node` is currently suspected at time `now`.
     #[must_use]
     pub fn is_suspect(&self, node: NodeId, now: Time) -> bool {
-        self.last_seen
-            .get(&node)
-            .is_some_and(|&seen| now.since(seen) > self.timeout)
+        self.last_seen.get(&node).is_some_and(|&seen| now.since(seen) > self.timeout)
     }
 
     /// All suspected nodes at time `now`, in id order.

@@ -131,11 +131,7 @@ impl PartialView {
 
     /// Index of the oldest entry.
     fn oldest_index(&self) -> Option<usize> {
-        self.entries
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, e)| e.age)
-            .map(|(i, _)| i)
+        self.entries.iter().enumerate().max_by_key(|(_, e)| e.age).map(|(i, _)| i)
     }
 
     /// Removes and returns the oldest entry (Cyclon's shuffle target).

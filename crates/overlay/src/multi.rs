@@ -97,8 +97,7 @@ impl Process for MultiOverlayNode {
         match msg {
             MultiMsg::Push(batch) => {
                 // Reply with our payload for the same rings.
-                let reply: RingBatch =
-                    batch.iter().map(|(r, _)| self.payload(*r)).collect();
+                let reply: RingBatch = batch.iter().map(|(r, _)| self.payload(*r)).collect();
                 self.merge_batch(&batch);
                 ctx.metrics().incr("multi.exchanges");
                 ctx.send(from, MultiMsg::Reply(reply));
@@ -146,13 +145,7 @@ impl Process for MultiOverlayNode {
 /// Harness for E9: runs `n` nodes × `k` rings for `rounds` and returns
 /// `(mean convergence across rings, messages sent)`.
 #[must_use]
-pub fn run_multi(
-    n: u64,
-    k: usize,
-    strategy: MultiStrategy,
-    rounds: u64,
-    seed: u64,
-) -> (f64, u64) {
+pub fn run_multi(n: u64, k: usize, strategy: MultiStrategy, rounds: u64, seed: u64) -> (f64, u64) {
     use crate::ring::convergence;
     use dd_sim::rng::mix;
     use dd_sim::{Sim, SimConfig, Time};
@@ -215,10 +208,7 @@ mod tests {
         let (_, msgs_s) = run_multi(48, k, MultiStrategy::Shared, 30, 2);
         // Independent sends k pushes per round (plus replies); shared sends
         // one. Expect roughly a k-fold gap, allow slack.
-        assert!(
-            msgs_i as f64 > 2.5 * msgs_s as f64,
-            "independent {msgs_i} vs shared {msgs_s}"
-        );
+        assert!(msgs_i as f64 > 2.5 * msgs_s as f64, "independent {msgs_i} vs shared {msgs_s}");
     }
 
     #[test]

@@ -23,19 +23,13 @@ pub fn successor_map(nodes: &[(NodeId, f64)]) -> HashMap<NodeId, NodeId> {
 /// entries count as wrong). The wrap-around node is excluded from the
 /// denominator because a line-topology T-Man never learns the wrap edge.
 #[must_use]
-pub fn convergence(
-    nodes: &[(NodeId, f64)],
-    believed: &HashMap<NodeId, Option<NodeId>>,
-) -> f64 {
+pub fn convergence(nodes: &[(NodeId, f64)], believed: &HashMap<NodeId, Option<NodeId>>) -> f64 {
     if nodes.len() <= 1 {
         return 1.0;
     }
     let truth = successor_map(nodes);
-    let max_node = nodes
-        .iter()
-        .max_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
-        .expect("non-empty")
-        .0;
+    let max_node =
+        nodes.iter().max_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0))).expect("non-empty").0;
     let mut correct = 0usize;
     let mut counted = 0usize;
     for &(n, _) in nodes {
@@ -94,7 +88,7 @@ mod tests {
         let mut believed: HashMap<NodeId, Option<NodeId>> = HashMap::new();
         believed.insert(NodeId(0), Some(NodeId(2))); // right
         believed.insert(NodeId(2), Some(NodeId(3))); // wrong
-        // NodeId(1) missing → wrong; NodeId(3) is the wrap node → excluded.
+                                                     // NodeId(1) missing → wrong; NodeId(3) is the wrap node → excluded.
         let score = convergence(&ns, &believed);
         assert!((score - 1.0 / 3.0).abs() < 1e-9, "score {score}");
     }

@@ -198,10 +198,7 @@ mod tests {
         sim.run_until(Time(50_000));
         let done = &sim.node(NodeId(0)).unwrap().completed[&9];
         // Collection phase should visit nodes 30..=34 (coords 300..340).
-        assert_eq!(
-            done.visited,
-            vec![NodeId(30), NodeId(31), NodeId(32), NodeId(33), NodeId(34)]
-        );
+        assert_eq!(done.visited, vec![NodeId(30), NodeId(31), NodeId(32), NodeId(33), NodeId(34)]);
         // Routing is logarithmic with finger-like neighbours.
         assert!(done.hops < 20, "hops {}", done.hops);
     }
@@ -230,16 +227,21 @@ mod tests {
     #[test]
     fn wider_ranges_cost_proportionally_more_collect_hops() {
         let mut sim = build(64, 5);
-        sim.inject(NodeId(0), NodeId(0), ScanMsg::Route(RangeScan::new(1, 100.0, 140.0, NodeId(0))));
+        sim.inject(
+            NodeId(0),
+            NodeId(0),
+            ScanMsg::Route(RangeScan::new(1, 100.0, 140.0, NodeId(0))),
+        );
         sim.run_until(Time(50_000));
         let narrow_hops = sim.metrics().counter("scan.collect_hops");
-        sim.inject(NodeId(0), NodeId(0), ScanMsg::Route(RangeScan::new(2, 100.0, 420.0, NodeId(0))));
+        sim.inject(
+            NodeId(0),
+            NodeId(0),
+            ScanMsg::Route(RangeScan::new(2, 100.0, 420.0, NodeId(0))),
+        );
         sim.run_until(Time(100_000));
         let wide_hops = sim.metrics().counter("scan.collect_hops") - narrow_hops;
-        assert!(
-            wide_hops > 4 * narrow_hops,
-            "wide {wide_hops} vs narrow {narrow_hops}"
-        );
+        assert!(wide_hops > 4 * narrow_hops, "wide {wide_hops} vs narrow {narrow_hops}");
     }
 
     #[test]

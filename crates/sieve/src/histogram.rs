@@ -45,15 +45,13 @@ impl HistogramSieve {
     pub fn new(edges: Vec<f64>, index: usize, r: u32) -> Self {
         assert!(!edges.is_empty(), "need at least one bucket edge");
         assert!(edges.iter().all(|e| e.is_finite()), "edges must be finite");
-        assert!(
-            edges.windows(2).all(|w| w[0] <= w[1]),
-            "edges must be sorted ascending"
-        );
+        assert!(edges.windows(2).all(|w| w[0] <= w[1]), "edges must be sorted ascending");
         let b = edges.len() + 1;
         assert!(index < b, "bucket index out of range");
         assert!(r > 0, "replication degree must be positive");
-        let buckets: Vec<usize> =
-            (0..usize::try_from(r).expect("r fits usize").min(b)).map(|k| (index + k) % b).collect();
+        let buckets: Vec<usize> = (0..usize::try_from(r).expect("r fits usize").min(b))
+            .map(|k| (index + k) % b)
+            .collect();
         let fallback = UniformSieve::replication(index as u64 ^ 0x41B0, r, b as u64);
         HistogramSieve { edges, buckets, fallback }
     }

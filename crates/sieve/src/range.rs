@@ -74,9 +74,7 @@ impl RangeSieve {
     /// treated as belonging to a range ending at `u64::MAX`).
     #[must_use]
     pub fn contains_hash(&self, h: u64) -> bool {
-        self.ranges
-            .iter()
-            .any(|&(s, e)| h >= s && (h < e || (e == u64::MAX && h == u64::MAX)))
+        self.ranges.iter().any(|&(s, e)| h >= s && (h < e || (e == u64::MAX && h == u64::MAX)))
     }
 }
 
@@ -124,7 +122,8 @@ mod tests {
         let r = 3u32;
         let sieves: Vec<RangeSieve> = (0..n).map(|i| RangeSieve::partition(i, n, r)).collect();
         // Probe a grid of hashes plus the extremes.
-        let mut probes: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        let mut probes: Vec<u64> =
+            (0..10_000u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
         probes.push(0);
         probes.push(u64::MAX);
         for h in probes {

@@ -27,11 +27,8 @@ impl UniformSieve {
     #[must_use]
     pub fn new(salt: u64, probability: f64) -> Self {
         assert!((0.0..=1.0).contains(&probability), "probability must be in [0,1]");
-        let threshold = if probability >= 1.0 {
-            u64::MAX
-        } else {
-            (probability * (u64::MAX as f64)) as u64
-        };
+        let threshold =
+            if probability >= 1.0 { u64::MAX } else { (probability * (u64::MAX as f64)) as u64 };
         UniformSieve { salt, probability, threshold }
     }
 

@@ -31,12 +31,7 @@ pub struct ChurnModel {
 
 impl Default for ChurnModel {
     fn default() -> Self {
-        ChurnModel {
-            failure_rate: 0.01,
-            period: 1_000,
-            mean_downtime: 5_000,
-            permanent_prob: 0.05,
-        }
+        ChurnModel { failure_rate: 0.01, period: 1_000, mean_downtime: 5_000, permanent_prob: 0.05 }
     }
 }
 

@@ -202,10 +202,8 @@ impl<P: Process> Sim<P> {
         if self.nodes.contains_key(&id) {
             return false;
         }
-        self.nodes.insert(
-            id,
-            Slot { proc, rng: stream_rng(self.seed, id.0), alive: true, epoch: 0 },
-        );
+        self.nodes
+            .insert(id, Slot { proc, rng: stream_rng(self.seed, id.0), alive: true, epoch: 0 });
         self.push(self.now, Event::Start(id));
         true
     }
@@ -548,8 +546,7 @@ mod tests {
 
     #[test]
     fn time_advances_by_latency() {
-        let cfg = SimConfig::default()
-            .net(NetConfig::new().latency(LatencyModel::Constant(7)));
+        let cfg = SimConfig::default().net(NetConfig::new().latency(LatencyModel::Constant(7)));
         let mut sim = flood_sim(3, cfg);
         sim.run();
         assert_eq!(sim.now(), Time(7));

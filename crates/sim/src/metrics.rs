@@ -62,13 +62,26 @@ impl Metrics {
     /// empty.
     #[must_use]
     pub fn quantile(&self, name: &str, p: f64) -> Option<f64> {
+        self.quantiles(name, std::slice::from_ref(&p))[0]
+    }
+
+    /// Several `p`-quantiles of a series at once, sorting it a single
+    /// time — the per-operation latency reporting path (e.g. p50/p95/p99
+    /// of `client.op_ticks`) reads them together. Each entry is `None`
+    /// when the series is empty.
+    #[must_use]
+    pub fn quantiles(&self, name: &str, ps: &[f64]) -> Vec<Option<f64>> {
         let mut s = self.series(name).to_vec();
         if s.is_empty() {
-            return None;
+            return vec![None; ps.len()];
         }
         s.sort_by(f64::total_cmp);
-        let rank = ((p.clamp(0.0, 1.0) * s.len() as f64).ceil() as usize).clamp(1, s.len());
-        Some(s[rank - 1])
+        ps.iter()
+            .map(|p| {
+                let rank = ((p.clamp(0.0, 1.0) * s.len() as f64).ceil() as usize).clamp(1, s.len());
+                Some(s[rank - 1])
+            })
+            .collect()
     }
 
     /// Summary statistics of the named series (zeroed when the series is
@@ -177,6 +190,19 @@ mod tests {
         assert_eq!(m.quantile("lat", 1.0), Some(4.0));
         assert_eq!(m.quantile("lat", 0.0), Some(1.0));
         assert_eq!(m.mean("absent"), None);
+    }
+
+    #[test]
+    fn batch_quantiles_match_single_quantiles() {
+        let mut m = Metrics::new();
+        for v in [9.0, 1.0, 5.0, 3.0, 7.0] {
+            m.observe("lat", v);
+        }
+        let ps = [0.0, 0.5, 0.95, 1.0];
+        let batch = m.quantiles("lat", &ps);
+        let singly: Vec<Option<f64>> = ps.iter().map(|&p| m.quantile("lat", p)).collect();
+        assert_eq!(batch, singly);
+        assert_eq!(m.quantiles("absent", &ps), vec![None; 4]);
     }
 
     #[test]

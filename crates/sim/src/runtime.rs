@@ -54,9 +54,7 @@ where
         let mut handles = Vec::new();
         for ((id, proc), rx) in nodes.into_iter().zip(receivers) {
             let peers = inboxes.clone();
-            handles.push(std::thread::spawn(move || {
-                node_loop(id, proc, rx, &peers, seed, epoch)
-            }));
+            handles.push(std::thread::spawn(move || node_loop(id, proc, rx, &peers, seed, epoch)));
         }
         Runtime { senders: inboxes, handles }
     }
@@ -65,9 +63,7 @@ where
     ///
     /// Returns `false` when the destination is unknown or already stopped.
     pub fn inject(&self, from: NodeId, to: NodeId, msg: P::Msg) -> bool {
-        self.senders
-            .get(&to)
-            .is_some_and(|tx| tx.send(Envelope::Msg { from, msg }).is_ok())
+        self.senders.get(&to).is_some_and(|tx| tx.send(Envelope::Msg { from, msg }).is_ok())
     }
 
     /// Stops every node and returns `(id, final_state)` pairs plus merged
@@ -158,10 +154,9 @@ fn node_loop<P: Process>(
             Envelope::Stop => break,
             Envelope::Msg { from, msg } => {
                 metrics.incr("net.delivered");
-                let ((), effs) =
-                    with_adhoc_ctx(id, wall_now(epoch), &mut rng, &mut metrics, |c| {
-                        proc.on_message(c, from, msg);
-                    });
+                let ((), effs) = with_adhoc_ctx(id, wall_now(epoch), &mut rng, &mut metrics, |c| {
+                    proc.on_message(c, from, msg);
+                });
                 apply(id, effs, peers, &mut timers, &mut metrics);
             }
         }
@@ -180,9 +175,8 @@ fn apply<M>(
         match eff {
             AdhocEffect::Send { to, msg } => {
                 metrics.incr("net.sent");
-                let ok = peers
-                    .get(&to)
-                    .is_some_and(|tx| tx.send(Envelope::Msg { from, msg }).is_ok());
+                let ok =
+                    peers.get(&to).is_some_and(|tx| tx.send(Envelope::Msg { from, msg }).is_ok());
                 if !ok {
                     metrics.incr("net.dropped");
                 }

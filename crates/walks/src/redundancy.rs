@@ -49,11 +49,8 @@ impl RedundancyEstimator {
     /// All classes observed, with their estimated populations.
     #[must_use]
     pub fn all_classes(&self, n_estimate: f64) -> Vec<(u64, f64)> {
-        let mut v: Vec<(u64, f64)> = self
-            .class_counts
-            .keys()
-            .map(|&c| (c, self.class_population(c, n_estimate)))
-            .collect();
+        let mut v: Vec<(u64, f64)> =
+            self.class_counts.keys().map(|&c| (c, self.class_population(c, n_estimate))).collect();
         v.sort_by_key(|&(c, _)| c);
         v
     }
@@ -77,11 +74,7 @@ pub struct WalkCost {
 #[must_use]
 pub fn per_tuple_cost(tuples: u64, n: u64, r: u32, samples_per_target: u64) -> WalkCost {
     let walk_length = samples_per_target * n / u64::from(r).max(1);
-    WalkCost {
-        walks: tuples,
-        walk_length,
-        total_messages: tuples * (walk_length + 1),
-    }
+    WalkCost { walks: tuples, walk_length, total_messages: tuples * (walk_length + 1) }
 }
 
 /// Cost of the paper's scheme: one walk **per sieve class**; each class is
@@ -91,11 +84,7 @@ pub fn per_tuple_cost(tuples: u64, n: u64, r: u32, samples_per_target: u64) -> W
 #[must_use]
 pub fn per_sieve_cost(classes: u64, samples_per_target: u64) -> WalkCost {
     let walk_length = samples_per_target * classes;
-    WalkCost {
-        walks: classes,
-        walk_length,
-        total_messages: classes * (walk_length + 1),
-    }
+    WalkCost { walks: classes, walk_length, total_messages: classes * (walk_length + 1) }
 }
 
 #[cfg(test)]
@@ -156,8 +145,12 @@ mod tests {
         let spt = 30u64;
         let naive = per_tuple_cost(tuples, n, r, spt);
         let smart = per_sieve_cost(classes, spt);
-        assert!(naive.total_messages > 1_000 * smart.total_messages,
-            "naive {} vs sieve {}", naive.total_messages, smart.total_messages);
+        assert!(
+            naive.total_messages > 1_000 * smart.total_messages,
+            "naive {} vs sieve {}",
+            naive.total_messages,
+            smart.total_messages
+        );
         assert_eq!(naive.walks, tuples);
         assert_eq!(smart.walks, classes);
         assert!(smart.walk_length < naive.walk_length);

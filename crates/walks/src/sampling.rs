@@ -80,8 +80,7 @@ mod tests {
     fn uniform_draws_score_near_one() {
         let n = 100u64;
         let mut rng = SmallRng::seed_from_u64(1);
-        let samples: Vec<WalkSample> =
-            (0..20_000).map(|_| sample(rng.gen_range(0..n))).collect();
+        let samples: Vec<WalkSample> = (0..20_000).map(|_| sample(rng.gen_range(0..n))).collect();
         let score = uniformity_score(&visits_histogram(&samples), n);
         assert!((0.6..1.6).contains(&score), "uniform score {score}");
     }

@@ -13,24 +13,37 @@ use dd_core::{Cluster, ClusterConfig, Workload, WorkloadKind};
 fn main() {
     let mut cluster = Cluster::new(ClusterConfig::small().persist_n(36), 11);
     cluster.settle();
+    let mut client = cluster.client();
 
     let n = 150usize;
-    let mut workload =
-        Workload::new(WorkloadKind::NormalAttr { mean: 100.0, std_dev: 15.0 }, 5);
+    let mut workload = Workload::new(WorkloadKind::NormalAttr { mean: 100.0, std_dev: 15.0 }, 5);
     println!("loading {n} measurements ~ N(100, 15)...");
+    // The loader keeps a pipeline of writes outstanding and harvests in
+    // bulk — the session plane's answer to bulk ingest.
     let mut truth: Vec<f64> = Vec::new();
     for op in workload.take_puts(n) {
         let attr = op.attr.unwrap();
         truth.push(attr);
-        let req = cluster.put(op.key, op.value, Some(attr), None);
-        cluster.wait_put(req).expect("write acknowledged");
+        let _ = client.put(&mut cluster, op.key, op.value, Some(attr), None);
+        if client.in_flight() >= 32 {
+            cluster.pump(50);
+            for (req, completion) in client.drain(&mut cluster) {
+                assert!(completion.is_ok(), "write {req} failed");
+            }
+        }
+    }
+    while client.in_flight() > 0 {
+        cluster.pump(50);
+        for (req, completion) in client.drain(&mut cluster) {
+            assert!(completion.is_ok(), "write {req} failed");
+        }
     }
     cluster.run_for(5_000);
 
     // Range scan: µ ± σ.
     let (lo, hi) = (85.0, 115.0);
-    let req = cluster.scan(lo, hi);
-    let items = cluster.wait_scan(req).expect("scan completed");
+    let req = client.scan(&mut cluster, lo, hi);
+    let items = client.recv(&mut cluster, req).expect("scan completed");
     let expected = truth.iter().filter(|a| (lo..=hi).contains(a)).count();
     println!(
         "scan [{lo}, {hi}]: {} tuples (oracle says {expected}) — \
@@ -40,8 +53,8 @@ fn main() {
     assert_eq!(items.len(), expected);
 
     // Aggregate: min / max / quantiles, deduplicated across replicas.
-    let req = cluster.aggregate();
-    let agg = cluster.wait_aggregate(req).expect("aggregate completed");
+    let req = client.aggregate(&mut cluster);
+    let agg = client.recv(&mut cluster, req).expect("aggregate completed");
     println!("aggregate over the cluster (replication-deduplicated):");
     println!("  distinct tuples ≈ {:.0}", agg.distinct_estimate());
     println!("  min = {:.1}, max = {:.1}", agg.min, agg.max);

@@ -16,20 +16,19 @@ use dd_sim::{NodeId, Time};
 fn main() {
     let persist_n = 40u64;
     let keys = 60u32;
-    let mut cluster =
-        Cluster::new(ClusterConfig::small().persist_n(persist_n).replication(3), 7);
+    let mut cluster = Cluster::new(ClusterConfig::small().persist_n(persist_n).replication(3), 7);
     cluster.settle();
+    let mut client = cluster.client();
 
     println!("writing {keys} keys...");
     for i in 0..keys {
-        let req = cluster.put(format!("doc:{i}"), vec![i as u8], None, None);
-        cluster.wait_put(req).expect("write acknowledged");
+        let req = client.put(&mut cluster, format!("doc:{i}"), vec![i as u8], None, None);
+        client.recv(&mut cluster, req).expect("write acknowledged");
     }
     cluster.run_for(5_000);
 
     // 3% of nodes fail per round; mean downtime 4 s; all transient.
-    let model =
-        ChurnModel::default().failure_rate(0.03).mean_downtime(4_000).permanent_prob(0.0);
+    let model = ChurnModel::default().failure_rate(0.03).mean_downtime(4_000).permanent_prob(0.0);
     let horizon = 60_000u64;
     let schedule = ChurnSchedule::generate(&model, persist_n, Time(horizon), 99);
     println!("churn schedule: {} events over {horizon} ticks", schedule.len());
@@ -46,29 +45,19 @@ fn main() {
     println!("{:>8} {:>8} {:>14} {:>16}", "time", "alive", "mean_replicas", "reads_ok/20");
     for step in 1..=6 {
         cluster.run_for(horizon / 6);
-        let alive = cluster
-            .persist_ids()
-            .iter()
-            .filter(|&&id| cluster.sim.is_alive(id))
-            .count();
+        let alive = cluster.persist_ids().iter().filter(|&&id| cluster.sim.is_alive(id)).count();
         let mean_replicas: f64 = (0..keys)
             .map(|i| cluster.replica_count(&Key::from(format!("doc:{i}").as_str())) as f64)
             .sum::<f64>()
             / f64::from(keys);
         let mut ok = 0;
         for i in 0..20 {
-            let r = cluster.get(format!("doc:{}", i * 3));
-            if matches!(cluster.wait_get(r), Some(Some(_))) {
+            let r = client.get(&mut cluster, format!("doc:{}", i * 3));
+            if matches!(client.recv(&mut cluster, r), Ok(Some(_))) {
                 ok += 1;
             }
         }
-        println!(
-            "{:>8} {:>8} {:>14.2} {:>16}",
-            step * horizon / 6,
-            alive,
-            mean_replicas,
-            ok
-        );
+        println!("{:>8} {:>8} {:>14.2} {:>16}", step * horizon / 6, alive, mean_replicas, ok);
     }
 
     cluster.run_for(10_000);

@@ -1,4 +1,5 @@
-//! Quickstart: bring up a DataDroplets cluster, write, read, delete.
+//! Quickstart: bring up a DataDroplets cluster, open a client session,
+//! write, read, delete.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -17,16 +18,21 @@ fn main() {
         cluster.persist_ids().len()
     );
 
+    // All traffic flows through a client session: ops return typed
+    // Pending handles; recv drives virtual time until completion.
+    let mut client = cluster.client();
+
     // Write a tuple with a numeric attribute (age) — attributes power
     // range scans and distribution-aware placement.
-    let req = cluster.put("user:alice", b"alice@example.org".to_vec(), Some(31.0), None);
-    let put = cluster.wait_put(req).expect("write acknowledged");
+    let w = client.put(&mut cluster, "user:alice", b"alice@example.org".to_vec(), Some(31.0), None);
+    let put = client.recv(&mut cluster, w).expect("write acknowledged");
     println!("put user:alice -> version {} ({} storage acks)", put.version, put.acks);
 
     // Read it back: the soft layer knows the latest version, so no quorum
-    // is needed (paper §II).
-    let req = cluster.get("user:alice");
-    let tuple = cluster.wait_get(req).expect("read completed").expect("key found");
+    // is needed (paper §II). Ok(None) would mean "no such key" — a
+    // successful read of nothing, distinct from Err(OpError::Timeout).
+    let r = client.get(&mut cluster, "user:alice");
+    let tuple = client.recv(&mut cluster, r).expect("read completed").expect("key found");
     println!(
         "get user:alice -> {:?} (version {}, attr {:?})",
         String::from_utf8_lossy(&tuple.value),
@@ -34,22 +40,21 @@ fn main() {
         tuple.attr
     );
 
-    // Repeat reads hit the soft-layer tuple cache.
-    for _ in 0..3 {
-        let req = cluster.get("user:alice");
-        cluster.wait_get(req).expect("read completed");
+    // Repeat reads hit the soft-layer tuple cache — and pipeline: all
+    // three are in flight together before any completion is harvested.
+    let reads: Vec<_> = (0..3).map(|_| client.get(&mut cluster, "user:alice")).collect();
+    println!("{} cache-warming reads in flight", client.in_flight());
+    for r in reads {
+        client.recv(&mut cluster, r).expect("read completed");
     }
-    println!(
-        "cache hits so far: {}",
-        cluster.sim.metrics().counter("soft.cache_hits")
-    );
+    println!("cache hits so far: {}", cluster.sim.metrics().counter("soft.cache_hits"));
 
     // Deletes are versioned tombstones — later reads see nothing.
-    let req = cluster.delete("user:alice");
-    cluster.wait_put(req).expect("delete ordered");
+    let d = client.delete(&mut cluster, "user:alice");
+    client.recv(&mut cluster, d).expect("delete ordered");
     cluster.run_for(2_000);
-    let req = cluster.get("user:alice");
-    assert!(cluster.wait_get(req).expect("read completed").is_none());
+    let r = client.get(&mut cluster, "user:alice");
+    assert!(client.recv(&mut cluster, r).expect("read completed").is_none());
     println!("deleted user:alice; subsequent read found nothing");
 
     println!(

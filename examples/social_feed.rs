@@ -13,7 +13,7 @@
 //! cargo run --release --example social_feed
 //! ```
 
-use dd_core::{Cluster, ClusterConfig, Workload, WorkloadKind};
+use dd_core::{Cluster, ClusterConfig, Placement, Workload, WorkloadKind};
 
 const FEEDS: u64 = 8;
 const BATCHES: usize = 12;
@@ -32,10 +32,11 @@ struct RunStats {
 fn run(config: ClusterConfig, seed: u64) -> RunStats {
     let mut cluster = Cluster::new(config, seed);
     cluster.settle();
+    let mut client = cluster.client();
     let mut workload = Workload::new(WorkloadKind::SocialFeed { users: FEEDS }, 7);
-    let tags = cluster.drive_multi_puts(&mut workload, BATCHES, BATCH);
+    let tags = client.drive_multi_puts(&mut cluster, &mut workload, BATCHES, BATCH);
     cluster.run_for(5_000);
-    let tuples_read = cluster.read_tags(&tags).iter().map(Vec::len).sum();
+    let tuples_read = client.read_tags(&mut cluster, &tags).iter().map(Vec::len).sum();
     let contacts = cluster.sim.metrics().summary("multi_get.contacted_nodes");
     RunStats {
         tuples_read,
@@ -47,8 +48,8 @@ fn run(config: ClusterConfig, seed: u64) -> RunStats {
 
 fn main() {
     let config = ClusterConfig::small().persist_n(32).replication(REPLICATION);
-    let tagged = run(config.clone().tag_sieves(), 2026);
-    let uniform = run(config.clone().uniform_sieves(), 2026);
+    let tagged = run(config.clone().placement(Placement::TagCollocation), 2026);
+    let uniform = run(config.clone().placement(Placement::Uniform), 2026);
 
     println!(
         "{BATCHES} multi_put batches of {BATCH} posts across {FEEDS} feeds, \
@@ -65,14 +66,8 @@ fn main() {
         uniform.contacts_mean, uniform.contacts_max, uniform.msgs, uniform.tuples_read
     );
 
-    assert!(
-        tagged.contacts_max <= f64::from(REPLICATION),
-        "tag routing contacts at most r nodes"
-    );
-    assert!(
-        uniform.contacts_mean > tagged.contacts_mean,
-        "random placement must fan out further"
-    );
+    assert!(tagged.contacts_max <= f64::from(REPLICATION), "tag routing contacts at most r nodes");
+    assert!(uniform.contacts_mean > tagged.contacts_mean, "random placement must fan out further");
     assert_eq!(tagged.tuples_read, BATCHES * BATCH, "every post is read back");
 
     println!(

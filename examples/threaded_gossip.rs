@@ -23,9 +23,7 @@ fn main() {
         anti_entropy_period: None,
     };
     let nodes: Vec<(NodeId, BroadcastNode<MembershipOracle, String>)> = (0..n)
-        .map(|i| {
-            (NodeId(i), BroadcastNode::new(MembershipOracle::dense(NodeId(i), n), config))
-        })
+        .map(|i| (NodeId(i), BroadcastNode::new(MembershipOracle::dense(NodeId(i), n), config)))
         .collect();
 
     let started = Instant::now();
@@ -43,10 +41,7 @@ fn main() {
     let (states, metrics) = rt.shutdown();
 
     let reached = states.iter().filter(|(_, node)| node.has(RumorId(1))).count();
-    println!(
-        "reached {reached}/{n} nodes in {:?} wall time",
-        started.elapsed()
-    );
+    println!("reached {reached}/{n} nodes in {:?} wall time", started.elapsed());
     println!(
         "messages sent {} / delivered {}",
         metrics.counter("net.sent"),

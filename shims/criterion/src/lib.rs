@@ -70,8 +70,7 @@ fn run_bench<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
         return;
     }
     let min = bencher.durations_ns.iter().copied().fold(f64::INFINITY, f64::min);
-    let mean =
-        bencher.durations_ns.iter().sum::<f64>() / bencher.durations_ns.len() as f64;
+    let mean = bencher.durations_ns.iter().sum::<f64>() / bencher.durations_ns.len() as f64;
     println!("{label}: min {:>12} mean {:>12}", fmt_ns(min), fmt_ns(mean));
 }
 

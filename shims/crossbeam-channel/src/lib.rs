@@ -7,9 +7,7 @@
 
 #![forbid(unsafe_code)]
 
-pub use std::sync::mpsc::{
-    RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
-};
+pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, Sender, TryRecvError};
 
 /// Single receiving endpoint (std's `Receiver`; not cloneable, unlike
 /// the real crossbeam type — nothing here fans in to multiple readers).
@@ -39,15 +37,9 @@ mod tests {
     #[test]
     fn timeout_and_disconnect_errors() {
         let (tx, rx) = unbounded::<u32>();
-        assert_eq!(
-            rx.recv_timeout(Duration::from_millis(5)),
-            Err(RecvTimeoutError::Timeout)
-        );
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(RecvTimeoutError::Timeout));
         drop(tx);
-        assert_eq!(
-            rx.recv_timeout(Duration::from_millis(5)),
-            Err(RecvTimeoutError::Disconnected)
-        );
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(RecvTimeoutError::Disconnected));
     }
 
     #[test]

@@ -33,10 +33,8 @@ pub mod test_runner {
         fn default() -> Self {
             // Same default as real proptest; PROPTEST_CASES overrides, so
             // CI can dial effort up or down without touching code.
-            let cases = std::env::var("PROPTEST_CASES")
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(256);
+            let cases =
+                std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256);
             ProptestConfig { cases }
         }
     }
@@ -506,9 +504,8 @@ mod tests {
             let s = Strategy::generate("[a-z0-9:/_-]{1,32}", &mut r);
             assert!(!s.is_empty() && s.len() <= 32, "bad length: {s:?}");
             assert!(
-                s.chars().all(|c| c.is_ascii_lowercase()
-                    || c.is_ascii_digit()
-                    || ":/_-".contains(c)),
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || ":/_-".contains(c)),
                 "bad char in {s:?}"
             );
         }
@@ -538,8 +535,7 @@ mod tests {
             let mut rng = TestRng::deterministic("shim::coll", case);
             let v = Strategy::generate(&prop::collection::vec(0u64..10, 3..8), &mut rng);
             assert!((3..8).contains(&v.len()));
-            let s =
-                Strategy::generate(&prop::collection::hash_set(any::<u64>(), 2..20), &mut rng);
+            let s = Strategy::generate(&prop::collection::hash_set(any::<u64>(), 2..20), &mut rng);
             assert!((2..20).contains(&s.len()));
         }
     }

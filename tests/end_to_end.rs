@@ -1,7 +1,11 @@
 //! Whole-system integration tests: the DataDroplets cluster under faults,
-//! loss and churn, checked against an in-memory oracle.
+//! loss and churn, checked against an in-memory oracle — all driven
+//! through the typed, pipelined client sessions.
 
-use dd_core::{Cluster, ClusterConfig, Key, Workload, WorkloadKind};
+use dd_core::{
+    drive_pipeline, Cluster, ClusterConfig, Key, OpError, PipelineConfig, Placement, Workload,
+    WorkloadKind,
+};
 use dd_sim::churn::{ChurnModel, ChurnSchedule};
 use dd_sim::{NodeId, Time};
 use std::collections::HashMap;
@@ -15,17 +19,18 @@ fn settled(config: ClusterConfig, seed: u64) -> Cluster {
 #[test]
 fn hundred_writes_all_readable() {
     let mut c = settled(ClusterConfig::small(), 1);
+    let mut client = c.client();
     let mut oracle = HashMap::new();
     let mut w = Workload::new(WorkloadKind::Uniform, 9);
     for op in w.take_puts(100) {
-        let req = c.put(op.key.clone(), op.value.clone(), op.attr, op.tag.as_deref());
-        assert!(c.wait_put(req).is_some(), "write {} timed out", op.key);
+        let p = client.put(&mut c, op.key.clone(), op.value.clone(), op.attr, op.tag.as_deref());
+        assert!(client.recv(&mut c, p).is_ok(), "write {} failed", op.key);
         oracle.insert(op.key, op.value);
     }
     c.run_for(5_000);
     for (key, value) in &oracle {
-        let r = c.get(key.clone());
-        let got = c.wait_get(r).expect("read completes").expect("key present");
+        let r = client.get(&mut c, key.clone());
+        let got = client.recv(&mut c, r).expect("read completes").expect("key present");
         assert_eq!(&got.value.to_vec(), value, "key {key}");
     }
 }
@@ -37,10 +42,11 @@ fn reads_and_writes_survive_message_loss() {
     let mut c = Cluster::new(config, 2);
     c.sim.net.drop_prob = 0.05;
     c.settle();
+    let mut client = c.client();
     let mut ok = 0;
     for i in 0..30 {
-        let req = c.put(format!("lossy:{i}"), vec![i as u8], None, None);
-        if c.wait_put(req).is_some() {
+        let p = client.put(&mut c, format!("lossy:{i}"), vec![i as u8], None, None);
+        if client.recv(&mut c, p).is_ok() {
             ok += 1;
         }
     }
@@ -52,26 +58,24 @@ fn reads_and_writes_survive_message_loss() {
     let mut found = 0;
     for i in 0..30 {
         for _attempt in 0..3 {
-            let r = c.get(format!("lossy:{i}"));
-            if matches!(c.wait_get(r), Some(Some(_))) {
+            let r = client.get(&mut c, format!("lossy:{i}"));
+            if matches!(client.recv(&mut c, r), Ok(Some(_))) {
                 found += 1;
                 break;
             }
         }
     }
-    assert!(
-        found >= ok,
-        "every completed write is readable under loss with retries: {found}/{ok}"
-    );
+    assert!(found >= ok, "every completed write is readable under loss with retries: {found}/{ok}");
 }
 
 #[test]
 fn availability_maintained_under_scheduled_churn() {
     let mut c = settled(ClusterConfig::small().persist_n(30).replication(3), 3);
+    let mut client = c.client();
     // Write the dataset.
     for i in 0..40 {
-        let req = c.put(format!("survive:{i}"), vec![i as u8], None, None);
-        c.wait_put(req).expect("write completes");
+        let p = client.put(&mut c, format!("survive:{i}"), vec![i as u8], None, None);
+        client.recv(&mut c, p).expect("write completes");
     }
     c.run_for(5_000);
 
@@ -98,8 +102,8 @@ fn availability_maintained_under_scheduled_churn() {
     c.run_for(10_000);
     let mut found = 0;
     for i in 0..40 {
-        let r = c.get(format!("survive:{i}"));
-        if matches!(c.wait_get(r), Some(Some(_))) {
+        let r = client.get(&mut c, format!("survive:{i}"));
+        if matches!(client.recv(&mut c, r), Ok(Some(_))) {
             found += 1;
         }
     }
@@ -109,24 +113,22 @@ fn availability_maintained_under_scheduled_churn() {
 #[test]
 fn scan_matches_oracle_filter() {
     let mut c = settled(ClusterConfig::small(), 4);
+    let mut client = c.client();
     let mut w = Workload::new(WorkloadKind::NormalAttr { mean: 50.0, std_dev: 10.0 }, 5);
     let mut oracle = Vec::new();
     for op in w.take_puts(60) {
-        let req = c.put(op.key.clone(), op.value.clone(), op.attr, None);
-        c.wait_put(req).unwrap();
+        let p = client.put(&mut c, op.key.clone(), op.value.clone(), op.attr, None);
+        client.recv(&mut c, p).unwrap();
         oracle.push((op.key, op.attr.unwrap()));
     }
     c.run_for(5_000);
     let (lo, hi) = (45.0, 55.0);
-    let s = c.scan(lo, hi);
-    let items = c.wait_scan(s).expect("scan completes");
+    let s = client.scan(&mut c, lo, hi);
+    let items = client.recv(&mut c, s).expect("scan completes");
     let mut got: Vec<String> = items.iter().map(|t| t.key.0.clone()).collect();
     got.sort();
-    let mut want: Vec<String> = oracle
-        .iter()
-        .filter(|(_, a)| (lo..=hi).contains(a))
-        .map(|(k, _)| k.clone())
-        .collect();
+    let mut want: Vec<String> =
+        oracle.iter().filter(|(_, a)| (lo..=hi).contains(a)).map(|(k, _)| k.clone()).collect();
     want.sort();
     assert_eq!(got, want);
 }
@@ -134,14 +136,15 @@ fn scan_matches_oracle_filter() {
 #[test]
 fn aggregate_matches_oracle_extremes() {
     let mut c = settled(ClusterConfig::small(), 5);
+    let mut client = c.client();
     let attrs: Vec<f64> = (0..50).map(|i| f64::from(i) * 2.0 + 1.0).collect();
     for (i, &a) in attrs.iter().enumerate() {
-        let req = c.put(format!("agg:{i}"), vec![], Some(a), None);
-        c.wait_put(req).unwrap();
+        let p = client.put(&mut c, format!("agg:{i}"), vec![], Some(a), None);
+        client.recv(&mut c, p).unwrap();
     }
     c.run_for(5_000);
-    let req = c.aggregate();
-    let agg = c.wait_aggregate(req).expect("aggregate completes");
+    let a = client.aggregate(&mut c);
+    let agg = client.recv(&mut c, a).expect("aggregate completes");
     assert_eq!(agg.min, 1.0);
     assert_eq!(agg.max, 99.0);
     let est = agg.distinct_estimate();
@@ -150,25 +153,25 @@ fn aggregate_matches_oracle_extremes() {
     assert!((median - 50.0).abs() < 10.0, "median estimate {median}");
 }
 
-
 #[test]
 fn soft_layer_rebuild_preserves_version_stream() {
     let mut c = settled(ClusterConfig::small(), 6);
+    let mut client = c.client();
     // Three versions of one key.
     for v in 1..=3u8 {
-        let req = c.put("versioned", vec![v], None, None);
-        c.wait_put(req).unwrap();
+        let p = client.put(&mut c, "versioned", vec![v], None, None);
+        client.recv(&mut c, p).unwrap();
         c.run_for(1_000);
     }
     c.wipe_soft_layer();
     c.rebuild_soft_layer();
     // A further write must get version 4, not 1.
-    let req = c.put("versioned", vec![4], None, None);
-    let put = c.wait_put(req).unwrap();
+    let p = client.put(&mut c, "versioned", vec![4], None, None);
+    let put = client.recv(&mut c, p).unwrap();
     assert_eq!(put.version.0, 4, "version stream continues after rebuild");
     c.run_for(3_000);
-    let r = c.get("versioned");
-    let got = c.wait_get(r).unwrap().unwrap();
+    let r = client.get(&mut c, "versioned");
+    let got = client.recv(&mut c, r).unwrap().unwrap();
     assert_eq!(got.value.to_vec(), vec![4]);
 }
 
@@ -176,9 +179,10 @@ fn soft_layer_rebuild_preserves_version_stream() {
 fn deterministic_replay_of_a_full_scenario() {
     let run = |seed: u64| {
         let mut c = settled(ClusterConfig::small(), seed);
+        let mut client = c.client();
         for i in 0..20 {
-            let req = c.put(format!("d:{i}"), vec![i as u8], Some(f64::from(i)), None);
-            c.wait_put(req).unwrap();
+            let p = client.put(&mut c, format!("d:{i}"), vec![i as u8], Some(f64::from(i)), None);
+            client.recv(&mut c, p).unwrap();
         }
         c.sim.kill(c.persist_ids()[3]);
         c.run_for(8_000);
@@ -205,8 +209,8 @@ fn tagged_tuples_collocate_under_tag_sieves() {
     let mut w = Workload::new(WorkloadKind::SocialFeed { users: 8 }, 11);
     let mut per_feed: HashMap<String, Vec<usize>> = HashMap::new();
     for op in w.take_puts(200) {
-        let item = ItemMeta::from_key(op.key.as_bytes())
-            .with_tag(op.tag.as_ref().unwrap().as_bytes());
+        let item =
+            ItemMeta::from_key(op.key.as_bytes()).with_tag(op.tag.as_ref().unwrap().as_bytes());
         let owners: Vec<usize> =
             specs.iter().enumerate().filter(|(_, s)| s.accepts(&item)).map(|(i, _)| i).collect();
         let e = per_feed.entry(op.tag.unwrap()).or_default();
@@ -225,13 +229,15 @@ fn multi_op_feed_workload_matches_oracle_with_r_node_reads() {
     // through `multi_put`, feeds out through tag-routed `multi_get`,
     // checked against an in-memory oracle — and the per-op accounting
     // proves each feed read contacted at most replication + soft_n nodes.
-    let config = ClusterConfig::small().persist_n(40).replication(3).tag_sieves();
+    let config =
+        ClusterConfig::small().persist_n(40).replication(3).placement(Placement::TagCollocation);
     let mut c = settled(config.clone(), 17);
+    let mut client = c.client();
     let mut w = Workload::new(WorkloadKind::SocialFeed { users: 6 }, 23);
     // The generator is deterministic: a clone replays the same batches,
     // which is the oracle for what the cluster was fed.
     let mut replay = w.clone();
-    let tags = c.drive_multi_puts(&mut w, 15, 4);
+    let tags = client.drive_multi_puts(&mut c, &mut w, 15, 4);
     let mut oracle: HashMap<String, Vec<String>> = HashMap::new();
     for _ in 0..15 {
         let m = replay.next_multi_put(4);
@@ -242,7 +248,7 @@ fn multi_op_feed_workload_matches_oracle_with_r_node_reads() {
     }
     c.run_for(8_000);
     assert_eq!(tags.len(), oracle.len(), "driver saw every feed");
-    for (tag, tuples) in tags.iter().zip(c.read_tags(&tags)) {
+    for (tag, tuples) in tags.iter().zip(client.read_tags(&mut c, &tags)) {
         let mut expect = oracle.remove(tag).expect("tag was written");
         let mut got: Vec<String> = tuples.into_iter().map(|t| t.key.0).collect();
         expect.sort();
@@ -256,4 +262,49 @@ fn multi_op_feed_workload_matches_oracle_with_r_node_reads() {
         "every feed read stayed within {allowance} contacts, saw {}",
         contacts.max
     );
+}
+
+#[test]
+fn pipelined_sessions_outpace_lock_step() {
+    // The closed-loop driver at two depths on seed-replayed clusters:
+    // deeper pipelines complete the same op budget in fewer virtual
+    // ticks. Depth 1 is the old lock-step plane's throughput ceiling.
+    let run = |depth: usize| {
+        let mut c = settled(ClusterConfig::small(), 27);
+        let mut w = Workload::new(WorkloadKind::Uniform, 31);
+        let config = PipelineConfig { sessions: 4, depth, total_ops: 240, quantum: 5 };
+        let report = drive_pipeline(&mut c, &mut w, config);
+        assert_eq!(report.errors, 0, "no op fails at depth {depth}");
+        assert_eq!(report.completed, 240);
+        report.ops_per_tick()
+    };
+    let lock_step = run(1);
+    let pipelined = run(16);
+    assert!(
+        pipelined >= 2.0 * lock_step,
+        "depth 16 must clearly beat lock-step: {pipelined:.4} vs {lock_step:.4} ops/tick"
+    );
+}
+
+#[test]
+fn timeout_and_absent_key_are_distinct_outcomes() {
+    // The two cases the old Option<Option<_>> plane conflated: a read of
+    // a never-written key is Ok(None); an op whose coordinator tier
+    // cannot answer is Err(Timeout).
+    let mut c = settled(ClusterConfig::small(), 29);
+    let mut client = c.client();
+    let r = client.get(&mut c, "never-written");
+    assert_eq!(client.recv(&mut c, r), Ok(None), "absent key is a successful read");
+
+    // Kill the whole soft tier mid-op: the submitted read can never
+    // complete, and new submissions have no entry point.
+    let victims = c.soft_ids().to_vec();
+    let stuck = client.get(&mut c, "any-key");
+    for id in victims {
+        c.sim.kill(id);
+    }
+    c.run_for(10);
+    assert_eq!(client.recv(&mut c, stuck), Err(OpError::Timeout), "dead tier = timeout");
+    let p = client.put(&mut c, "k", b"v".to_vec(), None, None);
+    assert_eq!(client.recv(&mut c, p), Err(OpError::NoLiveEntry));
 }

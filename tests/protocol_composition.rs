@@ -1,8 +1,8 @@
 //! Cross-crate protocol composition tests: the pieces the paper composes
 //! (membership → dissemination → estimation → placement) working together.
 
-use dd_epidemic::{required_fanout, BroadcastConfig, BroadcastMsg, BroadcastNode};
 use dd_epidemic::push::{PushConfig, Rumor, RumorId};
+use dd_epidemic::{required_fanout, BroadcastConfig, BroadcastMsg, BroadcastNode};
 use dd_estimation::{ExtremaEstimator, ExtremaNode};
 use dd_membership::{CyclonConfig, CyclonState, MembershipOracle, PeerSampler};
 use dd_sieve::{check_coverage, ItemMeta, UniformSieve};
@@ -25,9 +25,8 @@ fn broadcast_over_cyclon_views_reaches_everyone() {
         msim.add_node(NodeId(i), CyclonProcess::new(CyclonState::new(NodeId(i), cfg, &boot)));
     }
     msim.run_until(Time(40 * 100));
-    let views: Vec<Vec<NodeId>> = (0..n)
-        .map(|i| msim.node(NodeId(i)).unwrap().state.view().nodes().collect())
-        .collect();
+    let views: Vec<Vec<NodeId>> =
+        (0..n).map(|i| msim.node(NodeId(i)).unwrap().state.view().nodes().collect()).collect();
 
     // Phase 2: broadcast over the frozen views.
     #[derive(Debug, Clone)]
@@ -51,10 +50,7 @@ fn broadcast_over_cyclon_views_reaches_everyone() {
     };
     let mut bsim: Sim<BroadcastNode<FixedPeers, u32>> = Sim::new(SimConfig::default().seed(2));
     for i in 0..n {
-        bsim.add_node(
-            NodeId(i),
-            BroadcastNode::new(FixedPeers(views[i as usize].clone()), bcfg),
-        );
+        bsim.add_node(NodeId(i), BroadcastNode::new(FixedPeers(views[i as usize].clone()), bcfg));
     }
     bsim.inject(
         NodeId(0),
@@ -183,8 +179,5 @@ fn partial_dissemination_cost_tradeoff_holds() {
     // Reaching 95% of nodes needs fanout ≈ 4.7 (fixed point); cost n·5.
     let partial = n * 5;
     assert!(expected_coverage(5.0) > 0.95);
-    assert!(
-        atomic as f64 > 3.0 * partial as f64,
-        "atomic {atomic} vs partial {partial}"
-    );
+    assert!(atomic as f64 > 3.0 * partial as f64, "atomic {atomic} vs partial {partial}");
 }
