@@ -2,23 +2,26 @@
 //! maintain redundancy at acceptable levels is essential to avoid data
 //! loss"; transient failures dominate, so redundancy constraints can be
 //! relaxed. Sweep churn rate × repair on/off and measure surviving
-//! replication and read availability.
+//! replication and read availability — one declarative [`Scenario`] per
+//! cell: a rate-paced write phase with the churn burst overlaid, a repair
+//! window, then a read-back phase.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dd_bench::{f, n, table_header, table_row};
-use dd_core::{Cluster, ClusterConfig, Key};
-use dd_sim::churn::{ChurnEvent, ChurnModel, ChurnSchedule};
-use dd_sim::{NodeId, Time};
+use dd_core::{Cluster, ClusterConfig, Fault, Key, OpMix, Phase, Scenario, Tier, WorkloadKind};
+use dd_sim::churn::ChurnModel;
+
+const KEYS: u64 = 40;
+const HORIZON: u64 = 40_000;
 
 struct Outcome {
     mean_replicas: f64,
-    reads_ok: u32,
+    reads_found: u64,
     recovered: u64,
 }
 
 fn run(rate: f64, repair: bool, seed: u64) -> Outcome {
     let persist_n = 36u64;
-    let keys = 40u32;
     let config = if repair {
         ClusterConfig::small().persist_n(persist_n)
     } else {
@@ -27,41 +30,33 @@ fn run(rate: f64, repair: bool, seed: u64) -> Outcome {
     let mut c = Cluster::new(config, seed);
     c.settle();
 
-    // Churn runs across the whole write window: nodes that are down while
-    // a key is disseminated miss it, and only repair can catch them up —
-    // the paper's redundancy-maintenance scenario.
+    // Churn spans the whole write window: nodes that are down while a key
+    // is disseminated miss it, and only repair can catch them up — the
+    // paper's redundancy-maintenance scenario.
     let model = ChurnModel::default().failure_rate(rate).mean_downtime(6_000).permanent_prob(0.05);
-    let horizon = 40_000u64;
-    let schedule = ChurnSchedule::generate(&model, persist_n, Time(horizon), seed ^ 0xC4);
-    let offset = c.soft_ids().len() as u64;
-    for ev in schedule.events() {
-        let id = NodeId(ev.node().0 + offset);
-        match ev {
-            ChurnEvent::Down(t, _) | ChurnEvent::Leave(t, _) => c.sim.schedule_down(*t, id),
-            ChurnEvent::Up(t, _) => c.sim.schedule_up(*t, id),
-        }
-    }
-    // Interleave writes with the churn window.
-    let mut client = c.client();
-    for i in 0..keys {
-        let req = client.put(&mut c, format!("k:{i}"), vec![i as u8], None, None);
-        let _ = client.recv(&mut c, req);
-        c.run_for(horizon / u64::from(keys));
-    }
-    c.run_for(15_000); // post-storm repair window
+    let scenario = Scenario::new("churn-repair", WorkloadKind::Uniform, seed)
+        .phase(
+            Phase::new("write", HORIZON)
+                .mix(OpMix::puts())
+                .sessions(1)
+                .depth(1)
+                .rate(KEYS as f64 / HORIZON as f64)
+                .ops(KEYS),
+        )
+        .phase(Phase::new("repair", 15_000))
+        .phase(Phase::new("read", 8_000).mix(OpMix::gets()).sessions(1).depth(1).ops(KEYS))
+        .fault(0, Fault::ChurnBurst { tier: Tier::Persist, model, span: HORIZON });
+    let report = c.run_scenario(&scenario);
 
-    let mean_replicas = (0..keys)
-        .map(|i| c.replica_count(&Key::from(format!("k:{i}").as_str())) as f64)
+    let mean_replicas = (1..=KEYS)
+        .map(|i| c.replica_count(&Key::from(format!("key:{i}").as_str())) as f64)
         .sum::<f64>()
-        / f64::from(keys);
-    let mut reads_ok = 0;
-    for i in 0..keys {
-        let r = client.get(&mut c, format!("k:{i}"));
-        if matches!(client.recv(&mut c, r), Ok(Some(_))) {
-            reads_ok += 1;
-        }
+        / KEYS as f64;
+    Outcome {
+        mean_replicas,
+        reads_found: report.phases[2].reads_found,
+        recovered: c.sim.metrics().counter("repair.recovered"),
     }
-    Outcome { mean_replicas, reads_ok, recovered: c.sim.metrics().counter("repair.recovered") }
 }
 
 fn experiment() {
@@ -76,7 +71,7 @@ fn experiment() {
                 f(rate),
                 if repair { "on".into() } else { "off".into() },
                 f(o.mean_replicas),
-                n(u64::from(o.reads_ok)),
+                n(o.reads_found),
                 n(o.recovered),
             ]);
         }

@@ -1,11 +1,13 @@
 //! E11 — The paper's thesis (§I): the structured (Cassandra-style) design
 //! pays a *reactive* repair cost proportional to churn, while the epidemic
-//! substrate masks churn. Same workload, same churn schedule, both
-//! substrates; measure read availability and maintenance traffic.
+//! substrate masks churn. Same workload and churn process for both
+//! substrates; measure read availability and maintenance traffic. The
+//! epidemic side is a declarative [`Scenario`]; the structured baseline
+//! is a raw simulation driving the same [`ChurnModel`].
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dd_bench::{f, n, table_header, table_row};
-use dd_core::{Cluster, ClusterConfig};
+use dd_core::{Cluster, ClusterConfig, Fault, OpMix, Phase, Scenario, Tier, WorkloadKind};
 use dd_dht::{BaselineConfig, BaselineMsg, BaselineNode, Version};
 use dd_sim::churn::{ChurnEvent, ChurnModel, ChurnSchedule};
 use dd_sim::rng::fnv1a;
@@ -25,7 +27,8 @@ fn churn(nn: u64, rate: f64, seed: u64) -> ChurnSchedule {
 }
 
 /// The structured baseline: full-ring replication, heartbeats, reactive
-/// repair on failure detection.
+/// repair on failure detection. This is a raw [`Sim`] (no soft layer, no
+/// scenario plane), so the churn schedule is mapped onto it directly.
 fn run_baseline(nn: u64, rate: f64, seed: u64) -> Outcome {
     let config = BaselineConfig::default();
     let mut sim: Sim<BaselineNode> = Sim::new(SimConfig::default().seed(seed));
@@ -73,35 +76,21 @@ fn run_baseline(nn: u64, rate: f64, seed: u64) -> Outcome {
     }
 }
 
-/// The epidemic substrate under the *same* churn process.
+/// The epidemic substrate under the *same* churn process, declared as a
+/// scenario: load, storm, settle, read back.
 fn run_epidemic(nn: u64, rate: f64, seed: u64) -> Outcome {
     let mut c = Cluster::new(ClusterConfig::small().persist_n(nn), seed);
     c.settle();
-    let mut client = c.client();
-    for k in 0..KEYS {
-        let req = client.put(&mut c, format!("k{k}"), vec![k as u8], None, None);
-        let _ = client.recv(&mut c, req);
-    }
-    c.run_for(2_000);
-    let offset = c.soft_ids().len() as u64;
-    for ev in churn(nn, rate, seed ^ 0xE11).events() {
-        let id = NodeId(ev.node().0 + offset);
-        match ev {
-            ChurnEvent::Down(t, _) | ChurnEvent::Leave(t, _) => c.sim.schedule_down(*t, id),
-            ChurnEvent::Up(t, _) => c.sim.schedule_up(*t, id),
-        }
-    }
-    c.run_for(HORIZON + 8_000);
-    let mut reads_ok = 0;
-    for k in 0..KEYS {
-        let r = client.get(&mut c, format!("k{k}"));
-        if matches!(client.recv(&mut c, r), Ok(Some(_))) {
-            reads_ok += 1;
-        }
-    }
+    let model = ChurnModel::default().failure_rate(rate).mean_downtime(4_000).permanent_prob(0.1);
+    let scenario = Scenario::new("dht-vs-epidemic", WorkloadKind::Uniform, seed ^ 0xE11)
+        .phase(Phase::new("load", 4_000).mix(OpMix::puts()).sessions(1).depth(1).ops(KEYS))
+        .phase(Phase::new("storm", HORIZON + 8_000))
+        .phase(Phase::new("read", 10_000).mix(OpMix::gets()).sessions(1).depth(1).ops(KEYS))
+        .fault(4_000, Fault::ChurnBurst { tier: Tier::Persist, model, span: HORIZON });
+    let report = c.run_scenario(&scenario);
     let m = c.sim.metrics();
     Outcome {
-        reads_ok,
+        reads_ok: report.phases[2].reads_found,
         // Proactive maintenance: repair offers/syncs (the epidemic layer has
         // no heartbeats — failures are masked, not detected).
         maintenance_msgs: m.counter("repair.syncs") + m.counter("repair.class_mismatch"),
@@ -111,7 +100,7 @@ fn run_epidemic(nn: u64, rate: f64, seed: u64) -> Outcome {
 fn experiment() {
     let nn = 30u64;
     table_header(
-        "E11: structured baseline vs epidemic substrate under identical churn",
+        "E11: structured baseline vs epidemic substrate, matched churn process",
         &["churn/round", "system", "reads_ok/60", "maint_msgs"],
     );
     for &rate in &[0.0f64, 0.02, 0.05, 0.1] {

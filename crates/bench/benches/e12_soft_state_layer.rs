@@ -1,31 +1,37 @@
 //! E12 — The soft-state layer's value (paper §II): the tuple cache avoids
 //! persistent-layer operations; version knowledge eliminates quorums; and
 //! after catastrophic soft-state loss, metadata is reconstructed from the
-//! persistent layer.
+//! persistent layer. Both halves are declarative scenarios: E12a loads a
+//! uniform population and serves Zipf-skewed reads from a phase-local
+//! workload; E12b injects `WipeSoftLayer`/`RebuildSoftLayer` faults
+//! between read phases.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dd_bench::{f, n, table_header, table_row};
-use dd_core::{Cluster, ClusterConfig, Workload, WorkloadKind};
+use dd_core::{Cluster, ClusterConfig, Fault, OpMix, Phase, Scenario, WorkloadKind};
+
+const KEYS: u64 = 100;
 
 fn read_workload(cache_capacity: usize, seed: u64) -> (f64, u64) {
     let mut config = ClusterConfig::small().persist_n(24);
     config.cache_capacity = cache_capacity;
     let mut c = Cluster::new(config, seed);
     c.settle();
-    let mut client = c.client();
-    let keys = 100u64;
-    for i in 0..keys {
-        let req = client.put(&mut c, format!("key:{i}"), vec![i as u8], None, None);
-        let _ = client.recv(&mut c, req);
-    }
-    c.run_for(4_000);
-    // Zipf-skewed reads: hot keys repeat.
-    let mut w = Workload::new(WorkloadKind::ZipfKeys { keys, exponent: 1.1 }, seed);
-    for _ in 0..300 {
-        let key = w.next_read_key();
-        let r = client.get(&mut c, key);
-        let _ = client.recv(&mut c, r);
-    }
+    let scenario = Scenario::new("cache", WorkloadKind::Uniform, seed)
+        .phase(Phase::new("load", 6_000).mix(OpMix::puts()).sessions(1).depth(4).ops(KEYS))
+        .phase(Phase::new("settle", 4_000))
+        .phase(
+            // Zipf-skewed reads over the uniformly loaded population:
+            // hot keys repeat, so the tuple cache absorbs them.
+            Phase::new("zipf-reads", 10_000)
+                .mix(OpMix::gets())
+                .sessions(1)
+                .depth(4)
+                .ops(300)
+                .workload(WorkloadKind::ZipfKeys { keys: KEYS, exponent: 1.1 }),
+        );
+    let report = c.run_scenario(&scenario);
+    assert_eq!(report.phases[2].issued, 300, "all reads offered");
     let m = c.sim.metrics();
     let hits = m.counter("soft.cache_hits");
     let misses = m.counter("soft.cache_misses");
@@ -43,38 +49,24 @@ fn experiment() {
         table_row(&[n(cap as u64), f(hit_rate), n(fetches)]);
     }
 
-    // E12b: catastrophic soft-state loss and reconstruction.
+    // E12b: catastrophic soft-state loss and reconstruction, as one
+    // scenario: load, wipe, read (nothing), rebuild, read (everything).
     let mut c = Cluster::new(ClusterConfig::small().persist_n(24), 5);
     c.settle();
-    let mut client = c.client();
-    let keys = 50u64;
-    for i in 0..keys {
-        let req = client.put(&mut c, format!("key:{i}"), vec![i as u8], Some(i as f64), None);
-        let _ = client.recv(&mut c, req);
-    }
-    c.run_for(4_000);
-    c.wipe_soft_layer();
-    let mut before = 0u64;
-    for i in 0..keys {
-        let r = client.get(&mut c, format!("key:{i}"));
-        if matches!(client.recv(&mut c, r), Ok(Some(_))) {
-            before += 1;
-        }
-    }
-    c.rebuild_soft_layer();
-    let mut after = 0u64;
-    for i in 0..keys {
-        let r = client.get(&mut c, format!("key:{i}"));
-        if matches!(client.recv(&mut c, r), Ok(Some(_))) {
-            after += 1;
-        }
-    }
+    let scenario = Scenario::new("wipe-rebuild", WorkloadKind::Uniform, 5)
+        .phase(Phase::new("load", 5_000).mix(OpMix::puts()).sessions(1).depth(4).ops(50))
+        .phase(Phase::new("settle", 4_000))
+        .phase(Phase::new("wiped-reads", 5_000).mix(OpMix::gets()).sessions(1).depth(4).ops(50))
+        .phase(Phase::new("rebuilt-reads", 5_000).mix(OpMix::gets()).sessions(1).depth(4).ops(50))
+        .fault(9_000, Fault::WipeSoftLayer)
+        .fault(14_000, Fault::RebuildSoftLayer);
+    let report = c.run_scenario(&scenario);
     table_header(
         "E12b: reads after catastrophic soft-layer loss (50 keys)",
         &["state", "reads_ok"],
     );
-    table_row(&["wiped".into(), n(before)]);
-    table_row(&["rebuilt".into(), n(after)]);
+    table_row(&["wiped".into(), n(report.phases[2].reads_found)]);
+    table_row(&["rebuilt".into(), n(report.phases[3].reads_found)]);
     println!(
         "reconstruction (§II): all metadata — latest versions, holders — is \
          recovered from the persistent layer; no writes are lost."

@@ -8,11 +8,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dd_bench::{f, n, table_header, table_row};
-use dd_core::{Cluster, ClusterConfig, Placement, Workload, WorkloadKind};
+use dd_core::{Cluster, ClusterConfig, OpMix, Phase, Placement, Scenario, WorkloadKind};
 
 const FEEDS: u64 = 10;
-const BATCHES: usize = 20;
+const BATCHES: u64 = 20;
 const BATCH: usize = 5;
+const MGETS: u64 = 20;
 
 struct Row {
     placement: &'static str,
@@ -27,21 +28,30 @@ struct Row {
 fn run(placement: &'static str, config: ClusterConfig, seed: u64) -> Row {
     let mut c = Cluster::new(config, seed);
     c.settle();
-    let mut client = c.client();
-    let mut w = Workload::new(WorkloadKind::SocialFeed { users: FEEDS }, 5);
-    let tags = client.drive_multi_puts(&mut c, &mut w, BATCHES, BATCH);
-    c.run_for(6_000);
-    let tuples_read = client.read_tags(&mut c, &tags).iter().map(Vec::len).sum::<usize>() as u64;
+    // One scenario per placement, same seed: identical batches and
+    // identical feed reads, so the tuple sets are comparable and only
+    // the routing differs.
+    let scenario = Scenario::new("feeds", WorkloadKind::SocialFeed { users: FEEDS }, 5)
+        .phase(
+            Phase::new("mput", 8_000)
+                .mix(OpMix::multi_puts(BATCH))
+                .sessions(1)
+                .depth(1)
+                .ops(BATCHES),
+        )
+        .phase(Phase::new("settle", 6_000))
+        .phase(Phase::new("mget", 8_000).mix(OpMix::multi_gets()).sessions(1).depth(1).ops(MGETS));
+    let report = c.run_scenario(&scenario);
+    let mget = &report.phases[2];
     let m = c.sim.metrics();
-    let contacts = m.summary("multi_get.contacted_nodes");
     let gets = m.counter("soft.multi_gets");
     Row {
         placement,
         multi_puts: m.counter("soft.multi_puts"),
         multi_gets: gets,
-        tuples_read,
-        contacts_mean: contacts.mean,
-        contacts_max: contacts.max,
+        tuples_read: mget.tuples_read,
+        contacts_mean: mget.contacts_mean,
+        contacts_max: mget.contacts_max,
         msgs_per_get: m.counter("multi_get.msgs") as f64 / gets.max(1) as f64,
     }
 }

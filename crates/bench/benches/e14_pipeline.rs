@@ -4,19 +4,20 @@
 //! blocking wait, one operation in flight per client — so throughput was
 //! capped at one round-trip per wait window. The typed session plane
 //! (`Client` + `Pending<T>`) holds many operations outstanding; this
-//! experiment sweeps the closed-loop driver across pipeline depths on
-//! seed-replayed clusters and measures successful operations per virtual
-//! tick. Depth 1 reproduces the old lock-step ceiling; the acceptance
-//! bar is depth 16 ≥ 4× depth 1 on the uniform workload. Emits a
-//! machine-readable summary to `BENCH_pipeline.json` at the workspace
-//! root so the perf trajectory accumulates across runs.
+//! experiment offers the same put-only mix through one fixed-duration
+//! scenario phase per pipeline depth on seed-replayed clusters and
+//! measures successful operations per virtual tick. Depth 1 reproduces
+//! the old lock-step ceiling; the acceptance bar is depth 16 ≥ 4× depth 1
+//! on the uniform workload. Emits a machine-readable summary to
+//! `BENCH_pipeline.json` at the workspace root so the perf trajectory
+//! accumulates across runs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dd_bench::{f, n, table_header, table_row};
-use dd_core::{drive_pipeline, Cluster, ClusterConfig, PipelineConfig, Workload, WorkloadKind};
+use dd_core::{Cluster, ClusterConfig, OpMix, Phase, Scenario, WorkloadKind};
 
 const SESSIONS: usize = 4;
-const TOTAL_OPS: u64 = 2_000;
+const TICKS: u64 = 1_500;
 const QUANTUM: u64 = 5;
 const DEPTHS: [usize; 6] = [1, 2, 4, 8, 16, 32];
 
@@ -33,19 +34,23 @@ struct Row {
 fn run(depth: usize, seed: u64) -> Row {
     let mut c = Cluster::new(ClusterConfig::small().persist_n(32), seed);
     c.settle();
-    let mut w = Workload::new(WorkloadKind::Uniform, seed ^ 0xE14);
-    let config =
-        PipelineConfig { sessions: SESSIONS, depth, total_ops: TOTAL_OPS, quantum: QUANTUM };
-    let report = drive_pipeline(&mut c, &mut w, config);
-    let lat = c.sim.metrics().quantiles("client.op_ticks", &[0.5, 0.95]);
+    let scenario = Scenario::new("pipeline", WorkloadKind::Uniform, seed ^ 0xE14).phase(
+        Phase::new("puts", TICKS)
+            .mix(OpMix::puts())
+            .sessions(SESSIONS)
+            .depth(depth)
+            .quantum(QUANTUM),
+    );
+    let report = c.run_scenario(&scenario);
+    let phase = &report.phases[0];
     Row {
         depth,
-        completed: report.completed,
-        errors: report.errors,
-        ticks: report.ticks,
-        ops_per_tick: report.ops_per_tick(),
-        p50: lat[0].unwrap_or(0.0),
-        p95: lat[1].unwrap_or(0.0),
+        completed: phase.ok,
+        errors: phase.errors.total(),
+        ticks: phase.ticks,
+        ops_per_tick: phase.ok as f64 / phase.ticks as f64,
+        p50: phase.latency_p50,
+        p95: phase.latency_p95,
     }
 }
 
@@ -65,7 +70,7 @@ fn write_summary(rows: &[Row]) {
         .collect();
     let json = format!(
         "{{\n  \"bench\": \"e14_pipeline\",\n  \"workload\": {{\"kind\": \"uniform\", \
-         \"total_ops\": {TOTAL_OPS}, \"quantum\": {QUANTUM}}},\n  \"depths\": [\n{}\n  ]\n}}\n",
+         \"phase_ticks\": {TICKS}, \"quantum\": {QUANTUM}}},\n  \"depths\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
@@ -79,7 +84,7 @@ fn write_summary(rows: &[Row]) {
 fn experiment() {
     let rows: Vec<Row> = DEPTHS.iter().map(|&d| run(d, 77)).collect();
     table_header(
-        "E14: pipelined sessions — ops/tick vs depth (4 sessions, 2000 puts)",
+        "E14: pipelined sessions — ops/tick vs depth (4 sessions, 1500-tick phase)",
         &["depth", "completed", "errors", "ticks", "ops/tick", "p50_lat", "p95_lat"],
     );
     for r in &rows {
@@ -114,15 +119,16 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e14");
     g.sample_size(10);
     // The closed-loop kernel: a short depth-8 pipeline burst per iteration.
-    g.bench_function("pipeline_depth8_200ops", |b| {
+    g.bench_function("pipeline_depth8_500ticks", |b| {
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
             let mut c = Cluster::new(ClusterConfig::small().persist_n(16), seed);
             c.settle();
-            let mut w = Workload::new(WorkloadKind::Uniform, seed);
-            let config = PipelineConfig { sessions: 2, depth: 8, total_ops: 200, quantum: QUANTUM };
-            drive_pipeline(&mut c, &mut w, config).completed
+            let scenario = Scenario::new("burst", WorkloadKind::Uniform, seed).phase(
+                Phase::new("puts", 500).mix(OpMix::puts()).sessions(2).depth(8).quantum(QUANTUM),
+            );
+            c.run_scenario(&scenario).phases[0].ok
         });
     });
     g.finish();

@@ -27,7 +27,6 @@ use crate::cluster::{AggregateResult, Cluster, DropletNode, GetResult, MultiPutR
 use crate::msg::DropletMsg;
 use crate::soft::SoftNode;
 use crate::tuple::{Key, StoredTuple, TupleSpec};
-use crate::workload::Workload;
 use dd_sim::Time;
 use rand::rngs::SmallRng;
 use std::collections::HashMap;
@@ -579,51 +578,5 @@ impl Client {
             m.incr("client.completions");
             m.observe("client.op_ticks", latency);
         }
-    }
-
-    /// Workload driver: feeds `batches` batched writes of `batch` items
-    /// from `workload` through [`Client::multi_put`], receiving each
-    /// before the next (the harvest path the multi-op tests, benches and
-    /// examples share), and returns the distinct tags written in
-    /// first-use order. Callers should [`Cluster::run_for`] a settle
-    /// period before reading the tags back.
-    ///
-    /// # Panics
-    /// Panics if a batch fails to order within [`OP_TIMEOUT`].
-    pub fn drive_multi_puts(
-        &mut self,
-        cluster: &mut Cluster,
-        workload: &mut Workload,
-        batches: usize,
-        batch: usize,
-    ) -> Vec<String> {
-        let mut tags = Vec::new();
-        for _ in 0..batches {
-            let m = workload.next_multi_put(batch);
-            if let Some(tag) = m.tag {
-                if !tags.contains(&tag) {
-                    tags.push(tag);
-                }
-            }
-            let pending = self.multi_put(cluster, m.items.into_iter().map(TupleSpec::from));
-            let status =
-                self.recv(cluster, pending).expect("multi_put batch failed to order fully");
-            assert_eq!(status.items, batch);
-        }
-        tags
-    }
-
-    /// Workload driver: [`Client::multi_get`]s every tag and returns the
-    /// tuple sets in tag order.
-    ///
-    /// # Panics
-    /// Panics if a read times out.
-    pub fn read_tags(&mut self, cluster: &mut Cluster, tags: &[String]) -> Vec<Vec<StoredTuple>> {
-        tags.iter()
-            .map(|tag| {
-                let pending = self.multi_get(cluster, tag);
-                self.recv(cluster, pending).expect("multi_get completes")
-            })
-            .collect()
     }
 }

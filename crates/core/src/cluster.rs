@@ -334,9 +334,21 @@ impl Cluster {
         self.run_for(ticks);
     }
 
-    /// Lets start-up timers and gossip settle (one repair period).
+    /// Lets start-up timers and gossip settle. The quiescence horizon is
+    /// derived from the network model and the repair cadence — one repair
+    /// period plus a generous multiple of the worst-case message latency
+    /// — so clusters configured with slow networks settle long enough
+    /// instead of flaking on a hard-coded tick count.
     pub fn settle(&mut self) {
-        self.run_for(self.config.repair_period.unwrap_or(1_000));
+        let ticks = self.settle_horizon();
+        self.run_for(ticks);
+    }
+
+    /// The quiescence horizon [`Cluster::settle`] runs for, in ticks.
+    #[must_use]
+    pub fn settle_horizon(&self) -> u64 {
+        let latency_slack = 50 * self.sim.net.latency.max();
+        self.config.repair_period.unwrap_or(1_000) + latency_slack
     }
 
     /// Opens a new client session. Each session pins its own RNG stream
@@ -744,12 +756,23 @@ mod tests {
         assert!(fresh.recv(&mut c, w).is_ok());
     }
 
-    /// Writes `batches` social-feed batches of `batch` posts each through
-    /// the shared driver and returns the distinct tags.
+    /// Writes `batches` social-feed batches of `batch` posts each over
+    /// the raw multi-op plane and returns the distinct tags.
     fn write_feed_batches(c: &mut Cluster, seed: u64, batches: usize, batch: usize) -> Vec<String> {
         let mut w = crate::Workload::new(crate::WorkloadKind::SocialFeed { users: 4 }, seed);
         let mut s = c.client();
-        let tags = s.drive_multi_puts(c, &mut w, batches, batch);
+        let mut tags = Vec::new();
+        for _ in 0..batches {
+            let m = w.next_multi_put(batch);
+            if let Some(tag) = m.tag {
+                if !tags.contains(&tag) {
+                    tags.push(tag);
+                }
+            }
+            let pending = s.multi_put(c, m.items.into_iter().map(TupleSpec::from));
+            let status = s.recv(c, pending).expect("batch orders fully");
+            assert_eq!(status.items, batch);
+        }
         c.run_for(5_000);
         tags
     }
@@ -758,9 +781,10 @@ mod tests {
     /// sorted key set retrieved.
     fn read_feeds(c: &mut Cluster, tags: &[String]) -> Vec<Vec<String>> {
         let mut s = c.client();
-        s.read_tags(c, tags)
-            .into_iter()
-            .map(|tuples| {
+        tags.iter()
+            .map(|tag| {
+                let pending = s.multi_get(c, tag);
+                let tuples = s.recv(c, pending).expect("multi_get completes");
                 let mut keys: Vec<String> = tuples.into_iter().map(|t| t.key.0).collect();
                 keys.sort();
                 keys
@@ -949,6 +973,21 @@ mod tests {
         let feed = s.recv(&mut c, r).expect("completes");
         assert_eq!(feed.len(), 3);
         assert!(feed.iter().all(|t| t.key.0 != "p:2"));
+    }
+
+    #[test]
+    fn settle_horizon_tracks_the_network_model() {
+        use dd_sim::{LatencyModel, NetConfig};
+        let fast = cluster(20);
+        // Default LAN model: one repair period plus modest latency slack.
+        assert_eq!(fast.settle_horizon(), 1_000 + 50 * 5);
+        // A slow network stretches the horizon instead of flaking.
+        let mut slow = Cluster::new(ClusterConfig::small(), 20);
+        slow.sim.net = NetConfig::new().latency(LatencyModel::Constant(200));
+        assert_eq!(slow.settle_horizon(), 1_000 + 50 * 200);
+        let before = slow.sim.now();
+        slow.settle();
+        assert_eq!(slow.sim.now().since(before).0, 11_000, "settle runs the derived horizon");
     }
 
     #[test]

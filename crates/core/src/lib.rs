@@ -60,11 +60,35 @@
 //! assert!(contacted <= f64::from(cluster.config().replication));
 //! ```
 //!
+//! ## Scenarios
+//!
+//! Whole experiments — workload phases, fault schedules and environment
+//! timelines — are declared as [`Scenario`] values and executed with
+//! [`Cluster::run_scenario`], which returns a [`ScenarioReport`] of
+//! per-phase availability, staleness, error taxonomy and latency
+//! quantiles. See [`scenario`] for the vocabulary and
+//! [`scenario::library`] for the stock dependability drills:
+//!
+//! ```
+//! use dd_core::{Cluster, ClusterConfig, EnvChange, OpMix, Phase, Scenario, WorkloadKind};
+//!
+//! let mut cluster = Cluster::new(ClusterConfig::small(), 9);
+//! cluster.settle();
+//! let drill = Scenario::new("loss-spike", WorkloadKind::Uniform, 3)
+//!     .phase(Phase::new("load", 2_000).mix(OpMix::puts()).ops(30))
+//!     .phase(Phase::new("read", 2_000).mix(OpMix::gets()).ops(30))
+//!     .env(2_000, EnvChange::DropProb(0.05))
+//!     .env(3_000, EnvChange::DropProb(0.0));
+//! let report = cluster.run_scenario(&drill);
+//! assert!(report.availability() > 0.9);
+//! ```
+//!
 //! Modules: `tuple` (data model), [`sieve_spec`] (wire-format sieves),
 //! [`msg`] (the composite protocol), [`soft`] and [`persist`] (the two
 //! node roles), [`cluster`] (whole-system harness), [`client`] (typed
-//! pipelined sessions), [`driver`] (closed-loop multi-client pipelines),
-//! [`workload`] (synthetic workloads for the experiments).
+//! pipelined sessions), [`driver`] (the phase engine: sessions × depth ×
+//! op mixes), [`scenario`] (declarative workload/fault/environment
+//! timelines), [`workload`] (synthetic workloads for the experiments).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -74,6 +98,7 @@ pub mod cluster;
 pub mod driver;
 pub mod msg;
 pub mod persist;
+pub mod scenario;
 pub mod sieve_spec;
 pub mod soft;
 pub mod tuple;
@@ -83,8 +108,11 @@ pub use client::{ops, Client, Completion, OpError, OpKind, Pending, OP_TIMEOUT};
 pub use cluster::{
     AggregateResult, Cluster, ClusterConfig, GetResult, MultiPutResult, Placement, PutResult,
 };
-pub use driver::{drive_pipeline, PipelineConfig, PipelineReport};
+pub use driver::OpMix;
 pub use msg::DropletMsg;
+pub use scenario::{
+    EnvChange, ErrorCounts, Fault, Phase, PhaseReport, Scenario, ScenarioReport, Tier,
+};
 pub use sieve_spec::SieveSpec;
 pub use soft::MultiPutStatus;
 pub use tuple::{Key, StoredTuple, TupleSpec};

@@ -1,0 +1,899 @@
+//! The declarative scenario plane: one composable API for workloads,
+//! faults and environment timelines.
+//!
+//! The paper's claims are *scenario* claims — the epidemic tuple store
+//! stays dependable under massive churn, node loss and partitions while
+//! tag collocation keeps request fan-out flat. A [`Scenario`] makes such
+//! an experiment a seedable **value** instead of a bespoke driver loop:
+//!
+//! * a **workload program** — [`Phase`]s of typed op mixes
+//!   ([`crate::OpMix`]) at chosen session counts, pipeline depths and
+//!   target rates, executed over the PR-3 [`crate::Client`] sessions by
+//!   the phase engine;
+//! * a **fault schedule** — [`Fault`]s at virtual times: churn bursts
+//!   (compiled from [`dd_sim::churn::ChurnSchedule`]), correlated
+//!   crashes, node flaps, soft-layer wipes and rebuilds;
+//! * an **environment timeline** — [`EnvChange`]s routed through the
+//!   engine's scheduled network mutations ([`dd_sim::NetChange`]):
+//!   latency shifts, loss spikes, partition and heal events.
+//!
+//! [`Cluster::run_scenario`] merges the three timelines, executes them
+//! deterministically from the scenario seed, and returns a
+//! [`ScenarioReport`]: per-phase availability, staleness, error taxonomy,
+//! latency quantiles and message/contact accounting. Same scenario, same
+//! seed — byte-identical report.
+//!
+//! ```
+//! use dd_core::{Cluster, ClusterConfig, OpMix, Phase, Scenario, WorkloadKind};
+//!
+//! let mut cluster = Cluster::new(ClusterConfig::small(), 42);
+//! cluster.settle();
+//! let drill = Scenario::new("smoke", WorkloadKind::Uniform, 7)
+//!     .phase(Phase::new("load", 2_000).mix(OpMix::puts()).ops(40))
+//!     .phase(Phase::new("read", 2_000).mix(OpMix::gets()).ops(40));
+//! let report = cluster.run_scenario(&drill);
+//! assert_eq!(report.availability(), 1.0);
+//! assert_eq!(report.phases[1].reads_found, 40);
+//! ```
+
+use crate::cluster::Cluster;
+use crate::driver::{Engine, OpMix, PhaseStats};
+use crate::workload::{Workload, WorkloadKind};
+use dd_sim::churn::{ChurnEvent, ChurnModel, ChurnSchedule};
+use dd_sim::metrics::{quantiles_of, Summary};
+use dd_sim::rng::{mix, stream_rng};
+use dd_sim::{Duration, LatencyModel, NetChange, NodeId, Time};
+use rand::seq::SliceRandom;
+
+/// Which layer of the deployment a fault targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// The soft-state (coordinator) layer.
+    Soft,
+    /// The persistent-state (storage) layer.
+    Persist,
+}
+
+/// One fault clause of a scenario's fault schedule. Scheduled at a
+/// virtual time relative to the scenario start with [`Scenario::fault`].
+#[derive(Debug, Clone)]
+pub enum Fault {
+    /// A churn storm: a [`ChurnSchedule`] generated from `model` over
+    /// `span` ticks, mapped onto the tier's nodes — transient downs/ups
+    /// plus the model's fraction of permanent departures.
+    ChurnBurst {
+        /// Layer the storm hits.
+        tier: Tier,
+        /// Session-length model the schedule is drawn from.
+        model: ChurnModel,
+        /// Storm duration in ticks (events beyond it are cut off).
+        span: u64,
+    },
+    /// Correlated crash: `count` distinct nodes (scenario-seed-chosen) go
+    /// down at once and stay down until revived.
+    Crash {
+        /// Layer the crash hits.
+        tier: Tier,
+        /// Number of simultaneous victims.
+        count: usize,
+    },
+    /// Transient flap: `count` nodes go down and come back `down_for`
+    /// ticks later.
+    Flap {
+        /// Layer the flap hits.
+        tier: Tier,
+        /// Number of flapping nodes.
+        count: usize,
+        /// Downtime of each victim.
+        down_for: u64,
+    },
+    /// Brings every currently-dead node of the tier back up.
+    ReviveAll {
+        /// Layer to revive.
+        tier: Tier,
+    },
+    /// Catastrophic soft-state loss: wipes every soft node's metadata,
+    /// cache and version authority ([`Cluster::wipe_soft_layer`]).
+    WipeSoftLayer,
+    /// Reconstructs soft-layer metadata from a persistent-layer scan
+    /// ([`Cluster::rebuild_soft_layer`]).
+    RebuildSoftLayer,
+}
+
+/// One clause of a scenario's environment timeline. Scheduled with
+/// [`Scenario::env`]; applied by the simulation engine at its virtual
+/// time via [`dd_sim::Sim::schedule_net`].
+#[derive(Debug, Clone)]
+pub enum EnvChange {
+    /// Replace the latency model (e.g. a slow-network episode).
+    Latency(LatencyModel),
+    /// Set the message-loss probability (a loss spike, or recovery).
+    DropProb(f64),
+    /// Partition a contiguous `fraction` of the persistent layer away
+    /// from everything else (the soft layer keeps the main colour).
+    PartitionPersist {
+        /// Fraction of persist nodes moved behind the partition.
+        fraction: f64,
+    },
+    /// Heal all partitions.
+    Heal,
+}
+
+/// One phase of a scenario's workload program.
+#[derive(Debug, Clone)]
+pub struct Phase {
+    pub(crate) name: String,
+    pub(crate) ticks: u64,
+    pub(crate) sessions: usize,
+    pub(crate) depth: usize,
+    pub(crate) quantum: u64,
+    pub(crate) mix: OpMix,
+    pub(crate) rate: Option<f64>,
+    pub(crate) ops: Option<u64>,
+    pub(crate) workload: Option<WorkloadKind>,
+}
+
+impl Phase {
+    /// A phase named `name` lasting `ticks` of virtual time. Defaults:
+    /// idle mix (no traffic), 4 sessions, depth 8, quantum 25.
+    ///
+    /// # Panics
+    /// Panics if `ticks` is zero.
+    #[must_use]
+    pub fn new(name: impl Into<String>, ticks: u64) -> Self {
+        assert!(ticks > 0, "a phase must last at least one tick");
+        Phase {
+            name: name.into(),
+            ticks,
+            sessions: 4,
+            depth: 8,
+            quantum: 25,
+            mix: OpMix::idle(),
+            rate: None,
+            ops: None,
+            workload: None,
+        }
+    }
+
+    /// Builder: the op mix this phase offers.
+    #[must_use]
+    pub fn mix(mut self, mix: OpMix) -> Self {
+        self.mix = mix;
+        self
+    }
+
+    /// Builder: concurrent client sessions.
+    #[must_use]
+    pub fn sessions(mut self, n: usize) -> Self {
+        assert!(n > 0, "a phase needs at least one session");
+        self.sessions = n;
+        self
+    }
+
+    /// Builder: operations each session keeps in flight.
+    #[must_use]
+    pub fn depth(mut self, d: usize) -> Self {
+        assert!(d > 0, "pipeline depth must be positive");
+        self.depth = d;
+        self
+    }
+
+    /// Builder: virtual ticks pumped between harvest rounds.
+    #[must_use]
+    pub fn quantum(mut self, q: u64) -> Self {
+        assert!(q > 0, "quantum must be positive");
+        self.quantum = q;
+        self
+    }
+
+    /// Builder: target offered rate in operations per tick (open-loop
+    /// cap on top of the closed-loop depth bound).
+    #[must_use]
+    pub fn rate(mut self, ops_per_tick: f64) -> Self {
+        self.rate = Some(ops_per_tick);
+        self
+    }
+
+    /// Builder: total operation budget for the phase; once issued, the
+    /// phase idles out its remaining ticks.
+    #[must_use]
+    pub fn ops(mut self, total: u64) -> Self {
+        self.ops = Some(total);
+        self
+    }
+
+    /// Builder: use a phase-local workload generator of this kind
+    /// instead of the scenario-shared one (e.g. Zipf reads over a
+    /// uniformly loaded population).
+    #[must_use]
+    pub fn workload(mut self, kind: WorkloadKind) -> Self {
+        self.workload = Some(kind);
+        self
+    }
+}
+
+/// A complete experiment, as a value: workload program, fault schedule
+/// and environment timeline, all replayable from `seed`.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    pub(crate) name: String,
+    pub(crate) seed: u64,
+    pub(crate) workload: WorkloadKind,
+    pub(crate) phases: Vec<Phase>,
+    pub(crate) faults: Vec<(u64, Fault)>,
+    pub(crate) env: Vec<(u64, EnvChange)>,
+}
+
+impl Scenario {
+    /// A scenario named `name`, generating traffic from `workload`, with
+    /// all random choices (op picking, fault victims, churn draws)
+    /// derived from `seed`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, workload: WorkloadKind, seed: u64) -> Self {
+        Scenario {
+            name: name.into(),
+            seed,
+            workload,
+            phases: Vec::new(),
+            faults: Vec::new(),
+            env: Vec::new(),
+        }
+    }
+
+    /// Appends a workload phase (phases run back to back).
+    #[must_use]
+    pub fn phase(mut self, phase: Phase) -> Self {
+        self.phases.push(phase);
+        self
+    }
+
+    /// Schedules a fault `at` ticks after the scenario starts.
+    #[must_use]
+    pub fn fault(mut self, at: u64, fault: Fault) -> Self {
+        self.faults.push((at, fault));
+        self
+    }
+
+    /// Schedules an environment change `at` ticks after the scenario
+    /// starts.
+    #[must_use]
+    pub fn env(mut self, at: u64, change: EnvChange) -> Self {
+        self.env.push((at, change));
+        self
+    }
+
+    /// The scenario's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total scheduled duration: the sum of the phase ticks.
+    #[must_use]
+    pub fn duration(&self) -> u64 {
+        self.phases.iter().map(|p| p.ticks).sum()
+    }
+}
+
+/// Error taxonomy of resolved operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ErrorCounts {
+    /// Operations that exceeded [`crate::OP_TIMEOUT`] unanswered.
+    pub timeouts: u64,
+    /// Batched writes that ordered only part of their items.
+    pub partials: u64,
+    /// Operations submitted while no soft node was alive.
+    pub no_entry: u64,
+}
+
+impl ErrorCounts {
+    /// Total failed operations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.timeouts + self.partials + self.no_entry
+    }
+}
+
+/// What one phase achieved. Every operation is attributed to the phase
+/// that *issued* it, even when it resolved later (or only in the
+/// scenario's final drain).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseReport {
+    /// Phase name.
+    pub name: String,
+    /// Scheduled phase duration in ticks.
+    pub ticks: u64,
+    /// Operations issued.
+    pub issued: u64,
+    /// Operations that completed successfully (`Ok(None)` reads count:
+    /// "key absent" is an available answer).
+    pub ok: u64,
+    /// Failed operations, by kind.
+    pub errors: ErrorCounts,
+    /// Reads that found a tuple.
+    pub reads_found: u64,
+    /// Reads that found nothing.
+    pub reads_absent: u64,
+    /// Reads that returned a version older than one already acknowledged
+    /// to this scenario's clients.
+    pub stale_reads: u64,
+    /// Tuples returned by scans and tag-scoped reads.
+    pub tuples_read: u64,
+    /// Median completion latency of successful ops, in ticks.
+    pub latency_p50: f64,
+    /// 95th-percentile completion latency, in ticks.
+    pub latency_p95: f64,
+    /// Messages sent cluster-wide in the phase window (the last phase's
+    /// window extends through the scenario's final drain).
+    pub msgs: u64,
+    /// Mean persist nodes contacted per tag-scoped read in the window.
+    pub contacts_mean: f64,
+    /// Max persist nodes contacted per tag-scoped read in the window.
+    pub contacts_max: f64,
+}
+
+impl PhaseReport {
+    /// Fraction of resolved operations that succeeded (1.0 for an idle
+    /// phase).
+    #[must_use]
+    pub fn availability(&self) -> f64 {
+        let resolved = self.ok + self.errors.total();
+        if resolved == 0 {
+            1.0
+        } else {
+            self.ok as f64 / resolved as f64
+        }
+    }
+
+    /// Fraction of found reads that were stale (0.0 when nothing was
+    /// found).
+    #[must_use]
+    pub fn staleness(&self) -> f64 {
+        if self.reads_found == 0 {
+            0.0
+        } else {
+            self.stale_reads as f64 / self.reads_found as f64
+        }
+    }
+}
+
+/// What a whole scenario achieved: the per-phase reports plus run-wide
+/// aggregates. `PartialEq` so a determinism check is one assertion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub name: String,
+    /// Per-phase outcomes, in program order.
+    pub phases: Vec<PhaseReport>,
+    /// Virtual ticks the run consumed, including the final drain.
+    pub ticks: u64,
+    /// Messages sent cluster-wide over the whole run.
+    pub msgs: u64,
+    /// Median completion latency across all phases, in ticks.
+    pub latency_p50: f64,
+    /// 95th-percentile completion latency across all phases.
+    pub latency_p95: f64,
+}
+
+impl ScenarioReport {
+    /// Run-wide availability: successes over resolved operations.
+    #[must_use]
+    pub fn availability(&self) -> f64 {
+        let ok: u64 = self.phases.iter().map(|p| p.ok).sum();
+        let resolved: u64 = ok + self.errors().total();
+        if resolved == 0 {
+            1.0
+        } else {
+            ok as f64 / resolved as f64
+        }
+    }
+
+    /// Run-wide staleness: stale reads over found reads.
+    #[must_use]
+    pub fn staleness(&self) -> f64 {
+        let found: u64 = self.phases.iter().map(|p| p.reads_found).sum();
+        let stale: u64 = self.phases.iter().map(|p| p.stale_reads).sum();
+        if found == 0 {
+            0.0
+        } else {
+            stale as f64 / found as f64
+        }
+    }
+
+    /// Run-wide error taxonomy.
+    #[must_use]
+    pub fn errors(&self) -> ErrorCounts {
+        let mut total = ErrorCounts::default();
+        for p in &self.phases {
+            total.timeouts += p.errors.timeouts;
+            total.partials += p.errors.partials;
+            total.no_entry += p.errors.no_entry;
+        }
+        total
+    }
+
+    /// Total operations issued.
+    #[must_use]
+    pub fn issued(&self) -> u64 {
+        self.phases.iter().map(|p| p.issued).sum()
+    }
+}
+
+/// A wipe/rebuild is harness-level (it reaches into node state), so it
+/// cannot ride the simulator's event queue; the run loop applies these
+/// between pump quanta, cut exactly at the event time.
+#[derive(Debug, Clone, Copy)]
+enum HarnessOp {
+    Wipe,
+    Rebuild,
+}
+
+impl Cluster {
+    /// Executes `scenario` against this cluster: merges its workload
+    /// program, fault schedule and environment timeline into one
+    /// deterministic run and reports what happened. The run starts at
+    /// the current virtual time (callers usually [`Cluster::settle`]
+    /// first) and ends when every phase has elapsed and every issued
+    /// operation has resolved.
+    pub fn run_scenario(&mut self, scenario: &Scenario) -> ScenarioReport {
+        let start = self.sim.now();
+        let msgs_at_start = self.sim.metrics().counter("net.sent");
+        let harness = self.schedule_faults(scenario, start);
+        self.schedule_env(scenario, start);
+
+        let mut engine = Engine::new(stream_rng(scenario.seed ^ 0x0E15_0E15, 0));
+        let mut shared = Workload::new(scenario.workload, mix(scenario.seed, 0x3057));
+        let mut stats: Vec<PhaseStats> =
+            scenario.phases.iter().map(|_| PhaseStats::default()).collect();
+        // Per-phase (net.sent, contact-series length) at phase start; the
+        // windows are cut after the final drain so the last phase's
+        // accounting includes what its stragglers sent.
+        let mut starts: Vec<(u64, usize)> = Vec::with_capacity(scenario.phases.len());
+        let mut next_harness = 0usize;
+
+        for (pi, phase) in scenario.phases.iter().enumerate() {
+            let phase_start = self.sim.now();
+            let phase_end = phase_start + Duration(phase.ticks);
+            starts.push((
+                self.sim.metrics().counter("net.sent"),
+                self.sim.metrics().series("multi_get.contacted_nodes").len(),
+            ));
+            if !phase.mix.is_idle() {
+                engine.open_sessions(self, phase.sessions);
+            }
+            let mut local = phase
+                .workload
+                .map(|kind| Workload::new(kind, mix(scenario.seed, 0x9100 + pi as u64)));
+            loop {
+                while next_harness < harness.len() && harness[next_harness].0 <= self.sim.now() {
+                    self.apply_harness(harness[next_harness].1);
+                    next_harness += 1;
+                }
+                let now = self.sim.now();
+                if now >= phase_end {
+                    break;
+                }
+                let budget = phase_budget(phase, &stats[pi], now.since(phase_start).0);
+                if budget > 0 {
+                    let workload = local.as_mut().unwrap_or(&mut shared);
+                    stats[pi].issued +=
+                        engine.refill(self, workload, pi, &phase.mix, phase.depth, budget);
+                }
+                let mut stop = phase_end;
+                if next_harness < harness.len() {
+                    stop = stop.min(harness[next_harness].0);
+                }
+                let step = stop.since(now).0.min(phase.quantum).max(1);
+                self.pump(step);
+                engine.harvest(self, &mut stats);
+            }
+        }
+
+        // Final drain: resolve every straggler (bounded — the client
+        // retires anything older than OP_TIMEOUT) while still firing any
+        // harness fault scheduled at or past the last phase boundary at
+        // its declared tick, not early.
+        while engine.in_flight() > 0 || next_harness < harness.len() {
+            while next_harness < harness.len() && harness[next_harness].0 <= self.sim.now() {
+                self.apply_harness(harness[next_harness].1);
+                next_harness += 1;
+            }
+            if engine.in_flight() == 0 && next_harness >= harness.len() {
+                break;
+            }
+            let mut step = 50;
+            if next_harness < harness.len() {
+                step = step.min(harness[next_harness].0.since(self.sim.now()).0);
+            }
+            self.pump(step.max(1));
+            engine.harvest(self, &mut stats);
+        }
+
+        // Cut the per-phase message/contact windows: each phase ends
+        // where the next begins; the last extends through the drain.
+        let msgs_end = self.sim.metrics().counter("net.sent");
+        let contacts_end = self.sim.metrics().series("multi_get.contacted_nodes").len();
+        let mut phases = Vec::with_capacity(scenario.phases.len());
+        let mut all_latencies: Vec<f64> = Vec::new();
+        for (pi, (phase, st)) in scenario.phases.iter().zip(&stats).enumerate() {
+            let (msgs_start, contacts_start) = starts[pi];
+            let (next_msgs, next_contacts) =
+                starts.get(pi + 1).copied().unwrap_or((msgs_end, contacts_end));
+            let contacts = Summary::of(
+                &self.sim.metrics().series("multi_get.contacted_nodes")
+                    [contacts_start..next_contacts],
+            );
+            let q = quantiles_of(&st.latencies, &[0.5, 0.95]);
+            all_latencies.extend_from_slice(&st.latencies);
+            phases.push(PhaseReport {
+                name: phase.name.clone(),
+                ticks: phase.ticks,
+                issued: st.issued,
+                ok: st.ok,
+                errors: ErrorCounts {
+                    timeouts: st.timeouts,
+                    partials: st.partials,
+                    no_entry: st.no_entry,
+                },
+                reads_found: st.reads_found,
+                reads_absent: st.reads_absent,
+                stale_reads: st.stale_reads,
+                tuples_read: st.tuples_read,
+                latency_p50: q[0].unwrap_or(0.0),
+                latency_p95: q[1].unwrap_or(0.0),
+                msgs: next_msgs - msgs_start,
+                contacts_mean: contacts.mean,
+                contacts_max: contacts.max,
+            });
+        }
+        let q = quantiles_of(&all_latencies, &[0.5, 0.95]);
+        ScenarioReport {
+            name: scenario.name.clone(),
+            phases,
+            ticks: self.sim.now().since(start).0,
+            msgs: self.sim.metrics().counter("net.sent") - msgs_at_start,
+            latency_p50: q[0].unwrap_or(0.0),
+            latency_p95: q[1].unwrap_or(0.0),
+        }
+    }
+
+    fn tier_ids(&self, tier: Tier) -> Vec<NodeId> {
+        match tier {
+            Tier::Soft => self.soft_ids().to_vec(),
+            Tier::Persist => self.persist_ids().to_vec(),
+        }
+    }
+
+    /// Compiles the fault schedule: simulator-schedulable faults are
+    /// queued on the engine up front; wipe/rebuild ops come back as a
+    /// time-sorted harness list.
+    fn schedule_faults(&mut self, scenario: &Scenario, start: Time) -> Vec<(Time, HarnessOp)> {
+        let mut victims_rng = stream_rng(scenario.seed ^ 0xFA01_7FA0, 1);
+        let mut harness: Vec<(Time, HarnessOp)> = Vec::new();
+        for (idx, (at, fault)) in scenario.faults.iter().enumerate() {
+            let t = start + Duration(*at);
+            match fault {
+                Fault::ChurnBurst { tier, model, span } => {
+                    let ids = self.tier_ids(*tier);
+                    let schedule = ChurnSchedule::generate(
+                        model,
+                        ids.len() as u64,
+                        Time(*span),
+                        mix(scenario.seed ^ 0xC4C4, idx as u64),
+                    );
+                    for ev in schedule.events() {
+                        let id = ids[ev.node().0 as usize];
+                        let when = t + Duration(ev.at().0);
+                        match ev {
+                            ChurnEvent::Down(..) | ChurnEvent::Leave(..) => {
+                                self.sim.schedule_down(when, id);
+                            }
+                            ChurnEvent::Up(..) => self.sim.schedule_up(when, id),
+                        }
+                    }
+                }
+                Fault::Crash { tier, count } => {
+                    for id in self.pick_victims(*tier, *count, &mut victims_rng) {
+                        self.sim.schedule_down(t, id);
+                    }
+                }
+                Fault::Flap { tier, count, down_for } => {
+                    for id in self.pick_victims(*tier, *count, &mut victims_rng) {
+                        self.sim.schedule_down(t, id);
+                        self.sim.schedule_up(t + Duration(*down_for), id);
+                    }
+                }
+                Fault::ReviveAll { tier } => {
+                    for id in self.tier_ids(*tier) {
+                        // Up events are no-ops on nodes already alive.
+                        self.sim.schedule_up(t, id);
+                    }
+                }
+                Fault::WipeSoftLayer => harness.push((t, HarnessOp::Wipe)),
+                Fault::RebuildSoftLayer => harness.push((t, HarnessOp::Rebuild)),
+            }
+        }
+        harness.sort_by_key(|&(t, _)| t);
+        harness
+    }
+
+    fn pick_victims(
+        &self,
+        tier: Tier,
+        count: usize,
+        rng: &mut rand::rngs::SmallRng,
+    ) -> Vec<NodeId> {
+        let mut ids = self.tier_ids(tier);
+        ids.shuffle(rng);
+        ids.truncate(count);
+        ids
+    }
+
+    fn schedule_env(&mut self, scenario: &Scenario, start: Time) {
+        for (at, change) in &scenario.env {
+            let t = start + Duration(*at);
+            match change {
+                EnvChange::Latency(latency) => {
+                    self.sim.schedule_net(t, NetChange::Latency(*latency));
+                }
+                EnvChange::DropProb(p) => self.sim.schedule_net(t, NetChange::DropProb(*p)),
+                EnvChange::PartitionPersist { fraction } => {
+                    let ids = self.persist_ids().to_vec();
+                    let dark = ((fraction.clamp(0.0, 1.0) * ids.len() as f64).round() as usize)
+                        .min(ids.len());
+                    for (i, id) in ids.into_iter().enumerate() {
+                        let colour = u32::from(i < dark);
+                        self.sim.schedule_net(t, NetChange::Partition(id, colour));
+                    }
+                }
+                EnvChange::Heal => self.sim.schedule_net(t, NetChange::Heal),
+            }
+        }
+    }
+
+    fn apply_harness(&mut self, op: HarnessOp) {
+        match op {
+            HarnessOp::Wipe => self.wipe_soft_layer(),
+            HarnessOp::Rebuild => self.rebuild_soft_layer(),
+        }
+    }
+}
+
+/// How many more operations the phase may issue right now, given its op
+/// budget and target rate.
+fn phase_budget(phase: &Phase, stats: &PhaseStats, elapsed: u64) -> u64 {
+    let mut budget = u64::MAX;
+    if let Some(cap) = phase.ops {
+        budget = budget.min(cap.saturating_sub(stats.issued));
+    }
+    if let Some(rate) = phase.rate {
+        let allowed = (rate * (elapsed + 1) as f64).ceil() as u64;
+        budget = budget.min(allowed.saturating_sub(stats.issued));
+    }
+    budget
+}
+
+/// The scenario library: the dependability drills the benches, tests and
+/// examples share (and E15 sweeps against placements). All of them load
+/// a social-feed dataset, serve mixed traffic while the fault/environment
+/// timeline plays out, then read the dataset back.
+pub mod library {
+    use super::*;
+
+    const LOAD: u64 = 6_000;
+    const SERVE: u64 = 10_000;
+    const REPAIR: u64 = 10_000;
+    const READBACK: u64 = 8_000;
+
+    fn load_phase() -> Phase {
+        Phase::new("load", LOAD)
+            .mix(OpMix::idle().put(3).multi_put(1).batch(4))
+            .sessions(3)
+            .depth(8)
+            .ops(240)
+    }
+
+    fn serve_phase() -> Phase {
+        Phase::new("serve", SERVE)
+            .mix(OpMix::idle().put(1).get(5).multi_get(1))
+            .sessions(4)
+            .depth(8)
+            .ops(420)
+    }
+
+    fn readback_phase() -> Phase {
+        Phase::new("readback", READBACK)
+            .mix(OpMix::idle().get(4).multi_get(1))
+            .sessions(2)
+            .depth(4)
+            .ops(200)
+    }
+
+    /// No faults, no environment events: the baseline every drill is
+    /// compared against.
+    #[must_use]
+    pub fn calm(seed: u64) -> Scenario {
+        Scenario::new("calm", WorkloadKind::SocialFeed { users: 8 }, seed)
+            .phase(load_phase())
+            .phase(serve_phase())
+            .phase(readback_phase())
+    }
+
+    /// A churn storm rages across the persistent layer for the whole
+    /// serve window (§III-A: transient failures dominate, a few
+    /// permanent), then a repair window, then read-back.
+    #[must_use]
+    pub fn churn_storm(seed: u64) -> Scenario {
+        let model =
+            ChurnModel::default().failure_rate(0.08).mean_downtime(4_000).permanent_prob(0.05);
+        Scenario::new("churn-storm", WorkloadKind::SocialFeed { users: 8 }, seed)
+            .phase(load_phase())
+            .phase(serve_phase())
+            .phase(Phase::new("repair", REPAIR))
+            .phase(readback_phase())
+            .fault(LOAD, Fault::ChurnBurst { tier: Tier::Persist, model, span: SERVE })
+    }
+
+    /// Half the persistent layer is partitioned away during the serve
+    /// window, then the partition heals and repair catches up.
+    #[must_use]
+    pub fn partition_heal(seed: u64) -> Scenario {
+        Scenario::new("partition-heal", WorkloadKind::SocialFeed { users: 8 }, seed)
+            .phase(load_phase())
+            .phase(serve_phase())
+            .phase(Phase::new("repair", REPAIR))
+            .phase(readback_phase())
+            .env(LOAD, EnvChange::PartitionPersist { fraction: 0.5 })
+            .env(LOAD + SERVE, EnvChange::Heal)
+    }
+
+    /// Three correlated crash waves roll through the persistent layer
+    /// mid-serve; everything revives at the start of the repair window.
+    #[must_use]
+    pub fn cascading_crash(seed: u64) -> Scenario {
+        Scenario::new("cascading-crash", WorkloadKind::SocialFeed { users: 8 }, seed)
+            .phase(load_phase())
+            .phase(serve_phase())
+            .phase(Phase::new("repair", REPAIR))
+            .phase(readback_phase())
+            .fault(LOAD + 1_000, Fault::Crash { tier: Tier::Persist, count: 4 })
+            .fault(LOAD + 3_000, Fault::Crash { tier: Tier::Persist, count: 4 })
+            .fault(LOAD + 5_000, Fault::Crash { tier: Tier::Persist, count: 4 })
+            .fault(LOAD + SERVE, Fault::ReviveAll { tier: Tier::Persist })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+
+    fn settled(seed: u64) -> Cluster {
+        let mut c = Cluster::new(ClusterConfig::small(), seed);
+        c.settle();
+        c
+    }
+
+    #[test]
+    fn a_two_phase_scenario_loads_and_reads_back() {
+        let mut c = settled(1);
+        let sc = Scenario::new("roundtrip", WorkloadKind::Uniform, 5)
+            .phase(Phase::new("load", 3_000).mix(OpMix::puts()).ops(50))
+            .phase(Phase::new("settle", 2_000))
+            .phase(Phase::new("read", 3_000).mix(OpMix::gets()).ops(50));
+        let r = c.run_scenario(&sc);
+        assert_eq!(r.phases.len(), 3);
+        assert_eq!(r.phases[0].issued, 50);
+        assert_eq!(r.phases[0].ok, 50, "all writes acknowledged");
+        assert_eq!(r.phases[1].issued, 0, "idle phase offers nothing");
+        assert_eq!(r.phases[2].reads_found, 50, "every read finds its key");
+        assert_eq!(r.availability(), 1.0);
+        assert_eq!(r.errors(), ErrorCounts::default());
+        assert!(r.latency_p50 > 0.0 && r.latency_p95 >= r.latency_p50);
+        assert!(r.msgs > 0 && r.ticks >= sc.duration());
+    }
+
+    #[test]
+    fn rate_caps_spread_issuance_across_the_phase() {
+        let mut c = settled(2);
+        let sc = Scenario::new("paced", WorkloadKind::Uniform, 6)
+            .phase(Phase::new("write", 10_000).mix(OpMix::puts()).sessions(1).rate(0.002));
+        let r = c.run_scenario(&sc);
+        // 0.002 ops/tick over 10k ticks = 20 ops, pipeline-independent.
+        assert_eq!(r.phases[0].issued, 20);
+        assert_eq!(r.phases[0].ok, 20);
+    }
+
+    #[test]
+    fn crash_fault_drops_live_nodes_and_revive_restores_them() {
+        let mut c = settled(3);
+        let persist_n = c.persist_ids().len();
+        let sc = Scenario::new("crashes", WorkloadKind::Uniform, 7)
+            .phase(Phase::new("quiet", 2_000))
+            .fault(100, Fault::Crash { tier: Tier::Persist, count: 5 })
+            .fault(1_000, Fault::ReviveAll { tier: Tier::Persist });
+        // Probe liveness mid-run by splitting the scenario at the fault
+        // times: run it, then check the sim's churn accounting.
+        let _ = c.run_scenario(&sc);
+        assert_eq!(c.sim.metrics().counter("churn.down"), 5);
+        assert_eq!(c.sim.metrics().counter("churn.up"), 5);
+        assert_eq!(c.sim.alive_count(), persist_n + c.soft_ids().len());
+    }
+
+    #[test]
+    fn wipe_without_rebuild_loses_reads_rebuild_restores_them() {
+        let run = |rebuild: bool| {
+            let mut c = settled(4);
+            let mut sc = Scenario::new("wipe", WorkloadKind::Uniform, 9)
+                .phase(Phase::new("load", 3_000).mix(OpMix::puts()).ops(30))
+                .phase(Phase::new("settle", 3_000))
+                .phase(Phase::new("read", 3_000).mix(OpMix::gets()).ops(30))
+                .fault(6_000, Fault::WipeSoftLayer);
+            if rebuild {
+                sc = sc.fault(6_000, Fault::RebuildSoftLayer);
+            }
+            let r = c.run_scenario(&sc);
+            (r.phases[2].reads_found, r.phases[2].reads_absent)
+        };
+        let (found_wiped, absent_wiped) = run(false);
+        assert_eq!(found_wiped, 0, "wiped metadata answers nothing");
+        assert_eq!(absent_wiped, 30);
+        let (found_rebuilt, _) = run(true);
+        assert_eq!(found_rebuilt, 30, "reconstruction recovers every key");
+    }
+
+    #[test]
+    fn a_fault_past_the_last_phase_fires_at_its_declared_tick() {
+        let mut c = settled(7);
+        let sc = Scenario::new("late-wipe", WorkloadKind::Uniform, 15)
+            .phase(Phase::new("load", 2_000).mix(OpMix::puts()).ops(20))
+            .fault(5_000, Fault::WipeSoftLayer);
+        let r = c.run_scenario(&sc);
+        // The wipe must not fire early (at the 2_000-tick phase boundary):
+        // every write's completion is harvested intact, and the run
+        // extends to the fault's declared time.
+        assert_eq!(r.phases[0].ok, 20, "completions survive until the declared wipe tick");
+        assert!(r.ticks >= 5_000, "run extends to the late fault, got {} ticks", r.ticks);
+        // And the wipe did apply: soft metadata is gone afterwards.
+        let mut s = c.client();
+        let g = s.get(&mut c, "key:1");
+        assert_eq!(s.recv(&mut c, g), Ok(None), "wiped soft layer has no metadata");
+    }
+
+    #[test]
+    fn library_scenarios_are_well_formed() {
+        for sc in [
+            library::calm(1),
+            library::churn_storm(1),
+            library::partition_heal(1),
+            library::cascading_crash(1),
+        ] {
+            assert!(!sc.phases.is_empty());
+            assert!(sc.duration() >= 20_000);
+            assert!(sc.phases.iter().any(|p| !p.mix.is_idle()));
+        }
+    }
+
+    #[test]
+    fn phase_report_math() {
+        let p = PhaseReport {
+            name: "x".into(),
+            ticks: 10,
+            issued: 10,
+            ok: 8,
+            errors: ErrorCounts { timeouts: 1, partials: 1, no_entry: 0 },
+            reads_found: 4,
+            reads_absent: 1,
+            stale_reads: 1,
+            tuples_read: 0,
+            latency_p50: 1.0,
+            latency_p95: 2.0,
+            msgs: 0,
+            contacts_mean: 0.0,
+            contacts_max: 0.0,
+        };
+        assert_eq!(p.availability(), 0.8);
+        assert_eq!(p.staleness(), 0.25);
+        assert_eq!(p.errors.total(), 2);
+    }
+}

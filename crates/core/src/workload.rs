@@ -67,23 +67,56 @@ pub enum WorkloadKind {
     },
 }
 
+/// How many recently written keys a generator remembers for read traffic
+/// whose key population is not derivable from a counter (social feeds).
+const RECENT_KEYS: usize = 512;
+
 /// A deterministic workload generator.
 #[derive(Debug, Clone)]
 pub struct Workload {
     kind: WorkloadKind,
     rng: SmallRng,
     counter: u64,
+    /// Ring of recently generated keys (social-feed read traffic samples
+    /// real posts; other kinds reconstruct keys from the counter).
+    recent: Vec<String>,
+    /// Next ring slot to overwrite once `recent` is full.
+    recent_cursor: usize,
 }
 
 impl Workload {
     /// Creates a generator.
     #[must_use]
     pub fn new(kind: WorkloadKind, seed: u64) -> Self {
-        Workload { kind, rng: SmallRng::seed_from_u64(seed), counter: 0 }
+        Workload {
+            kind,
+            rng: SmallRng::seed_from_u64(seed),
+            counter: 0,
+            recent: Vec::new(),
+            recent_cursor: 0,
+        }
+    }
+
+    fn remember(&mut self, key: &str) {
+        if !matches!(self.kind, WorkloadKind::SocialFeed { .. }) {
+            return;
+        }
+        if self.recent.len() < RECENT_KEYS {
+            self.recent.push(key.to_owned());
+        } else {
+            self.recent[self.recent_cursor] = key.to_owned();
+            self.recent_cursor = (self.recent_cursor + 1) % RECENT_KEYS;
+        }
     }
 
     /// Generates the next write.
     pub fn next_put(&mut self) -> PutOp {
+        let op = self.generate_put();
+        self.remember(&op.key);
+        op
+    }
+
+    fn generate_put(&mut self) -> PutOp {
         self.counter += 1;
         let i = self.counter;
         match self.kind {
@@ -138,7 +171,7 @@ impl Workload {
             WorkloadKind::SocialFeed { users } => {
                 let user = self.rng.gen_range(0..users);
                 let tag = format!("feed:{user}");
-                let items = (0..batch)
+                let items: Vec<PutOp> = (0..batch)
                     .map(|_| {
                         self.counter += 1;
                         let i = self.counter;
@@ -150,6 +183,9 @@ impl Workload {
                         }
                     })
                     .collect();
+                for op in &items {
+                    self.remember(&op.key);
+                }
                 MultiPutOp { tag: Some(tag), items }
             }
             _ => MultiPutOp { tag: None, items: self.take_puts(batch) },
@@ -157,7 +193,8 @@ impl Workload {
     }
 
     /// A read key matching the workload's key population (for mixed
-    /// read/write traffic).
+    /// read/write traffic). Social-feed reads sample recently written
+    /// posts; the other kinds reconstruct keys from the write counter.
     pub fn next_read_key(&mut self) -> String {
         match self.kind {
             WorkloadKind::Uniform | WorkloadKind::NormalAttr { .. } => {
@@ -168,9 +205,46 @@ impl Workload {
                 let dist = Zipf::new(keys, exponent).expect("valid zipf");
                 format!("key:{}", dist.sample(&mut self.rng) as u64)
             }
+            WorkloadKind::SocialFeed { .. } => {
+                if self.recent.is_empty() {
+                    // Nothing written yet: a well-formed key that reads as
+                    // absent, so pure-read phases stay runnable.
+                    "post:0:0".to_owned()
+                } else {
+                    let slot = self.rng.gen_range(0..self.recent.len());
+                    self.recent[slot].clone()
+                }
+            }
+        }
+    }
+
+    /// A tag matching the workload's correlation population (the target
+    /// of a `multi_get`). Untagged workloads produce a tag that reads as
+    /// an empty feed.
+    pub fn next_read_tag(&mut self) -> String {
+        match self.kind {
             WorkloadKind::SocialFeed { users } => {
                 format!("feed:{}", self.rng.gen_range(0..users))
             }
+            _ => "feed:untagged".to_owned(),
+        }
+    }
+
+    /// An attribute range `[lo, hi]` matching the workload's attribute
+    /// population (the argument of a range scan). Attribute-free kinds
+    /// scan a degenerate empty range.
+    pub fn next_scan_range(&mut self) -> (f64, f64) {
+        match self.kind {
+            WorkloadKind::NormalAttr { mean, std_dev } => {
+                let centre = mean + std_dev * (self.rng.gen_range(-10i32..=10) as f64 / 10.0);
+                (centre - std_dev / 2.0, centre + std_dev / 2.0)
+            }
+            WorkloadKind::SocialFeed { .. } => {
+                // Post attributes are the write counter: a recent window.
+                let hi = self.counter as f64;
+                ((hi - 20.0).max(0.0), hi)
+            }
+            WorkloadKind::Uniform | WorkloadKind::ZipfKeys { .. } => (0.0, 0.0),
         }
     }
 }
@@ -247,6 +321,55 @@ mod tests {
         assert_eq!(m.tag, None);
         assert_eq!(m.items.len(), 4);
         assert!(m.items.iter().all(|op| op.tag.is_none()));
+    }
+
+    #[test]
+    fn social_feed_reads_sample_written_posts() {
+        let mut w = Workload::new(WorkloadKind::SocialFeed { users: 4 }, 9);
+        assert_eq!(w.next_read_key(), "post:0:0", "reads before writes are well-formed");
+        let written: std::collections::HashSet<String> =
+            w.take_puts(50).into_iter().map(|o| o.key).collect();
+        for _ in 0..30 {
+            let k = w.next_read_key();
+            assert!(written.contains(&k), "read key {k} was written");
+        }
+    }
+
+    #[test]
+    fn full_recent_ring_keeps_every_item_of_a_batch() {
+        let mut w = Workload::new(WorkloadKind::SocialFeed { users: 2 }, 14);
+        // Fill the ring, then write one more batch: each of its items
+        // must land in its own slot (not all in one), so batch-written
+        // posts stay sampleable.
+        let _ = w.take_puts(RECENT_KEYS);
+        assert_eq!(w.recent.len(), RECENT_KEYS);
+        let batch = w.next_multi_put(8);
+        for op in &batch.items {
+            assert!(w.recent.contains(&op.key), "batch key {} sampleable", op.key);
+        }
+    }
+
+    #[test]
+    fn read_tags_stay_in_feed_population() {
+        let mut w = Workload::new(WorkloadKind::SocialFeed { users: 3 }, 10);
+        for _ in 0..20 {
+            let t = w.next_read_tag();
+            let u: u64 = t.strip_prefix("feed:").unwrap().parse().unwrap();
+            assert!(u < 3);
+        }
+        let mut u = Workload::new(WorkloadKind::Uniform, 10);
+        assert_eq!(u.next_read_tag(), "feed:untagged");
+    }
+
+    #[test]
+    fn scan_ranges_match_attribute_population() {
+        let mut w = Workload::new(WorkloadKind::NormalAttr { mean: 100.0, std_dev: 10.0 }, 11);
+        for _ in 0..20 {
+            let (lo, hi) = w.next_scan_range();
+            assert!(lo < hi && lo > 50.0 && hi < 150.0, "range [{lo}, {hi}] near the mean");
+        }
+        let mut u = Workload::new(WorkloadKind::Uniform, 11);
+        assert_eq!(u.next_scan_range(), (0.0, 0.0), "attribute-free kinds scan nothing");
     }
 
     #[test]

@@ -4,7 +4,11 @@
 //! "nodes suffer from transient faults solved with a reboot" — with a small
 //! fraction of permanent departures. [`ChurnModel`] captures exactly those
 //! knobs; [`ChurnSchedule`] pre-computes a deterministic event list so two
-//! protocol variants can be compared under *identical* churn.
+//! protocol variants can be compared under *identical* churn. Schedules
+//! are pure values; driving one into a simulation is the job of the
+//! scenario plane (`dd-core`'s fault schedule) or, for raw [`crate::Sim`]
+//! hosts, a caller mapping events onto [`crate::Sim::schedule_down`] /
+//! [`crate::Sim::schedule_up`].
 
 use crate::rng::stream_rng;
 use crate::time::{Duration, Time};
@@ -154,26 +158,6 @@ impl ChurnSchedule {
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
-
-    /// Applies every `Down`/`Up` event to the simulator's schedule.
-    /// `Leave` events are returned so the harness can decide how to model
-    /// permanent state loss (usually [`crate::Sim::remove`] at that time).
-    pub fn apply<P: crate::Process>(&self, sim: &mut crate::Sim<P>) -> Vec<(Time, NodeId)> {
-        let mut leaves = Vec::new();
-        for ev in &self.events {
-            match *ev {
-                ChurnEvent::Down(t, id) => sim.schedule_down(t, id),
-                ChurnEvent::Up(t, id) => sim.schedule_up(t, id),
-                ChurnEvent::Leave(t, id) => {
-                    // A permanent departure is a down that never comes up;
-                    // state disposal is the harness's decision.
-                    sim.schedule_down(t, id);
-                    leaves.push((t, id));
-                }
-            }
-        }
-        leaves
-    }
 }
 
 #[cfg(test)]
@@ -267,28 +251,6 @@ mod tests {
             9,
         );
         assert!(high.len() > 3 * low.len(), "high {} low {}", high.len(), low.len());
-    }
-
-    #[test]
-    fn apply_schedules_events_on_sim() {
-        use crate::{Ctx, Process, Sim, SimConfig};
-        struct Idle;
-        impl Process for Idle {
-            type Msg = ();
-            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
-        }
-        let m = ChurnModel::default().failure_rate(0.3).permanent_prob(0.0);
-        let s = ChurnSchedule::generate(&m, 10, Time(50_000), 2);
-        assert!(!s.is_empty());
-        let mut sim: Sim<Idle> = Sim::new(SimConfig::default());
-        for i in 0..10 {
-            sim.add_node(NodeId(i), Idle);
-        }
-        let leaves = s.apply(&mut sim);
-        assert!(leaves.is_empty());
-        sim.run_until(Time(50_000));
-        let downs = sim.metrics().counter("churn.down");
-        assert!(downs > 0);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The discrete-event engine: nodes, events, and the run loop.
 
 use crate::metrics::Metrics;
-use crate::net::NetConfig;
+use crate::net::{LatencyModel, NetConfig};
 use crate::rng::stream_rng;
 use crate::time::{Duration, Time};
 use crate::types::{NodeId, TimerTag};
@@ -95,12 +95,30 @@ enum Effect<M> {
     Timer { delay: Duration, tag: TimerTag },
 }
 
+/// A scheduled mutation of the live network model — the engine hook behind
+/// environment timelines. Experiments queue latency shifts, loss spikes
+/// and partition/heal events up front with [`Sim::schedule_net`]; the
+/// engine applies each at its virtual time, in deterministic event order,
+/// so the run replays identically from the seed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetChange {
+    /// Replace the latency model.
+    Latency(LatencyModel),
+    /// Set the independent message-loss probability.
+    DropProb(f64),
+    /// Assign a node to a partition colour (0 rejoins the main component).
+    Partition(NodeId, u32),
+    /// Clear every partition assignment.
+    Heal,
+}
+
 enum Event<M> {
     Start(NodeId),
     Deliver { to: NodeId, from: NodeId, msg: M },
     Timer { node: NodeId, tag: TimerTag, epoch: u64 },
     Down(NodeId),
     Up(NodeId),
+    Net(NetChange),
 }
 
 struct Scheduled<M> {
@@ -297,6 +315,18 @@ impl<P: Process> Sim<P> {
         self.push(at.max(self.now), Event::Up(id));
     }
 
+    /// Schedules a network-model mutation at absolute time `at` (clamped
+    /// to now). Messages routed before `at` see the old model; messages
+    /// routed after see the new one — the environment timeline of a
+    /// scenario is just a list of these.
+    ///
+    /// # Panics
+    /// [`NetChange::DropProb`] panics at apply time if the probability is
+    /// outside `0.0..=1.0`.
+    pub fn schedule_net(&mut self, at: Time, change: NetChange) {
+        self.push(at.max(self.now), Event::Net(change));
+    }
+
     /// Injects a message from outside the simulated population (e.g. a
     /// client). Delivered with normal network latency; `from` may be any id,
     /// including one not in the simulation.
@@ -370,6 +400,18 @@ impl<P: Process> Sim<P> {
                     self.metrics.incr("churn.up");
                     self.dispatch(id, Dispatch::Up);
                 }
+            }
+            Event::Net(change) => {
+                match change {
+                    NetChange::Latency(latency) => self.net.latency = latency,
+                    NetChange::DropProb(p) => {
+                        assert!((0.0..=1.0).contains(&p), "drop probability must be in [0,1]");
+                        self.net.drop_prob = p;
+                    }
+                    NetChange::Partition(id, colour) => self.net.set_partition(id, colour),
+                    NetChange::Heal => self.net.heal_partitions(),
+                }
+                self.metrics.incr("net.reconfigured");
             }
         }
         true
@@ -732,6 +774,56 @@ mod tests {
         let alive: Vec<NodeId> = sim.alive_ids().collect();
         assert_eq!(alive, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(4)]);
         assert_eq!(sim.alive_count(), 4);
+    }
+
+    #[test]
+    fn scheduled_net_changes_apply_at_their_time() {
+        struct Pinger;
+        impl Process for Pinger {
+            type Msg = ();
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+        }
+        let cfg = SimConfig::default().net(NetConfig::new().latency(LatencyModel::Constant(1)));
+        let mut sim: Sim<Pinger> = Sim::new(cfg);
+        sim.add_node(NodeId(0), Pinger);
+        sim.add_node(NodeId(1), Pinger);
+        // Partition node 1 away at t=10, heal at t=30, stretch latency at 40.
+        sim.schedule_net(Time(10), NetChange::Partition(NodeId(1), 1));
+        sim.schedule_net(Time(30), NetChange::Heal);
+        sim.schedule_net(Time(40), NetChange::Latency(LatencyModel::Constant(9)));
+        sim.run_until(Time(5));
+        sim.inject(NodeId(0), NodeId(1), ());
+        sim.run_until(Time(20));
+        assert_eq!(sim.metrics().counter("net.delivered"), 1, "pre-partition send lands");
+        sim.inject(NodeId(0), NodeId(1), ());
+        sim.run_until(Time(29));
+        assert_eq!(sim.metrics().counter("net.dropped"), 1, "partitioned send dropped");
+        sim.run_until(Time(35));
+        sim.inject(NodeId(0), NodeId(1), ());
+        sim.run_until(Time(39));
+        assert_eq!(sim.metrics().counter("net.delivered"), 2, "healed send lands");
+        sim.run_until(Time(45));
+        sim.inject(NodeId(0), NodeId(1), ());
+        sim.run();
+        assert_eq!(sim.now(), Time(45 + 9), "new latency model governs the last send");
+        assert_eq!(sim.metrics().counter("net.reconfigured"), 3);
+    }
+
+    #[test]
+    fn scheduled_drop_prob_spike_loses_messages_then_clears() {
+        let mut sim: Sim<Flood> = Sim::new(SimConfig::default());
+        // Scheduled before the nodes join so the spike precedes the flood.
+        sim.schedule_net(Time(0), NetChange::DropProb(1.0));
+        sim.schedule_net(Time(50), NetChange::DropProb(0.0));
+        for i in 0..2 {
+            sim.add_node(NodeId(i), Flood::new(2));
+        }
+        sim.run_until(Time(40));
+        assert_eq!(sim.metrics().counter("net.dropped"), 1, "total loss window");
+        sim.run_until(Time(60));
+        sim.inject(NodeId(0), NodeId(1), ());
+        sim.run();
+        assert!(sim.node(NodeId(1)).unwrap().infected, "after the spike, traffic flows");
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod runtime;
 pub mod time;
 pub mod types;
 
-pub use engine::{Ctx, Process, Sim, SimConfig};
+pub use engine::{Ctx, NetChange, Process, Sim, SimConfig};
 pub use metrics::Metrics;
 pub use net::{LatencyModel, NetConfig};
 pub use time::{Duration, Time};

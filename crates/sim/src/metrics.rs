@@ -71,17 +71,7 @@ impl Metrics {
     /// when the series is empty.
     #[must_use]
     pub fn quantiles(&self, name: &str, ps: &[f64]) -> Vec<Option<f64>> {
-        let mut s = self.series(name).to_vec();
-        if s.is_empty() {
-            return vec![None; ps.len()];
-        }
-        s.sort_by(f64::total_cmp);
-        ps.iter()
-            .map(|p| {
-                let rank = ((p.clamp(0.0, 1.0) * s.len() as f64).ceil() as usize).clamp(1, s.len());
-                Some(s[rank - 1])
-            })
-            .collect()
+        quantiles_of(self.series(name), ps)
     }
 
     /// Summary statistics of the named series (zeroed when the series is
@@ -113,6 +103,26 @@ impl Metrics {
         self.counters.clear();
         self.series.clear();
     }
+}
+
+/// Nearest-rank `p`-quantiles (each `p` clamped to `0.0..=1.0`) of a raw
+/// slice, sorting once for all of them; every entry is `None` when `xs`
+/// is empty. The standalone core of [`Metrics::quantiles`], for callers
+/// holding a window of a series rather than a named one — e.g. the
+/// per-phase latency slices of a scenario report.
+#[must_use]
+pub fn quantiles_of(xs: &[f64], ps: &[f64]) -> Vec<Option<f64>> {
+    if xs.is_empty() {
+        return vec![None; ps.len()];
+    }
+    let mut s = xs.to_vec();
+    s.sort_by(f64::total_cmp);
+    ps.iter()
+        .map(|p| {
+            let rank = ((p.clamp(0.0, 1.0) * s.len() as f64).ceil() as usize).clamp(1, s.len());
+            Some(s[rank - 1])
+        })
+        .collect()
 }
 
 /// Summary statistics for a slice of observations.
@@ -203,6 +213,29 @@ mod tests {
         let singly: Vec<Option<f64>> = ps.iter().map(|&p| m.quantile("lat", p)).collect();
         assert_eq!(batch, singly);
         assert_eq!(m.quantiles("absent", &ps), vec![None; 4]);
+    }
+
+    #[test]
+    fn quantiles_of_empty_series_is_all_none() {
+        assert_eq!(quantiles_of(&[], &[0.0, 0.5, 1.0]), vec![None; 3]);
+        let m = Metrics::new();
+        assert_eq!(m.quantiles("never-observed", &[0.5, 0.95]), vec![None; 2]);
+    }
+
+    #[test]
+    fn quantiles_of_single_sample_answers_every_p() {
+        // One observation is every quantile of itself, including the
+        // extremes and out-of-range p (clamped).
+        assert_eq!(quantiles_of(&[7.5], &[-0.5, 0.0, 0.25, 0.5, 1.0, 2.0]), vec![Some(7.5); 6]);
+    }
+
+    #[test]
+    fn quantile_extremes_are_min_and_max() {
+        let xs = [9.0, -2.0, 4.0, 4.0, 0.5];
+        let q = quantiles_of(&xs, &[0.0, 1.0]);
+        assert_eq!(q, vec![Some(-2.0), Some(9.0)]);
+        // p beyond the unit interval clamps rather than panicking.
+        assert_eq!(quantiles_of(&xs, &[-1.0, 1.5]), vec![Some(-2.0), Some(9.0)]);
     }
 
     #[test]

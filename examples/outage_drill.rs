@@ -1,0 +1,106 @@
+//! Outage drill: the paper's dependability story as one declarative
+//! [`Scenario`] — no imperative driver code, no escape hatches.
+//!
+//! Act 1 runs the stock partition+heal drill from the scenario library:
+//! load a social-feed dataset, partition half the persistent layer away
+//! mid-serve, heal, repair, read everything back. Act 2 composes a
+//! custom compound outage from the same vocabulary: a churn storm, a
+//! loss spike, a soft-layer wipe *and* rebuild — and still ends with the
+//! full dataset served.
+//!
+//! ```sh
+//! cargo run --release --example outage_drill
+//! ```
+
+use dd_core::scenario::library;
+use dd_core::{
+    Cluster, ClusterConfig, EnvChange, Fault, OpMix, Phase, Scenario, ScenarioReport, Tier,
+    WorkloadKind,
+};
+use dd_sim::churn::ChurnModel;
+
+fn print_report(report: &ScenarioReport) {
+    println!(
+        "\nscenario `{}` — {} ops, {} msgs, {} ticks",
+        report.name,
+        report.issued(),
+        report.msgs,
+        report.ticks
+    );
+    println!(
+        "{:>10} {:>7} {:>6} {:>6} {:>6} {:>6} {:>7} {:>7}",
+        "phase", "issued", "ok", "t/o", "noent", "found", "p50", "p95"
+    );
+    for p in &report.phases {
+        println!(
+            "{:>10} {:>7} {:>6} {:>6} {:>6} {:>6} {:>7.0} {:>7.0}",
+            p.name,
+            p.issued,
+            p.ok,
+            p.errors.timeouts,
+            p.errors.no_entry,
+            p.reads_found,
+            p.latency_p50,
+            p.latency_p95
+        );
+    }
+    println!("availability {:.4}, staleness {:.4}", report.availability(), report.staleness());
+}
+
+fn main() {
+    // Act 1 — the stock partition+heal drill.
+    let mut cluster = Cluster::new(ClusterConfig::small().persist_n(32).replication(3), 7);
+    cluster.settle();
+    let report = cluster.run_scenario(&library::partition_heal(21));
+    print_report(&report);
+    let readback = report.phases.last().expect("drill ends with read-back");
+    assert!(readback.availability() >= 0.99, "healed cluster serves the dataset");
+    assert!(readback.reads_found > 0);
+
+    // Act 2 — a compound outage composed from the same vocabulary:
+    // churn storm + loss spike while serving, then catastrophic
+    // soft-layer loss, reconstruction, and read-back.
+    let storm = ChurnModel::default().failure_rate(0.06).mean_downtime(3_000).permanent_prob(0.0);
+    let compound = Scenario::new("compound-outage", WorkloadKind::SocialFeed { users: 6 }, 33)
+        .phase(
+            Phase::new("load", 6_000)
+                .mix(OpMix::idle().put(3).multi_put(1).batch(4))
+                .sessions(3)
+                .depth(8)
+                .ops(240),
+        )
+        .phase(
+            Phase::new("storm", 10_000)
+                .mix(OpMix::idle().put(1).get(5).multi_get(1))
+                .sessions(4)
+                .depth(8)
+                .ops(400),
+        )
+        .phase(Phase::new("repair", 8_000))
+        .phase(
+            Phase::new("readback", 8_000)
+                .mix(OpMix::idle().get(4).multi_get(1))
+                .sessions(2)
+                .depth(4)
+                .ops(160),
+        )
+        .fault(6_000, Fault::ChurnBurst { tier: Tier::Persist, model: storm, span: 10_000 })
+        .fault(16_000, Fault::WipeSoftLayer)
+        .fault(16_000, Fault::RebuildSoftLayer)
+        .env(8_000, EnvChange::DropProb(0.02))
+        .env(16_000, EnvChange::DropProb(0.0));
+    let mut cluster = Cluster::new(ClusterConfig::small().persist_n(32).replication(3), 8);
+    cluster.settle();
+    let report = cluster.run_scenario(&compound);
+    print_report(&report);
+    let readback = report.phases.last().expect("read-back phase");
+    assert!(
+        readback.availability() >= 0.99,
+        "after churn, loss, wipe and rebuild the dataset is still served"
+    );
+    println!(
+        "\nthe whole drill — workload phases, fault schedule, environment \
+         timeline — was one declarative value; replaying it with the same \
+         seeds reproduces this output byte for byte."
+    );
+}

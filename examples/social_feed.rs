@@ -13,35 +13,44 @@
 //! cargo run --release --example social_feed
 //! ```
 
-use dd_core::{Cluster, ClusterConfig, Placement, Workload, WorkloadKind};
+use dd_core::{Cluster, ClusterConfig, OpMix, Phase, Placement, Scenario, WorkloadKind};
 
 const FEEDS: u64 = 8;
-const BATCHES: usize = 12;
+const BATCHES: u64 = 12;
 const BATCH: usize = 6;
+const MGETS: u64 = 16;
 const REPLICATION: u32 = 3;
 
 struct RunStats {
-    tuples_read: usize,
+    tuples_read: u64,
     contacts_mean: f64,
     contacts_max: f64,
     msgs: u64,
 }
 
-/// Writes the feed workload through `multi_put`, reads every feed back
-/// through `multi_get`, and returns the contact/message accounting.
+/// One declarative scenario: write the feed workload through `multi_put`
+/// batches, settle, read feeds back through `multi_get` — the same
+/// scenario (and seed) for both placements, so only routing differs.
 fn run(config: ClusterConfig, seed: u64) -> RunStats {
     let mut cluster = Cluster::new(config, seed);
     cluster.settle();
-    let mut client = cluster.client();
-    let mut workload = Workload::new(WorkloadKind::SocialFeed { users: FEEDS }, 7);
-    let tags = client.drive_multi_puts(&mut cluster, &mut workload, BATCHES, BATCH);
-    cluster.run_for(5_000);
-    let tuples_read = client.read_tags(&mut cluster, &tags).iter().map(Vec::len).sum();
-    let contacts = cluster.sim.metrics().summary("multi_get.contacted_nodes");
+    let scenario = Scenario::new("social-feed", WorkloadKind::SocialFeed { users: FEEDS }, 7)
+        .phase(
+            Phase::new("mput", 6_000)
+                .mix(OpMix::multi_puts(BATCH))
+                .sessions(1)
+                .depth(1)
+                .ops(BATCHES),
+        )
+        .phase(Phase::new("settle", 5_000))
+        .phase(Phase::new("mget", 6_000).mix(OpMix::multi_gets()).sessions(1).depth(1).ops(MGETS));
+    let report = cluster.run_scenario(&scenario);
+    assert_eq!(report.availability(), 1.0, "every multi-op completes");
+    let mget = &report.phases[2];
     RunStats {
-        tuples_read,
-        contacts_mean: contacts.mean,
-        contacts_max: contacts.max,
+        tuples_read: mget.tuples_read,
+        contacts_mean: mget.contacts_mean,
+        contacts_max: mget.contacts_max,
         msgs: cluster.sim.metrics().counter("multi_get.msgs"),
     }
 }
@@ -53,7 +62,7 @@ fn main() {
 
     println!(
         "{BATCHES} multi_put batches of {BATCH} posts across {FEEDS} feeds, \
-         {} persist nodes (r = {REPLICATION})",
+         {MGETS} multi_get feed reads, {} persist nodes (r = {REPLICATION})",
         config.persist_n
     );
     println!("multi_get accounting (persist nodes contacted per feed read):");
@@ -68,7 +77,16 @@ fn main() {
 
     assert!(tagged.contacts_max <= f64::from(REPLICATION), "tag routing contacts at most r nodes");
     assert!(uniform.contacts_mean > tagged.contacts_mean, "random placement must fan out further");
-    assert_eq!(tagged.tuples_read, BATCHES * BATCH, "every post is read back");
+    assert!(tagged.tuples_read > 0, "feed reads return posts");
+    // Uniform r/N sieves miss ~e^-r of tuples entirely (the coverage
+    // trade-off of E3), so random placement may read back slightly fewer
+    // posts from the very same scenario — never more.
+    assert!(
+        uniform.tuples_read <= tagged.tuples_read,
+        "collocated feeds are at least as complete: {} vs {}",
+        uniform.tuples_read,
+        tagged.tuples_read
+    );
 
     println!(
         "\nreading one feed touches {:.0} nodes with tag sieves vs {:.0} without — \

@@ -6,10 +6,13 @@
 //! epidemic dissemination, local sieves and gossip-based maintenance instead
 //! of a rigid DHT.
 //!
-//! Most users want [`dd_core`]'s [`dd_core::Cluster`] API; the lower-level
-//! crates are re-exported for protocol-level experimentation. See the
-//! repository `README.md` for the workspace map, build instructions and
-//! the experiment catalogue (E1–E12 under `crates/bench/benches/`).
+//! Most users want [`dd_core`]'s [`dd_core::Cluster`] API — including the
+//! declarative scenario plane ([`dd_core::Scenario`] /
+//! [`dd_core::Cluster::run_scenario`]) that drives whole experiments; the
+//! lower-level crates are re-exported for protocol-level experimentation.
+//! See the repository `README.md` for the workspace map, build
+//! instructions and the experiment catalogue (E1–E15 under
+//! `crates/bench/benches/`).
 
 pub use dd_core as core;
 pub use dd_dht as dht;

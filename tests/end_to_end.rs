@@ -1,13 +1,13 @@
 //! Whole-system integration tests: the DataDroplets cluster under faults,
-//! loss and churn, checked against an in-memory oracle — all driven
-//! through the typed, pipelined client sessions.
+//! loss and churn, checked against an in-memory oracle — driven through
+//! the typed, pipelined client sessions and, for whole experiments, the
+//! declarative scenario plane.
 
 use dd_core::{
-    drive_pipeline, Cluster, ClusterConfig, Key, OpError, PipelineConfig, Placement, Workload,
-    WorkloadKind,
+    Cluster, ClusterConfig, Fault, Key, OpError, OpMix, Phase, Placement, Scenario, Tier,
+    TupleSpec, Workload, WorkloadKind,
 };
-use dd_sim::churn::{ChurnModel, ChurnSchedule};
-use dd_sim::{NodeId, Time};
+use dd_sim::churn::ChurnModel;
 use std::collections::HashMap;
 
 fn settled(config: ClusterConfig, seed: u64) -> Cluster {
@@ -70,44 +70,27 @@ fn reads_and_writes_survive_message_loss() {
 
 #[test]
 fn availability_maintained_under_scheduled_churn() {
+    // The whole experiment as one declarative scenario: load a dataset,
+    // let transient churn rage across the persistent layer only (the
+    // paper assumes a moderately sized stable soft tier), repair, read
+    // everything back.
     let mut c = settled(ClusterConfig::small().persist_n(30).replication(3), 3);
-    let mut client = c.client();
-    // Write the dataset.
-    for i in 0..40 {
-        let p = client.put(&mut c, format!("survive:{i}"), vec![i as u8], None, None);
-        client.recv(&mut c, p).expect("write completes");
-    }
-    c.run_for(5_000);
-
-    // Transient churn on the persistent layer only (soft tier stays up, as
-    // the paper assumes a moderately sized stable soft layer).
     let model = ChurnModel::default()
         .failure_rate(0.05) // 5% per 1000-tick round
         .mean_downtime(3_000)
         .permanent_prob(0.0);
-    let schedule = ChurnSchedule::generate(&model, 30, Time(40_000), 7);
-    // Shift schedule ids into the persist id range (soft ids come first).
-    let offset = c.soft_ids().len() as u64;
-    for ev in schedule.events() {
-        let id = NodeId(ev.node().0 + offset);
-        match ev {
-            dd_sim::churn::ChurnEvent::Down(t, _) => c.sim.schedule_down(*t, id),
-            dd_sim::churn::ChurnEvent::Up(t, _) => c.sim.schedule_up(*t, id),
-            dd_sim::churn::ChurnEvent::Leave(t, _) => c.sim.schedule_down(*t, id),
-        }
-    }
-    c.run_for(40_000);
-    // After the churn window (plus repair time), every key must be
-    // readable.
-    c.run_for(10_000);
-    let mut found = 0;
-    for i in 0..40 {
-        let r = client.get(&mut c, format!("survive:{i}"));
-        if matches!(client.recv(&mut c, r), Ok(Some(_))) {
-            found += 1;
-        }
-    }
-    assert_eq!(found, 40, "all keys readable after churn + repair");
+    let scenario = Scenario::new("survive-churn", WorkloadKind::Uniform, 7)
+        .phase(Phase::new("load", 5_000).mix(OpMix::puts()).sessions(1).depth(2).ops(40))
+        .phase(Phase::new("storm", 40_000))
+        .phase(Phase::new("repair", 10_000))
+        .phase(Phase::new("read", 8_000).mix(OpMix::gets()).sessions(1).depth(2).ops(40))
+        .fault(5_000, Fault::ChurnBurst { tier: Tier::Persist, model, span: 40_000 });
+    let report = c.run_scenario(&scenario);
+    assert_eq!(report.phases[0].ok, 40, "every write acknowledged");
+    let read = &report.phases[3];
+    assert_eq!(read.reads_found, 40, "all keys readable after churn + repair");
+    assert_eq!(read.availability(), 1.0);
+    assert_eq!(report.errors().total(), 0);
 }
 
 #[test]
@@ -237,7 +220,17 @@ fn multi_op_feed_workload_matches_oracle_with_r_node_reads() {
     // The generator is deterministic: a clone replays the same batches,
     // which is the oracle for what the cluster was fed.
     let mut replay = w.clone();
-    let tags = client.drive_multi_puts(&mut c, &mut w, 15, 4);
+    let mut tags: Vec<String> = Vec::new();
+    for _ in 0..15 {
+        let m = w.next_multi_put(4);
+        if let Some(tag) = m.tag {
+            if !tags.contains(&tag) {
+                tags.push(tag);
+            }
+        }
+        let p = client.multi_put(&mut c, m.items.into_iter().map(TupleSpec::from));
+        assert_eq!(client.recv(&mut c, p).expect("batch orders").items, 4);
+    }
     let mut oracle: HashMap<String, Vec<String>> = HashMap::new();
     for _ in 0..15 {
         let m = replay.next_multi_put(4);
@@ -248,7 +241,9 @@ fn multi_op_feed_workload_matches_oracle_with_r_node_reads() {
     }
     c.run_for(8_000);
     assert_eq!(tags.len(), oracle.len(), "driver saw every feed");
-    for (tag, tuples) in tags.iter().zip(client.read_tags(&mut c, &tags)) {
+    for tag in &tags {
+        let p = client.multi_get(&mut c, tag);
+        let tuples = client.recv(&mut c, p).expect("feed read completes");
         let mut expect = oracle.remove(tag).expect("tag was written");
         let mut got: Vec<String> = tuples.into_iter().map(|t| t.key.0).collect();
         expect.sort();
@@ -266,23 +261,24 @@ fn multi_op_feed_workload_matches_oracle_with_r_node_reads() {
 
 #[test]
 fn pipelined_sessions_outpace_lock_step() {
-    // The closed-loop driver at two depths on seed-replayed clusters:
-    // deeper pipelines complete the same op budget in fewer virtual
-    // ticks. Depth 1 is the old lock-step plane's throughput ceiling.
+    // The phase engine at two depths on seed-replayed clusters: deeper
+    // pipelines complete more of the same offered mix in the same fixed
+    // window. Depth 1 is the old lock-step plane's throughput ceiling.
     let run = |depth: usize| {
         let mut c = settled(ClusterConfig::small(), 27);
-        let mut w = Workload::new(WorkloadKind::Uniform, 31);
-        let config = PipelineConfig { sessions: 4, depth, total_ops: 240, quantum: 5 };
-        let report = drive_pipeline(&mut c, &mut w, config);
-        assert_eq!(report.errors, 0, "no op fails at depth {depth}");
-        assert_eq!(report.completed, 240);
-        report.ops_per_tick()
+        let scenario = Scenario::new("depth-sweep", WorkloadKind::Uniform, 31)
+            .phase(Phase::new("puts", 600).mix(OpMix::puts()).sessions(4).depth(depth).quantum(5));
+        let report = c.run_scenario(&scenario);
+        let phase = &report.phases[0];
+        assert_eq!(phase.errors.total(), 0, "no op fails at depth {depth}");
+        assert_eq!(phase.ok, phase.issued);
+        phase.ok
     };
     let lock_step = run(1);
     let pipelined = run(16);
     assert!(
-        pipelined >= 2.0 * lock_step,
-        "depth 16 must clearly beat lock-step: {pipelined:.4} vs {lock_step:.4} ops/tick"
+        pipelined >= 2 * lock_step,
+        "depth 16 must clearly beat lock-step: {pipelined} vs {lock_step} ops in the window"
     );
 }
 

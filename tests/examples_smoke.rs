@@ -41,13 +41,7 @@ fn every_example_is_covered_here() {
     found.sort();
     assert_eq!(
         found,
-        vec![
-            "analytics_scan",
-            "churn_availability",
-            "quickstart",
-            "social_feed",
-            "threaded_gossip"
-        ],
+        vec!["analytics_scan", "outage_drill", "quickstart", "social_feed", "threaded_gossip"],
         "examples/ changed — update examples_smoke.rs to cover the new set"
     );
 }
@@ -79,8 +73,17 @@ fn analytics_scan_runs() {
 }
 
 #[test]
-fn churn_availability_runs() {
-    run_example("churn_availability");
+fn outage_drill_runs_pure_scenarios() {
+    // The drill must be a pure-Scenario program: both acts print the
+    // standard per-phase report (availability line included) and end with
+    // a served read-back.
+    let out = run_example("outage_drill");
+    assert!(
+        out.contains("partition-heal") && out.contains("compound-outage"),
+        "outage_drill must run both drills; got:\n{out}"
+    );
+    assert!(out.matches("availability").count() >= 2, "per-scenario availability reported");
+    assert!(out.contains("readback"), "phase table includes the read-back phase");
 }
 
 #[test]
