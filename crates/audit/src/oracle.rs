@@ -1,0 +1,125 @@
+//! The per-key version oracle: latest *acknowledged* version per key.
+//!
+//! One implementation serves two consumers: the scenario plane's phase
+//! engine attributes read staleness against it while a run executes, and
+//! the convergence checker rebuilds one from a recorded [`crate::History`]
+//! to judge the post-settle replica snapshot. (It was born as a private
+//! `HashMap` inside the phase engine; extracting it here deleted the
+//! duplicate the checker would otherwise have grown.)
+
+use crate::history::{History, OpDesc, Outcome};
+use dd_dht::Version;
+use std::collections::BTreeMap;
+
+/// Latest acknowledged version per key. Iteration is in key order, so
+/// anything derived from a walk over the oracle is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VersionOracle {
+    latest: BTreeMap<String, Version>,
+}
+
+impl VersionOracle {
+    /// An empty oracle.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the oracle from a history: every acknowledged write — puts,
+    /// deletes, and each ordered item of a batched write — feeds it.
+    #[must_use]
+    pub fn from_history(history: &History) -> Self {
+        let mut oracle = Self::new();
+        for op in history.ops() {
+            match (&op.desc, &op.outcome) {
+                (
+                    OpDesc::Put { key, .. } | OpDesc::Delete { key },
+                    Some(Outcome::Write { version }),
+                ) => {
+                    oracle.note_ack(key, *version);
+                }
+                (OpDesc::MultiPut { keys, .. }, Some(Outcome::MultiPut { versions, .. })) => {
+                    for (key, version) in crate::history::resolve_batch_acks(keys, versions) {
+                        oracle.note_ack(key, version);
+                    }
+                }
+                _ => {}
+            }
+        }
+        oracle
+    }
+
+    /// Records an acknowledged write of `key` at `version`.
+    pub fn note_ack(&mut self, key: &str, version: Version) {
+        let slot = self.latest.entry(key.to_owned()).or_insert(Version::ZERO);
+        *slot = (*slot).max(version);
+    }
+
+    /// Latest acknowledged version of `key` ([`Version::ZERO`] when no
+    /// write of it was ever acknowledged).
+    #[must_use]
+    pub fn latest(&self, key: &str) -> Version {
+        self.latest.get(key).copied().unwrap_or(Version::ZERO)
+    }
+
+    /// Whether a read of `key` returning `version` is stale — older than
+    /// a version already acknowledged to some client.
+    #[must_use]
+    pub fn is_stale(&self, key: &str, version: Version) -> bool {
+        version < self.latest(key)
+    }
+
+    /// Iterates `(key, latest acked version)` in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Version)> + '_ {
+        self.latest.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Number of keys with at least one acknowledged write.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.latest.len()
+    }
+
+    /// Whether no write was ever acknowledged.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.latest.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::Recorder;
+
+    #[test]
+    fn acks_ratchet_upward_only() {
+        let mut o = VersionOracle::new();
+        o.note_ack("k", Version(3));
+        o.note_ack("k", Version(1));
+        assert_eq!(o.latest("k"), Version(3));
+        assert!(o.is_stale("k", Version(2)));
+        assert!(!o.is_stale("k", Version(3)));
+        assert_eq!(o.latest("unwritten"), Version::ZERO);
+    }
+
+    #[test]
+    fn from_history_folds_every_ack_kind() {
+        let mut rec = Recorder::new();
+        rec.invoke(1, 1, 0, OpDesc::Put { key: "a".into(), tag: None });
+        rec.complete(1, 5, Outcome::Write { version: Version(1) });
+        rec.invoke(2, 1, 6, OpDesc::Delete { key: "a".into() });
+        rec.complete(2, 9, Outcome::Write { version: Version(2) });
+        let bh = dd_sim::rng::stable_hash(b"b");
+        rec.invoke(3, 1, 10, OpDesc::MultiPut { keys: vec!["b".into()], tag: None });
+        rec.complete(3, 15, Outcome::MultiPut { versions: vec![(bh, Version(4))], want: 1 });
+        // Un-acked ops contribute nothing.
+        rec.invoke(4, 1, 16, OpDesc::Put { key: "c".into(), tag: None });
+        let o = VersionOracle::from_history(rec.history());
+        assert_eq!(o.latest("a"), Version(2));
+        assert_eq!(o.latest("b"), Version(4));
+        assert_eq!(o.latest("c"), Version::ZERO);
+        let keys: Vec<&str> = o.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "b"], "iteration is key-ordered");
+    }
+}

@@ -1,0 +1,197 @@
+//! E16 — the audit plane: soundness and overhead of history capture +
+//! consistency checking over the four stock dependability drills.
+//!
+//! Each drill runs twice against identical clusters — plain, then
+//! [`Scenario::audited`] — and the bench asserts the two acceptance
+//! criteria: the calm drill audits *spotless* (no violations at all, not
+//! even durability warnings) and every drill audits with **zero safety
+//! violations**; and auditing costs nothing on the virtual-time axis —
+//! the audited run's ops/tick may regress at most 25% against the
+//! unaudited run (capture is passive, so the regression is in fact zero:
+//! the report cores are asserted equal bit for bit). Wall-clock overhead
+//! (recording + convergence settling + checking) is reported per row.
+//! Emits `BENCH_audit.json` at the workspace root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dd_audit::{AuditReport, History, ReplicaTuple};
+use dd_bench::{f, n, table_header, table_row};
+use dd_core::scenario::library;
+use dd_core::{Cluster, ClusterConfig, Placement, Scenario, ScenarioReport};
+
+const PERSIST_N: u64 = 36;
+const REPLICATION: u32 = 3;
+const SEED: u64 = 2_027;
+
+/// Maximum tolerated ops/tick regression of an audited run vs the same
+/// drill unaudited.
+const MAX_OPS_PER_TICK_REGRESSION: f64 = 0.25;
+
+struct Cell {
+    name: String,
+    plain: ScenarioReport,
+    audited: ScenarioReport,
+    wall_plain_ms: f64,
+    wall_audited_ms: f64,
+}
+
+impl Cell {
+    fn audit(&self) -> &AuditReport {
+        self.audited.audit.as_ref().expect("audited run attaches a verdict")
+    }
+
+    fn ops_per_tick(report: &ScenarioReport) -> f64 {
+        report.issued() as f64 / report.ticks as f64
+    }
+
+    fn regression(&self) -> f64 {
+        1.0 - Self::ops_per_tick(&self.audited) / Self::ops_per_tick(&self.plain)
+    }
+}
+
+fn run(scenario: &Scenario) -> (ScenarioReport, f64) {
+    let config = ClusterConfig::small()
+        .persist_n(PERSIST_N)
+        .replication(REPLICATION)
+        .placement(Placement::TagCollocation);
+    let mut c = Cluster::new(config, SEED);
+    c.settle();
+    let t0 = std::time::Instant::now();
+    let report = c.run_scenario(scenario);
+    (report, t0.elapsed().as_secs_f64() * 1_000.0)
+}
+
+fn matrix() -> Vec<Cell> {
+    [
+        library::calm(SEED),
+        library::churn_storm(SEED),
+        library::partition_heal(SEED),
+        library::cascading_crash(SEED),
+    ]
+    .into_iter()
+    .map(|drill| {
+        let (plain, wall_plain_ms) = run(&drill);
+        let (audited, wall_audited_ms) = run(&drill.audited());
+        Cell { name: plain.name.clone(), plain, audited, wall_plain_ms, wall_audited_ms }
+    })
+    .collect()
+}
+
+/// Hand-rolled JSON (the workspace has no serde), one row per drill.
+fn write_summary(cells: &[Cell]) {
+    let entries: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            let a = c.audit();
+            format!(
+                "    {{\"scenario\": \"{}\", \"issued\": {}, \"ticks\": {}, \
+                 \"ops_per_tick_plain\": {:.5}, \"ops_per_tick_audited\": {:.5}, \
+                 \"ops_per_tick_regression\": {:.5}, \"safety_violations\": {}, \
+                 \"warnings\": {}, \"ops_recorded\": {}, \"wall_ms_plain\": {:.1}, \
+                 \"wall_ms_audited\": {:.1}}}",
+                c.name,
+                c.audited.issued(),
+                c.audited.ticks,
+                Cell::ops_per_tick(&c.plain),
+                Cell::ops_per_tick(&c.audited),
+                c.regression(),
+                a.safety_count(),
+                a.warning_count(),
+                a.ops,
+                c.wall_plain_ms,
+                c.wall_audited_ms,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"e16_audit\",\n  \"cluster\": {{\"persist_n\": {PERSIST_N}, \
+         \"replication\": {REPLICATION}, \"seed\": {SEED}}},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_audit.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("e16: could not write {path}: {e}");
+    } else {
+        println!("\nwrote machine-readable summary to BENCH_audit.json");
+    }
+}
+
+fn experiment() {
+    let cells = matrix();
+    table_header(
+        "E16: audited dependability drills — soundness and overhead",
+        &["scenario", "issued", "recorded", "safety", "warn", "regr%", "wall_ms"],
+    );
+    for c in &cells {
+        let a = c.audit();
+        table_row(&[
+            c.name.clone(),
+            n(c.audited.issued()),
+            n(a.ops),
+            n(a.safety_count() as u64),
+            n(a.warning_count() as u64),
+            f(c.regression() * 100.0),
+            f(c.wall_audited_ms),
+        ]);
+    }
+    for c in &cells {
+        let a = c.audit();
+        // Acceptance 1 — soundness: zero safety violations on every
+        // drill; the fault-free baseline is spotless.
+        assert_eq!(
+            a.safety_count(),
+            0,
+            "acceptance: {} audited with safety violations:\n{a}",
+            c.name
+        );
+        if c.name == "calm" {
+            assert!(a.violations.is_empty(), "calm drill must be spotless:\n{a}");
+        }
+        assert_eq!(a.ops, c.audited.issued(), "{}: every issued op recorded", c.name);
+        // Acceptance 2 — overhead: capture is passive, so the audited
+        // run's virtual-time throughput must stay within the margin (in
+        // fact the report cores are identical).
+        assert!(
+            c.regression() <= MAX_OPS_PER_TICK_REGRESSION,
+            "acceptance: {} audited ops/tick regressed {:.1}% (> {:.0}%)",
+            c.name,
+            c.regression() * 100.0,
+            MAX_OPS_PER_TICK_REGRESSION * 100.0
+        );
+        let mut audited_core = c.audited.clone();
+        audited_core.audit = None;
+        assert_eq!(audited_core, c.plain, "{}: audit hooks perturbed the run", c.name);
+    }
+    println!(
+        "\nshape check: every drill upholds the audited guarantees \
+         (read-your-writes, monotonic reads, tombstone safety, multi-op \
+         atomicity, convergence) under churn, partitions and crash waves, \
+         and the history capture is free on the virtual-time axis."
+    );
+    write_summary(&cells);
+}
+
+/// A recorded history + snapshot for the checker kernel benchmark.
+fn checker_input() -> (History, Vec<ReplicaTuple>) {
+    let config = ClusterConfig::small().persist_n(12).placement(Placement::TagCollocation);
+    let mut c = Cluster::new(config, SEED);
+    c.settle();
+    c.begin_audit();
+    let report = c.run_scenario(&library::calm(SEED));
+    assert!(report.issued() > 0);
+    (c.end_audit().expect("recorder installed"), c.audit_snapshot())
+}
+
+fn bench(c: &mut Criterion) {
+    experiment();
+    let mut g = c.benchmark_group("e16");
+    g.sample_size(10);
+    // The audit kernel: the full checker suite over a real drill history.
+    let (history, snapshot) = checker_input();
+    g.bench_function("check_calm_history", |b| {
+        b.iter(|| dd_audit::check(&history, &snapshot).violations.len());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

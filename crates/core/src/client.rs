@@ -23,10 +23,13 @@
 //! assert_eq!(u64::from(a.version.0) + u64::from(b.version.0), 2);
 //! ```
 
-use crate::cluster::{AggregateResult, Cluster, DropletNode, GetResult, MultiPutResult, PutResult};
+use crate::cluster::{
+    AggregateResult, Cluster, DropletNode, GetResult, MultiGetResult, MultiPutResult, PutResult,
+};
 use crate::msg::DropletMsg;
 use crate::soft::SoftNode;
 use crate::tuple::{Key, StoredTuple, TupleSpec};
+use dd_audit::{OpDesc, OpFailure, Outcome};
 use dd_sim::Time;
 use rand::rngs::SmallRng;
 use std::collections::HashMap;
@@ -100,6 +103,10 @@ pub trait OpKind: sealed::Sealed {
     fn finish(raw: Self::Output, _want: usize) -> Result<Self::Output, OpError> {
         Ok(raw)
     }
+    /// The audit-history projection of a harvested completion (built only
+    /// when a recorder is installed — see [`Cluster::begin_audit`]).
+    #[doc(hidden)]
+    fn audit(raw: &Self::Output, want: usize) -> Outcome;
 }
 
 /// Marker types naming each operation kind (the `K` of [`Pending<K>`]).
@@ -144,27 +151,46 @@ pub enum Kind {
 
 /// Harvests one completion through kind `K`'s [`OpKind`] impl — the
 /// single source of take/finish semantics for both the typed
-/// ([`Client::poll`]) and runtime ([`Client::drain`]) paths.
+/// ([`Client::poll`]) and runtime ([`Client::drain`]) paths. When `audit`
+/// is set, the completion's history projection is extracted from the raw
+/// record *before* `finish` consumes it (a partially ordered batch still
+/// audits its per-item versions).
 fn harvest<K: OpKind>(
     soft: &mut SoftNode,
     req: u64,
     want: usize,
+    audit: bool,
     wrap: fn(Result<K::Output, OpError>) -> Completion,
-) -> Option<Completion> {
-    K::take(soft, req).map(|raw| wrap(K::finish(raw, want)))
+) -> Option<(Completion, Option<Outcome>)> {
+    K::take(soft, req).map(|raw| {
+        let outcome = audit.then(|| K::audit(&raw, want));
+        (wrap(K::finish(raw, want)), outcome)
+    })
 }
 
 impl Kind {
     /// Probes one soft node for this kind's completion of `req`.
-    fn take(self, soft: &mut SoftNode, req: u64, want: usize) -> Option<Completion> {
+    fn take(
+        self,
+        soft: &mut SoftNode,
+        req: u64,
+        want: usize,
+        audit: bool,
+    ) -> Option<(Completion, Option<Outcome>)> {
         match self {
-            Kind::Put => harvest::<ops::Put>(soft, req, want, Completion::Put),
-            Kind::Delete => harvest::<ops::Delete>(soft, req, want, Completion::Delete),
-            Kind::Get => harvest::<ops::Get>(soft, req, want, Completion::Get),
-            Kind::Scan => harvest::<ops::Scan>(soft, req, want, Completion::Scan),
-            Kind::Aggregate => harvest::<ops::Aggregate>(soft, req, want, Completion::Aggregate),
-            Kind::MultiPut => harvest::<ops::MultiPut>(soft, req, want, Completion::MultiPut),
-            Kind::MultiGet => harvest::<ops::MultiGet>(soft, req, want, Completion::MultiGet),
+            Kind::Put => harvest::<ops::Put>(soft, req, want, audit, Completion::Put),
+            Kind::Delete => harvest::<ops::Delete>(soft, req, want, audit, Completion::Delete),
+            Kind::Get => harvest::<ops::Get>(soft, req, want, audit, Completion::Get),
+            Kind::Scan => harvest::<ops::Scan>(soft, req, want, audit, Completion::Scan),
+            Kind::Aggregate => {
+                harvest::<ops::Aggregate>(soft, req, want, audit, Completion::Aggregate)
+            }
+            Kind::MultiPut => {
+                harvest::<ops::MultiPut>(soft, req, want, audit, Completion::MultiPut)
+            }
+            Kind::MultiGet => {
+                harvest::<ops::MultiGet>(soft, req, want, audit, Completion::MultiGet)
+            }
         }
     }
 
@@ -189,6 +215,9 @@ impl OpKind for ops::Put {
     fn take(soft: &mut SoftNode, req: u64) -> Option<PutResult> {
         soft.take_put(req)
     }
+    fn audit(raw: &PutResult, _want: usize) -> Outcome {
+        Outcome::Write { version: raw.version }
+    }
 }
 
 impl sealed::Sealed for ops::Delete {}
@@ -197,6 +226,9 @@ impl OpKind for ops::Delete {
     const KIND: Kind = Kind::Delete;
     fn take(soft: &mut SoftNode, req: u64) -> Option<PutResult> {
         soft.take_put(req)
+    }
+    fn audit(raw: &PutResult, _want: usize) -> Outcome {
+        Outcome::Write { version: raw.version }
     }
 }
 
@@ -207,6 +239,9 @@ impl OpKind for ops::Get {
     fn take(soft: &mut SoftNode, req: u64) -> Option<Option<GetResult>> {
         soft.take_get(req)
     }
+    fn audit(raw: &Option<GetResult>, _want: usize) -> Outcome {
+        Outcome::Read { version: raw.as_ref().map(|t| t.version) }
+    }
 }
 
 impl sealed::Sealed for ops::Scan {}
@@ -216,6 +251,9 @@ impl OpKind for ops::Scan {
     fn take(soft: &mut SoftNode, req: u64) -> Option<Vec<StoredTuple>> {
         soft.take_scan(req)
     }
+    fn audit(raw: &Vec<StoredTuple>, _want: usize) -> Outcome {
+        Outcome::Scan { tuples: raw.len() as u64 }
+    }
 }
 
 impl sealed::Sealed for ops::Aggregate {}
@@ -224,6 +262,9 @@ impl OpKind for ops::Aggregate {
     const KIND: Kind = Kind::Aggregate;
     fn take(soft: &mut SoftNode, req: u64) -> Option<AggregateResult> {
         soft.take_agg(req).map(|(sketch, min, max)| AggregateResult::from_parts(sketch, min, max))
+    }
+    fn audit(_raw: &AggregateResult, _want: usize) -> Outcome {
+        Outcome::Aggregate
     }
 }
 
@@ -241,14 +282,23 @@ impl OpKind for ops::MultiPut {
             Ok(raw)
         }
     }
+    fn audit(raw: &MultiPutResult, want: usize) -> Outcome {
+        Outcome::MultiPut { versions: raw.versions.clone(), want: want as u32 }
+    }
 }
 
 impl sealed::Sealed for ops::MultiGet {}
 impl OpKind for ops::MultiGet {
-    type Output = Vec<StoredTuple>;
+    type Output = MultiGetResult;
     const KIND: Kind = Kind::MultiGet;
-    fn take(soft: &mut SoftNode, req: u64) -> Option<Vec<StoredTuple>> {
-        soft.take_multi_get(req)
+    fn take(soft: &mut SoftNode, req: u64) -> Option<MultiGetResult> {
+        soft.take_multi_get(req).map(|(items, complete)| MultiGetResult { items, complete })
+    }
+    fn audit(raw: &MultiGetResult, _want: usize) -> Outcome {
+        Outcome::MultiGet {
+            items: raw.items.iter().map(|t| (t.key.0.clone(), t.version)).collect(),
+            complete: raw.complete,
+        }
     }
 }
 
@@ -304,7 +354,7 @@ pub enum Completion {
     /// A batched write completed.
     MultiPut(Result<MultiPutResult, OpError>),
     /// A tag-scoped read completed.
-    MultiGet(Result<Vec<StoredTuple>, OpError>),
+    MultiGet(Result<MultiGetResult, OpError>),
 }
 
 impl Completion {
@@ -320,7 +370,8 @@ impl Completion {
         match self {
             Completion::Put(r) | Completion::Delete(r) => r.as_ref().err().copied(),
             Completion::Get(r) => r.as_ref().err().copied(),
-            Completion::Scan(r) | Completion::MultiGet(r) => r.as_ref().err().copied(),
+            Completion::Scan(r) => r.as_ref().err().copied(),
+            Completion::MultiGet(r) => r.as_ref().err().copied(),
             Completion::Aggregate(r) => r.as_ref().err().copied(),
             Completion::MultiPut(r) => r.as_ref().err().copied(),
         }
@@ -405,6 +456,15 @@ impl Client {
         req
     }
 
+    /// Records the invocation half of an audit pair (no-op without a
+    /// recorder; the descriptor is built lazily so the disabled path
+    /// allocates nothing).
+    fn record_invoke(&self, cluster: &mut Cluster, req: u64, desc: impl FnOnce() -> OpDesc) {
+        if cluster.audit_enabled() {
+            cluster.record_invoke(req, self.session, desc());
+        }
+    }
+
     /// Submits a write; completes with the assigned version and the
     /// storage acks counted so far.
     pub fn put(
@@ -416,44 +476,58 @@ impl Client {
         tag: Option<&str>,
     ) -> Pending<ops::Put> {
         let (key, value, tag) = (key.into(), value.into(), tag.map(str::to_owned));
-        Pending::new(self.submit(cluster, Kind::Put, 0, |req| DropletMsg::ClientPut {
+        let audit =
+            cluster.audit_enabled().then(|| OpDesc::Put { key: key.0.clone(), tag: tag.clone() });
+        let req = self.submit(cluster, Kind::Put, 0, |req| DropletMsg::ClientPut {
             req,
             key,
             value,
             attr,
             tag,
-        }))
+        });
+        if let Some(desc) = audit {
+            cluster.record_invoke(req, self.session, desc);
+        }
+        Pending::new(req)
     }
 
     /// Submits a read; completes with `Ok(None)` when the key was never
     /// written (or is deleted) — distinct from `Err(OpError::Timeout)`.
     pub fn get(&mut self, cluster: &mut Cluster, key: impl Into<Key>) -> Pending<ops::Get> {
         let key = key.into();
-        Pending::new(self.submit(cluster, Kind::Get, 0, |req| DropletMsg::ClientGet { req, key }))
+        let audit = cluster.audit_enabled().then(|| OpDesc::Get { key: key.0.clone() });
+        let req = self.submit(cluster, Kind::Get, 0, |req| DropletMsg::ClientGet { req, key });
+        if let Some(desc) = audit {
+            cluster.record_invoke(req, self.session, desc);
+        }
+        Pending::new(req)
     }
 
     /// Submits a delete (a versioned tombstone).
     pub fn delete(&mut self, cluster: &mut Cluster, key: impl Into<Key>) -> Pending<ops::Delete> {
         let key = key.into();
-        Pending::new(
-            self.submit(cluster, Kind::Delete, 0, |req| DropletMsg::ClientDelete { req, key }),
-        )
+        let audit = cluster.audit_enabled().then(|| OpDesc::Delete { key: key.0.clone() });
+        let req =
+            self.submit(cluster, Kind::Delete, 0, |req| DropletMsg::ClientDelete { req, key });
+        if let Some(desc) = audit {
+            cluster.record_invoke(req, self.session, desc);
+        }
+        Pending::new(req)
     }
 
     /// Submits an attribute range scan over `[lo, hi]`.
     pub fn scan(&mut self, cluster: &mut Cluster, lo: f64, hi: f64) -> Pending<ops::Scan> {
-        Pending::new(self.submit(cluster, Kind::Scan, 0, |req| DropletMsg::ClientScan {
-            req,
-            lo,
-            hi,
-        }))
+        let req = self.submit(cluster, Kind::Scan, 0, |req| DropletMsg::ClientScan { req, lo, hi });
+        self.record_invoke(cluster, req, || OpDesc::Scan);
+        Pending::new(req)
     }
 
     /// Submits an aggregate query over all stored tuples.
     pub fn aggregate(&mut self, cluster: &mut Cluster) -> Pending<ops::Aggregate> {
-        Pending::new(
-            self.submit(cluster, Kind::Aggregate, 0, |req| DropletMsg::ClientAggregate { req }),
-        )
+        let req =
+            self.submit(cluster, Kind::Aggregate, 0, |req| DropletMsg::ClientAggregate { req });
+        self.record_invoke(cluster, req, || OpDesc::Aggregate);
+        Pending::new(req)
     }
 
     /// Submits a batched write (the social-feed `mput`). Completes `Ok`
@@ -466,21 +540,35 @@ impl Client {
     ) -> Pending<ops::MultiPut> {
         let items: Vec<TupleSpec> = items.into_iter().collect();
         let want = items.len();
-        Pending::new(
-            self.submit(cluster, Kind::MultiPut, want, |req| DropletMsg::ClientMultiPut {
-                req,
-                items,
-            }),
-        )
+        let audit = cluster.audit_enabled().then(|| {
+            let keys: Vec<String> = items.iter().map(|i| i.key.0.clone()).collect();
+            // The batch's shared tag, when every item carries the same one.
+            let tag = items
+                .first()
+                .and_then(|i| i.tag.clone())
+                .filter(|t| items.iter().all(|i| i.tag.as_deref() == Some(t.as_str())));
+            OpDesc::MultiPut { keys, tag }
+        });
+        let req = self
+            .submit(cluster, Kind::MultiPut, want, |req| DropletMsg::ClientMultiPut { req, items });
+        if let Some(desc) = audit {
+            cluster.record_invoke(req, self.session, desc);
+        }
+        Pending::new(req)
     }
 
     /// Submits a tag-scoped read (the social-feed `mget`): every live
-    /// tuple carrying `tag`, deduplicated and attribute-ordered.
+    /// tuple carrying `tag`, deduplicated and attribute-ordered, plus the
+    /// union's completeness marker ([`MultiGetResult::complete`]).
     pub fn multi_get(&mut self, cluster: &mut Cluster, tag: &str) -> Pending<ops::MultiGet> {
         let tag = tag.to_owned();
-        Pending::new(
-            self.submit(cluster, Kind::MultiGet, 0, |req| DropletMsg::ClientMultiGet { req, tag }),
-        )
+        let audit = cluster.audit_enabled().then(|| OpDesc::MultiGet { tag: tag.clone() });
+        let req =
+            self.submit(cluster, Kind::MultiGet, 0, |req| DropletMsg::ClientMultiGet { req, tag });
+        if let Some(desc) = audit {
+            cluster.record_invoke(req, self.session, desc);
+        }
+        Pending::new(req)
     }
 
     /// Non-blocking harvest of one operation: `None` while still in
@@ -500,12 +588,18 @@ impl Client {
         debug_assert_eq!(o.kind, K::KIND, "Pending kind mismatch");
         if o.stillborn {
             self.retire(cluster, pending.req, None);
+            cluster.record_failure(pending.req, OpFailure::NoLiveEntry);
             return Some(Err(OpError::NoLiveEntry));
         }
+        let audit = cluster.audit_enabled();
         for id in cluster.soft_ids().to_vec() {
             if let Some(soft) = cluster.sim.node_mut(id).and_then(DropletNode::as_soft_mut) {
                 if let Some(raw) = K::take(soft, pending.req) {
+                    let outcome = audit.then(|| K::audit(&raw, o.want));
                     self.retire(cluster, pending.req, Some(o.issued));
+                    if let Some(outcome) = outcome {
+                        cluster.record_outcome(pending.req, outcome);
+                    }
                     return Some(K::finish(raw, o.want));
                 }
             }
@@ -513,6 +607,7 @@ impl Client {
         if cluster.sim.now().since(o.issued).0 >= OP_TIMEOUT {
             self.retire(cluster, pending.req, None);
             cluster.sim.metrics_mut().incr("client.timeouts");
+            cluster.record_failure(pending.req, OpFailure::Timeout);
             return Some(Err(OpError::Timeout));
         }
         None
@@ -541,6 +636,7 @@ impl Client {
     pub fn drain(&mut self, cluster: &mut Cluster) -> Vec<(u64, Completion)> {
         let now = cluster.sim.now();
         let ids = cluster.soft_ids().to_vec();
+        let audit = cluster.audit_enabled();
         let mut reqs: Vec<u64> = self.outstanding.keys().copied().collect();
         reqs.sort_unstable();
         let mut done = Vec::new();
@@ -548,6 +644,7 @@ impl Client {
             let o = self.outstanding[&req];
             if o.stillborn {
                 self.retire(cluster, req, None);
+                cluster.record_failure(req, OpFailure::NoLiveEntry);
                 done.push((req, o.kind.failed(OpError::NoLiveEntry)));
                 continue;
             }
@@ -556,14 +653,18 @@ impl Client {
                     .sim
                     .node_mut(id)
                     .and_then(DropletNode::as_soft_mut)
-                    .and_then(|soft| o.kind.take(soft, req, o.want))
+                    .and_then(|soft| o.kind.take(soft, req, o.want, audit))
             });
-            if let Some(completion) = harvested {
+            if let Some((completion, outcome)) = harvested {
                 self.retire(cluster, req, Some(o.issued));
+                if let Some(outcome) = outcome {
+                    cluster.record_outcome(req, outcome);
+                }
                 done.push((req, completion));
             } else if now.since(o.issued).0 >= OP_TIMEOUT {
                 self.retire(cluster, req, None);
                 cluster.sim.metrics_mut().incr("client.timeouts");
+                cluster.record_failure(req, OpFailure::Timeout);
                 done.push((req, o.kind.failed(OpError::Timeout)));
             }
         }

@@ -33,6 +33,35 @@ pub type GetResult = StoredTuple;
 /// Result of a completed batched write.
 pub type MultiPutResult = MultiPutStatus;
 
+/// Result of a completed tag-scoped read: every live tuple carrying the
+/// tag, deduplicated and attribute-ordered, plus whether the replica
+/// union behind it was *complete*. Dereferences to the tuple slice, so
+/// feed consumers index and iterate it directly.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MultiGetResult {
+    /// The live tuples carrying the tag.
+    pub items: Vec<StoredTuple>,
+    /// `true` when every contacted replica answered; `false` when the
+    /// multi-op deadline completed the read without some replica (e.g. a
+    /// dead slot-owner) — the feed may be missing that replica's tuples.
+    pub complete: bool,
+}
+
+impl std::ops::Deref for MultiGetResult {
+    type Target = [StoredTuple];
+    fn deref(&self) -> &[StoredTuple] {
+        &self.items
+    }
+}
+
+impl IntoIterator for MultiGetResult {
+    type Item = StoredTuple;
+    type IntoIter = std::vec::IntoIter<StoredTuple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
 /// Persistent-layer placement strategy: which sieve family every node
 /// runs, and therefore how the coordinator can route reads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -248,6 +277,9 @@ pub struct Cluster {
     seed: u64,
     next_req: u64,
     next_session: u64,
+    /// History recorder; `None` (the default) makes every capture hook a
+    /// no-op, so auditing is zero-cost when disabled.
+    pub(crate) audit: Option<Box<dd_audit::Recorder>>,
 }
 
 impl Cluster {
@@ -299,7 +331,88 @@ impl Cluster {
                 )),
             );
         }
-        Cluster { sim, config, soft_ids, persist_ids, seed, next_req: 0, next_session: 0 }
+        Cluster {
+            sim,
+            config,
+            soft_ids,
+            persist_ids,
+            seed,
+            next_req: 0,
+            next_session: 0,
+            audit: None,
+        }
+    }
+
+    /// Starts recording every client operation into a fresh
+    /// [`dd_audit::History`] (invocation/completion pairs). Recording is
+    /// passive — it never touches the simulation's RNG or message flow —
+    /// so an audited run replays byte-identically to an unaudited one.
+    /// Auditing assumes its history covers *all* writes: begin before the
+    /// first write of the run you intend to check.
+    pub fn begin_audit(&mut self) {
+        self.audit = Some(Box::default());
+    }
+
+    /// Stops recording and returns the captured history (`None` when
+    /// [`Cluster::begin_audit`] was never called).
+    pub fn end_audit(&mut self) -> Option<dd_audit::History> {
+        self.audit.take().map(|r| r.finish())
+    }
+
+    /// Whether a history recorder is installed.
+    #[must_use]
+    pub fn audit_enabled(&self) -> bool {
+        self.audit.is_some()
+    }
+
+    pub(crate) fn set_audit_phase(&mut self, phase: Option<u32>) {
+        if let Some(a) = self.audit.as_mut() {
+            a.set_phase(phase);
+        }
+    }
+
+    pub(crate) fn record_invoke(&mut self, req: u64, session: u64, desc: dd_audit::OpDesc) {
+        let now = self.sim.now().0;
+        if let Some(a) = self.audit.as_mut() {
+            a.invoke(req, session, now, desc);
+        }
+    }
+
+    pub(crate) fn record_outcome(&mut self, req: u64, outcome: dd_audit::Outcome) {
+        let now = self.sim.now().0;
+        if let Some(a) = self.audit.as_mut() {
+            a.complete(req, now, outcome);
+        }
+    }
+
+    pub(crate) fn record_failure(&mut self, req: u64, failure: dd_audit::OpFailure) {
+        if self.audit.is_some() {
+            self.record_outcome(req, dd_audit::Outcome::Failed(failure));
+        }
+    }
+
+    /// The convergence checker's input: every `(node, key_hash, version,
+    /// deleted)` held by a *live* persist node, node- then key-ordered.
+    #[must_use]
+    pub fn audit_snapshot(&self) -> Vec<dd_audit::ReplicaTuple> {
+        let mut out = Vec::new();
+        for &id in &self.persist_ids {
+            if !self.sim.is_alive(id) {
+                continue;
+            }
+            if let Some(p) = self.sim.node(id).and_then(DropletNode::as_persist) {
+                for t in p.store.values() {
+                    out.push(dd_audit::ReplicaTuple {
+                        node: id.0,
+                        key_hash: t.key_hash,
+                        version: t.version,
+                        deleted: t.deleted,
+                    });
+                }
+            }
+        }
+        out.sort_unstable_by_key(|t| (t.node, t.key_hash));
+        out
     }
 
     /// The configuration in use.
@@ -952,7 +1065,8 @@ mod tests {
         c.settle();
         let mut s = c.client();
         let req = s.multi_get(&mut c, "feed:nobody");
-        assert_eq!(s.recv(&mut c, req), Ok(Vec::new()));
+        let feed = s.recv(&mut c, req).expect("completes");
+        assert!(feed.is_empty() && feed.complete, "empty feed, complete union");
     }
 
     #[test]

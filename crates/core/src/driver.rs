@@ -15,7 +15,7 @@ use crate::client::{Client, Completion, OpError};
 use crate::cluster::Cluster;
 use crate::tuple::TupleSpec;
 use crate::workload::Workload;
-use dd_dht::Version;
+use dd_audit::VersionOracle;
 use dd_sim::Time;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -200,8 +200,9 @@ pub(crate) struct Engine {
     /// Sessions the *current* phase issues into: `sessions[active..]`.
     active: usize,
     inflight: HashMap<u64, Inflight>,
-    /// Latest acknowledged version per key — the staleness oracle.
-    oracle: HashMap<String, Version>,
+    /// Latest acknowledged version per key — the staleness oracle, shared
+    /// with the audit plane's convergence checker ([`dd_audit::VersionOracle`]).
+    oracle: VersionOracle,
     rng: SmallRng,
 }
 
@@ -211,7 +212,7 @@ impl Engine {
             sessions: Vec::new(),
             active: 0,
             inflight: HashMap::new(),
-            oracle: HashMap::new(),
+            oracle: VersionOracle::new(),
             rng,
         }
     }
@@ -314,25 +315,18 @@ impl Engine {
                 match completion {
                     Completion::Put(Ok(status)) | Completion::Delete(Ok(status)) => {
                         if let Some(key) = op.key {
-                            let slot = self.oracle.entry(key).or_insert(Version::ZERO);
-                            *slot = (*slot).max(status.version);
+                            self.oracle.note_ack(&key, status.version);
                         }
                     }
                     Completion::Get(Ok(Some(tuple))) => {
                         st.reads_found += 1;
-                        let acked = op
-                            .key
-                            .and_then(|k| self.oracle.get(&k))
-                            .copied()
-                            .unwrap_or(Version::ZERO);
-                        if tuple.version < acked {
+                        if op.key.is_some_and(|k| self.oracle.is_stale(&k, tuple.version)) {
                             st.stale_reads += 1;
                         }
                     }
                     Completion::Get(Ok(None)) => st.reads_absent += 1,
-                    Completion::Scan(Ok(items)) | Completion::MultiGet(Ok(items)) => {
-                        st.tuples_read += items.len() as u64;
-                    }
+                    Completion::Scan(Ok(items)) => st.tuples_read += items.len() as u64,
+                    Completion::MultiGet(Ok(feed)) => st.tuples_read += feed.items.len() as u64,
                     _ => {}
                 }
             }

@@ -106,8 +106,10 @@ pub mod workload;
 
 pub use client::{ops, Client, Completion, OpError, OpKind, Pending, OP_TIMEOUT};
 pub use cluster::{
-    AggregateResult, Cluster, ClusterConfig, GetResult, MultiPutResult, Placement, PutResult,
+    AggregateResult, Cluster, ClusterConfig, GetResult, MultiGetResult, MultiPutResult, Placement,
+    PutResult,
 };
+pub use dd_audit::{AuditReport, History, Violation};
 pub use driver::OpMix;
 pub use msg::DropletMsg;
 pub use scenario::{

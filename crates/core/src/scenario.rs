@@ -222,6 +222,7 @@ pub struct Scenario {
     pub(crate) phases: Vec<Phase>,
     pub(crate) faults: Vec<(u64, Fault)>,
     pub(crate) env: Vec<(u64, EnvChange)>,
+    pub(crate) audited: bool,
 }
 
 impl Scenario {
@@ -237,7 +238,28 @@ impl Scenario {
             phases: Vec::new(),
             faults: Vec::new(),
             env: Vec::new(),
+            audited: false,
         }
+    }
+
+    /// Turns on history capture and consistency checking for this
+    /// scenario: the run records every operation into a
+    /// [`dd_audit::History`], settles the cluster after the final drain
+    /// until the live replicas stop changing, and attaches the checker
+    /// suite's verdict as [`ScenarioReport::audit`]. Recording is passive
+    /// — the executed run (and the rest of the report) is byte-identical
+    /// to the unaudited one. Auditing assumes the scenario's writes are
+    /// the cluster's only writes, so run it against a fresh cluster.
+    #[must_use]
+    pub fn audited(mut self) -> Self {
+        self.audited = true;
+        self
+    }
+
+    /// Whether this scenario runs with auditing on.
+    #[must_use]
+    pub fn is_audited(&self) -> bool {
+        self.audited
     }
 
     /// Appends a workload phase (phases run back to back).
@@ -373,6 +395,9 @@ pub struct ScenarioReport {
     pub latency_p50: f64,
     /// 95th-percentile completion latency across all phases.
     pub latency_p95: f64,
+    /// The consistency-checker verdict, when the scenario ran
+    /// [`Scenario::audited`]; `None` otherwise.
+    pub audit: Option<dd_audit::AuditReport>,
 }
 
 impl ScenarioReport {
@@ -438,6 +463,9 @@ impl Cluster {
     pub fn run_scenario(&mut self, scenario: &Scenario) -> ScenarioReport {
         let start = self.sim.now();
         let msgs_at_start = self.sim.metrics().counter("net.sent");
+        if scenario.audited {
+            self.begin_audit();
+        }
         let harness = self.schedule_faults(scenario, start);
         self.schedule_env(scenario, start);
 
@@ -452,6 +480,7 @@ impl Cluster {
         let mut next_harness = 0usize;
 
         for (pi, phase) in scenario.phases.iter().enumerate() {
+            self.set_audit_phase(Some(pi as u32));
             let phase_start = self.sim.now();
             let phase_end = phase_start + Duration(phase.ticks);
             starts.push((
@@ -493,6 +522,7 @@ impl Cluster {
         // retires anything older than OP_TIMEOUT) while still firing any
         // harness fault scheduled at or past the last phase boundary at
         // its declared tick, not early.
+        self.set_audit_phase(None);
         while engine.in_flight() > 0 || next_harness < harness.len() {
             while next_harness < harness.len() && harness[next_harness].0 <= self.sim.now() {
                 self.apply_harness(harness[next_harness].1);
@@ -511,8 +541,15 @@ impl Cluster {
 
         // Cut the per-phase message/contact windows: each phase ends
         // where the next begins; the last extends through the drain.
+        // Everything the *report core* measures — ticks, messages,
+        // contact windows — is captured here, before the audit's
+        // convergence settling, so the core of an audited report equals
+        // the unaudited one exactly.
         let msgs_end = self.sim.metrics().counter("net.sent");
         let contacts_end = self.sim.metrics().series("multi_get.contacted_nodes").len();
+        let run_ticks = self.sim.now().since(start).0;
+        let run_msgs = msgs_end - msgs_at_start;
+        let audit = scenario.audited.then(|| self.finish_audit());
         let mut phases = Vec::with_capacity(scenario.phases.len());
         let mut all_latencies: Vec<f64> = Vec::new();
         for (pi, (phase, st)) in scenario.phases.iter().zip(&stats).enumerate() {
@@ -550,11 +587,29 @@ impl Cluster {
         ScenarioReport {
             name: scenario.name.clone(),
             phases,
-            ticks: self.sim.now().since(start).0,
-            msgs: self.sim.metrics().counter("net.sent") - msgs_at_start,
+            ticks: run_ticks,
+            msgs: run_msgs,
             latency_p50: q[0].unwrap_or(0.0),
             latency_p95: q[1].unwrap_or(0.0),
+            audit,
         }
+    }
+
+    /// Closes out an audited run: takes the recorded history, settles the
+    /// cluster until the live-replica snapshot agrees per key (bounded at
+    /// [`MAX_AUDIT_SETTLES`] rounds — repair is gossip, so convergence
+    /// takes a few random pairings), and runs the checker suite.
+    fn finish_audit(&mut self) -> dd_audit::AuditReport {
+        let history = self.end_audit().expect("audited run installed a recorder");
+        let mut snapshot = self.audit_snapshot();
+        for _ in 0..MAX_AUDIT_SETTLES {
+            if dd_audit::snapshot_converged(&snapshot) {
+                break;
+            }
+            self.settle();
+            snapshot = self.audit_snapshot();
+        }
+        dd_audit::check(&history, &snapshot)
     }
 
     fn tier_ids(&self, tier: Tier) -> Vec<NodeId> {
@@ -658,6 +713,14 @@ impl Cluster {
         }
     }
 }
+
+/// Upper bound on the settle rounds an audited run spends waiting for
+/// the live replicas to agree before the convergence check. Each round is
+/// one [`Cluster::settle`] horizon (at least a full repair period), and
+/// anti-entropy pairs nodes randomly, so agreement normally lands within
+/// a handful of rounds; the bound only stops a pathological run from
+/// settling forever.
+const MAX_AUDIT_SETTLES: u32 = 32;
 
 /// How many more operations the phase may issue right now, given its op
 /// budget and target rate.

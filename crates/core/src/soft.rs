@@ -186,8 +186,9 @@ pub struct SoftNode {
     completed_aggs: CompletionLog<(dd_estimation::DistSketch, f64, f64)>,
     /// Completed batched writes: req → status.
     completed_multi_puts: CompletionLog<MultiPutStatus>,
-    /// Completed tag-scoped reads: req → deduplicated live tuples.
-    completed_multi_gets: CompletionLog<Vec<StoredTuple>>,
+    /// Completed tag-scoped reads: req → (deduplicated live tuples,
+    /// whether every contacted replica answered before the deadline).
+    completed_multi_gets: CompletionLog<(Vec<StoredTuple>, bool)>,
 
     put_index: HashMap<(u64, Version), u64>,
     pending_gets: HashMap<u64, PendingGet>,
@@ -277,8 +278,10 @@ impl SoftNode {
         self.completed_multi_puts.take(req)
     }
 
-    /// Harvests a completed tag-scoped read.
-    pub(crate) fn take_multi_get(&mut self, req: u64) -> Option<Vec<StoredTuple>> {
+    /// Harvests a completed tag-scoped read: the deduplicated live tuples
+    /// plus whether the replica union was complete (every contacted node
+    /// answered) or cut short by the multi-op deadline.
+    pub(crate) fn take_multi_get(&mut self, req: u64) -> Option<(Vec<StoredTuple>, bool)> {
         self.completed_multi_gets.take(req)
     }
 
@@ -519,7 +522,7 @@ impl SoftNode {
                 ctx.metrics().observe("multi_get.contacted_nodes", targets.len() as f64);
                 ctx.metrics().add("multi_get.msgs", targets.len() as u64);
                 if targets.is_empty() {
-                    self.completed_multi_gets.insert(req, Vec::new());
+                    self.completed_multi_gets.insert(req, (Vec::new(), true));
                     return;
                 }
                 self.pending_multi_gets.insert(
@@ -551,7 +554,8 @@ impl SoftNode {
                 p.gather.outstanding -= 1;
                 if p.gather.outstanding == 0 {
                     let p = self.pending_multi_gets.remove(&req).expect("present");
-                    self.completed_multi_gets.insert(req, Self::finalize_gather(p.gather.items));
+                    self.completed_multi_gets
+                        .insert(req, (Self::finalize_gather(p.gather.items), true));
                 }
             }
             DropletMsg::ClientAggregate { req } => {
@@ -646,7 +650,7 @@ impl SoftNode {
         for req in expired_gets {
             let p = self.pending_multi_gets.remove(&req).expect("present");
             ctx.metrics().incr("soft.multi_get_partials");
-            self.completed_multi_gets.insert(req, Self::finalize_gather(p.gather.items));
+            self.completed_multi_gets.insert(req, (Self::finalize_gather(p.gather.items), false));
         }
         let expired_puts: Vec<u64> = self
             .pending_multi_puts

@@ -11,9 +11,10 @@
 //! [`dd_core::Cluster::run_scenario`]) that drives whole experiments; the
 //! lower-level crates are re-exported for protocol-level experimentation.
 //! See the repository `README.md` for the workspace map, build
-//! instructions and the experiment catalogue (E1–E15 under
+//! instructions and the experiment catalogue (E1–E16 under
 //! `crates/bench/benches/`).
 
+pub use dd_audit as audit;
 pub use dd_core as core;
 pub use dd_dht as dht;
 pub use dd_epidemic as epidemic;

@@ -1,0 +1,77 @@
+//! Audit-plane integration: the stock dependability drills run audited
+//! with zero safety violations, and an audited replay is byte-identical —
+//! the checker verdict is a pure function of (cluster seed, scenario).
+
+use dd_core::scenario::library;
+use dd_core::{Cluster, ClusterConfig, Placement, Scenario, ScenarioReport};
+
+fn run_audited(scenario: Scenario, placement: Placement, seed: u64) -> ScenarioReport {
+    let config = ClusterConfig::small().persist_n(24).placement(placement);
+    let mut c = Cluster::new(config, seed);
+    c.settle();
+    c.run_scenario(&scenario.audited())
+}
+
+fn assert_clean(report: &ScenarioReport, drill: &str) {
+    let audit = report.audit.as_ref().expect("audited run attaches a verdict");
+    assert!(audit.is_clean(), "{drill}: {} safety violation(s):\n{audit}", audit.safety_count());
+    assert_eq!(audit.ops, report.issued(), "{drill}: every issued op was recorded");
+    assert!(audit.sessions > 0 && audit.replicas > 0, "{drill}: audit saw the run");
+}
+
+#[test]
+fn calm_drill_audits_clean() {
+    let report = run_audited(library::calm(61), Placement::RangePartition, 61);
+    let audit = report.audit.as_ref().unwrap();
+    assert_clean(&report, "calm");
+    // Fault-free: not even durability warnings.
+    assert!(audit.violations.is_empty(), "calm run warns: {audit}");
+}
+
+#[test]
+fn churn_storm_drill_audits_clean() {
+    let report = run_audited(library::churn_storm(62), Placement::RangePartition, 62);
+    assert_clean(&report, "churn-storm");
+}
+
+#[test]
+fn partition_heal_drill_audits_clean() {
+    let report = run_audited(library::partition_heal(63), Placement::TagCollocation, 63);
+    assert_clean(&report, "partition-heal");
+}
+
+#[test]
+fn cascading_crash_drill_audits_clean() {
+    let report = run_audited(library::cascading_crash(64), Placement::TagCollocation, 64);
+    assert_clean(&report, "cascading-crash");
+}
+
+#[test]
+fn audited_replay_is_byte_identical() {
+    let run = || run_audited(library::partition_heal(9), Placement::TagCollocation, 9);
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "audited replay diverged");
+    assert_eq!(
+        format!("{:?}", first.audit),
+        format!("{:?}", second.audit),
+        "audit rendering diverged"
+    );
+    assert!(first.audit.as_ref().unwrap().ops > 0);
+}
+
+#[test]
+fn auditing_does_not_perturb_the_run() {
+    // Recording is passive: the report core of an audited run equals the
+    // unaudited run bit for bit — only the verdict is added.
+    let run = |audited: bool| {
+        let mut c = Cluster::new(ClusterConfig::small().persist_n(24), 77);
+        c.settle();
+        let drill = library::calm(77);
+        c.run_scenario(&if audited { drill.audited() } else { drill })
+    };
+    let plain = run(false);
+    let mut audited = run(true);
+    assert!(audited.audit.take().is_some());
+    assert_eq!(plain, audited, "audit hooks changed the run");
+}

@@ -41,7 +41,14 @@ fn every_example_is_covered_here() {
     found.sort();
     assert_eq!(
         found,
-        vec!["analytics_scan", "outage_drill", "quickstart", "social_feed", "threaded_gossip"],
+        vec![
+            "analytics_scan",
+            "audited_drill",
+            "outage_drill",
+            "quickstart",
+            "social_feed",
+            "threaded_gossip"
+        ],
         "examples/ changed — update examples_smoke.rs to cover the new set"
     );
 }
@@ -89,4 +96,19 @@ fn outage_drill_runs_pure_scenarios() {
 #[test]
 fn threaded_gossip_runs() {
     run_example("threaded_gossip");
+}
+
+#[test]
+fn audited_drill_runs_the_audit_plane() {
+    // The example must run a stock drill audited (clean verdict) and
+    // demonstrate a structured violation with its witness sub-history.
+    let out = run_example("audited_drill");
+    assert!(
+        out.contains("0 safety violation(s)"),
+        "audited drill must report a clean verdict; got:\n{out}"
+    );
+    assert!(
+        out.contains("[read-your-writes]") && out.contains("witness sub-history"),
+        "example must demonstrate reading a violation witness; got:\n{out}"
+    );
 }
