@@ -5,7 +5,8 @@ use crate::sieve_spec::SieveSpec;
 use crate::tuple::{Key, StoredTuple, TupleSpec};
 use bytes::Bytes;
 use dd_dht::Version;
-use dd_epidemic::antientropy::Digest;
+use dd_epidemic::antientropy::Summary;
+use dd_epidemic::push::RumorId;
 use dd_estimation::DistSketch;
 use dd_sim::NodeId;
 
@@ -137,6 +138,24 @@ pub enum DropletMsg {
         /// Stored version.
         version: Version,
     },
+    /// Coordinator → persist: a batch of tuples delivered directly to the
+    /// nodes whose sieves accept them (sieve acceptance is deterministic,
+    /// so targeted delivery stores exactly the same set a full epidemic
+    /// broadcast would, at ~`r` messages per tuple instead of
+    /// `fanout × N`).
+    DeliverBatch {
+        /// The tuples (each carries its own rumor id).
+        tuples: Vec<StoredTuple>,
+        /// Coordinator awaiting storage acks.
+        coordinator: NodeId,
+    },
+    /// Persist → coordinator: batched storage acks for a
+    /// [`DropletMsg::DeliverBatch`], one `(key_hash, version)` per tuple
+    /// the sieve accepted.
+    StoredAckBatch {
+        /// Accepted `(key_hash, version)` pairs.
+        acked: Vec<(u64, Version)>,
+    },
 
     // ------------------------------------------------------------------
     // Read path.
@@ -195,27 +214,61 @@ pub enum DropletMsg {
     },
 
     // ------------------------------------------------------------------
-    // Redundancy maintenance (same-class anti-entropy, §III-A).
+    // Redundancy maintenance (same-class anti-entropy, §III-A), digest
+    // first: the steady-state round is two constant-size messages; items
+    // only cross the wire for buckets whose fingerprints disagree.
     // ------------------------------------------------------------------
-    /// "Here is my sieve and my digest" — any peer can answer with the
-    /// tuples the sender's sieve covers but its digest lacks.
-    RepairOffer {
-        /// Sender's sieve (evaluable remotely; §III-A repair pairs nodes
-        /// covering the same key-space portion).
+    /// Step 1, initiator → responder: "compare stores with me". Carries
+    /// only the initiator's sieve (evaluable remotely; §III-A repair
+    /// pairs nodes covering the same key-space portion).
+    RepairDigest {
+        /// Initiator's sieve.
         sieve: SieveSpec,
-        /// Sender's digest.
-        digest: Digest,
     },
-    /// Same-class response with missing items and the responder digest.
-    RepairSync {
-        /// Responder digest (for the reciprocal leg).
-        digest: Digest,
-        /// Items the offerer was missing.
+    /// Step 2, responder → initiator: constant-size summary of the
+    /// responder's store projected through the *initiator's* sieve (plus
+    /// all tombstones). Both sides summarise the shared projection —
+    /// everything the other's sieve wants — so equal summaries mean the
+    /// pair is converged on their common key-space.
+    RepairSummary {
+        /// Responder's sieve (so the initiator can project symmetrically).
+        sieve: SieveSpec,
+        /// Summary over the responder's shared projection.
+        summary: Summary,
+    },
+    /// Step 3, initiator → responder: summaries disagreed; here are the
+    /// initiator's rumor ids in the differing buckets.
+    RepairPull {
+        /// Initiator's sieve (repeated — nodes keep no per-peer state).
+        sieve: SieveSpec,
+        /// Bucket indices whose fingerprints differed.
+        buckets: Vec<u32>,
+        /// The initiator's ids in those buckets (shared projection).
+        ids: Vec<RumorId>,
+    },
+    /// Steps 4/5: delta items, plus the ids the sender itself lacks
+    /// (`want` non-empty triggers one reciprocal `RepairItems` with the
+    /// wanted tuples and an empty `want`).
+    RepairItems {
+        /// Tuples the receiver was missing.
         items: Vec<StoredTuple>,
+        /// Ids the sender is missing and wants back.
+        want: Vec<RumorId>,
     },
-    /// Reciprocal leg: items the responder was missing.
-    RepairItems(
-        /// The tuples.
-        Vec<StoredTuple>,
+
+    // ------------------------------------------------------------------
+    // Failure-detector notices, injected locally by the cluster harness
+    // (self-sends modelling each node's own failure detector firing).
+    // ------------------------------------------------------------------
+    /// The local failure detector now considers `NodeId` unreachable.
+    PeerDown(
+        /// The peer.
+        NodeId,
+    ),
+    /// The local failure detector now considers `NodeId` reachable again
+    /// (heal or revival).
+    PeerUp(
+        /// The peer.
+        NodeId,
     ),
 }

@@ -9,7 +9,7 @@
 use crate::msg::DropletMsg;
 use crate::sieve_spec::SieveSpec;
 use crate::tuple::StoredTuple;
-use dd_epidemic::antientropy::Digest;
+use dd_epidemic::antientropy::{Digest, Summary};
 use dd_epidemic::push::{PushConfig, PushState, RumorId};
 use dd_estimation::DistSketch;
 use dd_sim::{Ctx, Duration, NodeId, TimerTag};
@@ -19,6 +19,17 @@ use std::collections::{HashMap, HashSet};
 
 /// Timer tag for repair rounds.
 pub const REPAIR_TIMER: TimerTag = TimerTag(0xFE4A);
+
+/// Buckets in the repair [`Summary`]: the constant wire size of a
+/// steady-state anti-entropy round, independent of store size.
+pub const REPAIR_BUCKETS: usize = 64;
+
+/// What a node with `sieve` wants: live tuples the sieve accepts, plus
+/// any tombstone (see [`PersistNode::wants`] for why tombstones are
+/// universal).
+fn wants_with(sieve: &SieveSpec, tuple: &StoredTuple) -> bool {
+    tuple.deleted || sieve.accepts(&tuple.item_meta())
+}
 
 /// Persistent-layer node state.
 #[derive(Debug, Clone)]
@@ -146,6 +157,153 @@ impl PersistNode {
             .collect()
     }
 
+    // ------------------------------------------------------------------
+    // Digest-first repair: pure helpers (also driven directly by the
+    // convergence proptest). Both sides of an exchange project their
+    // store through the *other* node's sieve — at convergence the two
+    // projections are the same set (all tombstones plus the live tuples
+    // both sieves accept), so equal summaries certify pairwise agreement
+    // on the shared key-space without any per-peer state.
+    // ------------------------------------------------------------------
+
+    /// Constant-size summary of our store projected through the peer's
+    /// sieve.
+    #[must_use]
+    pub fn shared_summary(&self, their_sieve: &SieveSpec) -> Summary {
+        Summary::from_ids(
+            REPAIR_BUCKETS,
+            self.store
+                .values()
+                .filter(|t| wants_with(their_sieve, t))
+                .map(|t| RumorId(t.rumor_id())),
+        )
+    }
+
+    /// Our shared-projection ids falling in `buckets` (sorted, so wire
+    /// content never depends on hash-map iteration order).
+    #[must_use]
+    pub fn shared_ids_in(&self, their_sieve: &SieveSpec, buckets: &[u32]) -> Vec<RumorId> {
+        let chosen: HashSet<u32> = buckets.iter().copied().collect();
+        let mut ids: Vec<RumorId> = self
+            .store
+            .values()
+            .filter(|t| wants_with(their_sieve, t))
+            .map(|t| RumorId(t.rumor_id()))
+            .filter(|&id| chosen.contains(&(Summary::bucket_of(REPAIR_BUCKETS, id) as u32)))
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Resolves a [`DropletMsg::RepairPull`]: among our shared-projection
+    /// tuples in `buckets`, the ones absent from `their_ids` (they lack
+    /// them), plus the ids in `their_ids` we ourselves lack (and want —
+    /// the peer built that list through *our* sieve).
+    #[must_use]
+    pub fn repair_delta(
+        &self,
+        their_sieve: &SieveSpec,
+        buckets: &[u32],
+        their_ids: &[RumorId],
+    ) -> (Vec<StoredTuple>, Vec<RumorId>) {
+        let theirs: HashSet<RumorId> = their_ids.iter().copied().collect();
+        let chosen: HashSet<u32> = buckets.iter().copied().collect();
+        let mut items = Vec::new();
+        let mut ours = HashSet::new();
+        for t in self.store.values().filter(|t| wants_with(their_sieve, t)) {
+            let id = RumorId(t.rumor_id());
+            if chosen.contains(&(Summary::bucket_of(REPAIR_BUCKETS, id) as u32)) {
+                ours.insert(id);
+                if !theirs.contains(&id) {
+                    items.push(t.clone());
+                }
+            }
+        }
+        items.sort_by_key(StoredTuple::rumor_id);
+        let mut want: Vec<RumorId> =
+            their_ids.iter().copied().filter(|id| !ours.contains(id)).collect();
+        want.sort();
+        (items, want)
+    }
+
+    /// Looks up held tuples by rumor id (the reciprocal repair leg).
+    #[must_use]
+    pub fn tuples_for(&self, ids: &[RumorId]) -> Vec<StoredTuple> {
+        let wanted: HashSet<RumorId> = ids.iter().copied().collect();
+        let mut items: Vec<StoredTuple> = self
+            .store
+            .values()
+            .filter(|t| wanted.contains(&RumorId(t.rumor_id())))
+            .cloned()
+            .collect();
+        items.sort_by_key(StoredTuple::rumor_id);
+        items
+    }
+
+    /// Drops the entry for `key_hash`, keeping the tag index in step.
+    fn retire(&mut self, key_hash: u64) {
+        if let Some(old) = self.store.remove(&key_hash) {
+            if let (false, Some(tag)) = (old.deleted, old.tag_hash) {
+                if let Some(keys) = self.tag_index.get_mut(&tag) {
+                    keys.remove(&key_hash);
+                    if keys.is_empty() {
+                        self.tag_index.remove(&tag);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies a repair batch; returns how many tuples actually changed
+    /// the store, plus *supersession evidence*: for every offered tuple
+    /// whose key we hold at a strictly newer version, our copy. The
+    /// sender learns its entry is stale and either upgrades or retires
+    /// it — without this leg, a node keeping a superseded tombstone for
+    /// a key whose newer live version its peer's sieve rejects would
+    /// disagree with that peer's summary on every round, forever.
+    ///
+    /// Symmetrically, an offered tuple that is strictly newer than our
+    /// entry but that we do not want (a live write of a key our sieve
+    /// rejects) retires our stale entry: the tombstone or old version we
+    /// kept only guarded against writes older than the one we just saw.
+    pub fn apply_repair(&mut self, items: Vec<StoredTuple>) -> (u64, Vec<StoredTuple>) {
+        let mut recovered = 0u64;
+        let mut evidence = Vec::new();
+        for t in items {
+            if self.wants(&t) {
+                if self.apply(t.clone()) {
+                    recovered += 1;
+                    continue;
+                }
+            } else if self.store.get(&t.key_hash).is_some_and(|held| held.version < t.version) {
+                self.retire(t.key_hash);
+                continue;
+            }
+            if let Some(held) = self.store.get(&t.key_hash) {
+                if held.version > t.version {
+                    evidence.push(held.clone());
+                }
+            }
+        }
+        evidence.sort_by_key(StoredTuple::rumor_id);
+        evidence.dedup_by_key(|t| t.rumor_id());
+        (recovered, evidence)
+    }
+
+    /// Initiates a digest exchange with up to `count` random peers — the
+    /// rejoin hook, called when this node revives so acked writes that
+    /// landed elsewhere while it was down flow back immediately.
+    pub fn initiate_repair(&mut self, ctx: &mut Ctx<'_, DropletMsg>, count: usize) {
+        if self.repair_period.is_none() {
+            return;
+        }
+        let mut peers = self.peers.clone();
+        peers.shuffle(ctx.rng());
+        for peer in peers.into_iter().take(count) {
+            ctx.send(peer, DropletMsg::RepairDigest { sieve: self.sieve.clone() });
+        }
+    }
+
     /// Handles persist-layer messages; shared by the composite process.
     pub fn on_message(&mut self, ctx: &mut Ctx<'_, DropletMsg>, from: NodeId, msg: DropletMsg) {
         match msg {
@@ -207,41 +365,79 @@ impl PersistNode {
                 }
                 ctx.send(from, DropletMsg::AggReply { req, sketch, min, max });
             }
-            DropletMsg::RepairOffer { sieve, digest } => {
-                // Send whatever the offerer's sieve covers and its digest
-                // lacks; reply with our own digest so the exchange is
-                // bidirectional when the sieves overlap.
-                let items = self.items_for_peer(&digest, &sieve);
+            DropletMsg::DeliverBatch { tuples, coordinator } => {
+                // Sieve-routed direct delivery: the coordinator already
+                // computed that our sieve accepts these, so in the common
+                // case every tuple is stored and acked in one batch.
+                let mut acked = Vec::with_capacity(tuples.len());
+                for tuple in tuples {
+                    ctx.metrics().incr("persist.received");
+                    if self.wants(&tuple) {
+                        let (key_hash, version) = (tuple.key_hash, tuple.version);
+                        if self.apply(tuple) {
+                            ctx.metrics().incr("persist.stored");
+                        }
+                        // Ack even a no-op apply (we hold >= that version):
+                        // redelivery after a heal must clear the
+                        // coordinator's undelivered buffer.
+                        acked.push((key_hash, version));
+                    }
+                }
+                if !acked.is_empty() {
+                    ctx.send(coordinator, DropletMsg::StoredAckBatch { acked });
+                }
+            }
+            DropletMsg::RepairDigest { sieve } => {
+                // Step 2: answer with a constant-size summary of our store
+                // projected through the initiator's sieve.
                 ctx.metrics().incr("repair.syncs");
-                if !items.is_empty() || sieve.class_id() == self.sieve.class_id() {
-                    ctx.send(from, DropletMsg::RepairSync { digest: self.digest(), items });
+                let summary = self.shared_summary(&sieve);
+                ctx.send(from, DropletMsg::RepairSummary { sieve: self.sieve.clone(), summary });
+            }
+            DropletMsg::RepairSummary { sieve, summary } => {
+                // Step 3: compare against our own shared projection; equal
+                // summaries end the round at two constant-size messages.
+                let diff = self.shared_summary(&sieve).diff(&summary);
+                if diff.is_empty() {
+                    ctx.metrics().incr("repair.clean");
                 } else {
-                    // Still reciprocate pulls: tell the offerer what we
-                    // hold so it can push us what our sieve needs.
-                    ctx.send(from, DropletMsg::RepairSync { digest: self.digest(), items: vec![] });
+                    let ids = self.shared_ids_in(&sieve, &diff);
+                    ctx.send(
+                        from,
+                        DropletMsg::RepairPull { sieve: self.sieve.clone(), buckets: diff, ids },
+                    );
                 }
             }
-            DropletMsg::RepairSync { digest, items } => {
-                let mut recovered = 0u64;
-                for t in items {
-                    if self.wants(&t) && self.apply(t) {
-                        recovered += 1;
-                    }
-                }
-                ctx.metrics().add("repair.recovered", recovered);
-                let reciprocal = self.items_for_peer(&digest, &self.sieve.clone());
-                if !reciprocal.is_empty() {
-                    ctx.send(from, DropletMsg::RepairItems(reciprocal));
+            DropletMsg::RepairPull { sieve, buckets, ids } => {
+                // Step 4: ship only the delta, and ask back for what the
+                // initiator has that we lack.
+                let (items, want) = self.repair_delta(&sieve, &buckets, &ids);
+                if !items.is_empty() || !want.is_empty() {
+                    ctx.send(from, DropletMsg::RepairItems { items, want });
                 }
             }
-            DropletMsg::RepairItems(items) => {
-                let mut recovered = 0u64;
-                for t in items {
-                    if self.wants(&t) && self.apply(t) {
-                        recovered += 1;
-                    }
-                }
+            DropletMsg::RepairItems { items, want } => {
+                // Step 5: the reciprocal leg — what the peer asked for,
+                // plus supersession evidence for anything it offered that
+                // we hold newer. Evidence hops carry strictly increasing
+                // versions, so the exchange always terminates.
+                let (recovered, mut reply) = self.apply_repair(items);
                 ctx.metrics().add("repair.recovered", recovered);
+                if !want.is_empty() {
+                    reply.extend(self.tuples_for(&want));
+                    reply.sort_by_key(StoredTuple::rumor_id);
+                    reply.dedup_by_key(|t| t.rumor_id());
+                }
+                if !reply.is_empty() {
+                    ctx.send(from, DropletMsg::RepairItems { items: reply, want: vec![] });
+                }
+            }
+            // Heal / revival notice from the local failure detector:
+            // immediately reconcile with the peer that just became
+            // reachable, so writes acked while it was dark flow over
+            // without waiting for the next periodic round.
+            DropletMsg::PeerUp(peer) if self.repair_period.is_some() => {
+                ctx.send(peer, DropletMsg::RepairDigest { sieve: self.sieve.clone() });
             }
             _ => {}
         }
@@ -261,10 +457,7 @@ impl PersistNode {
             return;
         }
         if let Some(&peer) = self.peers.choose(ctx.rng()) {
-            ctx.send(
-                peer,
-                DropletMsg::RepairOffer { sieve: self.sieve.clone(), digest: self.digest() },
-            );
+            ctx.send(peer, DropletMsg::RepairDigest { sieve: self.sieve.clone() });
         }
         if let Some(period) = self.repair_period {
             ctx.set_timer(period, REPAIR_TIMER);
@@ -407,5 +600,166 @@ mod tests {
         // With the peer already holding everything, nothing is sent.
         let full = n.digest();
         assert!(n.items_for_peer(&full, &all).is_empty());
+    }
+
+    /// Drives one full digest-first round between two nodes without a
+    /// simulator, mirroring the on_message handlers: summary compare →
+    /// pull → delta → reciprocal. Returns the messages it took (0 when
+    /// the pair was already converged).
+    fn reconcile(a: &mut PersistNode, b: &mut PersistNode) -> usize {
+        // a → b: RepairDigest{a.sieve}; b → a: RepairSummary.
+        let summary_b = b.shared_summary(&a.sieve);
+        let mut msgs = 2;
+        let diff = a.shared_summary(&b.sieve).diff(&summary_b);
+        if diff.is_empty() {
+            return msgs;
+        }
+        // a → b: RepairPull.
+        let ids_a = a.shared_ids_in(&b.sieve, &diff);
+        msgs += 1;
+        // b → a: RepairItems{items, want}.
+        let (items, want) = b.repair_delta(&a.sieve, &diff, &ids_a);
+        if items.is_empty() && want.is_empty() {
+            return msgs;
+        }
+        msgs += 1;
+        let (_, mut batch) = a.apply_repair(items);
+        if !want.is_empty() {
+            batch.extend(a.tuples_for(&want));
+            batch.sort_by_key(StoredTuple::rumor_id);
+            batch.dedup_by_key(|t| t.rumor_id());
+        }
+        // RepairItems ping-pong until quiet: each hop either answers the
+        // want leg or carries supersession evidence (strictly increasing
+        // versions), so this terminates.
+        let mut a_to_b = true;
+        while !batch.is_empty() {
+            msgs += 1;
+            let (_, evidence) = if a_to_b { b.apply_repair(batch) } else { a.apply_repair(batch) };
+            batch = evidence;
+            a_to_b = !a_to_b;
+        }
+        msgs
+    }
+
+    fn sorted_ids(n: &PersistNode) -> Vec<u64> {
+        let mut ids: Vec<u64> = n.store.values().map(StoredTuple::rumor_id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    #[test]
+    fn converged_pair_exchanges_two_constant_size_messages() {
+        let all = SieveSpec::Range { index: 0, of: 1, r: 1 };
+        let mut a = PersistNode::new(all.clone(), 2, vec![], None);
+        let mut b = PersistNode::new(all, 2, vec![], None);
+        for i in 0..100 {
+            a.apply(tuple(&format!("k{i}"), 1));
+            b.apply(tuple(&format!("k{i}"), 1));
+        }
+        let summary = b.shared_summary(&a.sieve);
+        assert_eq!(summary.bucket_count(), REPAIR_BUCKETS, "wire size is constant");
+        assert_eq!(reconcile(&mut a, &mut b), 2, "steady state is digest + summary");
+    }
+
+    #[test]
+    fn empty_stores_agree_on_an_empty_digest() {
+        let all = SieveSpec::Range { index: 0, of: 1, r: 1 };
+        let mut a = PersistNode::new(all.clone(), 2, vec![], None);
+        let mut b = PersistNode::new(all, 2, vec![], None);
+        assert!(a.shared_summary(&b.sieve).is_empty());
+        assert_eq!(reconcile(&mut a, &mut b), 2, "nothing to pull from empty stores");
+    }
+
+    #[test]
+    fn disjoint_stores_converge_in_one_round() {
+        let all = SieveSpec::Range { index: 0, of: 1, r: 1 };
+        let mut a = PersistNode::new(all.clone(), 2, vec![], None);
+        let mut b = PersistNode::new(all, 2, vec![], None);
+        for i in 0..20 {
+            a.apply(tuple(&format!("a{i}"), 1));
+            b.apply(tuple(&format!("b{i}"), 1));
+        }
+        reconcile(&mut a, &mut b);
+        assert_eq!(a.store.len(), 40);
+        assert_eq!(sorted_ids(&a), sorted_ids(&b), "both directions flowed");
+        assert_eq!(reconcile(&mut a, &mut b), 2, "second round is clean");
+    }
+
+    #[test]
+    fn tombstone_only_delta_crosses_sieve_classes() {
+        // a and b cover disjoint key ranges; the only shared-projection
+        // items are tombstones. A delete known to a must reach b even
+        // though b's sieve would reject the live key.
+        let left = SieveSpec::Range { index: 0, of: 2, r: 1 };
+        let right = SieveSpec::Range { index: 1, of: 2, r: 1 };
+        let mut a = PersistNode::new(left, 2, vec![], None);
+        let mut b = PersistNode::new(right, 2, vec![], None);
+        a.apply(StoredTuple::tombstone("gone1".into(), Version(2)));
+        a.apply(StoredTuple::tombstone("gone2".into(), Version(5)));
+        reconcile(&mut a, &mut b);
+        assert_eq!(b.store.len(), 2, "tombstones replicate across classes");
+        assert!(b.store.values().all(|t| t.deleted));
+        // Live tuples outside the shared projection never cross.
+        for i in 0..16 {
+            a.apply(tuple(&format!("x{i}"), 1));
+        }
+        let before = b.store.len();
+        reconcile(&mut a, &mut b);
+        assert!(
+            b.store.values().filter(|t| !t.deleted).all(|t| b.sieve.accepts(&t.item_meta())),
+            "b stores only live tuples its sieve accepts"
+        );
+        assert!(b.store.len() >= before);
+    }
+
+    #[test]
+    fn superseded_tombstones_retire_instead_of_diverging_forever() {
+        // b (right half) keeps the broadcast tombstone of a left-half
+        // key; a later live write lands only at a. b's tombstone is now
+        // stale metadata b's summary keeps advertising — the evidence
+        // leg must teach b to retire it, or this pair re-pulls on every
+        // round until the end of time.
+        let left = SieveSpec::Range { index: 0, of: 2, r: 1 };
+        let right = SieveSpec::Range { index: 1, of: 2, r: 1 };
+        let key = (0..)
+            .map(|i| format!("k{i}"))
+            .find(|k| {
+                left.accepts(
+                    &StoredTuple::new(k.as_str().into(), Version(1), vec![], None, None)
+                        .item_meta(),
+                )
+            })
+            .unwrap();
+        let mut a = PersistNode::new(left, 2, vec![], None);
+        let mut b = PersistNode::new(right, 2, vec![], None);
+        a.apply(StoredTuple::tombstone(key.as_str().into(), Version(2)));
+        b.apply(StoredTuple::tombstone(key.as_str().into(), Version(2)));
+        a.apply(tuple(&key, 3)); // rebirth, delivered only to its owner
+        assert_eq!(reconcile(&mut a, &mut b), 5, "items + evidence resolve the pair");
+        assert!(b.store.is_empty(), "b retired the superseded tombstone");
+        assert_eq!(a.store[&Key::from(key.as_str()).hash()].version, Version(3));
+        assert_eq!(reconcile(&mut a, &mut b), 2, "steady state is clean again");
+    }
+
+    #[test]
+    fn repair_delta_reports_what_each_side_lacks() {
+        let all = SieveSpec::Range { index: 0, of: 1, r: 1 };
+        let mut a = PersistNode::new(all.clone(), 2, vec![], None);
+        let mut b = PersistNode::new(all, 2, vec![], None);
+        let shared = tuple("both", 1);
+        let only_a = tuple("mine", 1);
+        let only_b = tuple("yours", 1);
+        a.apply(shared.clone());
+        a.apply(only_a.clone());
+        b.apply(shared);
+        b.apply(only_b.clone());
+        let every_bucket: Vec<u32> = (0..REPAIR_BUCKETS as u32).collect();
+        let ids_a = a.shared_ids_in(&b.sieve, &every_bucket);
+        let (items, want) = b.repair_delta(&a.sieve, &every_bucket, &ids_a);
+        assert_eq!(items.len(), 1, "b ships what a lacks");
+        assert_eq!(items[0].rumor_id(), only_b.rumor_id());
+        assert_eq!(want, vec![RumorId(only_a.rumor_id())], "b asks for what it lacks");
+        assert_eq!(a.tuples_for(&want).len(), 1, "a can serve the reciprocal leg");
     }
 }

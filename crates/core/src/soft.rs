@@ -2,16 +2,47 @@
 //! metadata and read/write coordination (§II of the paper).
 
 use crate::msg::DropletMsg;
+use crate::sieve_spec::SieveSpec;
 use crate::tuple::{Key, StoredTuple, TupleSpec};
 use dd_dht::{HashRing, Metadata, TupleCache, Version, VersionAuthority};
+use dd_epidemic::required_fanout;
+use dd_estimation::ExtremaEstimator;
 use dd_sieve::TagSieve;
-use dd_sim::rng::stable_hash;
+use dd_sim::rng::{stable_hash, stream_rng};
 use dd_sim::{Ctx, Duration, NodeId, Time, TimerTag};
 use rand::seq::SliceRandom;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Timer tag for the multi-op deadline sweep.
 pub const MULTI_OP_TIMER: TimerTag = TimerTag(0x4D47);
+
+/// Timer tag for flushing the per-target dissemination outbox.
+pub const BATCH_TIMER: TimerTag = TimerTag(0xBA7C);
+
+/// Ticks an enqueued tuple waits for batch-mates before the outbox
+/// flushes. Small enough to be invisible next to network latency; large
+/// enough that a multi-put's items to the same owner share one message.
+pub const BATCH_FLUSH_TICKS: u64 = 2;
+
+/// Tuples per dissemination batch before an eager flush.
+pub const BATCH_MAX: usize = 32;
+
+/// Acked-but-undelivered writes a coordinator remembers per node: writes
+/// whose owners were unreachable at dissemination time are re-delivered
+/// when the owner comes back ([`DropletMsg::PeerUp`]); beyond this cap the
+/// oldest entry is forgotten and the periodic repair plane is the
+/// remaining safety net.
+pub const UNDELIVERED_RETENTION: usize = 4096;
+
+/// Slots in the deterministic per-peer extrema vector used for adaptive
+/// fanout (relative error ≈ 1/√(K−2) ≈ 13 %).
+const EXTREMA_K: usize = 64;
+
+/// Master seed for the per-peer extrema vectors. Every soft node derives
+/// the same vector for a given persist peer — modelling the vector that
+/// peer generated at join time and gossiped — so merged estimates agree
+/// across coordinators with the same reachability view.
+const EXTREMA_SALT: u64 = 0xEC7A_11E5_71AA_7E0F;
 
 /// Completion records a soft node retains per operation kind. Harvested
 /// completions are retired immediately; this cap bounds what *abandoned*
@@ -117,33 +148,54 @@ pub struct TagRouting {
     pub r: u32,
 }
 
+/// A pending single read: which replicas we are waiting on, which were
+/// unreachable when the fetch went out (re-fetched on
+/// [`DropletMsg::PeerUp`] — a read must never conclude "not found" while
+/// a replica it couldn't reach may hold the write).
 #[derive(Debug, Clone)]
 struct PendingGet {
-    outstanding: usize,
-    done: bool,
+    key_hash: u64,
+    version: Version,
+    waiting: Vec<NodeId>,
+    unreached: Vec<NodeId>,
 }
 
-/// Shared shape of the gather-style ops (scan, tag-scoped multi-get):
-/// `outstanding` replies left, raw replica items accumulated so far.
+/// Shared shape of the gather-style ops (scans): `outstanding` replies
+/// left, raw replica items accumulated so far.
 #[derive(Debug, Clone)]
 struct PendingGather {
     outstanding: usize,
     items: Vec<StoredTuple>,
 }
 
-/// A pending tag-scoped read: a gather plus its start time, so the
-/// deadline sweep ([`MULTI_OP_TIMER`]) can expire it.
+/// A pending tag-scoped read: the replicas still owing a reply, the
+/// gathered items, whether every slot-owner could be contacted, and the
+/// start time for the deadline sweep ([`MULTI_OP_TIMER`]).
 #[derive(Debug, Clone)]
 struct PendingMultiGet {
-    gather: PendingGather,
+    waiting: Vec<NodeId>,
+    items: Vec<StoredTuple>,
+    full: bool,
     started: Time,
 }
 
+/// A pending batched write: one `waiting` entry per outstanding remote
+/// sub-put (the same coordinator appears once per item it owns), the
+/// ordered versions so far, and the batch size for partial accounting.
 #[derive(Debug, Clone)]
 struct PendingMultiPut {
-    outstanding: usize,
+    waiting: Vec<NodeId>,
     versions: Vec<(u64, Version)>,
+    want: usize,
     started: Time,
+}
+
+/// A write acked to the client whose delivery to some owners is still
+/// unconfirmed (they were unreachable, or the ack is simply in flight).
+#[derive(Debug, Clone)]
+struct Undelivered {
+    tuple: StoredTuple,
+    pending: Vec<NodeId>,
 }
 
 #[derive(Debug, Clone)]
@@ -167,8 +219,19 @@ pub struct SoftNode {
     pub cache: TupleCache<StoredTuple>,
     /// All persistent-layer node ids.
     pub persist_peers: Vec<NodeId>,
-    /// Dissemination fanout used when originating writes.
+    /// The sieve each persist peer runs, parallel to `persist_peers`.
+    /// Sieve acceptance is deterministic, so a coordinator that knows the
+    /// sieves can deliver a write *directly* to the nodes that will store
+    /// it (batched [`DropletMsg::DeliverBatch`]) instead of broadcasting
+    /// it epidemically. Empty = fall back to epidemic dissemination.
+    pub persist_sieves: Vec<SieveSpec>,
+    /// Dissemination fanout used when originating writes (the epidemic
+    /// fallback path).
     pub fanout: u32,
+    /// When set, `fanout` follows the extrema-propagation size estimate
+    /// of the currently reachable persist population instead of the
+    /// static value computed at construction.
+    pub adaptive_fanout: bool,
     /// Fallback fetch width when no location hints exist.
     pub fallback_fetches: usize,
     /// Tag placement parameters when the persistent layer runs tag
@@ -196,6 +259,20 @@ pub struct SoftNode {
     pending_aggs: HashMap<u64, PendingAgg>,
     pending_multi_puts: HashMap<u64, PendingMultiPut>,
     pending_multi_gets: HashMap<u64, PendingMultiGet>,
+
+    /// Everyone this node's failure detector watches (soft members and
+    /// persist peers); the baseline `reachable` resets to after a wipe.
+    known_peers: Vec<NodeId>,
+    /// Peers the local failure detector currently trusts. Maintained by
+    /// [`DropletMsg::PeerDown`] / [`DropletMsg::PeerUp`] notices.
+    reachable: HashSet<NodeId>,
+    /// Per-target dissemination batches awaiting a flush.
+    outbox: HashMap<NodeId, Vec<StoredTuple>>,
+    outbox_armed: bool,
+    /// Acked writes not yet confirmed stored at every owner, keyed by
+    /// `(key_hash, version)`, plus insertion order for cap retirement.
+    undelivered: HashMap<(u64, Version), Undelivered>,
+    undelivered_order: VecDeque<(u64, Version)>,
 }
 
 impl SoftNode {
@@ -211,13 +288,18 @@ impl SoftNode {
         for &m in soft_members {
             ring.add(m, 16);
         }
+        let known_peers: Vec<NodeId> =
+            soft_members.iter().copied().chain(persist_peers.iter().copied()).collect();
+        let reachable: HashSet<NodeId> = known_peers.iter().copied().collect();
         SoftNode {
             ring,
             authority: VersionAuthority::new(),
             metadata: Metadata::new(8),
             cache: TupleCache::new(cache_capacity),
             persist_peers,
+            persist_sieves: Vec::new(),
             fanout,
+            adaptive_fanout: false,
             fallback_fetches: 5,
             tag_routing: None,
             completed_puts: CompletionLog::new(COMPLETION_RETENTION),
@@ -232,6 +314,12 @@ impl SoftNode {
             pending_aggs: HashMap::new(),
             pending_multi_puts: HashMap::new(),
             pending_multi_gets: HashMap::new(),
+            known_peers,
+            reachable,
+            outbox: HashMap::new(),
+            outbox_armed: false,
+            undelivered: HashMap::new(),
+            undelivered_order: VecDeque::new(),
         }
     }
 
@@ -242,6 +330,67 @@ impl SoftNode {
     pub fn with_tag_routing(mut self, slots: u64, r: u32) -> Self {
         self.tag_routing = Some(TagRouting { slots, r });
         self
+    }
+
+    /// Builder: gives the coordinator the persist layer's sieve map so
+    /// writes go directly (and batched) to the nodes that will keep them.
+    ///
+    /// # Panics
+    /// Panics when `sieves` is not parallel to `persist_peers`.
+    #[must_use]
+    pub fn with_persist_sieves(mut self, sieves: Vec<SieveSpec>) -> Self {
+        assert_eq!(sieves.len(), self.persist_peers.len(), "one sieve per persist peer");
+        self.persist_sieves = sieves;
+        self
+    }
+
+    /// Builder: ties the epidemic-fallback fanout to the dd-estimation
+    /// size estimate of the reachable persist population.
+    #[must_use]
+    pub fn with_adaptive_fanout(mut self) -> Self {
+        self.adaptive_fanout = true;
+        self.refresh_fanout();
+        self
+    }
+
+    /// Peers the local failure detector currently trusts.
+    #[must_use]
+    pub fn reachable_peers(&self) -> &HashSet<NodeId> {
+        &self.reachable
+    }
+
+    /// Acked writes not yet confirmed at every owner (re-delivery queue
+    /// depth) — exposed for tests and debugging.
+    #[must_use]
+    pub fn undelivered_backlog(&self) -> usize {
+        self.undelivered.len()
+    }
+
+    /// Recomputes the epidemic fanout from the extrema-propagation
+    /// estimate over the reachable persist peers: each peer contributes
+    /// the deterministic `Exp(1)` vector it drew at join time, the local
+    /// failure detector decides which vectors to merge, and the estimate
+    /// `(K−1)/Σ minima` replaces the static population count.
+    fn refresh_fanout(&mut self) {
+        if !self.adaptive_fanout {
+            return;
+        }
+        let mut merged: Option<ExtremaEstimator> = None;
+        for &p in &self.persist_peers {
+            if !self.reachable.contains(&p) {
+                continue;
+            }
+            let vector = ExtremaEstimator::generate(&mut stream_rng(EXTREMA_SALT, p.0), EXTREMA_K);
+            match merged.as_mut() {
+                Some(m) => {
+                    m.merge(&vector);
+                }
+                None => merged = Some(vector),
+            }
+        }
+        let estimate = merged.map_or(1.0, |m| m.estimate());
+        let n = estimate.max(1.0).round() as u64;
+        self.fanout = required_fanout(n, 0.999);
     }
 
     /// The coordinator for a key: the primary soft-ring owner.
@@ -302,14 +451,114 @@ impl SoftNode {
         self.coordinator_of(key_hash) == Some(me)
     }
 
-    fn disseminate(&mut self, ctx: &mut Ctx<'_, DropletMsg>, tuple: StoredTuple) {
+    /// The persist nodes whose sieves will keep `tuple`. Tombstones are
+    /// wanted everywhere (see `PersistNode::wants`).
+    fn owners_of(&self, tuple: &StoredTuple) -> Vec<NodeId> {
+        if tuple.deleted {
+            return self.persist_peers.clone();
+        }
+        let meta = tuple.item_meta();
+        self.persist_peers
+            .iter()
+            .zip(&self.persist_sieves)
+            .filter(|(_, sieve)| sieve.accepts(&meta))
+            .map(|(&p, _)| p)
+            .collect()
+    }
+
+    /// Remembers a write until every owner has confirmed storage, so a
+    /// heal or revival can re-deliver it (the acked-while-owners-dark
+    /// lost-write case). Bounded by [`UNDELIVERED_RETENTION`].
+    fn track_undelivered(&mut self, tuple: &StoredTuple, owners: &[NodeId]) {
+        if owners.is_empty() {
+            return;
+        }
+        let id = (tuple.key_hash, tuple.version);
+        self.undelivered.insert(id, Undelivered { tuple: tuple.clone(), pending: owners.to_vec() });
+        self.undelivered_order.push_back(id);
+        while self.undelivered.len() > UNDELIVERED_RETENTION {
+            match self.undelivered_order.pop_front() {
+                Some(old) => {
+                    self.undelivered.remove(&old);
+                }
+                None => break,
+            }
+        }
+        if self.undelivered_order.len() > 2 * self.undelivered.len() + 16 {
+            let live = &self.undelivered;
+            self.undelivered_order.retain(|id| live.contains_key(id));
+        }
+    }
+
+    /// Queues one tuple for a target; flushes eagerly at [`BATCH_MAX`],
+    /// otherwise arms the short batch timer once.
+    fn enqueue_delivery(
+        &mut self,
+        ctx: &mut Ctx<'_, DropletMsg>,
+        target: NodeId,
+        tuple: StoredTuple,
+    ) {
+        let queue = self.outbox.entry(target).or_default();
+        queue.push(tuple);
+        if queue.len() >= BATCH_MAX {
+            let tuples = self.outbox.remove(&target).expect("present");
+            self.send_batch(ctx, target, tuples);
+        } else if !self.outbox_armed {
+            self.outbox_armed = true;
+            ctx.set_timer(Duration(BATCH_FLUSH_TICKS), BATCH_TIMER);
+        }
+    }
+
+    fn send_batch(
+        &mut self,
+        ctx: &mut Ctx<'_, DropletMsg>,
+        target: NodeId,
+        tuples: Vec<StoredTuple>,
+    ) {
         let me = ctx.id();
-        let mut targets = self.persist_peers.clone();
-        targets.shuffle(ctx.rng());
-        targets.truncate(self.fanout as usize);
-        for t in targets {
-            ctx.metrics().incr("soft.disseminations");
-            ctx.send(t, DropletMsg::Disseminate { hops: 0, tuple: tuple.clone(), coordinator: me });
+        ctx.metrics().incr("soft.deliveries");
+        ctx.metrics().observe("soft.batch", tuples.len() as f64);
+        ctx.send(target, DropletMsg::DeliverBatch { tuples, coordinator: me });
+    }
+
+    /// Flushes every queued batch, in sorted target order (hash-map
+    /// iteration order must never reach the wire).
+    fn flush_outbox(&mut self, ctx: &mut Ctx<'_, DropletMsg>) {
+        self.outbox_armed = false;
+        let mut targets: Vec<NodeId> = self.outbox.keys().copied().collect();
+        targets.sort_unstable();
+        for target in targets {
+            let tuples = self.outbox.remove(&target).expect("present");
+            self.send_batch(ctx, target, tuples);
+        }
+    }
+
+    fn disseminate(&mut self, ctx: &mut Ctx<'_, DropletMsg>, tuple: StoredTuple) {
+        if self.persist_sieves.is_empty() {
+            // Epidemic fallback: blind fanout into the persist layer,
+            // relayed infect-and-die by the receivers.
+            let me = ctx.id();
+            let mut targets = self.persist_peers.clone();
+            targets.shuffle(ctx.rng());
+            targets.truncate(self.fanout as usize);
+            for t in targets {
+                ctx.metrics().incr("soft.disseminations");
+                ctx.send(
+                    t,
+                    DropletMsg::Disseminate { hops: 0, tuple: tuple.clone(), coordinator: me },
+                );
+            }
+            return;
+        }
+        // Sieve-routed direct delivery: acceptance is deterministic, so
+        // sending only to the owners stores exactly the set a full
+        // broadcast would, at ~replication-degree messages per tuple.
+        let owners = self.owners_of(&tuple);
+        self.track_undelivered(&tuple, &owners);
+        for owner in owners {
+            if self.reachable.contains(&owner) {
+                self.enqueue_delivery(ctx, owner, tuple.clone());
+            }
         }
     }
 
@@ -354,16 +603,140 @@ impl SoftNode {
         }
     }
 
-    /// Records one ordered item of a pending multi-put; completes the op
-    /// when the whole batch is ordered.
-    fn note_sub_put_ack(&mut self, req: u64, key_hash: u64, version: Version) {
+    /// Completes a multi-put: records the status and counts a partial
+    /// when fewer items ordered than the batch asked for (whichever path
+    /// got here — last ack, death notice, or the deadline sweep).
+    fn complete_multi_put(&mut self, ctx: &mut Ctx<'_, DropletMsg>, req: u64, p: PendingMultiPut) {
+        if p.versions.len() < p.want {
+            ctx.metrics().incr("soft.multi_put_partials");
+        }
+        self.completed_multi_puts
+            .insert(req, MultiPutStatus { items: p.versions.len(), versions: p.versions });
+    }
+
+    /// Completes a tag-scoped read; `full` is false when any contacted
+    /// replica never answered (struck by a death notice or the deadline)
+    /// or was unreachable to begin with.
+    fn complete_multi_get(&mut self, ctx: &mut Ctx<'_, DropletMsg>, req: u64, p: PendingMultiGet) {
+        if !p.full {
+            ctx.metrics().incr("soft.multi_get_partials");
+        }
+        self.completed_multi_gets.insert(req, (Self::finalize_gather(p.items), p.full));
+    }
+
+    /// Records one ordered item of a pending multi-put (acked by `from`);
+    /// completes the op when no sub-put is outstanding.
+    fn note_sub_put_ack(
+        &mut self,
+        ctx: &mut Ctx<'_, DropletMsg>,
+        req: u64,
+        from: Option<NodeId>,
+        key_hash: u64,
+        version: Version,
+    ) {
         let Some(p) = self.pending_multi_puts.get_mut(&req) else { return };
         p.versions.push((key_hash, version));
-        p.outstanding -= 1;
-        if p.outstanding == 0 {
+        if let Some(from) = from {
+            if let Some(pos) = p.waiting.iter().position(|&n| n == from) {
+                p.waiting.remove(pos);
+            }
+        }
+        if p.waiting.is_empty() {
             let p = self.pending_multi_puts.remove(&req).expect("present");
-            self.completed_multi_puts
-                .insert(req, MultiPutStatus { items: p.versions.len(), versions: p.versions });
+            self.complete_multi_put(ctx, req, p);
+        }
+    }
+
+    /// A persist node confirmed storage of `(key_hash, version)`: record
+    /// the location hint, bump the put's ack count, and clear the
+    /// re-delivery obligation for that node.
+    fn note_stored(&mut self, from: NodeId, key_hash: u64, version: Version) {
+        self.metadata.add_holder(key_hash, version, from);
+        if let Some(&req) = self.put_index.get(&(key_hash, version)) {
+            if let Some((s, _)) = self.completed_puts.get_mut(req) {
+                s.acks += 1;
+            }
+        }
+        if let Some(u) = self.undelivered.get_mut(&(key_hash, version)) {
+            u.pending.retain(|&n| n != from);
+            if u.pending.is_empty() {
+                self.undelivered.remove(&(key_hash, version));
+            }
+        }
+    }
+
+    /// The failure detector declared `peer` dead: stop waiting on it.
+    /// Pending single reads park it on their `unreached` list (a heal
+    /// re-fetches); multi-ops with their last outstanding reply on it
+    /// complete eagerly instead of sitting out the deadline sweep.
+    fn strike_peer(&mut self, ctx: &mut Ctx<'_, DropletMsg>, peer: NodeId) {
+        for p in self.pending_gets.values_mut() {
+            if let Some(pos) = p.waiting.iter().position(|&n| n == peer) {
+                p.waiting.remove(pos);
+                p.unreached.push(peer);
+            }
+        }
+        let struck_gets: Vec<u64> = self
+            .pending_multi_gets
+            .iter_mut()
+            .filter_map(|(&req, p)| {
+                let before = p.waiting.len();
+                p.waiting.retain(|&n| n != peer);
+                if p.waiting.len() == before {
+                    return None;
+                }
+                p.full = false;
+                p.waiting.is_empty().then_some(req)
+            })
+            .collect();
+        for req in struck_gets {
+            let p = self.pending_multi_gets.remove(&req).expect("present");
+            self.complete_multi_get(ctx, req, p);
+        }
+        let struck_puts: Vec<u64> = self
+            .pending_multi_puts
+            .iter_mut()
+            .filter_map(|(&req, p)| {
+                let before = p.waiting.len();
+                p.waiting.retain(|&n| n != peer);
+                (p.waiting.len() < before && p.waiting.is_empty()).then_some(req)
+            })
+            .collect();
+        for req in struck_puts {
+            let p = self.pending_multi_puts.remove(&req).expect("present");
+            self.complete_multi_put(ctx, req, p);
+        }
+    }
+
+    /// The failure detector declared `peer` reachable again: re-fetch
+    /// every read that was missing it, and re-deliver every acked write
+    /// it still owes a storage confirmation for (the heal-recovery path —
+    /// repair alone cannot restore a write no live owner ever received).
+    fn peer_restored(&mut self, ctx: &mut Ctx<'_, DropletMsg>, peer: NodeId) {
+        let mut refetches: Vec<(u64, u64, Version)> = Vec::new();
+        for (&req, p) in &mut self.pending_gets {
+            if let Some(pos) = p.unreached.iter().position(|&n| n == peer) {
+                p.unreached.remove(pos);
+                p.waiting.push(peer);
+                refetches.push((req, p.key_hash, p.version));
+            }
+        }
+        refetches.sort_unstable_by_key(|&(req, ..)| req);
+        for (req, key_hash, version) in refetches {
+            ctx.send(peer, DropletMsg::Fetch { req, key_hash, version });
+        }
+        let mut owed: Vec<(u64, Version)> = self
+            .undelivered
+            .iter()
+            .filter(|(_, u)| u.pending.contains(&peer))
+            .map(|(&id, _)| id)
+            .collect();
+        // Deterministic order: versions of the same key must apply oldest
+        // first so the receiver's store-changed accounting is replayable.
+        owed.sort_unstable_by_key(|&(kh, v)| (kh, v.0));
+        for id in owed {
+            let tuple = self.undelivered[&id].tuple.clone();
+            self.enqueue_delivery(ctx, peer, tuple);
         }
     }
 
@@ -432,10 +805,15 @@ impl SoftNode {
             self.completed_gets.insert(req, None);
             return;
         }
-        self.pending_gets.insert(req, PendingGet { outstanding: targets.len(), done: false });
-        for t in targets {
+        // Fetch from the reachable replicas now; remember the unreachable
+        // ones so a heal re-fetches instead of letting the op time out —
+        // and never answer "not found" while one of them may hold the key.
+        let (waiting, unreached): (Vec<NodeId>, Vec<NodeId>) =
+            targets.into_iter().partition(|t| self.reachable.contains(t));
+        for &t in &waiting {
             ctx.send(t, DropletMsg::Fetch { req, key_hash, version: latest });
         }
+        self.pending_gets.insert(req, PendingGet { key_hash, version: latest, waiting, unreached });
     }
 
     /// Handles soft-layer messages; shared by the composite process.
@@ -484,27 +862,35 @@ impl SoftNode {
                     self.completed_multi_puts.insert(req, MultiPutStatus::default());
                     return;
                 }
-                self.pending_multi_puts.insert(
-                    req,
-                    PendingMultiPut {
-                        outstanding: items.len(),
-                        versions: Vec::new(),
-                        started: ctx.now(),
-                    },
-                );
-                ctx.set_timer(Duration(MULTI_OP_TIMEOUT), MULTI_OP_TIMER);
+                let want = items.len();
+                let started = ctx.now();
+                let mut versions = Vec::new();
+                let mut waiting = Vec::new();
                 let mut forwards = 0u64;
                 for item in items {
                     let key_hash = item.key.hash();
                     if self.is_coordinator(me, key_hash) {
                         let (kh, version) = self.order_and_disseminate(ctx, item, false);
-                        self.note_sub_put_ack(req, kh, version);
+                        versions.push((kh, version));
                     } else if let Some(c) = self.coordinator_of(key_hash) {
-                        forwards += 1;
-                        ctx.send(c, DropletMsg::SubPut { req, origin: me, item });
+                        if self.reachable.contains(&c) {
+                            forwards += 1;
+                            waiting.push(c);
+                            ctx.send(c, DropletMsg::SubPut { req, origin: me, item });
+                        }
+                        // Known-dead coordinator: its items cannot be
+                        // ordered now — don't wait out the deadline for
+                        // an ack that will never come.
                     }
                 }
                 ctx.metrics().add("multi_put.msgs", forwards);
+                let pending = PendingMultiPut { waiting, versions, want, started };
+                if pending.waiting.is_empty() {
+                    self.complete_multi_put(ctx, req, pending);
+                } else {
+                    self.pending_multi_puts.insert(req, pending);
+                    ctx.set_timer(Duration(MULTI_OP_TIMEOUT), MULTI_OP_TIMER);
+                }
             }
             DropletMsg::ClientMultiGet { req, tag } => {
                 let tag_hash = stable_hash(tag.as_bytes());
@@ -519,25 +905,29 @@ impl SoftNode {
                 }
                 ctx.metrics().incr("soft.multi_gets");
                 let targets = self.tag_read_targets(tag_hash);
-                ctx.metrics().observe("multi_get.contacted_nodes", targets.len() as f64);
-                ctx.metrics().add("multi_get.msgs", targets.len() as u64);
-                if targets.is_empty() {
-                    self.completed_multi_gets.insert(req, (Vec::new(), true));
+                // Only reachable slot-owners are contacted; skipping a
+                // known-dead one marks the result partial immediately
+                // instead of waiting out the deadline for it.
+                let (waiting, skipped): (Vec<NodeId>, Vec<NodeId>) =
+                    targets.into_iter().partition(|t| self.reachable.contains(t));
+                ctx.metrics().observe("multi_get.contacted_nodes", waiting.len() as f64);
+                ctx.metrics().add("multi_get.msgs", waiting.len() as u64);
+                let full = skipped.is_empty();
+                let pending =
+                    PendingMultiGet { waiting, items: Vec::new(), full, started: ctx.now() };
+                if pending.waiting.is_empty() {
+                    // Nothing answerable: empty result, full only when
+                    // there were no owners at all to ask.
+                    self.complete_multi_get(ctx, req, pending);
                     return;
                 }
-                self.pending_multi_gets.insert(
-                    req,
-                    PendingMultiGet {
-                        gather: PendingGather { outstanding: targets.len(), items: Vec::new() },
-                        started: ctx.now(),
-                    },
-                );
-                for t in targets {
+                for &t in &pending.waiting {
                     ctx.send(t, DropletMsg::TagFetch { req, tag_hash });
                 }
+                self.pending_multi_gets.insert(req, pending);
                 // Deadline: when this fires, this request (and any older
                 // one) is past its timeout and completes with whatever
-                // arrived — one dead slot-owner must not hang the read.
+                // arrived — a silently lost reply must not hang the read.
                 ctx.set_timer(Duration(MULTI_OP_TIMEOUT), MULTI_OP_TIMER);
             }
             DropletMsg::SubPut { req, origin, item } => {
@@ -546,16 +936,17 @@ impl SoftNode {
                 ctx.send(origin, DropletMsg::SubPutAck { req, key_hash, version });
             }
             DropletMsg::SubPutAck { req, key_hash, version } => {
-                self.note_sub_put_ack(req, key_hash, version);
+                self.note_sub_put_ack(ctx, req, Some(from), key_hash, version);
             }
             DropletMsg::TagFetchReply { req, items } => {
                 let Some(p) = self.pending_multi_gets.get_mut(&req) else { return };
-                p.gather.items.extend(items);
-                p.gather.outstanding -= 1;
-                if p.gather.outstanding == 0 {
+                p.items.extend(items);
+                if let Some(pos) = p.waiting.iter().position(|&n| n == from) {
+                    p.waiting.remove(pos);
+                }
+                if p.waiting.is_empty() {
                     let p = self.pending_multi_gets.remove(&req).expect("present");
-                    self.completed_multi_gets
-                        .insert(req, (Self::finalize_gather(p.gather.items), true));
+                    self.complete_multi_get(ctx, req, p);
                 }
             }
             DropletMsg::ClientAggregate { req } => {
@@ -581,31 +972,48 @@ impl SoftNode {
                 }
             }
             DropletMsg::StoredAck { key_hash, version } => {
-                self.metadata.add_holder(key_hash, version, from);
-                if let Some(&req) = self.put_index.get(&(key_hash, version)) {
-                    if let Some((s, _)) = self.completed_puts.get_mut(req) {
-                        s.acks += 1;
-                    }
+                self.note_stored(from, key_hash, version);
+            }
+            DropletMsg::StoredAckBatch { acked } => {
+                for (key_hash, version) in acked {
+                    self.note_stored(from, key_hash, version);
                 }
             }
             DropletMsg::FetchReply { req, found } => {
                 let Some(p) = self.pending_gets.get_mut(&req) else { return };
-                p.outstanding = p.outstanding.saturating_sub(1);
+                if let Some(pos) = p.waiting.iter().position(|&n| n == from) {
+                    p.waiting.remove(pos);
+                }
                 match found {
-                    Some(t) if !p.done => {
-                        p.done = true;
+                    Some(t) => {
+                        self.pending_gets.remove(&req);
                         self.metadata.add_holder(t.key_hash, t.version, from);
                         self.cache.put(t.key_hash, t.version, t.clone());
                         self.completed_gets.insert(req, (!t.deleted).then_some(t));
-                        self.pending_gets.remove(&req);
                     }
-                    _ => {
-                        if self.pending_gets.get(&req).is_some_and(|p| p.outstanding == 0) {
+                    None => {
+                        // Conclude "not found" only once every replica we
+                        // could reach said no AND none is still dark — a
+                        // dark replica may hold the write (read-your-writes
+                        // over availability).
+                        if self
+                            .pending_gets
+                            .get(&req)
+                            .is_some_and(|p| p.waiting.is_empty() && p.unreached.is_empty())
+                        {
                             self.pending_gets.remove(&req);
                             self.completed_gets.insert(req, None);
                         }
                     }
                 }
+            }
+            DropletMsg::PeerDown(peer) if self.reachable.remove(&peer) => {
+                self.refresh_fanout();
+                self.strike_peer(ctx, peer);
+            }
+            DropletMsg::PeerUp(peer) if self.reachable.insert(peer) => {
+                self.refresh_fanout();
+                self.peer_restored(ctx, peer);
             }
             DropletMsg::ScanReply { req, items } => {
                 let Some(p) = self.pending_scans.get_mut(&req) else { return };
@@ -636,6 +1044,10 @@ impl SoftNode {
     /// gathered so far (each op's own timer fires exactly at its expiry,
     /// so this never cuts a request short).
     pub fn on_timer(&mut self, ctx: &mut Ctx<'_, DropletMsg>, tag: TimerTag) {
+        if tag == BATCH_TIMER {
+            self.flush_outbox(ctx);
+            return;
+        }
         if tag != MULTI_OP_TIMER {
             return;
         }
@@ -648,9 +1060,9 @@ impl SoftNode {
             .map(|(&req, _)| req)
             .collect();
         for req in expired_gets {
-            let p = self.pending_multi_gets.remove(&req).expect("present");
-            ctx.metrics().incr("soft.multi_get_partials");
-            self.completed_multi_gets.insert(req, (Self::finalize_gather(p.gather.items), false));
+            let mut p = self.pending_multi_gets.remove(&req).expect("present");
+            p.full = false;
+            self.complete_multi_get(ctx, req, p);
         }
         let expired_puts: Vec<u64> = self
             .pending_multi_puts
@@ -660,9 +1072,7 @@ impl SoftNode {
             .collect();
         for req in expired_puts {
             let p = self.pending_multi_puts.remove(&req).expect("present");
-            ctx.metrics().incr("soft.multi_put_partials");
-            self.completed_multi_puts
-                .insert(req, MultiPutStatus { items: p.versions.len(), versions: p.versions });
+            self.complete_multi_put(ctx, req, p);
         }
     }
 
@@ -670,14 +1080,22 @@ impl SoftNode {
     /// do not survive a crash, but pending multi-ops do (node state is
     /// retained), so without this any op in flight at crash time would
     /// neither complete nor expire.
-    pub fn arm_timers(&self, ctx: &mut Ctx<'_, DropletMsg>) {
+    pub fn arm_timers(&mut self, ctx: &mut Ctx<'_, DropletMsg>) {
         if !self.pending_multi_gets.is_empty() || !self.pending_multi_puts.is_empty() {
             ctx.set_timer(Duration(MULTI_OP_TIMEOUT), MULTI_OP_TIMER);
+        }
+        if !self.outbox.is_empty() {
+            self.outbox_armed = true;
+            ctx.set_timer(Duration(BATCH_FLUSH_TICKS), BATCH_TIMER);
+        } else {
+            self.outbox_armed = false;
         }
     }
 
     /// Wipes all soft state (catastrophic failure, §II) — versions,
-    /// metadata, cache, pending operations.
+    /// metadata, cache, pending operations, delivery queues — and resets
+    /// the failure-detector view to its optimistic baseline (the harness
+    /// re-injects down notices for anything still dead).
     pub fn wipe(&mut self) {
         self.authority = VersionAuthority::new();
         self.metadata = Metadata::new(8);
@@ -688,6 +1106,12 @@ impl SoftNode {
         self.pending_aggs.clear();
         self.pending_multi_puts.clear();
         self.pending_multi_gets.clear();
+        self.outbox.clear();
+        self.outbox_armed = false;
+        self.undelivered.clear();
+        self.undelivered_order.clear();
+        self.reachable = self.known_peers.iter().copied().collect();
+        self.refresh_fanout();
     }
 
     /// Reconstructs metadata and version counters from a persistent-layer

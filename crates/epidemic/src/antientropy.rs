@@ -8,7 +8,105 @@
 //! mechanism applied pairwise; `dd-walks::repair` reuses it.
 
 use crate::push::RumorId;
+use dd_sim::rng::mix;
 use std::collections::BTreeMap;
+
+/// Salt for the bucket-placement hash of [`Summary`].
+const BUCKET_SALT: u64 = 0x5D1E_7CA7_B0C4_E75A;
+/// Salt for the per-id fold hash of [`Summary`].
+const FOLD_SALT: u64 = 0xA11C_E0FF_EE5E_ED01;
+
+/// A constant-size fingerprint of a rumor-id set for digest-first
+/// anti-entropy.
+///
+/// [`Digest`] grows linearly with the store, so shipping it every repair
+/// round costs O(store) on the wire even when both replicas already
+/// agree. A `Summary` folds the ids into a fixed number of buckets
+/// (placement and fold are salted hashes of the id), so the steady-state
+/// exchange is O(buckets) regardless of store size. Two summaries built
+/// over the same id set are identical; a differing id perturbs exactly
+/// one bucket's `(xor, count)` pair, so [`Summary::diff`] localises the
+/// divergence and only those buckets' ids need to cross the wire.
+///
+/// A bucket collision (two differing id sets folding to the same
+/// `(xor, count)`) needs an exact 64-bit XOR match at equal cardinality
+/// — ~2⁻⁶⁴ per bucket — and even then the next round re-randomises
+/// nothing (the fold is deterministic), so pathological sets could in
+/// principle hide; the periodic full [`Digest`] path remains available
+/// where absolute certainty is required.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Summary {
+    xors: Vec<u64>,
+    counts: Vec<u32>,
+}
+
+impl Summary {
+    /// An empty summary with `buckets` buckets.
+    ///
+    /// # Panics
+    /// Panics if `buckets` is zero.
+    #[must_use]
+    pub fn new(buckets: usize) -> Self {
+        assert!(buckets > 0, "summary needs at least one bucket");
+        Summary { xors: vec![0; buckets], counts: vec![0; buckets] }
+    }
+
+    /// Builds a summary over an id set.
+    #[must_use]
+    pub fn from_ids(buckets: usize, ids: impl IntoIterator<Item = RumorId>) -> Self {
+        let mut s = Summary::new(buckets);
+        for id in ids {
+            s.insert(id);
+        }
+        s
+    }
+
+    /// The bucket an id folds into, for `buckets` buckets.
+    #[must_use]
+    pub fn bucket_of(buckets: usize, id: RumorId) -> usize {
+        (mix(id.0, BUCKET_SALT) % buckets as u64) as usize
+    }
+
+    /// Folds one id in. The fold is XOR-based, hence insertion-order
+    /// independent; inserting the same id twice cancels, so callers fold
+    /// each held id exactly once.
+    pub fn insert(&mut self, id: RumorId) {
+        let b = Self::bucket_of(self.xors.len(), id);
+        self.xors[b] ^= mix(id.0, FOLD_SALT);
+        self.counts[b] = self.counts[b].wrapping_add(1);
+    }
+
+    /// Number of buckets (the wire size, independent of the store).
+    #[must_use]
+    pub fn bucket_count(&self) -> usize {
+        self.xors.len()
+    }
+
+    /// Total ids folded in.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counts.iter().map(|&c| c as usize).sum()
+    }
+
+    /// True when no id has been folded in.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// Indices of buckets whose contents differ from `other`, ascending.
+    /// Summaries of mismatched geometry are treated as fully divergent.
+    #[must_use]
+    pub fn diff(&self, other: &Summary) -> Vec<u32> {
+        if self.bucket_count() != other.bucket_count() {
+            return (0..self.bucket_count() as u32).collect();
+        }
+        (0..self.xors.len())
+            .filter(|&b| self.xors[b] != other.xors[b] || self.counts[b] != other.counts[b])
+            .map(|b| b as u32)
+            .collect()
+    }
+}
 
 /// A compact description of the rumors a node holds.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -196,5 +294,57 @@ mod tests {
         let s: AntiEntropyStore<u8> = AntiEntropyStore::new();
         assert!(s.is_empty());
         assert!(s.digest().is_empty());
+    }
+
+    #[test]
+    fn equal_id_sets_have_equal_summaries_in_any_order() {
+        let ids: Vec<RumorId> = (0..200u64).map(|i| RumorId(i.wrapping_mul(0x9E37))).collect();
+        let forward = Summary::from_ids(16, ids.iter().copied());
+        let backward = Summary::from_ids(16, ids.iter().rev().copied());
+        assert_eq!(forward, backward, "fold is order-independent");
+        assert!(forward.diff(&backward).is_empty());
+        assert_eq!(forward.len(), 200);
+    }
+
+    #[test]
+    fn empty_summaries_diff_empty() {
+        let a = Summary::new(8);
+        let b = Summary::new(8);
+        assert!(a.is_empty());
+        assert!(a.diff(&b).is_empty());
+        assert_eq!(a.bucket_count(), 8);
+    }
+
+    #[test]
+    fn a_single_extra_id_perturbs_exactly_its_bucket() {
+        let base: Vec<RumorId> = (0..100u64).map(RumorId).collect();
+        let a = Summary::from_ids(32, base.iter().copied());
+        let extra = RumorId(777);
+        let b = Summary::from_ids(32, base.iter().copied().chain([extra]));
+        let d = a.diff(&b);
+        assert_eq!(d, vec![Summary::bucket_of(32, extra) as u32]);
+        assert_eq!(b.diff(&a), d, "diff is symmetric");
+    }
+
+    #[test]
+    fn disjoint_sets_disagree_and_summary_size_does_not_grow() {
+        let a = Summary::from_ids(8, (0..500u64).map(RumorId));
+        let b = Summary::from_ids(8, (500..1_000u64).map(RumorId));
+        assert!(!a.diff(&b).is_empty(), "disjoint stores must diverge");
+        assert_eq!(a.bucket_count(), 8, "wire size stays fixed at 8 buckets");
+        assert_eq!(a.len(), 500);
+    }
+
+    #[test]
+    fn mismatched_geometry_is_fully_divergent() {
+        let a = Summary::from_ids(4, [RumorId(1)]);
+        let b = Summary::from_ids(8, [RumorId(1)]);
+        assert_eq!(a.diff(&b), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_bucket_summary_is_rejected() {
+        let _ = Summary::new(0);
     }
 }

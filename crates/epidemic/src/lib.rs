@@ -29,5 +29,6 @@ pub mod push;
 pub mod rumor;
 
 pub use analysis::{atomic_infection_probability, c_for_probability, required_fanout};
+pub use antientropy::{AntiEntropyStore, Digest, Summary};
 pub use broadcast::{BroadcastConfig, BroadcastMsg, BroadcastNode};
 pub use push::{GossipMode, PushConfig, PushState, Rumor, RumorId};

@@ -4,7 +4,7 @@
 
 use dd_core::scenario::library;
 use dd_core::{
-    Cluster, ClusterConfig, EnvChange, Fault, OpMix, Phase, Scenario, Tier, WorkloadKind,
+    Cluster, ClusterConfig, EnvChange, Fault, OpMix, Phase, Placement, Scenario, Tier, WorkloadKind,
 };
 use dd_sim::churn::ChurnModel;
 use dd_sim::LatencyModel;
@@ -73,28 +73,58 @@ fn same_scenario_same_seed_replays_byte_identically() {
 #[test]
 fn partition_dips_availability_and_heal_plus_repair_restore_it() {
     // Cache small enough that reads must touch the persistent layer, so
-    // partitioning half of it away is visible as timeouts — then the
-    // heal + repair window restores full availability.
-    let mut config = ClusterConfig::small().persist_n(24);
-    config.cache_capacity = 1;
-    let mut c = settled(config, 5);
-    let scenario = Scenario::new("dark-half", WorkloadKind::Uniform, 11)
-        .phase(Phase::new("load", 4_000).mix(OpMix::puts()).sessions(2).depth(4).ops(60))
-        .phase(Phase::new("dark", 6_000).mix(OpMix::gets()).sessions(2).depth(4).ops(60))
-        .phase(Phase::new("repair", 8_000))
-        .phase(Phase::new("readback", 6_000).mix(OpMix::gets()).sessions(2).depth(4).ops(60))
-        .env(4_000, EnvChange::PartitionPersist { fraction: 0.5 })
-        .env(10_000, EnvChange::Heal);
-    let report = c.run_scenario(&scenario);
+    // partitioning half of it away is felt. Reads of fully darkened key
+    // ranges park at the coordinator and the heal re-issues their
+    // fetches: a heal inside the client's patience now means *zero*
+    // timeouts (the old protocol fired each fetch once and let the op
+    // die). A control run whose partition never heals shows the outage
+    // was real.
+    let dark_half = |heal: bool| {
+        let mut config = ClusterConfig::small().persist_n(24);
+        config.cache_capacity = 1;
+        let mut c = settled(config, 5);
+        let mut scenario = Scenario::new("dark-half", WorkloadKind::Uniform, 11)
+            .phase(Phase::new("load", 4_000).mix(OpMix::puts()).sessions(2).depth(4).ops(60))
+            .phase(Phase::new("dark", 6_000).mix(OpMix::gets()).sessions(2).depth(4).ops(60))
+            .phase(Phase::new("repair", 8_000))
+            .phase(Phase::new("readback", 6_000).mix(OpMix::gets()).sessions(2).depth(4).ops(60))
+            .env(4_000, EnvChange::PartitionPersist { fraction: 0.5 });
+        if heal {
+            scenario = scenario.env(10_000, EnvChange::Heal);
+        }
+        c.run_scenario(&scenario)
+    };
+    let report = dark_half(true);
     let dark = &report.phases[1];
     let readback = &report.phases[3];
-    assert!(
-        dark.errors.timeouts > 0,
-        "reads of fully partitioned key ranges must time out, got {dark:?}"
-    );
-    assert!(dark.availability() < 1.0);
+    assert_eq!(dark.errors.timeouts, 0, "healed-in-time reads all complete: {dark:?}");
+    assert_eq!(dark.availability(), 1.0);
     assert_eq!(readback.availability(), 1.0, "healed cluster serves everything");
     assert_eq!(readback.reads_found, 60, "no write was lost to the partition");
+    // Control: with the partition left in place, those same parked reads
+    // exhaust the client's patience — the dip the heal rescued us from.
+    let control = dark_half(false);
+    assert!(
+        control.errors().timeouts > 0,
+        "unhealed partition must cost timeouts, got {:?}",
+        control.errors()
+    );
+    assert!(control.availability() < 1.0);
+}
+
+#[test]
+fn tag_placement_partition_heal_serves_every_op() {
+    // Regression for the E15 tag-placement partition-heal cell: two
+    // single-key gets whose r slot-owners were all dark used to time out
+    // (availability 0.9977) because a fetch was fired exactly once. The
+    // failure-detector's PeerUp notice now re-issues parked fetches, so
+    // the heal completes them within the client's patience.
+    let config =
+        ClusterConfig::small().persist_n(36).replication(3).placement(Placement::TagCollocation);
+    let mut c = settled(config, 2026);
+    let report = c.run_scenario(&library::partition_heal(2026));
+    assert_eq!(report.errors().timeouts, 0, "no op times out across partition + heal");
+    assert_eq!(report.availability(), 1.0, "every issued op completes: {:?}", report.errors());
 }
 
 #[test]
