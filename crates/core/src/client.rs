@@ -28,7 +28,8 @@ use crate::cluster::{
 };
 use crate::msg::DropletMsg;
 use crate::soft::SoftNode;
-use crate::tuple::{Key, StoredTuple, TupleSpec};
+use crate::tuple::{Key, StoredTuple, Tag, TupleSpec};
+use bytes::Bytes;
 use dd_audit::{OpDesc, OpFailure, Outcome};
 use dd_sim::Time;
 use rand::rngs::SmallRng;
@@ -296,7 +297,7 @@ impl OpKind for ops::MultiGet {
     }
     fn audit(raw: &MultiGetResult, _want: usize) -> Outcome {
         Outcome::MultiGet {
-            items: raw.items.iter().map(|t| (t.key.0.clone(), t.version)).collect(),
+            items: raw.items.iter().map(|t| (t.key.as_str().to_owned(), t.version)).collect(),
             complete: raw.complete,
         }
     }
@@ -475,9 +476,11 @@ impl Client {
         attr: Option<f64>,
         tag: Option<&str>,
     ) -> Pending<ops::Put> {
-        let (key, value, tag) = (key.into(), value.into(), tag.map(str::to_owned));
-        let audit =
-            cluster.audit_enabled().then(|| OpDesc::Put { key: key.0.clone(), tag: tag.clone() });
+        let (key, value, tag) = (key.into(), Bytes::from(value), tag.map(Tag::from));
+        let audit = cluster.audit_enabled().then(|| OpDesc::Put {
+            key: key.as_str().to_owned(),
+            tag: tag.as_ref().map(|t| t.as_str().to_owned()),
+        });
         let req = self.submit(cluster, Kind::Put, 0, |req| DropletMsg::ClientPut {
             req,
             key,
@@ -495,7 +498,7 @@ impl Client {
     /// written (or is deleted) — distinct from `Err(OpError::Timeout)`.
     pub fn get(&mut self, cluster: &mut Cluster, key: impl Into<Key>) -> Pending<ops::Get> {
         let key = key.into();
-        let audit = cluster.audit_enabled().then(|| OpDesc::Get { key: key.0.clone() });
+        let audit = cluster.audit_enabled().then(|| OpDesc::Get { key: key.as_str().to_owned() });
         let req = self.submit(cluster, Kind::Get, 0, |req| DropletMsg::ClientGet { req, key });
         if let Some(desc) = audit {
             cluster.record_invoke(req, self.session, desc);
@@ -506,7 +509,8 @@ impl Client {
     /// Submits a delete (a versioned tombstone).
     pub fn delete(&mut self, cluster: &mut Cluster, key: impl Into<Key>) -> Pending<ops::Delete> {
         let key = key.into();
-        let audit = cluster.audit_enabled().then(|| OpDesc::Delete { key: key.0.clone() });
+        let audit =
+            cluster.audit_enabled().then(|| OpDesc::Delete { key: key.as_str().to_owned() });
         let req =
             self.submit(cluster, Kind::Delete, 0, |req| DropletMsg::ClientDelete { req, key });
         if let Some(desc) = audit {
@@ -541,12 +545,13 @@ impl Client {
         let items: Vec<TupleSpec> = items.into_iter().collect();
         let want = items.len();
         let audit = cluster.audit_enabled().then(|| {
-            let keys: Vec<String> = items.iter().map(|i| i.key.0.clone()).collect();
+            let keys: Vec<String> = items.iter().map(|i| i.key.as_str().to_owned()).collect();
             // The batch's shared tag, when every item carries the same one.
             let tag = items
                 .first()
                 .and_then(|i| i.tag.clone())
-                .filter(|t| items.iter().all(|i| i.tag.as_deref() == Some(t.as_str())));
+                .filter(|t| items.iter().all(|i| i.tag.as_ref() == Some(t)))
+                .map(|t| t.as_str().to_owned());
             OpDesc::MultiPut { keys, tag }
         });
         let req = self
@@ -561,8 +566,8 @@ impl Client {
     /// tuple carrying `tag`, deduplicated and attribute-ordered, plus the
     /// union's completeness marker ([`MultiGetResult::complete`]).
     pub fn multi_get(&mut self, cluster: &mut Cluster, tag: &str) -> Pending<ops::MultiGet> {
-        let tag = tag.to_owned();
-        let audit = cluster.audit_enabled().then(|| OpDesc::MultiGet { tag: tag.clone() });
+        let audit = cluster.audit_enabled().then(|| OpDesc::MultiGet { tag: tag.to_owned() });
+        let tag = Tag::from(tag);
         let req =
             self.submit(cluster, Kind::MultiGet, 0, |req| DropletMsg::ClientMultiGet { req, tag });
         if let Some(desc) = audit {

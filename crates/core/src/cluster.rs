@@ -134,6 +134,10 @@ pub struct ClusterConfig {
     pub repair_period: Option<u64>,
     /// Persistent-layer placement strategy.
     pub placement: Placement,
+    /// Topology-aware repair: periodic anti-entropy prefers ring
+    /// neighbours over uniform random pairing. Off by default so recorded
+    /// scenario seeds keep replaying byte-identically.
+    pub ring_repair: bool,
 }
 
 impl Default for ClusterConfig {
@@ -146,6 +150,7 @@ impl Default for ClusterConfig {
             cache_capacity: 128,
             repair_period: Some(1_000),
             placement: Placement::RangePartition,
+            ring_repair: false,
         }
     }
 }
@@ -190,6 +195,13 @@ impl ClusterConfig {
     #[must_use]
     pub fn placement(mut self, placement: Placement) -> Self {
         self.placement = placement;
+        self
+    }
+
+    /// Builder: prefer ring neighbours in periodic repair rounds.
+    #[must_use]
+    pub fn ring_repair(mut self) -> Self {
+        self.ring_repair = true;
         self
     }
 }
@@ -288,6 +300,13 @@ pub struct Cluster {
     /// reachable; absent = never told, believed reachable). Notices are
     /// injected only on belief changes, so steady state costs nothing.
     fd_view: std::collections::HashMap<(NodeId, NodeId), bool>,
+    /// `(liveness_epoch, topology_epoch)` at the last failure-detector
+    /// sweep; `None` forces the next sweep. Ground-truth reachability is a
+    /// pure function of liveness and partitions, so while both epochs are
+    /// unchanged a sweep would find zero belief diffs — skipping it is
+    /// exact, and turns the O(observers × watched) pair scan from a
+    /// per-pump cost into a per-churn-event cost.
+    fd_epochs: Option<(u64, u64)>,
     /// History recorder; `None` (the default) makes every capture hook a
     /// no-op, so auditing is zero-cost when disabled.
     pub(crate) audit: Option<Box<dd_audit::Recorder>>,
@@ -326,7 +345,12 @@ impl Cluster {
                 },
             })
             .collect();
-        let mut sim: Sim<DropletNode> = Sim::new(SimConfig::default().seed(seed));
+        // Pre-size the event heap for the population's steady chatter
+        // (start events, repair timers, dissemination bursts) so large
+        // clusters don't regrow it through the opening storm.
+        let queue_capacity = ((config.soft_n + config.persist_n) * 8 + 1024) as usize;
+        let mut sim: Sim<DropletNode> =
+            Sim::new(SimConfig::default().seed(seed).queue_capacity(queue_capacity));
         for &id in &soft_ids {
             let mut soft =
                 SoftNode::new(&soft_ids, persist_ids.clone(), fanout, config.cache_capacity)
@@ -344,17 +368,20 @@ impl Cluster {
             }
             sim.add_node(id, DropletNode::Soft(soft));
         }
-        for (&id, sieve) in persist_ids.iter().zip(&sieves) {
+        for (i, (&id, sieve)) in persist_ids.iter().zip(&sieves).enumerate() {
             let peers: Vec<NodeId> = persist_ids.iter().copied().filter(|&p| p != id).collect();
-            sim.add_node(
-                id,
-                DropletNode::Persist(PersistNode::new(
-                    sieve.clone(),
-                    fanout,
-                    peers,
-                    config.repair_period.map(Duration),
-                )),
-            );
+            let mut node =
+                PersistNode::new(sieve.clone(), fanout, peers, config.repair_period.map(Duration));
+            if config.ring_repair && config.persist_n > 1 {
+                // Ring adjacency follows persist_ids order — the same
+                // order slot ownership and range segments use, so
+                // neighbours hold the most overlapping sieve projections.
+                let n = persist_ids.len();
+                let mut neighbors = vec![persist_ids[(i + n - 1) % n], persist_ids[(i + 1) % n]];
+                neighbors.dedup();
+                node = node.with_ring_neighbors(neighbors);
+            }
+            sim.add_node(id, DropletNode::Persist(node));
         }
         Cluster {
             sim,
@@ -365,6 +392,7 @@ impl Cluster {
             next_req: 0,
             next_session: 0,
             fd_view: std::collections::HashMap::new(),
+            fd_epochs: None,
             audit: None,
         }
     }
@@ -480,6 +508,14 @@ impl Cluster {
     /// ride the simulated network from the node to itself, so they land a
     /// latency sample later — a detector, not an oracle.
     fn sync_failure_detector(&mut self) {
+        // Reachability can only have changed if a node's liveness or the
+        // partition map did; both bump an epoch counter. Same epochs since
+        // the last sweep ⇒ the pair scan below would inject nothing.
+        let epochs = (self.sim.liveness_epoch(), self.sim.net.topology_epoch());
+        if self.fd_epochs == Some(epochs) {
+            return;
+        }
+        self.fd_epochs = Some(epochs);
         let mut notices: Vec<(NodeId, DropletMsg)> = Vec::new();
         for (oi, &o) in self.soft_ids.iter().chain(self.persist_ids.iter()).enumerate() {
             if !self.sim.is_alive(o) {
@@ -553,10 +589,16 @@ impl Cluster {
     /// Picks a live entry node with the session's RNG stream; `None` when
     /// the whole soft tier is down.
     pub(crate) fn entry_for(&self, rng: &mut SmallRng) -> Option<NodeId> {
-        use rand::seq::SliceRandom;
-        let alive: Vec<NodeId> =
-            self.soft_ids.iter().copied().filter(|&s| self.sim.is_alive(s)).collect();
-        alive.choose(rng).copied()
+        use rand::Rng;
+        // Count-then-select instead of collecting the alive set: one
+        // `gen_range(0..alive)` draw either way (replay-identical to the
+        // old `choose` over a collected Vec), but no per-op allocation.
+        let alive = self.soft_ids.iter().filter(|&&s| self.sim.is_alive(s)).count();
+        if alive == 0 {
+            return None;
+        }
+        let pick = rng.gen_range(0..alive);
+        self.soft_ids.iter().copied().filter(|&s| self.sim.is_alive(s)).nth(pick)
     }
 
     /// Number of live persist nodes currently holding the latest version
@@ -608,6 +650,8 @@ impl Cluster {
         // failure-detector ledger rows to match, so the next sync re-tells
         // it about peers that are still down.
         self.fd_view.retain(|&(o, _), _| !self.soft_ids.contains(&o));
+        // The ledger changed without an epoch bump: force the next sweep.
+        self.fd_epochs = None;
     }
 
     /// Rebuilds the soft layer's metadata from the persistent layer.
@@ -770,6 +814,44 @@ mod tests {
         c.run_for(5_000);
         let after = c.replica_count(&Key::from("churn-key"));
         assert!(after >= before, "repair restores replication: {after} vs {before}");
+    }
+
+    #[test]
+    fn ring_repair_restores_replicas_after_transient_churn() {
+        // Same drill as above, with topology-aware peering: the far-pull
+        // escape hatch must keep revival gaps converging even though most
+        // rounds stay on the ring.
+        let mut c = Cluster::new(ClusterConfig::small().ring_repair(), 8);
+        c.settle();
+        let mut s = c.client();
+        let w = s.put(&mut c, "churn-key", b"z".to_vec(), None, None);
+        s.recv(&mut c, w).unwrap();
+        c.run_for(3_000);
+        let before = c.replica_count(&Key::from("churn-key"));
+        assert!(before >= 3);
+        let kh = Key::from("churn-key").hash();
+        let holders: Vec<NodeId> = c
+            .persist_ids()
+            .iter()
+            .copied()
+            .filter(|&id| {
+                c.sim
+                    .node(id)
+                    .and_then(DropletNode::as_persist)
+                    .is_some_and(|p| p.store.contains_key(&kh))
+            })
+            .take(2)
+            .collect();
+        for &h in &holders {
+            c.sim.kill(h);
+        }
+        c.run_for(1);
+        for &h in &holders {
+            c.sim.revive(h);
+        }
+        c.run_for(5_000);
+        let after = c.replica_count(&Key::from("churn-key"));
+        assert!(after >= before, "ring-biased repair restores replication: {after} vs {before}");
     }
 
     #[test]
@@ -973,7 +1055,8 @@ mod tests {
             .map(|tag| {
                 let pending = s.multi_get(c, tag);
                 let tuples = s.recv(c, pending).expect("multi_get completes");
-                let mut keys: Vec<String> = tuples.into_iter().map(|t| t.key.0).collect();
+                let mut keys: Vec<String> =
+                    tuples.into_iter().map(|t| t.key.as_str().to_owned()).collect();
                 keys.sort();
                 keys
             })
@@ -1161,7 +1244,7 @@ mod tests {
         let r = s.multi_get(&mut c, "feed:z");
         let feed = s.recv(&mut c, r).expect("completes");
         assert_eq!(feed.len(), 3);
-        assert!(feed.iter().all(|t| t.key.0 != "p:2"));
+        assert!(feed.iter().all(|t| t.key.as_str() != "p:2"));
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::cluster::Cluster;
 use crate::tuple::TupleSpec;
 use crate::workload::Workload;
 use dd_audit::VersionOracle;
+use dd_sim::metrics::Reservoir;
 use dd_sim::Time;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -177,8 +178,10 @@ pub(crate) struct PhaseStats {
     pub reads_absent: u64,
     pub stale_reads: u64,
     pub tuples_read: u64,
-    /// Completion latency of each successful op, in virtual ticks.
-    pub latencies: Vec<f64>,
+    /// Completion latency of successful ops, in virtual ticks — bounded
+    /// streaming aggregates plus retained samples for the quantiles
+    /// (exact until a phase outgrows the reservoir cap).
+    pub latencies: Reservoir,
 }
 
 /// One outstanding operation, as the engine tracks it.
@@ -301,7 +304,7 @@ impl Engine {
                 let st = &mut stats[op.phase];
                 if completion.is_ok() {
                     st.ok += 1;
-                    st.latencies.push(now.since(op.issued).0 as f64);
+                    st.latencies.observe(now.since(op.issued).0 as f64);
                 } else {
                     match completion.err() {
                         Some(OpError::Timeout) => st.timeouts += 1,

@@ -112,10 +112,11 @@ pub use cluster::{
 pub use dd_audit::{AuditReport, History, Violation};
 pub use driver::OpMix;
 pub use msg::DropletMsg;
+pub use persist::{PersistNode, RepairPeering};
 pub use scenario::{
     EnvChange, ErrorCounts, Fault, Phase, PhaseReport, Scenario, ScenarioReport, Tier,
 };
 pub use sieve_spec::SieveSpec;
 pub use soft::MultiPutStatus;
-pub use tuple::{Key, StoredTuple, TupleSpec};
+pub use tuple::{Key, StoredTuple, Tag, TupleSpec};
 pub use workload::{MultiPutOp, Workload, WorkloadKind};

@@ -2,7 +2,7 @@
 //! layers (the simulator hosts one process type per run).
 
 use crate::sieve_spec::SieveSpec;
-use crate::tuple::{Key, StoredTuple, TupleSpec};
+use crate::tuple::{Key, StoredTuple, Tag, TupleSpec};
 use bytes::Bytes;
 use dd_dht::Version;
 use dd_epidemic::antientropy::Summary;
@@ -29,7 +29,7 @@ pub enum DropletMsg {
         /// Optional numeric attribute.
         attr: Option<f64>,
         /// Optional correlation tag.
-        tag: Option<String>,
+        tag: Option<Tag>,
     },
     /// Read request.
     ClientGet {
@@ -76,7 +76,7 @@ pub enum DropletMsg {
         /// Request id.
         req: u64,
         /// Correlation tag (verbatim, as written).
-        tag: String,
+        tag: Tag,
     },
 
     // ------------------------------------------------------------------

@@ -24,6 +24,27 @@ pub const REPAIR_TIMER: TimerTag = TimerTag(0xFE4A);
 /// steady-state anti-entropy round, independent of store size.
 pub const REPAIR_BUCKETS: usize = 64;
 
+/// One round in [`FAR_PULL_PERIOD`] under ring-biased peering makes a
+/// uniform far pull instead of a neighbour pull.
+const FAR_PULL_PERIOD: u32 = 4;
+
+/// Repair-partner selection policy for the periodic anti-entropy round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepairPeering {
+    /// Uniform choice over every peer — the historical default. Kept as
+    /// the default so recorded scenario seeds replay byte-identically.
+    Random,
+    /// Topology-aware: most rounds pull from a ring neighbour (whose sieve
+    /// segment overlaps ours most under range placement, so divergence is
+    /// found where it concentrates), with a uniform far pull every fourth
+    /// round (`FAR_PULL_PERIOD`) so divergence that skipped the ring —
+    /// revival gaps, cross-class tombstones — still converges.
+    RingBiased {
+        /// The ring-adjacent peers (normally two; one in a two-node ring).
+        neighbors: Vec<NodeId>,
+    },
+}
+
 /// What a node with `sieve` wants: live tuples the sieve accepts, plus
 /// any tombstone (see [`PersistNode::wants`] for why tombstones are
 /// universal).
@@ -46,12 +67,18 @@ pub struct PersistNode {
     pub store: HashMap<u64, StoredTuple>,
     /// Repair period; `None` disables maintenance.
     pub repair_period: Option<Duration>,
+    /// How the periodic round picks its partner.
+    pub repair_peering: RepairPeering,
     /// Sketch capacity for aggregate replies.
     pub sketch_k: usize,
     /// Secondary index: tag hash → key hashes of live tuples carrying the
     /// tag. Serves tag-scoped reads ([`DropletMsg::TagFetch`]) without a
     /// store scan; maintained by [`PersistNode::apply`].
     tag_index: HashMap<u64, HashSet<u64>>,
+    /// Reusable bucket arrays for summary comparison: rounds that only
+    /// *compare* (the [`DropletMsg::RepairSummary`] leg) rebuild into this
+    /// scratch instead of allocating fresh buckets per exchange.
+    summary_scratch: Summary,
 }
 
 impl PersistNode {
@@ -69,9 +96,19 @@ impl PersistNode {
             peers,
             store: HashMap::new(),
             repair_period,
+            repair_peering: RepairPeering::Random,
             sketch_k: 256,
             tag_index: HashMap::new(),
+            summary_scratch: Summary::new(REPAIR_BUCKETS),
         }
+    }
+
+    /// Builder: switch the periodic round to ring-biased peering with the
+    /// given ring-adjacent peers.
+    #[must_use]
+    pub fn with_ring_neighbors(mut self, neighbors: Vec<NodeId>) -> Self {
+        self.repair_peering = RepairPeering::RingBiased { neighbors };
+        self
     }
 
     /// Number of live (non-tombstone) tuples held.
@@ -177,6 +214,26 @@ impl PersistNode {
                 .filter(|t| wants_with(their_sieve, t))
                 .map(|t| RumorId(t.rumor_id())),
         )
+    }
+
+    /// Buckets where our shared projection diverges from the peer's
+    /// summary. Semantically `self.shared_summary(their_sieve)
+    /// .diff(theirs)`, but the local summary is rebuilt into the node's
+    /// scratch buckets, so the steady-state compare leg is allocation-free
+    /// apart from the returned (usually empty) diff.
+    #[must_use]
+    pub fn shared_summary_diff(&mut self, their_sieve: &SieveSpec, theirs: &Summary) -> Vec<u32> {
+        let mut scratch = std::mem::take(&mut self.summary_scratch);
+        scratch.rebuild(
+            REPAIR_BUCKETS,
+            self.store
+                .values()
+                .filter(|t| wants_with(their_sieve, t))
+                .map(|t| RumorId(t.rumor_id())),
+        );
+        let diff = scratch.diff(theirs);
+        self.summary_scratch = scratch;
+        diff
     }
 
     /// Our shared-projection ids falling in `buckets` (sorted, so wire
@@ -397,7 +454,7 @@ impl PersistNode {
             DropletMsg::RepairSummary { sieve, summary } => {
                 // Step 3: compare against our own shared projection; equal
                 // summaries end the round at two constant-size messages.
-                let diff = self.shared_summary(&sieve).diff(&summary);
+                let diff = self.shared_summary_diff(&sieve, &summary);
                 if diff.is_empty() {
                     ctx.metrics().incr("repair.clean");
                 } else {
@@ -451,12 +508,29 @@ impl PersistNode {
         }
     }
 
+    /// Picks this round's repair partner under the configured policy.
+    /// Under [`RepairPeering::Random`] this consumes exactly one uniform
+    /// draw, identical to the historical `peers.choose` — recorded seeds
+    /// keep replaying byte-for-byte.
+    fn pick_repair_peer<R: Rng>(&self, rng: &mut R) -> Option<NodeId> {
+        match &self.repair_peering {
+            RepairPeering::RingBiased { neighbors } if !neighbors.is_empty() => {
+                if rng.gen_range(0..FAR_PULL_PERIOD) > 0 {
+                    neighbors.choose(rng).copied()
+                } else {
+                    self.peers.choose(rng).copied()
+                }
+            }
+            _ => self.peers.choose(rng).copied(),
+        }
+    }
+
     /// Handles the repair timer.
     pub fn on_timer(&mut self, ctx: &mut Ctx<'_, DropletMsg>, tag: TimerTag) {
         if tag != REPAIR_TIMER {
             return;
         }
-        if let Some(&peer) = self.peers.choose(ctx.rng()) {
+        if let Some(peer) = self.pick_repair_peer(ctx.rng()) {
             ctx.send(peer, DropletMsg::RepairDigest { sieve: self.sieve.clone() });
         }
         if let Some(period) = self.repair_period {
@@ -610,7 +684,7 @@ mod tests {
         // a → b: RepairDigest{a.sieve}; b → a: RepairSummary.
         let summary_b = b.shared_summary(&a.sieve);
         let mut msgs = 2;
-        let diff = a.shared_summary(&b.sieve).diff(&summary_b);
+        let diff = a.shared_summary_diff(&b.sieve, &summary_b);
         if diff.is_empty() {
             return msgs;
         }
@@ -640,6 +714,75 @@ mod tests {
             a_to_b = !a_to_b;
         }
         msgs
+    }
+
+    #[test]
+    fn scratch_diff_agrees_with_fresh_summaries_across_rounds() {
+        let all = SieveSpec::Range { index: 0, of: 1, r: 1 };
+        let mut a = PersistNode::new(all.clone(), 2, vec![], None);
+        let mut b = PersistNode::new(all, 2, vec![], None);
+        for i in 0..40 {
+            a.apply(tuple(&format!("k{i}"), 1));
+            if i % 3 != 0 {
+                b.apply(tuple(&format!("k{i}"), 1));
+            }
+        }
+        // Several rounds over a changing store: the reused scratch must
+        // match a freshly allocated summary every time.
+        let (a_sieve, b_sieve) = (a.sieve.clone(), b.sieve.clone());
+        for round in 0..4 {
+            let theirs = b.shared_summary(&a_sieve);
+            let fresh = a.shared_summary(&b_sieve).diff(&theirs);
+            let scratch = a.shared_summary_diff(&b_sieve, &theirs);
+            assert_eq!(scratch, fresh, "round {round}");
+            a.apply(tuple(&format!("extra{round}"), 1));
+        }
+    }
+
+    #[test]
+    fn ring_biased_rounds_pull_mostly_from_neighbours() {
+        use rand::SeedableRng;
+        let all = SieveSpec::Range { index: 0, of: 1, r: 1 };
+        let peers: Vec<NodeId> = (1..=10).map(NodeId).collect();
+        let neighbours = vec![NodeId(1), NodeId(10)];
+        let n = PersistNode::new(all, 2, peers, Some(Duration(100)))
+            .with_ring_neighbors(neighbours.clone());
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0xCA117);
+        let rounds = 1_000;
+        let mut neighbour_pulls = 0usize;
+        let mut far_pulls = 0usize;
+        for _ in 0..rounds {
+            let peer = n.pick_repair_peer(&mut rng).expect("peers nonempty");
+            if neighbours.contains(&peer) {
+                neighbour_pulls += 1;
+            } else {
+                far_pulls += 1;
+            }
+        }
+        // Expected neighbour share is 3/4 + 1/4·(2/10) = 0.8; a calm node
+        // should spend the clear majority of rounds on its ring
+        // neighbours while still making some far pulls for mixing.
+        assert!(
+            neighbour_pulls * 3 > rounds * 2,
+            "neighbour pulls dominate: {neighbour_pulls}/{rounds}"
+        );
+        assert!(far_pulls > 0, "far pulls still occur for long-range mixing");
+    }
+
+    #[test]
+    fn random_peering_is_the_default_and_draws_uniformly() {
+        use rand::SeedableRng;
+        let all = SieveSpec::Range { index: 0, of: 1, r: 1 };
+        let peers: Vec<NodeId> = (1..=4).map(NodeId).collect();
+        let n = PersistNode::new(all, 2, peers.clone(), Some(Duration(100)));
+        assert_eq!(n.repair_peering, RepairPeering::Random);
+        // One draw per round, same as `peers.choose` — the property the
+        // determinism replay suite depends on.
+        let mut a = rand::rngs::SmallRng::seed_from_u64(7);
+        let mut b = rand::rngs::SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(n.pick_repair_peer(&mut a), peers.choose(&mut b).copied());
+        }
     }
 
     fn sorted_ids(n: &PersistNode) -> Vec<u64> {

@@ -40,7 +40,7 @@ use crate::cluster::Cluster;
 use crate::driver::{Engine, OpMix, PhaseStats};
 use crate::workload::{Workload, WorkloadKind};
 use dd_sim::churn::{ChurnEvent, ChurnModel, ChurnSchedule};
-use dd_sim::metrics::{quantiles_of, Summary};
+use dd_sim::metrics::{Reservoir, Window};
 use dd_sim::rng::{mix, stream_rng};
 use dd_sim::{Duration, LatencyModel, NetChange, NodeId, Time};
 use rand::seq::SliceRandom;
@@ -473,20 +473,27 @@ impl Cluster {
         let mut shared = Workload::new(scenario.workload, mix(scenario.seed, 0x3057));
         let mut stats: Vec<PhaseStats> =
             scenario.phases.iter().map(|_| PhaseStats::default()).collect();
-        // Per-phase (net.sent, contact-series length) at phase start; the
-        // windows are cut after the final drain so the last phase's
-        // accounting includes what its stragglers sent.
-        let mut starts: Vec<(u64, usize)> = Vec::with_capacity(scenario.phases.len());
+        // Per-phase net.sent at phase start; the windows are cut after
+        // the final drain so the last phase's accounting includes what
+        // its stragglers sent. Contact accounting rides the metrics
+        // sink's O(1) windows: taking the window at each phase boundary
+        // yields the finished phase's exact count/sum/max without ever
+        // slicing (or retaining) an unbounded series.
+        let mut starts: Vec<u64> = Vec::with_capacity(scenario.phases.len());
+        let mut contact_windows: Vec<Window> = Vec::with_capacity(scenario.phases.len());
         let mut next_harness = 0usize;
 
         for (pi, phase) in scenario.phases.iter().enumerate() {
             self.set_audit_phase(Some(pi as u32));
             let phase_start = self.sim.now();
             let phase_end = phase_start + Duration(phase.ticks);
-            starts.push((
-                self.sim.metrics().counter("net.sent"),
-                self.sim.metrics().series("multi_get.contacted_nodes").len(),
-            ));
+            starts.push(self.sim.metrics().counter("net.sent"));
+            // The take at phase 0 discards pre-scenario accumulation;
+            // every later take closes out the previous phase's window.
+            let w = self.sim.metrics_mut().take_window("multi_get.contacted_nodes");
+            if pi > 0 {
+                contact_windows.push(w);
+            }
             if !phase.mix.is_idle() {
                 engine.open_sessions(self, phase.sessions);
             }
@@ -546,22 +553,18 @@ impl Cluster {
         // convergence settling, so the core of an audited report equals
         // the unaudited one exactly.
         let msgs_end = self.sim.metrics().counter("net.sent");
-        let contacts_end = self.sim.metrics().series("multi_get.contacted_nodes").len();
+        contact_windows.push(self.sim.metrics_mut().take_window("multi_get.contacted_nodes"));
         let run_ticks = self.sim.now().since(start).0;
         let run_msgs = msgs_end - msgs_at_start;
         let audit = scenario.audited.then(|| self.finish_audit());
         let mut phases = Vec::with_capacity(scenario.phases.len());
-        let mut all_latencies: Vec<f64> = Vec::new();
+        let mut all_latencies = Reservoir::new();
         for (pi, (phase, st)) in scenario.phases.iter().zip(&stats).enumerate() {
-            let (msgs_start, contacts_start) = starts[pi];
-            let (next_msgs, next_contacts) =
-                starts.get(pi + 1).copied().unwrap_or((msgs_end, contacts_end));
-            let contacts = Summary::of(
-                &self.sim.metrics().series("multi_get.contacted_nodes")
-                    [contacts_start..next_contacts],
-            );
-            let q = quantiles_of(&st.latencies, &[0.5, 0.95]);
-            all_latencies.extend_from_slice(&st.latencies);
+            let msgs_start = starts[pi];
+            let next_msgs = starts.get(pi + 1).copied().unwrap_or(msgs_end);
+            let contacts = contact_windows[pi];
+            let q = st.latencies.quantiles(&[0.5, 0.95]);
+            all_latencies.merge(&st.latencies);
             phases.push(PhaseReport {
                 name: phase.name.clone(),
                 ticks: phase.ticks,
@@ -579,11 +582,11 @@ impl Cluster {
                 latency_p50: q[0].unwrap_or(0.0),
                 latency_p95: q[1].unwrap_or(0.0),
                 msgs: next_msgs - msgs_start,
-                contacts_mean: contacts.mean,
+                contacts_mean: contacts.mean(),
                 contacts_max: contacts.max,
             });
         }
-        let q = quantiles_of(&all_latencies, &[0.5, 0.95]);
+        let q = all_latencies.quantiles(&[0.5, 0.95]);
         ScenarioReport {
             name: scenario.name.clone(),
             phases,

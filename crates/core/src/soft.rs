@@ -8,7 +8,7 @@ use dd_dht::{HashRing, Metadata, TupleCache, Version, VersionAuthority};
 use dd_epidemic::required_fanout;
 use dd_estimation::ExtremaEstimator;
 use dd_sieve::TagSieve;
-use dd_sim::rng::{stable_hash, stream_rng};
+use dd_sim::rng::stream_rng;
 use dd_sim::{Ctx, Duration, NodeId, Time, TimerTag};
 use rand::seq::SliceRandom;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -577,7 +577,7 @@ impl SoftNode {
         let tuple = if delete {
             StoredTuple::tombstone(item.key, version)
         } else {
-            StoredTuple::new(item.key, version, item.value, item.attr, item.tag.as_deref())
+            StoredTuple::from_spec(item, version)
         };
         self.metadata.record_write(key_hash, version, &[]);
         self.cache.put(key_hash, version, tuple.clone());
@@ -744,7 +744,7 @@ impl SoftNode {
     /// tombstones dropped — and orders by attribute then key (the reply
     /// order of scans and tag-scoped reads alike).
     fn finalize_gather(items: Vec<StoredTuple>) -> Vec<StoredTuple> {
-        let mut latest: HashMap<u64, StoredTuple> = HashMap::new();
+        let mut latest: HashMap<u64, StoredTuple> = HashMap::with_capacity(items.len());
         for t in items {
             match latest.get(&t.key_hash) {
                 Some(e) if e.version >= t.version => {}
@@ -893,7 +893,7 @@ impl SoftNode {
                 }
             }
             DropletMsg::ClientMultiGet { req, tag } => {
-                let tag_hash = stable_hash(tag.as_bytes());
+                let tag_hash = tag.hash();
                 // Tag-scoped reads have a deterministic coordinator, like
                 // keys: route by the tag's position in the soft ring.
                 if !self.is_coordinator(me, tag_hash) {

@@ -4,39 +4,189 @@
 //! optional pieces of metadata the paper's placement strategies exploit —
 //! a numeric attribute (distribution-aware sieves, ordered overlays,
 //! §III-B) and a correlation tag (collocation sieves, §III-B-1).
+//!
+//! Keys and tags are *interned*: the text lives behind a shared
+//! [`Arc<str>`] and its position in the hashed key space is computed once
+//! at construction. Cloning a [`Key`] or [`Tag`] — which the message
+//! plane does on every dissemination hop, delivery batch and repair
+//! exchange — is a reference-count bump, not a heap allocation, and
+//! [`Key::hash`] is a field read. Equality, ordering and `Hash` are
+//! defined on the text, so interned keys behave exactly like the
+//! `String`-backed keys they replaced.
 
 use bytes::Bytes;
 use dd_dht::Version;
 use dd_sieve::ItemMeta;
 use dd_sim::rng::{mix, stable_hash};
+use std::sync::Arc;
 
-/// A tuple key: UTF-8 text hashed to a uniform 64-bit key space.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Key(pub String);
+/// A tuple key: UTF-8 text hashed to a uniform 64-bit key space. The
+/// text is interned (`Arc<str>`) and the hash cached, so clones are
+/// cheap and hot-path routing never re-hashes.
+#[derive(Clone)]
+pub struct Key {
+    text: Arc<str>,
+    hash: u64,
+}
 
 impl Key {
-    /// The key's position in the hashed key space.
+    /// Interns `text` as a key, hashing it once.
+    #[must_use]
+    pub fn new(text: impl Into<Arc<str>>) -> Self {
+        let text = text.into();
+        let hash = stable_hash(text.as_bytes());
+        Key { text, hash }
+    }
+
+    /// The key's position in the hashed key space (cached).
     #[must_use]
     pub fn hash(&self) -> u64 {
-        stable_hash(self.0.as_bytes())
+        self.hash
+    }
+
+    /// The key text.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+}
+
+impl PartialEq for Key {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.text, &other.text) || (self.hash == other.hash && self.text == other.text)
+    }
+}
+
+impl Eq for Key {}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if Arc::ptr_eq(&self.text, &other.text) {
+            std::cmp::Ordering::Equal
+        } else {
+            self.text.cmp(&other.text)
+        }
+    }
+}
+
+impl std::hash::Hash for Key {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.text.hash(state);
+    }
+}
+
+impl std::fmt::Debug for Key {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Key").field(&self.text).finish()
     }
 }
 
 impl From<&str> for Key {
     fn from(s: &str) -> Self {
-        Key(s.to_owned())
+        Key::new(s)
     }
 }
 
 impl From<String> for Key {
     fn from(s: String) -> Self {
-        Key(s)
+        Key::new(s)
     }
 }
 
 impl std::fmt::Display for Key {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.text)
+    }
+}
+
+/// A correlation tag, interned like [`Key`]: shared text, hash computed
+/// once. Batched writes clone the batch's tag into every item and the
+/// write path hashes it for slot routing — both now O(1).
+#[derive(Clone)]
+pub struct Tag {
+    text: Arc<str>,
+    hash: u64,
+}
+
+impl Tag {
+    /// Interns `text` as a tag, hashing it once.
+    #[must_use]
+    pub fn new(text: impl Into<Arc<str>>) -> Self {
+        let text = text.into();
+        let hash = stable_hash(text.as_bytes());
+        Tag { text, hash }
+    }
+
+    /// The tag's position in the hashed tag space (cached).
+    #[must_use]
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// The tag text.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+}
+
+impl PartialEq for Tag {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.text, &other.text) || (self.hash == other.hash && self.text == other.text)
+    }
+}
+
+impl Eq for Tag {}
+
+impl PartialOrd for Tag {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Tag {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if Arc::ptr_eq(&self.text, &other.text) {
+            std::cmp::Ordering::Equal
+        } else {
+            self.text.cmp(&other.text)
+        }
+    }
+}
+
+impl std::hash::Hash for Tag {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.text.hash(state);
+    }
+}
+
+impl std::fmt::Debug for Tag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Tag").field(&self.text).finish()
+    }
+}
+
+impl From<&str> for Tag {
+    fn from(s: &str) -> Self {
+        Tag::new(s)
+    }
+}
+
+impl From<String> for Tag {
+    fn from(s: String) -> Self {
+        Tag::new(s)
+    }
+}
+
+impl std::fmt::Display for Tag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
     }
 }
 
@@ -53,7 +203,7 @@ pub struct TupleSpec {
     pub attr: Option<f64>,
     /// Optional correlation tag (shared by the batch in the mput of the
     /// social-feed workload, but free per item).
-    pub tag: Option<String>,
+    pub tag: Option<Tag>,
 }
 
 impl TupleSpec {
@@ -65,7 +215,7 @@ impl TupleSpec {
         attr: Option<f64>,
         tag: Option<&str>,
     ) -> Self {
-        TupleSpec { key: key.into(), value: value.into(), attr, tag: tag.map(str::to_owned) }
+        TupleSpec { key: key.into(), value: value.into(), attr, tag: tag.map(Tag::from) }
     }
 }
 
@@ -112,6 +262,22 @@ impl StoredTuple {
         }
     }
 
+    /// Builds a live tuple from a batch item, reusing the spec's interned
+    /// key and cached hashes (no re-hashing on the write path).
+    #[must_use]
+    pub fn from_spec(spec: TupleSpec, version: Version) -> Self {
+        let key_hash = spec.key.hash();
+        StoredTuple {
+            key: spec.key,
+            key_hash,
+            version,
+            value: spec.value,
+            attr: spec.attr,
+            tag_hash: spec.tag.as_ref().map(Tag::hash),
+            deleted: false,
+        }
+    }
+
     /// Builds a tombstone superseding earlier versions of `key`.
     #[must_use]
     pub fn tombstone(key: Key, version: Version) -> Self {
@@ -149,6 +315,9 @@ mod tests {
     fn key_hash_is_stable_and_discriminating() {
         assert_eq!(Key::from("a").hash(), Key::from("a").hash());
         assert_ne!(Key::from("a").hash(), Key::from("b").hash());
+        // The cached hash is the stable hash of the text — identical to
+        // what the String-backed keys computed per call.
+        assert_eq!(Key::from("a").hash(), stable_hash(b"a"));
     }
 
     #[test]
@@ -157,6 +326,45 @@ mod tests {
         assert_eq!(k.to_string(), "users:7");
         let k2: Key = String::from("users:7").into();
         assert_eq!(k, k2);
+        assert_eq!(k.as_str(), "users:7");
+    }
+
+    #[test]
+    fn interned_keys_compare_like_strings() {
+        let mut keys: Vec<Key> = ["b", "a", "ab", "a", ""].iter().map(|&s| Key::from(s)).collect();
+        keys.sort();
+        let texts: Vec<&str> = keys.iter().map(Key::as_str).collect();
+        assert_eq!(texts, vec!["", "a", "a", "ab", "b"]);
+        // Clones share the interned text and stay equal.
+        let k = Key::from("x");
+        assert_eq!(k, k.clone());
+    }
+
+    #[test]
+    fn interned_key_std_hash_matches_text_hash() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash_of = |h: &dyn Fn(&mut DefaultHasher)| {
+            let mut s = DefaultHasher::new();
+            h(&mut s);
+            s.finish()
+        };
+        let k = Key::from("user:1");
+        let s = String::from("user:1");
+        // UFCS: the inherent `Key::hash()` (cached u64) shadows the trait
+        // method in method-call position.
+        assert_eq!(hash_of(&|h| Hash::hash(&k, h)), hash_of(&|h| Hash::hash(&s, h)));
+    }
+
+    #[test]
+    fn tags_intern_like_keys() {
+        let t = Tag::from("feed:3");
+        assert_eq!(t.hash(), stable_hash(b"feed:3"));
+        assert_eq!(t.as_str(), "feed:3");
+        assert_eq!(t.to_string(), "feed:3");
+        assert_eq!(t, t.clone());
+        assert_ne!(Tag::from("feed:3"), Tag::from("feed:4"));
+        assert!(Tag::from("a") < Tag::from("b"));
     }
 
     #[test]
@@ -166,6 +374,14 @@ mod tests {
         assert!(!t.deleted);
         assert_eq!(t.item_meta().attr, Some(2.0));
         assert!(t.item_meta().tag_hash.is_some());
+    }
+
+    #[test]
+    fn from_spec_reuses_cached_hashes() {
+        let spec = TupleSpec::new("s", b"v".to_vec(), Some(1.0), Some("g"));
+        let direct = StoredTuple::new("s".into(), Version(3), b"v".to_vec(), Some(1.0), Some("g"));
+        let via_spec = StoredTuple::from_spec(spec, Version(3));
+        assert_eq!(via_spec, direct);
     }
 
     #[test]

@@ -198,3 +198,99 @@ proptest! {
         prop_assert_eq!(sequential, pipelined, "same final state and per-key results");
     }
 }
+
+/// PR 7 interning regression: an interned [`Key`]/[`Tag`] must be
+/// observationally identical to the `String` it replaced — same
+/// equality, ordering and `std::hash::Hash`, same sieve routing and the
+/// same tag-slot placement (the cached hash *is* the stable hash the old
+/// code recomputed per call). Seed-replayed whole-run equivalence is
+/// covered by `tests/determinism_replay.rs`; these properties pin the
+/// primitives for arbitrary text.
+mod interning {
+    use super::*;
+    use dd_core::Tag;
+    use dd_sieve::TagSieve;
+    use dd_sim::rng::stable_hash;
+    use std::collections::BTreeMap;
+    use std::hash::{BuildHasher, RandomState};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Eq/Ord/Hash of interned keys and tags agree with the string
+        /// semantics they replaced, including via clones (which share
+        /// the interned text).
+        #[test]
+        fn key_and_tag_relations_match_strings(
+            a in "[a-z0-9:/_-]{0,24}",
+            b in "[a-z0-9:/_-]{0,24}",
+        ) {
+            let (ka, kb) = (Key::from(a.as_str()), Key::from(b.as_str()));
+            prop_assert_eq!(ka == kb, a == b);
+            prop_assert_eq!(ka.cmp(&kb), a.cmp(&b));
+            prop_assert_eq!(ka.clone().cmp(&kb), a.cmp(&b));
+            let s = RandomState::new();
+            prop_assert_eq!(s.hash_one(&ka), s.hash_one(a.as_str()));
+            let (ta, tb) = (Tag::from(a.as_str()), Tag::from(b.as_str()));
+            prop_assert_eq!(ta == tb, a == b);
+            prop_assert_eq!(ta.cmp(&tb), a.cmp(&b));
+            prop_assert_eq!(s.hash_one(&ta), s.hash_one(a.as_str()));
+        }
+
+        /// A map keyed by interned keys sorts, deduplicates and looks up
+        /// exactly like one keyed by the raw strings.
+        #[test]
+        fn keyed_maps_behave_like_string_maps(
+            texts in prop::collection::vec("[a-z0-9]{0,12}", 1..24),
+        ) {
+            let by_key: BTreeMap<Key, usize> =
+                texts.iter().enumerate().map(|(i, t)| (Key::from(t.as_str()), i)).collect();
+            let by_str: BTreeMap<&str, usize> =
+                texts.iter().enumerate().map(|(i, t)| (t.as_str(), i)).collect();
+            prop_assert_eq!(by_key.len(), by_str.len());
+            let keys: Vec<&str> = by_key.keys().map(Key::as_str).collect();
+            let strs: Vec<&str> = by_str.keys().copied().collect();
+            prop_assert_eq!(keys, strs, "same iteration order");
+            for (t, i) in &by_str {
+                prop_assert_eq!(by_key.get(&Key::from(*t)), Some(i));
+            }
+        }
+
+        /// Sieve routing is unchanged: the tuple's cached key hash puts
+        /// it in exactly the sieves that accepted the un-interned key.
+        #[test]
+        fn sieve_routing_is_preserved(
+            n in 1u64..48,
+            r in 1u32..6,
+            key in "[a-z0-9:/_-]{1,32}",
+        ) {
+            let tuple = StoredTuple::new(
+                Key::from(key.as_str()), Version(1), b"v".to_vec(), None, None);
+            prop_assert_eq!(tuple.key_hash, stable_hash(key.as_bytes()));
+            for i in 0..n {
+                let spec = SieveSpec::default_for(i, n, r);
+                prop_assert_eq!(
+                    spec.accepts(&tuple.item_meta()),
+                    spec.accepts(&ItemMeta::from_key(key.as_bytes())),
+                    "sieve {} disagrees for {:?}", i, &key
+                );
+            }
+        }
+
+        /// Tag-slot placement is unchanged: the interned tag's cached
+        /// hash lands a batch on the same slot owners the per-call hash
+        /// of the text did.
+        #[test]
+        fn tag_slot_placement_is_preserved(
+            tag in "[a-z0-9:/_-]{1,24}",
+            slots in 1u64..64,
+            r in 1u32..6,
+        ) {
+            let interned = Tag::from(tag.as_str());
+            prop_assert_eq!(
+                TagSieve::tag_slots(interned.hash(), slots, r),
+                TagSieve::tag_slots(stable_hash(tag.as_bytes()), slots, r)
+            );
+        }
+    }
+}

@@ -61,6 +61,34 @@ impl Summary {
         s
     }
 
+    /// Clears every bucket in place, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.xors.fill(0);
+        self.counts.fill(0);
+    }
+
+    /// Rebuilds the summary over `ids` in place. Equivalent to
+    /// [`Summary::from_ids`] but reuses the bucket arrays, so a node
+    /// re-summarising its store every repair round allocates once, not
+    /// once per exchange. Adapts the geometry when `buckets` differs.
+    ///
+    /// # Panics
+    /// Panics if `buckets` is zero.
+    pub fn rebuild(&mut self, buckets: usize, ids: impl IntoIterator<Item = RumorId>) {
+        assert!(buckets > 0, "summary needs at least one bucket");
+        if self.xors.len() == buckets {
+            self.clear();
+        } else {
+            self.xors.clear();
+            self.xors.resize(buckets, 0);
+            self.counts.clear();
+            self.counts.resize(buckets, 0);
+        }
+        for id in ids {
+            self.insert(id);
+        }
+    }
+
     /// The bucket an id folds into, for `buckets` buckets.
     #[must_use]
     pub fn bucket_of(buckets: usize, id: RumorId) -> usize {
@@ -346,5 +374,32 @@ mod tests {
     #[should_panic(expected = "at least one bucket")]
     fn zero_bucket_summary_is_rejected() {
         let _ = Summary::new(0);
+    }
+
+    #[test]
+    fn rebuild_matches_from_ids_across_rounds_and_geometries() {
+        let mut scratch = Summary::default();
+        // Successive rounds over different id sets, same scratch: each
+        // rebuild must be indistinguishable from a fresh construction.
+        for round in 0..4u64 {
+            let ids: Vec<RumorId> = (0..50 + round * 30).map(|i| RumorId(mix(i, round))).collect();
+            scratch.rebuild(16, ids.iter().copied());
+            assert_eq!(scratch, Summary::from_ids(16, ids.iter().copied()), "round {round}");
+        }
+        // A geometry change mid-stream resizes and stays correct.
+        let ids: Vec<RumorId> = (0..64u64).map(RumorId).collect();
+        scratch.rebuild(8, ids.iter().copied());
+        assert_eq!(scratch, Summary::from_ids(8, ids.iter().copied()));
+        assert_eq!(scratch.bucket_count(), 8);
+    }
+
+    #[test]
+    fn clear_empties_without_changing_geometry() {
+        let mut s = Summary::from_ids(16, (0..100u64).map(RumorId));
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.bucket_count(), 16);
+        assert_eq!(s, Summary::new(16));
     }
 }

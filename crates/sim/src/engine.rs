@@ -161,6 +161,11 @@ pub struct SimConfig {
     pub seed: u64,
     /// Network model.
     pub net: NetConfig,
+    /// Initial capacity of the event queue. Large populations schedule
+    /// thousands of events per tick; pre-sizing the heap from a
+    /// population-derived estimate avoids repeated regrowth during the
+    /// opening dissemination burst.
+    pub queue_capacity: usize,
 }
 
 impl SimConfig {
@@ -175,6 +180,13 @@ impl SimConfig {
     #[must_use]
     pub fn net(mut self, net: NetConfig) -> Self {
         self.net = net;
+        self
+    }
+
+    /// Pre-sizes the event queue (builder style).
+    #[must_use]
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
         self
     }
 }
@@ -195,6 +207,10 @@ pub struct Sim<P: Process> {
     metrics: Metrics,
     net_rng: SmallRng,
     effects: Vec<Effect<P::Msg>>,
+    /// Bumped on every actual liveness transition (down, up, removal).
+    /// [`Sim::is_alive`] answers can only change when this does — the
+    /// companion of [`NetConfig::topology_epoch`] for sweep gating.
+    liveness_epoch: u64,
 }
 
 impl<P: Process> Sim<P> {
@@ -203,7 +219,7 @@ impl<P: Process> Sim<P> {
     pub fn new(config: SimConfig) -> Self {
         Sim {
             nodes: BTreeMap::new(),
-            queue: BinaryHeap::new(),
+            queue: BinaryHeap::with_capacity(config.queue_capacity),
             now: Time::ZERO,
             seq: 0,
             seed: config.seed,
@@ -211,6 +227,7 @@ impl<P: Process> Sim<P> {
             metrics: Metrics::new(),
             net_rng: stream_rng(config.seed, u64::MAX),
             effects: Vec::new(),
+            liveness_epoch: 0,
         }
     }
 
@@ -302,7 +319,20 @@ impl<P: Process> Sim<P> {
 
     /// Permanently removes the node and its state (disk loss).
     pub fn remove(&mut self, id: NodeId) -> Option<P> {
-        self.nodes.remove(&id).map(|s| s.proc)
+        let removed = self.nodes.remove(&id).map(|s| s.proc);
+        if removed.is_some() {
+            self.liveness_epoch += 1;
+        }
+        removed
+    }
+
+    /// Monotonic counter of liveness transitions (a node actually going
+    /// down, coming up, or being removed). [`Sim::is_alive`] answers are
+    /// stable while this is unchanged, so whole-population sweeps can be
+    /// skipped between transitions.
+    #[must_use]
+    pub fn liveness_epoch(&self) -> u64 {
+        self.liveness_epoch
     }
 
     /// Schedules a transient failure at absolute time `at`.
@@ -387,6 +417,7 @@ impl<P: Process> Sim<P> {
                         slot.alive = false;
                         slot.epoch += 1;
                         slot.proc.on_down();
+                        self.liveness_epoch += 1;
                         self.metrics.incr("churn.down");
                     }
                 }
@@ -397,6 +428,7 @@ impl<P: Process> Sim<P> {
                     if let Some(slot) = self.nodes.get_mut(&id) {
                         slot.alive = true;
                     }
+                    self.liveness_epoch += 1;
                     self.metrics.incr("churn.up");
                     self.dispatch(id, Dispatch::Up);
                 }

@@ -3,14 +3,233 @@
 //! Experiments read these after a run to produce the rows of each
 //! table/figure. Keys are `&'static str` to keep the hot path
 //! allocation-free.
+//!
+//! Series are **O(1) per observation and bounded in memory**: every
+//! series keeps streaming aggregates (count, running sum, min, max — all
+//! exact regardless of length) plus a [`Reservoir`] of retained samples
+//! for quantiles. Below [`RESERVOIR_CAP`] observations the reservoir
+//! holds the series verbatim, so short runs report *exactly* what an
+//! unbounded `Vec` would have — quantiles, means and summaries are
+//! byte-identical, which the determinism replay suite depends on. Beyond
+//! the cap the reservoir degrades gracefully to a uniform subsample
+//! (classic algorithm R) driven by a self-contained xorshift, never the
+//! simulation RNG, so metrics can never perturb a run.
 
 use std::collections::BTreeMap;
+
+/// Samples a series retains for quantile queries. Below this count a
+/// series is stored exactly; beyond it, a uniform reservoir subsample.
+pub const RESERVOIR_CAP: usize = 4096;
+
+/// Seed of every reservoir's private xorshift. A fixed constant: the
+/// replacement pattern is deterministic per series, independent of the
+/// simulation seed and of every other series.
+const RESERVOIR_RNG_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// A bounded value series: exact streaming aggregates plus a capped
+/// sample set for quantiles. The building block behind [`Metrics`]
+/// series, also usable standalone (e.g. per-phase latency accounting).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reservoir {
+    n: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    samples: Vec<f64>,
+    rng: u64,
+}
+
+impl Default for Reservoir {
+    fn default() -> Self {
+        Reservoir::new()
+    }
+}
+
+impl Reservoir {
+    /// An empty reservoir.
+    #[must_use]
+    pub fn new() -> Self {
+        Reservoir {
+            n: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            samples: Vec::new(),
+            rng: RESERVOIR_RNG_SEED,
+        }
+    }
+
+    /// Records one observation: O(1), no allocation once the sample
+    /// buffer has grown to its bound.
+    pub fn observe(&mut self, v: f64) {
+        self.n += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        if self.samples.len() < RESERVOIR_CAP {
+            self.samples.push(v);
+        } else {
+            // Algorithm R: keep each of the n observations with equal
+            // probability CAP/n.
+            let j = (xorshift(&mut self.rng) % self.n) as usize;
+            if j < RESERVOIR_CAP {
+                self.samples[j] = v;
+            }
+        }
+    }
+
+    /// Observations recorded (the true count, not the retained count).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n as usize
+    }
+
+    /// True when nothing has been observed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Whether the retained samples are the full series (true until the
+    /// series outgrows [`RESERVOIR_CAP`]).
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        self.n as usize <= RESERVOIR_CAP
+    }
+
+    /// The retained samples: the whole series while [`Reservoir::is_exact`],
+    /// a uniform subsample after.
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Mean of *all* observations (exact at any length), `None` when
+    /// empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.sum / self.n as f64)
+    }
+
+    /// Nearest-rank quantiles over the retained samples — exact while
+    /// the series is, approximate beyond the cap except for the extremes
+    /// (p = 0 and p = 1 answer from the exact streaming min/max).
+    #[must_use]
+    pub fn quantiles(&self, ps: &[f64]) -> Vec<Option<f64>> {
+        let mut qs = quantiles_of(&self.samples, ps);
+        if !self.is_exact() {
+            for (q, &p) in qs.iter_mut().zip(ps) {
+                if p <= 0.0 {
+                    *q = Some(self.min);
+                } else if p >= 1.0 {
+                    *q = Some(self.max);
+                }
+            }
+        }
+        qs
+    }
+
+    /// Summary statistics: `n`, `mean`, `min`, `max` are exact at any
+    /// length; `std_dev` is computed over the retained samples around the
+    /// exact mean (so it too is exact while the series is).
+    #[must_use]
+    pub fn summary(&self) -> Summary {
+        if self.n == 0 {
+            return Summary { n: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0 };
+        }
+        let mean = self.sum / self.n as f64;
+        let var = if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+                / self.samples.len() as f64
+        };
+        Summary { n: self.n as usize, mean, std_dev: var.sqrt(), min: self.min, max: self.max }
+    }
+
+    /// Folds another reservoir in. Aggregates (`n`, sum, min, max) merge
+    /// exactly; samples concatenate while the result stays within the
+    /// cap (matching what a `Vec` concatenation would retain), then
+    /// degrade to reservoir replacement.
+    pub fn merge(&mut self, other: &Reservoir) {
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for &v in &other.samples {
+            self.n += 1;
+            if self.samples.len() < RESERVOIR_CAP {
+                self.samples.push(v);
+            } else {
+                let j = (xorshift(&mut self.rng) % self.n) as usize;
+                if j < RESERVOIR_CAP {
+                    self.samples[j] = v;
+                }
+            }
+        }
+        // Observations the other side had already downsampled away still
+        // count toward n (their sum/min/max merged above).
+        self.n += other.n - other.samples.len() as u64;
+    }
+}
+
+/// Aggregates of one window of a series — everything observed since the
+/// last [`Metrics::take_window`]. Mean and max are exact: the window
+/// accumulates as observations arrive, so no samples are retained or
+/// re-scanned (the O(1)-per-op replacement for slicing a series by
+/// remembered offsets).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Window {
+    /// Observations in the window.
+    pub n: u64,
+    /// Their running sum (left-to-right, matching what summing a slice
+    /// of the old unbounded series produced).
+    pub sum: f64,
+    /// Their maximum (0 for an empty window, like [`Summary::of`] on an
+    /// empty slice).
+    pub max: f64,
+}
+
+impl Window {
+    /// Mean of the window, 0 when empty (mirroring [`Summary::of`]).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+}
+
+/// One named series: the run-wide reservoir plus the open window.
+#[derive(Debug, Clone)]
+struct SeriesCell {
+    res: Reservoir,
+    win_n: u64,
+    win_sum: f64,
+    win_max: f64,
+}
+
+impl SeriesCell {
+    fn new() -> Self {
+        SeriesCell { res: Reservoir::new(), win_n: 0, win_sum: 0.0, win_max: f64::NEG_INFINITY }
+    }
+}
 
 /// Counter and series sink shared by the kernel and the protocols.
 #[derive(Debug, Default, Clone)]
 pub struct Metrics {
     counters: BTreeMap<&'static str, u64>,
-    series: BTreeMap<&'static str, Vec<f64>>,
+    series: BTreeMap<&'static str, SeriesCell>,
 }
 
 impl Metrics {
@@ -36,26 +255,57 @@ impl Metrics {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
-    /// Appends an observation to the named series.
+    /// Appends an observation to the named series: O(1) and, once the
+    /// series buffer reaches [`RESERVOIR_CAP`], allocation-free.
     pub fn observe(&mut self, name: &'static str, v: f64) {
-        self.series.entry(name).or_default().push(v);
+        let cell = self.series.entry(name).or_insert_with(SeriesCell::new);
+        cell.res.observe(v);
+        cell.win_n += 1;
+        cell.win_sum += v;
+        cell.win_max = cell.win_max.max(v);
     }
 
-    /// Returns the recorded series (empty slice if absent).
+    /// The retained samples of a series (empty slice if absent): the
+    /// full series while it fits [`RESERVOIR_CAP`], a uniform subsample
+    /// beyond.
     #[must_use]
     pub fn series(&self, name: &str) -> &[f64] {
-        self.series.get(name).map_or(&[], Vec::as_slice)
+        self.series.get(name).map_or(&[], |c| c.res.samples())
     }
 
-    /// Mean of a series, or `None` when empty.
+    /// The named series' reservoir, if it exists.
+    #[must_use]
+    pub fn reservoir(&self, name: &str) -> Option<&Reservoir> {
+        self.series.get(name).map(|c| &c.res)
+    }
+
+    /// Closes the named series' current window and opens a fresh one:
+    /// returns the exact count/sum/max of everything observed since the
+    /// last take (or series creation). A `Window` for an absent series
+    /// is empty. This is how phase-scoped accounting stays O(1): callers
+    /// cut windows at phase boundaries instead of slicing an unbounded
+    /// series by remembered offsets.
+    pub fn take_window(&mut self, name: &'static str) -> Window {
+        match self.series.get_mut(name) {
+            Some(cell) => {
+                let w = Window {
+                    n: cell.win_n,
+                    sum: cell.win_sum,
+                    max: if cell.win_n == 0 { 0.0 } else { cell.win_max },
+                };
+                cell.win_n = 0;
+                cell.win_sum = 0.0;
+                cell.win_max = f64::NEG_INFINITY;
+                w
+            }
+            None => Window::default(),
+        }
+    }
+
+    /// Mean of a series — exact at any length — or `None` when empty.
     #[must_use]
     pub fn mean(&self, name: &str) -> Option<f64> {
-        let s = self.series(name);
-        if s.is_empty() {
-            None
-        } else {
-            Some(s.iter().sum::<f64>() / s.len() as f64)
-        }
+        self.series.get(name).and_then(|c| c.res.mean())
     }
 
     /// `p`-quantile (0..=1) of a series using nearest-rank, or `None` when
@@ -68,19 +318,24 @@ impl Metrics {
     /// Several `p`-quantiles of a series at once, sorting it a single
     /// time — the per-operation latency reporting path (e.g. p50/p95/p99
     /// of `client.op_ticks`) reads them together. Each entry is `None`
-    /// when the series is empty.
+    /// when the series is empty. Exact while the series fits
+    /// [`RESERVOIR_CAP`]; computed over a uniform subsample beyond.
     #[must_use]
     pub fn quantiles(&self, name: &str, ps: &[f64]) -> Vec<Option<f64>> {
-        quantiles_of(self.series(name), ps)
+        match self.series.get(name) {
+            Some(cell) => cell.res.quantiles(ps),
+            None => vec![None; ps.len()],
+        }
     }
 
     /// Summary statistics of the named series (zeroed when the series is
     /// empty or absent). Per-operation accounting — e.g. nodes contacted
     /// per multi-tuple read — is recorded with [`Metrics::observe`] and
-    /// read back through this in one call.
+    /// read back through this in one call. `n`, `mean`, `min`, `max` are
+    /// exact at any series length.
     #[must_use]
     pub fn summary(&self, name: &str) -> Summary {
-        Summary::of(self.series(name))
+        self.series.get(name).map_or_else(|| Summary::of(&[]), |c| c.res.summary())
     }
 
     /// Iterates over all counters in name order.
@@ -88,13 +343,19 @@ impl Metrics {
         self.counters.iter().map(|(k, v)| (*k, *v))
     }
 
-    /// Merges another sink into this one (counters add, series concatenate).
+    /// Merges another sink into this one (counters add, series fold
+    /// together; see [`Reservoir::merge`]). The other sink's open
+    /// windows fold into this one's.
     pub fn merge(&mut self, other: &Metrics) {
         for (k, v) in &other.counters {
             *self.counters.entry(k).or_insert(0) += v;
         }
-        for (k, v) in &other.series {
-            self.series.entry(k).or_default().extend_from_slice(v);
+        for (k, cell) in &other.series {
+            let mine = self.series.entry(k).or_insert_with(SeriesCell::new);
+            mine.res.merge(&cell.res);
+            mine.win_n += cell.win_n;
+            mine.win_sum += cell.win_sum;
+            mine.win_max = mine.win_max.max(cell.win_max);
         }
     }
 
@@ -108,8 +369,7 @@ impl Metrics {
 /// Nearest-rank `p`-quantiles (each `p` clamped to `0.0..=1.0`) of a raw
 /// slice, sorting once for all of them; every entry is `None` when `xs`
 /// is empty. The standalone core of [`Metrics::quantiles`], for callers
-/// holding a window of a series rather than a named one — e.g. the
-/// per-phase latency slices of a scenario report.
+/// holding raw observations rather than a named series.
 #[must_use]
 pub fn quantiles_of(xs: &[f64], ps: &[f64]) -> Vec<Option<f64>> {
     if xs.is_empty() {
@@ -298,5 +558,128 @@ mod tests {
         m.incr("a");
         let names: Vec<_> = m.counters().map(|(k, _)| k).collect();
         assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn small_series_report_exactly_what_a_vec_would() {
+        // Below the cap, every reported statistic equals the unbounded-
+        // Vec computation bit for bit.
+        let xs: Vec<f64> = (0..1_000).map(|i| f64::from((i * 37) % 101)).collect();
+        let mut m = Metrics::new();
+        for &v in &xs {
+            m.observe("s", v);
+        }
+        assert_eq!(m.series("s"), xs.as_slice());
+        assert_eq!(m.mean("s"), Some(xs.iter().sum::<f64>() / xs.len() as f64));
+        assert_eq!(m.quantiles("s", &[0.5, 0.95]), quantiles_of(&xs, &[0.5, 0.95]));
+        assert_eq!(m.summary("s"), Summary::of(&xs));
+    }
+
+    #[test]
+    fn reservoir_stays_bounded_with_exact_aggregates() {
+        let mut r = Reservoir::new();
+        let n = RESERVOIR_CAP * 4;
+        for i in 0..n {
+            r.observe(i as f64);
+        }
+        assert_eq!(r.len(), n);
+        assert!(!r.is_exact());
+        assert_eq!(r.samples().len(), RESERVOIR_CAP, "memory is bounded");
+        // Aggregates never degrade.
+        let s = r.summary();
+        assert_eq!(s.n, n);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, (n - 1) as f64);
+        let expected_mean = (n - 1) as f64 / 2.0;
+        assert!((s.mean - expected_mean).abs() < 1e-9);
+        // Quantile extremes answer from streaming min/max; the median is
+        // a uniform-subsample estimate, loose-bounded here.
+        let q = r.quantiles(&[0.0, 0.5, 1.0]);
+        assert_eq!(q[0], Some(0.0));
+        assert_eq!(q[2], Some((n - 1) as f64));
+        let med = q[1].unwrap();
+        assert!((med - expected_mean).abs() < n as f64 * 0.1, "median estimate {med}");
+    }
+
+    #[test]
+    fn reservoir_replacement_is_deterministic() {
+        let run = || {
+            let mut r = Reservoir::new();
+            for i in 0..(RESERVOIR_CAP * 2) {
+                r.observe(i as f64);
+            }
+            r
+        };
+        assert_eq!(run(), run(), "same observations, same retained samples");
+    }
+
+    #[test]
+    fn windows_cut_series_without_retaining_samples() {
+        let mut m = Metrics::new();
+        for v in [2.0, 4.0, 9.0] {
+            m.observe("w", v);
+        }
+        let first = m.take_window("w");
+        assert_eq!(first.n, 3);
+        assert_eq!(first.mean(), 5.0);
+        assert_eq!(first.max, 9.0);
+        // The next window starts empty; the run-wide series is untouched.
+        m.observe("w", 1.0);
+        let second = m.take_window("w");
+        assert_eq!((second.n, second.mean(), second.max), (1, 1.0, 1.0));
+        assert_eq!(m.take_window("w"), Window::default(), "empty window is zeroed");
+        assert_eq!(m.take_window("absent"), Window::default());
+        assert_eq!(m.summary("w").n, 4, "windows don't consume the series");
+    }
+
+    #[test]
+    fn window_mean_matches_slice_mean_bitwise() {
+        // The window's running sum accumulates in observation order, so
+        // its mean is bit-identical to summing the equivalent slice.
+        let xs = [0.1, 0.2, 0.3, 0.7, 1.9, 2.2];
+        let mut m = Metrics::new();
+        for &v in &xs[..4] {
+            m.observe("w", v);
+        }
+        let w = m.take_window("w");
+        assert_eq!(w.mean(), xs[..4].iter().sum::<f64>() / 4.0);
+        for &v in &xs[4..] {
+            m.observe("w", v);
+        }
+        let w = m.take_window("w");
+        assert_eq!(w.mean(), xs[4..].iter().sum::<f64>() / 2.0);
+    }
+
+    #[test]
+    fn reservoir_merge_concatenates_while_exact() {
+        let mut a = Reservoir::new();
+        let mut b = Reservoir::new();
+        for v in [1.0, 2.0] {
+            a.observe(v);
+        }
+        for v in [3.0, 4.0, 5.0] {
+            b.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.samples(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.mean(), Some(3.0));
+        assert_eq!(a.summary().max, 5.0);
+    }
+
+    #[test]
+    fn reservoir_merge_keeps_exact_aggregates_past_the_cap() {
+        let mut a = Reservoir::new();
+        let mut b = Reservoir::new();
+        for i in 0..RESERVOIR_CAP {
+            a.observe(i as f64);
+            b.observe((RESERVOIR_CAP + i) as f64);
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), RESERVOIR_CAP * 2);
+        assert_eq!(a.samples().len(), RESERVOIR_CAP);
+        assert_eq!(a.summary().min, 0.0);
+        assert_eq!(a.summary().max, (2 * RESERVOIR_CAP - 1) as f64);
+        assert_eq!(a.summary().n, RESERVOIR_CAP * 2);
     }
 }

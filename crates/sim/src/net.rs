@@ -64,6 +64,9 @@ pub struct NetConfig {
     /// Independent probability that any message is silently dropped.
     pub drop_prob: f64,
     partitions: HashMap<NodeId, u32>,
+    /// Bumped on every partition/heal mutation; see
+    /// [`NetConfig::topology_epoch`].
+    topology_epoch: u64,
 }
 
 impl NetConfig {
@@ -94,6 +97,7 @@ impl NetConfig {
     /// Assigns `node` to partition colour `colour`. Nodes without an explicit
     /// colour are in colour `0`.
     pub fn set_partition(&mut self, node: NodeId, colour: u32) {
+        self.topology_epoch += 1;
         if colour == 0 {
             self.partitions.remove(&node);
         } else {
@@ -103,7 +107,18 @@ impl NetConfig {
 
     /// Removes all partition assignments (heals the network).
     pub fn heal_partitions(&mut self) {
+        self.topology_epoch += 1;
         self.partitions.clear();
+    }
+
+    /// Monotonic counter of partition/heal mutations. Pairwise
+    /// [`NetConfig::connected`] answers can only change when this does, so
+    /// observers (e.g. a harness failure-detector sweep over every node
+    /// pair) may cache their last sweep's epoch and skip recomputation
+    /// while it is unchanged.
+    #[must_use]
+    pub fn topology_epoch(&self) -> u64 {
+        self.topology_epoch
     }
 
     /// Colour of a node (0 when unassigned).

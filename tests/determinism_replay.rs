@@ -1,0 +1,53 @@
+//! Determinism regression for the interning/scaling refactor (PR 7).
+//!
+//! The expected strings below are the *frozen* `Debug` renderings of three
+//! scenario reports, captured on the `String`-keyed, pre-optimisation tree
+//! (commit f511943). Interned keys, cached hashes, the epoch-gated failure
+//! detector and the pre-sized event heap must all be behaviour-preserving:
+//! a seed-replayed scenario has to produce the same report *byte for byte*
+//! (f64 `Debug` is shortest-roundtrip, so equal text means bit-equal
+//! floats, not approximately-equal ones).
+//!
+//! If one of these asserts fires, a hot-path "optimisation" changed
+//! observable behaviour — RNG draw order, hash values, routing, or metrics
+//! windowing — and is a correctness bug, not a perf trade-off.
+
+use dd_core::scenario::library;
+use dd_core::{Cluster, ClusterConfig, OpMix, Phase, Placement, Scenario, WorkloadKind};
+
+const CALM_SEED42: &str = "ScenarioReport { name: \"calm\", phases: [PhaseReport { name: \"load\", ticks: 6000, issued: 240, ok: 240, errors: ErrorCounts { timeouts: 0, partials: 0, no_entry: 0 }, reads_found: 0, reads_absent: 0, stale_reads: 0, tuples_read: 0, latency_p50: 25.0, latency_p95: 25.0, msgs: 2944, contacts_mean: 0.0, contacts_max: 0.0 }, PhaseReport { name: \"serve\", ticks: 10000, issued: 420, ok: 420, errors: ErrorCounts { timeouts: 0, partials: 0, no_entry: 0 }, reads_found: 307, reads_absent: 0, stale_reads: 0, tuples_read: 3079, latency_p50: 25.0, latency_p95: 25.0, msgs: 5347, contacts_mean: 32.0, contacts_max: 32.0 }, PhaseReport { name: \"readback\", ticks: 8000, issued: 200, ok: 200, errors: ErrorCounts { timeouts: 0, partials: 0, no_entry: 0 }, reads_found: 159, reads_absent: 0, stale_reads: 0, tuples_read: 2359, latency_p50: 25.0, latency_p95: 25.0, msgs: 3520, contacts_mean: 32.0, contacts_max: 32.0 }], ticks: 24000, msgs: 11811, latency_p50: 25.0, latency_p95: 25.0, audit: None }";
+
+const PARTITION_SEED7: &str = "ScenarioReport { name: \"partition-heal\", phases: [PhaseReport { name: \"load\", ticks: 6000, issued: 240, ok: 240, errors: ErrorCounts { timeouts: 0, partials: 0, no_entry: 0 }, reads_found: 0, reads_absent: 0, stale_reads: 0, tuples_read: 0, latency_p50: 25.0, latency_p95: 25.0, msgs: 3338, contacts_mean: 0.0, contacts_max: 0.0 }, PhaseReport { name: \"serve\", ticks: 10000, issued: 420, ok: 420, errors: ErrorCounts { timeouts: 0, partials: 0, no_entry: 0 }, reads_found: 308, reads_absent: 0, stale_reads: 0, tuples_read: 1587, latency_p50: 25.0, latency_p95: 25.0, msgs: 2118, contacts_mean: 1.421875, contacts_max: 3.0 }, PhaseReport { name: \"repair\", ticks: 10000, issued: 0, ok: 0, errors: ErrorCounts { timeouts: 0, partials: 0, no_entry: 0 }, reads_found: 0, reads_absent: 0, stale_reads: 0, tuples_read: 0, latency_p50: 0.0, latency_p95: 0.0, msgs: 1718, contacts_mean: 0.0, contacts_max: 0.0 }, PhaseReport { name: \"readback\", ticks: 8000, issued: 200, ok: 200, errors: ErrorCounts { timeouts: 0, partials: 0, no_entry: 0 }, reads_found: 158, reads_absent: 0, stale_reads: 0, tuples_read: 2586, latency_p50: 25.0, latency_p95: 25.0, msgs: 1138, contacts_mean: 3.0, contacts_max: 3.0 }], ticks: 34000, msgs: 8312, latency_p50: 25.0, latency_p95: 25.0, audit: None }";
+
+const MIXED_SEED9: &str = "ScenarioReport { name: \"mixed\", phases: [PhaseReport { name: \"load\", ticks: 4000, issued: 120, ok: 120, errors: ErrorCounts { timeouts: 0, partials: 0, no_entry: 0 }, reads_found: 0, reads_absent: 0, stale_reads: 0, tuples_read: 0, latency_p50: 25.0, latency_p95: 25.0, msgs: 1610, contacts_mean: 0.0, contacts_max: 0.0 }, PhaseReport { name: \"serve\", ticks: 6000, issued: 200, ok: 200, errors: ErrorCounts { timeouts: 0, partials: 0, no_entry: 0 }, reads_found: 103, reads_absent: 5, stale_reads: 1, tuples_read: 1639, latency_p50: 25.0, latency_p95: 25.0, msgs: 6146, contacts_mean: 32.0, contacts_max: 32.0 }], ticks: 10000, msgs: 7756, latency_p50: 25.0, latency_p95: 25.0, audit: None }";
+
+#[test]
+fn calm_scenario_replays_byte_identically_to_pre_interning_report() {
+    let mut c = Cluster::new(ClusterConfig::small(), 42);
+    c.settle();
+    let report = c.run_scenario(&library::calm(11));
+    assert_eq!(format!("{report:?}"), CALM_SEED42);
+}
+
+#[test]
+fn partition_heal_scenario_replays_byte_identically_under_tag_placement() {
+    let mut c = Cluster::new(ClusterConfig::small().placement(Placement::TagCollocation), 7);
+    c.settle();
+    let report = c.run_scenario(&library::partition_heal(13));
+    assert_eq!(format!("{report:?}"), PARTITION_SEED7);
+}
+
+#[test]
+fn mixed_workload_scenario_replays_byte_identically() {
+    let mut c = Cluster::new(ClusterConfig::small(), 9);
+    c.settle();
+    let sc = Scenario::new("mixed", WorkloadKind::SocialFeed { users: 6 }, 21)
+        .phase(Phase::new("load", 4_000).mix(OpMix::idle().put(2).multi_put(1).batch(4)).ops(120))
+        .phase(
+            Phase::new("serve", 6_000)
+                .mix(OpMix::idle().get(4).multi_get(1).scan(1).delete(1))
+                .ops(200),
+        );
+    let report = c.run_scenario(&sc);
+    assert_eq!(format!("{report:?}"), MIXED_SEED9);
+}

@@ -108,7 +108,7 @@ fn scan_matches_oracle_filter() {
     let (lo, hi) = (45.0, 55.0);
     let s = client.scan(&mut c, lo, hi);
     let items = client.recv(&mut c, s).expect("scan completes");
-    let mut got: Vec<String> = items.iter().map(|t| t.key.0.clone()).collect();
+    let mut got: Vec<String> = items.iter().map(|t| t.key.as_str().to_owned()).collect();
     got.sort();
     let mut want: Vec<String> =
         oracle.iter().filter(|(_, a)| (lo..=hi).contains(a)).map(|(k, _)| k.clone()).collect();
@@ -253,7 +253,7 @@ fn multi_op_feed_workload_matches_oracle_with_r_node_reads() {
         let p = client.multi_get(&mut c, tag);
         let tuples = client.recv(&mut c, p).expect("feed read completes");
         let mut expect = oracle.remove(tag).expect("tag was written");
-        let mut got: Vec<String> = tuples.into_iter().map(|t| t.key.0).collect();
+        let mut got: Vec<String> = tuples.into_iter().map(|t| t.key.as_str().to_owned()).collect();
         expect.sort();
         got.sort();
         assert_eq!(got, expect, "feed {tag} matches the oracle");
