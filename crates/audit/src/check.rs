@@ -152,26 +152,94 @@ pub enum Violation {
     },
 }
 
+/// The stable discriminant of a [`Violation`], independent of its witness
+/// payload. Tooling that must decide "is this the *same bug*?" — the
+/// dd-fuzz shrinker foremost — compares kinds, never full witness
+/// histories, so a shrink step that changes keys, versions or witnesses
+/// while preserving the anomaly class still counts as the same finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ViolationKind {
+    /// [`Violation::ReadYourWrites`].
+    ReadYourWrites,
+    /// [`Violation::MonotonicRead`].
+    MonotonicRead,
+    /// [`Violation::TombstoneResurrection`].
+    TombstoneResurrection,
+    /// [`Violation::FeedRegression`].
+    FeedRegression,
+    /// [`Violation::TornBatch`].
+    TornBatch,
+    /// [`Violation::Divergence`].
+    Divergence,
+    /// [`Violation::Fabrication`].
+    Fabrication,
+    /// [`Violation::LostWrite`].
+    LostWrite,
+}
+
+impl ViolationKind {
+    /// Every kind, in checker order (useful for census tables).
+    pub const ALL: [ViolationKind; 8] = [
+        ViolationKind::ReadYourWrites,
+        ViolationKind::MonotonicRead,
+        ViolationKind::TombstoneResurrection,
+        ViolationKind::FeedRegression,
+        ViolationKind::TornBatch,
+        ViolationKind::Divergence,
+        ViolationKind::Fabrication,
+        ViolationKind::LostWrite,
+    ];
+
+    /// The checker-friendly label of this kind (stable: recorded in
+    /// BENCH artifacts and regression-test names).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ViolationKind::ReadYourWrites => "read-your-writes",
+            ViolationKind::MonotonicRead => "monotonic-read",
+            ViolationKind::TombstoneResurrection => "tombstone-resurrection",
+            ViolationKind::FeedRegression => "feed-regression",
+            ViolationKind::TornBatch => "torn-batch",
+            ViolationKind::Divergence => "divergence",
+            ViolationKind::Fabrication => "fabrication",
+            ViolationKind::LostWrite => "lost-write",
+        }
+    }
+
+    /// Whether violations of this kind break a safety guarantee (every
+    /// kind but [`ViolationKind::LostWrite`], a durability warning).
+    #[must_use]
+    pub fn is_safety(self) -> bool {
+        !matches!(self, ViolationKind::LostWrite)
+    }
+}
+
+impl std::fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 impl Violation {
     /// Whether this violation breaks a safety guarantee (every kind but
     /// [`Violation::LostWrite`], which is a durability warning).
     #[must_use]
     pub fn is_safety(&self) -> bool {
-        !matches!(self, Violation::LostWrite { .. })
+        self.kind().is_safety()
     }
 
-    /// The checker-friendly label of this violation kind.
+    /// The stable discriminant of this violation, payload-independent.
     #[must_use]
-    pub fn kind(&self) -> &'static str {
+    pub fn kind(&self) -> ViolationKind {
         match self {
-            Violation::ReadYourWrites { .. } => "read-your-writes",
-            Violation::MonotonicRead { .. } => "monotonic-read",
-            Violation::TombstoneResurrection { .. } => "tombstone-resurrection",
-            Violation::FeedRegression { .. } => "feed-regression",
-            Violation::TornBatch { .. } => "torn-batch",
-            Violation::Divergence { .. } => "divergence",
-            Violation::Fabrication { .. } => "fabrication",
-            Violation::LostWrite { .. } => "lost-write",
+            Violation::ReadYourWrites { .. } => ViolationKind::ReadYourWrites,
+            Violation::MonotonicRead { .. } => ViolationKind::MonotonicRead,
+            Violation::TombstoneResurrection { .. } => ViolationKind::TombstoneResurrection,
+            Violation::FeedRegression { .. } => ViolationKind::FeedRegression,
+            Violation::TornBatch { .. } => ViolationKind::TornBatch,
+            Violation::Divergence { .. } => ViolationKind::Divergence,
+            Violation::Fabrication { .. } => ViolationKind::Fabrication,
+            Violation::LostWrite { .. } => ViolationKind::LostWrite,
         }
     }
 }
@@ -730,6 +798,27 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert!(matches!(&v[0], Violation::LostWrite { converged: None, .. }));
         assert!(!v[0].is_safety());
-        assert_eq!(v[0].kind(), "lost-write");
+        assert_eq!(v[0].kind(), ViolationKind::LostWrite);
+        assert_eq!(v[0].kind().label(), "lost-write");
+    }
+
+    #[test]
+    fn kinds_are_stable_distinct_discriminants() {
+        // Labels are pairwise distinct and stable (artifacts and
+        // regression-test names are keyed on them).
+        let labels: std::collections::HashSet<&str> =
+            ViolationKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), ViolationKind::ALL.len());
+        // Exactly one kind is a durability warning; the rest are safety.
+        let warnings: Vec<ViolationKind> =
+            ViolationKind::ALL.into_iter().filter(|k| !k.is_safety()).collect();
+        assert_eq!(warnings, vec![ViolationKind::LostWrite]);
+        // Display matches the label, and kinds compare independently of
+        // the witness payload they came from.
+        assert_eq!(ViolationKind::TornBatch.to_string(), "torn-batch");
+        let a = Violation::Divergence { key: "a".into(), replicas: vec![] };
+        let b = Violation::Divergence { key: "b".into(), replicas: vec![(1, Version(1), false)] };
+        assert_ne!(a, b, "payloads differ");
+        assert_eq!(a.kind(), b.kind(), "kinds agree regardless of payload");
     }
 }

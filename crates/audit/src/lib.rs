@@ -52,6 +52,7 @@ pub mod report;
 pub use check::{
     check, check_atomic_visibility, check_convergence, check_monotonic_reads,
     check_read_your_writes, check_tombstone_safety, snapshot_converged, ReplicaTuple, Violation,
+    ViolationKind,
 };
 pub use history::{History, Op, OpDesc, OpFailure, Outcome, Recorder};
 pub use oracle::VersionOracle;

@@ -469,6 +469,39 @@ impl Cluster {
         out
     }
 
+    /// Drives one deterministic full-fanout anti-entropy round: every
+    /// live persist node opens a digest exchange with every live persist
+    /// peer. Periodic repair picks one partner per round by lottery
+    /// (uniform by default, ring-biased with rare far pulls under
+    /// [`ClusterConfig::ring_repair`]), so when only two replicas hold a
+    /// diverged key — and no third node's sieve accepts it to relay —
+    /// reconciliation waits for that exact pair to be drawn, which can
+    /// take dozens of rounds. The audit settle uses this sweep to turn
+    /// "eventually" into "this round". No-op when repair is disabled —
+    /// with anti-entropy off, lingering divergence is a real answer the
+    /// audit must not mask.
+    pub fn repair_sweep(&mut self) {
+        if self.config.repair_period.is_none() {
+            return;
+        }
+        let ids = self.persist_ids.clone();
+        for &a in &ids {
+            if !self.sim.is_alive(a) {
+                continue;
+            }
+            let Some(sieve) =
+                self.sim.node(a).and_then(DropletNode::as_persist).map(|p| p.sieve.clone())
+            else {
+                continue;
+            };
+            for &b in &ids {
+                if b != a && self.sim.is_alive(b) {
+                    self.sim.inject(a, b, DropletMsg::RepairDigest { sieve: sieve.clone() });
+                }
+            }
+        }
+    }
+
     /// The configuration in use.
     #[must_use]
     pub fn config(&self) -> &ClusterConfig {
@@ -700,6 +733,27 @@ mod tests {
         c.run_for(5_000);
         let rc = c.replica_count(&Key::from("replicated"));
         assert!(rc >= 3, "replica count {rc}");
+    }
+
+    #[test]
+    fn repair_sweep_pairs_every_live_node_and_respects_the_repair_gate() {
+        // With repair configured, one sweep opens a digest exchange from
+        // every live persist node to every live persist peer.
+        let mut c = cluster(11);
+        let before = c.sim.metrics().counter("repair.syncs");
+        c.repair_sweep();
+        c.run_for(500);
+        let opened = c.sim.metrics().counter("repair.syncs") - before;
+        let n = c.persist_ids().len() as u64;
+        assert!(opened >= n * (n - 1), "sweep opened {opened} exchanges, want >= {}", n * (n - 1));
+
+        // With repair disabled the sweep must stay a no-op: with
+        // anti-entropy off, lingering divergence is a real audit answer.
+        let mut quiet = Cluster::new(ClusterConfig::small().no_repair(), 11);
+        quiet.settle();
+        quiet.repair_sweep();
+        quiet.run_for(500);
+        assert_eq!(quiet.sim.metrics().counter("repair.syncs"), 0);
     }
 
     #[test]

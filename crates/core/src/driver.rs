@@ -122,6 +122,48 @@ impl OpMix {
         self.total() == 0
     }
 
+    /// The weight of single writes.
+    #[must_use]
+    pub fn weight_put(&self) -> u32 {
+        self.put
+    }
+
+    /// The weight of single reads.
+    #[must_use]
+    pub fn weight_get(&self) -> u32 {
+        self.get
+    }
+
+    /// The weight of deletes.
+    #[must_use]
+    pub fn weight_delete(&self) -> u32 {
+        self.delete
+    }
+
+    /// The weight of attribute range scans.
+    #[must_use]
+    pub fn weight_scan(&self) -> u32 {
+        self.scan
+    }
+
+    /// The weight of batched writes.
+    #[must_use]
+    pub fn weight_multi_put(&self) -> u32 {
+        self.multi_put
+    }
+
+    /// The weight of tag-scoped reads.
+    #[must_use]
+    pub fn weight_multi_get(&self) -> u32 {
+        self.multi_get
+    }
+
+    /// Items per batched write.
+    #[must_use]
+    pub fn batch_items(&self) -> usize {
+        self.batch
+    }
+
     fn total(&self) -> u64 {
         u64::from(self.put)
             + u64::from(self.get)

@@ -109,12 +109,13 @@ pub use cluster::{
     AggregateResult, Cluster, ClusterConfig, GetResult, MultiGetResult, MultiPutResult, Placement,
     PutResult,
 };
-pub use dd_audit::{AuditReport, History, Violation};
+pub use dd_audit::{AuditReport, History, Violation, ViolationKind};
 pub use driver::OpMix;
 pub use msg::DropletMsg;
 pub use persist::{PersistNode, RepairPeering};
 pub use scenario::{
-    EnvChange, ErrorCounts, Fault, Phase, PhaseReport, Scenario, ScenarioReport, Tier,
+    EnvChange, ErrorCounts, Fault, Phase, PhaseReport, Scenario, ScenarioError, ScenarioReport,
+    Tier,
 };
 pub use sieve_spec::SieveSpec;
 pub use soft::MultiPutStatus;

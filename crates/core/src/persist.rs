@@ -117,11 +117,12 @@ impl PersistNode {
         self.store.values().filter(|t| !t.deleted).count()
     }
 
-    /// Applies a tuple if it is newer than what we hold, keeping the tag
-    /// index in step. Returns `true` when the store changed.
+    /// Applies a tuple if it supersedes what we hold (the deterministic
+    /// [`StoredTuple::supersedes`] order), keeping the tag index in step.
+    /// Returns `true` when the store changed.
     pub fn apply(&mut self, tuple: StoredTuple) -> bool {
         let previous_tag = match self.store.get(&tuple.key_hash) {
-            Some(existing) if existing.version >= tuple.version => return false,
+            Some(existing) if !tuple.supersedes(existing) => return false,
             Some(existing) => existing.tag_hash,
             None => None,
         };
@@ -332,12 +333,12 @@ impl PersistNode {
                     recovered += 1;
                     continue;
                 }
-            } else if self.store.get(&t.key_hash).is_some_and(|held| held.version < t.version) {
+            } else if self.store.get(&t.key_hash).is_some_and(|held| t.supersedes(held)) {
                 self.retire(t.key_hash);
                 continue;
             }
             if let Some(held) = self.store.get(&t.key_hash) {
-                if held.version > t.version {
+                if held.supersedes(&t) {
                     evidence.push(held.clone());
                 }
             }

@@ -56,7 +56,7 @@ pub enum Tier {
 
 /// One fault clause of a scenario's fault schedule. Scheduled at a
 /// virtual time relative to the scenario start with [`Scenario::fault`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Fault {
     /// A churn storm: a [`ChurnSchedule`] generated from `model` over
     /// `span` ticks, mapped onto the tier's nodes — transient downs/ups
@@ -103,7 +103,7 @@ pub enum Fault {
 /// One clause of a scenario's environment timeline. Scheduled with
 /// [`Scenario::env`]; applied by the simulation engine at its virtual
 /// time via [`dd_sim::Sim::schedule_net`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum EnvChange {
     /// Replace the latency model (e.g. a slow-network episode).
     Latency(LatencyModel),
@@ -119,8 +119,11 @@ pub enum EnvChange {
     Heal,
 }
 
-/// One phase of a scenario's workload program.
-#[derive(Debug, Clone)]
+/// One phase of a scenario's workload program. A full value type:
+/// `Clone + Debug + PartialEq`, with builders for construction and
+/// accessors for programmatic mutation (the dd-fuzz shrinker rewrites
+/// phases without ever round-tripping through strings).
+#[derive(Debug, Clone, PartialEq)]
 pub struct Phase {
     pub(crate) name: String,
     pub(crate) ticks: u64,
@@ -137,11 +140,11 @@ impl Phase {
     /// A phase named `name` lasting `ticks` of virtual time. Defaults:
     /// idle mix (no traffic), 4 sessions, depth 8, quantum 25.
     ///
-    /// # Panics
-    /// Panics if `ticks` is zero.
+    /// Degenerate values (zero ticks, sessions, depth or quantum) are
+    /// accepted here so programmatic mutation can pass through them; they
+    /// are rejected by [`Scenario::validate`] before a run.
     #[must_use]
     pub fn new(name: impl Into<String>, ticks: u64) -> Self {
-        assert!(ticks > 0, "a phase must last at least one tick");
         Phase {
             name: name.into(),
             ticks,
@@ -165,7 +168,6 @@ impl Phase {
     /// Builder: concurrent client sessions.
     #[must_use]
     pub fn sessions(mut self, n: usize) -> Self {
-        assert!(n > 0, "a phase needs at least one session");
         self.sessions = n;
         self
     }
@@ -173,7 +175,6 @@ impl Phase {
     /// Builder: operations each session keeps in flight.
     #[must_use]
     pub fn depth(mut self, d: usize) -> Self {
-        assert!(d > 0, "pipeline depth must be positive");
         self.depth = d;
         self
     }
@@ -181,7 +182,6 @@ impl Phase {
     /// Builder: virtual ticks pumped between harvest rounds.
     #[must_use]
     pub fn quantum(mut self, q: u64) -> Self {
-        assert!(q > 0, "quantum must be positive");
         self.quantum = q;
         self
     }
@@ -210,11 +210,79 @@ impl Phase {
         self.workload = Some(kind);
         self
     }
+
+    /// Builder: replace the phase duration (the shrinker's
+    /// shorten-a-phase move; `new` is the only other place ticks are
+    /// set).
+    #[must_use]
+    pub fn with_ticks(mut self, ticks: u64) -> Self {
+        self.ticks = ticks;
+        self
+    }
+
+    /// The phase's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Scheduled duration in ticks.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Concurrent client sessions.
+    #[must_use]
+    pub fn session_count(&self) -> usize {
+        self.sessions
+    }
+
+    /// Operations each session keeps in flight.
+    #[must_use]
+    pub fn pipeline_depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Virtual ticks pumped between harvest rounds.
+    #[must_use]
+    pub fn quantum_ticks(&self) -> u64 {
+        self.quantum
+    }
+
+    /// The op mix this phase offers.
+    #[must_use]
+    pub fn op_mix(&self) -> &OpMix {
+        &self.mix
+    }
+
+    /// The open-loop rate cap, if one is set.
+    #[must_use]
+    pub fn rate_cap(&self) -> Option<f64> {
+        self.rate
+    }
+
+    /// The total operation budget, if one is set.
+    #[must_use]
+    pub fn op_budget(&self) -> Option<u64> {
+        self.ops
+    }
+
+    /// The phase-local workload override, if one is set.
+    #[must_use]
+    pub fn local_workload(&self) -> Option<WorkloadKind> {
+        self.workload
+    }
 }
 
 /// A complete experiment, as a value: workload program, fault schedule
 /// and environment timeline, all replayable from `seed`.
-#[derive(Debug, Clone)]
+///
+/// A full value type (`Clone + Debug + PartialEq`) with accessors and
+/// setters for programmatic mutation, and a [`std::fmt::Display`] that
+/// prints the scenario as a runnable Rust constructor snippet — the
+/// repro artifact dd-fuzz emits for every shrunk finding.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     pub(crate) name: String,
     pub(crate) seed: u64,
@@ -294,6 +362,405 @@ impl Scenario {
     #[must_use]
     pub fn duration(&self) -> u64 {
         self.phases.iter().map(|p| p.ticks).sum()
+    }
+
+    /// The seed every random choice of the run derives from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The scenario-shared workload shape.
+    #[must_use]
+    pub fn workload(&self) -> WorkloadKind {
+        self.workload
+    }
+
+    /// The workload program, in phase order.
+    #[must_use]
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// The fault schedule: `(at, fault)` clauses in declaration order.
+    #[must_use]
+    pub fn faults(&self) -> &[(u64, Fault)] {
+        &self.faults
+    }
+
+    /// The environment timeline: `(at, change)` clauses in declaration
+    /// order.
+    #[must_use]
+    pub fn env_timeline(&self) -> &[(u64, EnvChange)] {
+        &self.env
+    }
+
+    /// Setter: replace the workload program (shrinker phase moves).
+    pub fn set_phases(&mut self, phases: Vec<Phase>) {
+        self.phases = phases;
+    }
+
+    /// Setter: replace the fault schedule (shrinker fault-drop moves).
+    pub fn set_faults(&mut self, faults: Vec<(u64, Fault)>) {
+        self.faults = faults;
+    }
+
+    /// Setter: replace the environment timeline (shrinker env-drop
+    /// moves).
+    pub fn set_env(&mut self, env: Vec<(u64, EnvChange)>) {
+        self.env = env;
+    }
+
+    /// Setter: replace the scenario name (shrunk repros get suffixed
+    /// names so artifacts stay distinguishable from their originals).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+}
+
+/// Why a [`Scenario`] failed validation. Produced by
+/// [`Scenario::validate`]; a run entry point rejects the scenario with
+/// these instead of panicking somewhere inside the engine — fuzz-generated
+/// and shrinker-mutated scenarios routinely explore the degenerate corners
+/// (zero-length phases, empty batches, out-of-range probabilities,
+/// overlapping partitions) that hand-written drills never hit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The scenario has no phases at all: nothing to run.
+    NoPhases,
+    /// A phase lasts zero ticks.
+    EmptyPhase {
+        /// Index of the offending phase.
+        phase: usize,
+    },
+    /// A traffic-offering phase has zero sessions: its mix can never
+    /// issue.
+    NoSessions {
+        /// Index of the offending phase.
+        phase: usize,
+    },
+    /// A traffic-offering phase has zero pipeline depth: its mix can
+    /// never issue.
+    NoDepth {
+        /// Index of the offending phase.
+        phase: usize,
+    },
+    /// A phase pumps zero ticks between harvests.
+    ZeroQuantum {
+        /// Index of the offending phase.
+        phase: usize,
+    },
+    /// A phase weights batched writes but batches zero items.
+    EmptyBatch {
+        /// Index of the offending phase.
+        phase: usize,
+    },
+    /// A workload's parameters cannot generate (zero key/user
+    /// populations, non-finite distribution parameters).
+    BadWorkload {
+        /// Offending phase-local override, or `None` for the
+        /// scenario-shared workload.
+        phase: Option<usize>,
+        /// What is wrong with it.
+        reason: &'static str,
+    },
+    /// A churn model's parameters cannot generate a schedule.
+    BadChurnModel {
+        /// The fault's scheduled time.
+        at: u64,
+        /// What is wrong with it.
+        reason: &'static str,
+    },
+    /// A message-loss probability outside `[0, 1]`.
+    BadDropProb {
+        /// The change's scheduled time.
+        at: u64,
+        /// The offending probability.
+        prob: f64,
+    },
+    /// A partition fraction outside `[0, 1]`.
+    BadPartitionFraction {
+        /// The change's scheduled time.
+        at: u64,
+        /// The offending fraction.
+        fraction: f64,
+    },
+    /// A second persist-layer partition scheduled while an earlier one is
+    /// still unhealed (re-colouring mid-partition silently rewires the
+    /// first split — almost certainly not what the scenario meant).
+    OverlappingPartition {
+        /// When the first partition was scheduled.
+        first: u64,
+        /// When the overlapping one was scheduled.
+        second: u64,
+    },
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::NoPhases => write!(f, "scenario has no phases"),
+            ScenarioError::EmptyPhase { phase } => write!(f, "phase {phase} lasts zero ticks"),
+            ScenarioError::NoSessions { phase } => {
+                write!(f, "phase {phase} offers traffic with zero sessions")
+            }
+            ScenarioError::NoDepth { phase } => {
+                write!(f, "phase {phase} offers traffic with zero pipeline depth")
+            }
+            ScenarioError::ZeroQuantum { phase } => {
+                write!(f, "phase {phase} pumps zero ticks between harvests")
+            }
+            ScenarioError::EmptyBatch { phase } => {
+                write!(f, "phase {phase} weights batched writes of zero items")
+            }
+            ScenarioError::BadWorkload { phase: Some(p), reason } => {
+                write!(f, "phase {p} workload: {reason}")
+            }
+            ScenarioError::BadWorkload { phase: None, reason } => {
+                write!(f, "scenario workload: {reason}")
+            }
+            ScenarioError::BadChurnModel { at, reason } => {
+                write!(f, "churn burst at {at}: {reason}")
+            }
+            ScenarioError::BadDropProb { at, prob } => {
+                write!(f, "drop probability {prob} at {at} outside [0, 1]")
+            }
+            ScenarioError::BadPartitionFraction { at, fraction } => {
+                write!(f, "partition fraction {fraction} at {at} outside [0, 1]")
+            }
+            ScenarioError::OverlappingPartition { first, second } => {
+                write!(f, "partition at {second} overlaps unhealed partition at {first}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl Scenario {
+    /// Checks that this scenario can run without tripping an internal
+    /// panic: phases are non-degenerate, workload and churn parameters
+    /// can generate, probabilities are probabilities, and partitions
+    /// never overlap. Returns every problem found, in schedule order.
+    ///
+    /// Hand-written drills rarely need this (the builders make the sane
+    /// thing easy), but fuzz-generated and shrinker-mutated scenarios are
+    /// validated before every run, and [`Cluster::run_scenario`] rejects
+    /// invalid scenarios up front.
+    pub fn validate(&self) -> Result<(), Vec<ScenarioError>> {
+        let mut errs = Vec::new();
+        if self.phases.is_empty() {
+            errs.push(ScenarioError::NoPhases);
+        }
+        for (i, p) in self.phases.iter().enumerate() {
+            if p.ticks == 0 {
+                errs.push(ScenarioError::EmptyPhase { phase: i });
+            }
+            if p.quantum == 0 {
+                errs.push(ScenarioError::ZeroQuantum { phase: i });
+            }
+            if !p.mix.is_idle() {
+                if p.sessions == 0 {
+                    errs.push(ScenarioError::NoSessions { phase: i });
+                }
+                if p.depth == 0 {
+                    errs.push(ScenarioError::NoDepth { phase: i });
+                }
+                if p.mix.weight_multi_put() > 0 && p.mix.batch_items() == 0 {
+                    errs.push(ScenarioError::EmptyBatch { phase: i });
+                }
+            }
+            if let Some(kind) = p.workload {
+                if let Err(reason) = kind.validate() {
+                    errs.push(ScenarioError::BadWorkload { phase: Some(i), reason });
+                }
+            }
+        }
+        if let Err(reason) = self.workload.validate() {
+            errs.push(ScenarioError::BadWorkload { phase: None, reason });
+        }
+        for (at, fault) in &self.faults {
+            if let Fault::ChurnBurst { model, .. } = fault {
+                if !(model.failure_rate.is_finite() && model.failure_rate >= 0.0) {
+                    errs.push(ScenarioError::BadChurnModel {
+                        at: *at,
+                        reason: "failure_rate must be finite and non-negative",
+                    });
+                } else if model.period == 0 && model.failure_rate > 0.0 {
+                    errs.push(ScenarioError::BadChurnModel {
+                        at: *at,
+                        reason: "period must be positive",
+                    });
+                }
+                if !(0.0..=1.0).contains(&model.permanent_prob) {
+                    errs.push(ScenarioError::BadChurnModel {
+                        at: *at,
+                        reason: "permanent_prob must be in [0, 1]",
+                    });
+                }
+            }
+        }
+        // Environment clauses are applied in time order regardless of
+        // declaration order; audit partitions the same way.
+        let mut timeline: Vec<(u64, usize)> =
+            self.env.iter().enumerate().map(|(i, (at, _))| (*at, i)).collect();
+        timeline.sort_unstable();
+        let mut open_partition: Option<u64> = None;
+        for (at, i) in timeline {
+            match &self.env[i].1 {
+                EnvChange::DropProb(p) => {
+                    if !(0.0..=1.0).contains(p) {
+                        errs.push(ScenarioError::BadDropProb { at, prob: *p });
+                    }
+                }
+                EnvChange::PartitionPersist { fraction } => {
+                    if !(0.0..=1.0).contains(fraction) {
+                        errs.push(ScenarioError::BadPartitionFraction { at, fraction: *fraction });
+                    }
+                    if let Some(first) = open_partition {
+                        errs.push(ScenarioError::OverlappingPartition { first, second: at });
+                    }
+                    open_partition = Some(at);
+                }
+                EnvChange::Heal => open_partition = None,
+                EnvChange::Latency(_) => {}
+            }
+        }
+        if errs.is_empty() {
+            Ok(())
+        } else {
+            Err(errs)
+        }
+    }
+}
+
+/// `Display` renders the tier as a pasteable Rust path
+/// (`Tier::Persist`), the building block of scenario repro snippets.
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tier::Soft => f.write_str("Tier::Soft"),
+            Tier::Persist => f.write_str("Tier::Persist"),
+        }
+    }
+}
+
+/// `Display` renders the fault as a pasteable Rust constructor
+/// expression (nested enums get their full paths — derived `Debug`
+/// would drop them).
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::ChurnBurst { tier, model, span } => {
+                write!(f, "Fault::ChurnBurst {{ tier: {tier}, model: {model:?}, span: {span} }}")
+            }
+            Fault::Crash { tier, count } => {
+                write!(f, "Fault::Crash {{ tier: {tier}, count: {count} }}")
+            }
+            Fault::Flap { tier, count, down_for } => {
+                write!(f, "Fault::Flap {{ tier: {tier}, count: {count}, down_for: {down_for} }}")
+            }
+            Fault::ReviveAll { tier } => write!(f, "Fault::ReviveAll {{ tier: {tier} }}"),
+            Fault::WipeSoftLayer => f.write_str("Fault::WipeSoftLayer"),
+            Fault::RebuildSoftLayer => f.write_str("Fault::RebuildSoftLayer"),
+        }
+    }
+}
+
+/// `Display` renders the change as a pasteable Rust constructor
+/// expression.
+impl std::fmt::Display for EnvChange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnvChange::Latency(m) => write!(f, "EnvChange::Latency(LatencyModel::{m:?})"),
+            EnvChange::DropProb(p) => write!(f, "EnvChange::DropProb({p:?})"),
+            EnvChange::PartitionPersist { fraction } => {
+                write!(f, "EnvChange::PartitionPersist {{ fraction: {fraction:?} }}")
+            }
+            EnvChange::Heal => f.write_str("EnvChange::Heal"),
+        }
+    }
+}
+
+/// `Display` renders the mix as the builder chain that reconstructs it:
+/// `OpMix::idle()` plus one call per non-default knob.
+impl std::fmt::Display for OpMix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("OpMix::idle()")?;
+        for (weight, method) in [
+            (self.weight_put(), "put"),
+            (self.weight_get(), "get"),
+            (self.weight_delete(), "delete"),
+            (self.weight_scan(), "scan"),
+            (self.weight_multi_put(), "multi_put"),
+            (self.weight_multi_get(), "multi_get"),
+        ] {
+            if weight > 0 {
+                write!(f, ".{method}({weight})")?;
+            }
+        }
+        let default_batch = OpMix::idle().batch_items();
+        if self.batch_items() != default_batch {
+            write!(f, ".batch({})", self.batch_items())?;
+        }
+        Ok(())
+    }
+}
+
+/// `Display` renders the phase as the builder chain that reconstructs
+/// it: `Phase::new(..)` plus one call per non-default knob.
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Phase::new({:?}, {})", self.name, self.ticks)?;
+        if !self.mix.is_idle() {
+            write!(f, ".mix({})", self.mix)?;
+        }
+        let defaults = Phase::new("", 1);
+        if self.sessions != defaults.sessions {
+            write!(f, ".sessions({})", self.sessions)?;
+        }
+        if self.depth != defaults.depth {
+            write!(f, ".depth({})", self.depth)?;
+        }
+        if self.quantum != defaults.quantum {
+            write!(f, ".quantum({})", self.quantum)?;
+        }
+        if let Some(rate) = self.rate {
+            write!(f, ".rate({rate:?})")?;
+        }
+        if let Some(ops) = self.ops {
+            write!(f, ".ops({ops})")?;
+        }
+        if let Some(kind) = self.workload {
+            write!(f, ".workload(WorkloadKind::{kind:?})")?;
+        }
+        Ok(())
+    }
+}
+
+/// `Display` renders the whole scenario as a runnable Rust constructor
+/// snippet — dd-fuzz's repro artifact: paste it into a test, run it
+/// against a fresh cluster, and the finding replays byte-identically.
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Scenario::new({:?}, WorkloadKind::{:?}, {})",
+            self.name, self.workload, self.seed
+        )?;
+        for phase in &self.phases {
+            write!(f, "\n    .phase({phase})")?;
+        }
+        for (at, fault) in &self.faults {
+            write!(f, "\n    .fault({at}, {fault})")?;
+        }
+        for (at, change) in &self.env {
+            write!(f, "\n    .env({at}, {change})")?;
+        }
+        if self.audited {
+            f.write_str("\n    .audited()")?;
+        }
+        Ok(())
     }
 }
 
@@ -460,7 +927,34 @@ impl Cluster {
     /// the current virtual time (callers usually [`Cluster::settle`]
     /// first) and ends when every phase has elapsed and every issued
     /// operation has resolved.
+    ///
+    /// # Panics
+    /// Panics if the scenario fails [`Scenario::validate`]; callers
+    /// holding machine-generated scenarios should prefer
+    /// [`Cluster::try_run_scenario`].
     pub fn run_scenario(&mut self, scenario: &Scenario) -> ScenarioReport {
+        match self.try_run_scenario(scenario) {
+            Ok(report) => report,
+            Err(errs) => {
+                let list: Vec<String> = errs.iter().map(ScenarioError::to_string).collect();
+                panic!("invalid scenario {:?}: {}", scenario.name, list.join("; "));
+            }
+        }
+    }
+
+    /// [`Cluster::run_scenario`], but rejecting an invalid scenario as a
+    /// [`ScenarioError`] list instead of panicking — the entry point for
+    /// machine-generated scenarios (dd-fuzz validates every generated
+    /// and shrunk candidate through this).
+    pub fn try_run_scenario(
+        &mut self,
+        scenario: &Scenario,
+    ) -> Result<ScenarioReport, Vec<ScenarioError>> {
+        scenario.validate()?;
+        Ok(self.run_scenario_unchecked(scenario))
+    }
+
+    fn run_scenario_unchecked(&mut self, scenario: &Scenario) -> ScenarioReport {
         let start = self.sim.now();
         let msgs_at_start = self.sim.metrics().counter("net.sent");
         if scenario.audited {
@@ -598,10 +1092,21 @@ impl Cluster {
         }
     }
 
-    /// Closes out an audited run: takes the recorded history, settles the
-    /// cluster until the live-replica snapshot agrees per key (bounded at
-    /// [`MAX_AUDIT_SETTLES`] rounds — repair is gossip, so convergence
-    /// takes a few random pairings), and runs the checker suite.
+    /// Closes out an audited run: settles the cluster until the
+    /// live-replica snapshot agrees per key (bounded at
+    /// [`MAX_AUDIT_SETTLES`] rounds), then runs the checker suite.
+    ///
+    /// Each unconverged round drives a deterministic
+    /// [`Cluster::repair_sweep`] before settling. Periodic repair picks
+    /// one partner per round by lottery, and fuzzing showed that when
+    /// exactly two replicas hold a diverged key (and no other node's
+    /// sieve accepts it to relay), the pair can take far longer than any
+    /// fixed settle bound to meet — the audit would then report
+    /// transient lag as divergence. The sweep makes the measurement
+    /// procedure deterministic: what remains after full pairwise
+    /// anti-entropy is divergence the protocol itself cannot repair (and
+    /// with repair disabled the sweep is a no-op, so lingering
+    /// divergence still surfaces).
     fn finish_audit(&mut self) -> dd_audit::AuditReport {
         let history = self.end_audit().expect("audited run installed a recorder");
         let mut snapshot = self.audit_snapshot();
@@ -609,6 +1114,7 @@ impl Cluster {
             if dd_audit::snapshot_converged(&snapshot) {
                 break;
             }
+            self.repair_sweep();
             self.settle();
             snapshot = self.audit_snapshot();
         }
@@ -938,6 +1444,145 @@ mod tests {
             assert!(sc.duration() >= 20_000);
             assert!(sc.phases.iter().any(|p| !p.mix.is_idle()));
         }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_scenarios() {
+        // Every reject is a value the builders happily construct (the
+        // fuzzer's shrinker mutates through these corners) but that
+        // would previously have panicked somewhere inside the engine.
+        let base = || Scenario::new("bad", WorkloadKind::Uniform, 1);
+        let cases: Vec<(Scenario, ScenarioError)> = vec![
+            (base(), ScenarioError::NoPhases),
+            (base().phase(Phase::new("p", 0)), ScenarioError::EmptyPhase { phase: 0 }),
+            (
+                base().phase(Phase::new("p", 10).mix(OpMix::puts()).sessions(0)),
+                ScenarioError::NoSessions { phase: 0 },
+            ),
+            (
+                base().phase(Phase::new("p", 10).mix(OpMix::puts()).depth(0)),
+                ScenarioError::NoDepth { phase: 0 },
+            ),
+            (base().phase(Phase::new("p", 10).quantum(0)), ScenarioError::ZeroQuantum { phase: 0 }),
+            (
+                base().phase(Phase::new("p", 10).mix(OpMix::multi_puts(0))),
+                ScenarioError::EmptyBatch { phase: 0 },
+            ),
+            (
+                base().phase(Phase::new("p", 10)).env(5, EnvChange::DropProb(1.5)),
+                ScenarioError::BadDropProb { at: 5, prob: 1.5 },
+            ),
+            (
+                base()
+                    .phase(Phase::new("p", 10))
+                    .env(5, EnvChange::PartitionPersist { fraction: -0.25 }),
+                ScenarioError::BadPartitionFraction { at: 5, fraction: -0.25 },
+            ),
+            (
+                base()
+                    .phase(Phase::new("p", 100))
+                    .env(10, EnvChange::PartitionPersist { fraction: 0.5 })
+                    .env(20, EnvChange::PartitionPersist { fraction: 0.3 }),
+                ScenarioError::OverlappingPartition { first: 10, second: 20 },
+            ),
+        ];
+        for (sc, want) in cases {
+            let errs = sc.validate().expect_err("scenario should be rejected");
+            assert!(errs.contains(&want), "expected {want:?} in {errs:?}");
+        }
+        // Degenerate workload populations are rejected wherever declared.
+        let sc = Scenario::new("bad", WorkloadKind::SocialFeed { users: 0 }, 1)
+            .phase(Phase::new("p", 10));
+        assert!(matches!(
+            sc.validate().unwrap_err()[0],
+            ScenarioError::BadWorkload { phase: None, .. }
+        ));
+        let sc = base()
+            .phase(Phase::new("p", 10).workload(WorkloadKind::ZipfKeys { keys: 0, exponent: 1.0 }));
+        assert!(matches!(
+            sc.validate().unwrap_err()[0],
+            ScenarioError::BadWorkload { phase: Some(0), .. }
+        ));
+        let sc = base().phase(Phase::new("p", 10)).fault(
+            0,
+            Fault::ChurnBurst {
+                tier: Tier::Persist,
+                model: ChurnModel { failure_rate: 0.1, period: 0, ..ChurnModel::default() },
+                span: 10,
+            },
+        );
+        assert!(matches!(sc.validate().unwrap_err()[0], ScenarioError::BadChurnModel { .. }));
+    }
+
+    #[test]
+    fn try_run_rejects_and_run_scenario_panics_on_invalid() {
+        let mut c = settled(11);
+        let sc = Scenario::new("empty", WorkloadKind::Uniform, 1);
+        let errs = c.try_run_scenario(&sc).expect_err("no phases is invalid");
+        assert_eq!(errs, vec![ScenarioError::NoPhases]);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut c = settled(11);
+            c.run_scenario(&sc)
+        }));
+        assert!(caught.is_err(), "run_scenario panics on invalid scenarios");
+        // Healed partition sequences and partial heals stay valid.
+        let ok = Scenario::new("ok", WorkloadKind::Uniform, 1)
+            .phase(Phase::new("p", 100))
+            .env(10, EnvChange::PartitionPersist { fraction: 0.5 })
+            .env(20, EnvChange::Heal)
+            .env(30, EnvChange::PartitionPersist { fraction: 0.5 });
+        assert_eq!(ok.validate(), Ok(()));
+    }
+
+    #[test]
+    fn scenario_types_are_value_types() {
+        let make = || {
+            library::churn_storm(3)
+                .env(100, EnvChange::Latency(LatencyModel::Uniform { min: 2, max: 9 }))
+        };
+        assert_eq!(make(), make(), "structural equality over the whole timeline");
+        let mut other = make();
+        other.set_faults(vec![]);
+        assert_ne!(make(), other);
+        // Accessors expose what the builders set.
+        let sc = make();
+        assert_eq!(sc.seed(), 3);
+        assert_eq!(sc.workload(), WorkloadKind::SocialFeed { users: 8 });
+        assert_eq!(sc.phases().len(), 4);
+        assert_eq!(sc.faults().len(), 1);
+        assert_eq!(sc.env_timeline().len(), 1);
+        let p = &sc.phases()[0];
+        assert_eq!((p.name(), p.ticks()), ("load", 6_000));
+        assert_eq!((p.session_count(), p.pipeline_depth()), (3, 8));
+        assert_eq!(p.op_budget(), Some(240));
+        assert_eq!(p.op_mix().weight_put(), 3);
+        assert_eq!(p.clone().with_ticks(7).ticks(), 7);
+    }
+
+    #[test]
+    fn display_prints_a_runnable_constructor_snippet() {
+        let sc = Scenario::new("repro", WorkloadKind::SocialFeed { users: 4 }, 99)
+            .phase(Phase::new("load", 2_000).mix(OpMix::idle().put(3).multi_put(1)).ops(40))
+            .phase(Phase::new("read", 1_500).mix(OpMix::gets()).sessions(2).depth(4))
+            .fault(500, Fault::Crash { tier: Tier::Persist, count: 2 })
+            .env(800, EnvChange::DropProb(0.05))
+            .audited();
+        let snippet = sc.to_string();
+        assert_eq!(
+            snippet,
+            "Scenario::new(\"repro\", WorkloadKind::SocialFeed { users: 4 }, 99)\n    \
+             .phase(Phase::new(\"load\", 2000).mix(OpMix::idle().put(3).multi_put(1)).ops(40))\n    \
+             .phase(Phase::new(\"read\", 1500).mix(OpMix::idle().get(1)).sessions(2).depth(4))\n    \
+             .fault(500, Fault::Crash { tier: Tier::Persist, count: 2 })\n    \
+             .env(800, EnvChange::DropProb(0.05))\n    \
+             .audited()"
+        );
+        // The churn/latency forms carry their full constructor paths.
+        let stormy = library::churn_storm(1)
+            .env(7, EnvChange::Latency(LatencyModel::Constant(3)))
+            .to_string();
+        assert!(stormy.contains("Fault::ChurnBurst { tier: Tier::Persist, model: ChurnModel {"));
+        assert!(stormy.contains("EnvChange::Latency(LatencyModel::Constant(3))"));
     }
 
     #[test]

@@ -747,7 +747,7 @@ impl SoftNode {
         let mut latest: HashMap<u64, StoredTuple> = HashMap::with_capacity(items.len());
         for t in items {
             match latest.get(&t.key_hash) {
-                Some(e) if e.version >= t.version => {}
+                Some(e) if !t.supersedes(e) => {}
                 _ => {
                     latest.insert(t.key_hash, t);
                 }

@@ -300,10 +300,43 @@ impl StoredTuple {
     }
 
     /// Unique dissemination id of this write: one rumor per
-    /// `(key, version)`.
+    /// `(key, version, content)`. Content is part of the identity so that
+    /// two *different* writes issued under the same version — possible
+    /// only after the version authority is lost (a soft-layer wipe
+    /// without rebuild) — are distinct rumors: each spreads and lands in
+    /// digests on its own, letting [`StoredTuple::supersedes`] pick one
+    /// winner everywhere instead of first-arrival deciding per node.
     #[must_use]
     pub fn rumor_id(&self) -> u64 {
-        mix(self.key_hash, self.version.0 ^ 0xD0_1E7)
+        mix(mix(self.key_hash, self.version.0 ^ 0xD0_1E7), self.content_hash())
+    }
+
+    /// Stable hash of everything but the key and version: payload,
+    /// attribute, tag and the tombstone flag.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        let mut h = stable_hash(&self.value);
+        h = mix(h, self.attr.map_or(0x0A_77_12, f64::to_bits));
+        h = mix(h, self.tag_hash.unwrap_or(0x7A_6F_FF));
+        mix(h, u64::from(self.deleted))
+    }
+
+    /// The replica merge rule: whether this copy of a key must replace
+    /// `other`. Higher version wins. On a version tie — which only
+    /// happens when the version authority was lost and re-issued a used
+    /// version — the tombstone wins, then the higher content hash: a
+    /// total, deterministic order, so every replica picks the same winner
+    /// regardless of delivery order and the layer reconverges instead of
+    /// diverging on first-arrival.
+    #[must_use]
+    pub fn supersedes(&self, other: &StoredTuple) -> bool {
+        if self.version != other.version {
+            return self.version > other.version;
+        }
+        if self.deleted != other.deleted {
+            return self.deleted;
+        }
+        self.content_hash() > other.content_hash()
     }
 }
 

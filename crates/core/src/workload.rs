@@ -67,6 +67,45 @@ pub enum WorkloadKind {
     },
 }
 
+impl WorkloadKind {
+    /// Whether a [`Workload`] of this kind can generate without
+    /// panicking; `Err` names the broken parameter. Degenerate values
+    /// (`ZipfKeys { keys: 0, .. }`, `SocialFeed { users: 0 }`, a
+    /// non-finite or negative deviation) would otherwise blow up inside
+    /// the distribution constructors mid-run — the scenario plane
+    /// rejects them up front ([`crate::Scenario::validate`]).
+    pub fn validate(&self) -> Result<(), &'static str> {
+        match *self {
+            WorkloadKind::Uniform => Ok(()),
+            WorkloadKind::NormalAttr { mean, std_dev } => {
+                if !mean.is_finite() {
+                    Err("NormalAttr mean must be finite")
+                } else if !(std_dev.is_finite() && std_dev >= 0.0) {
+                    Err("NormalAttr std_dev must be finite and non-negative")
+                } else {
+                    Ok(())
+                }
+            }
+            WorkloadKind::ZipfKeys { keys, exponent } => {
+                if keys == 0 {
+                    Err("ZipfKeys needs at least one key")
+                } else if !(exponent.is_finite() && exponent >= 0.0) {
+                    Err("ZipfKeys exponent must be finite and non-negative")
+                } else {
+                    Ok(())
+                }
+            }
+            WorkloadKind::SocialFeed { users } => {
+                if users == 0 {
+                    Err("SocialFeed needs at least one user")
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
 /// How many recently written keys a generator remembers for read traffic
 /// whose key population is not derivable from a counter (social feeds).
 const RECENT_KEYS: usize = 512;

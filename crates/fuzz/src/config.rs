@@ -1,0 +1,241 @@
+//! The declarative knobs of a fuzz campaign: every bound and weight the
+//! generator draws from, plus the shrink and wall-clock budgets.
+
+use dd_core::Placement;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// An inclusive integer range the generator samples uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bounds {
+    /// Smallest value drawn (inclusive).
+    pub lo: u64,
+    /// Largest value drawn (inclusive).
+    pub hi: u64,
+}
+
+impl Bounds {
+    /// Bounds `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn new(lo: u64, hi: u64) -> Self {
+        assert!(lo <= hi, "bounds [{lo}, {hi}] are inverted");
+        Bounds { lo, hi }
+    }
+
+    /// A degenerate single-value range.
+    #[must_use]
+    pub fn exactly(v: u64) -> Self {
+        Bounds { lo: v, hi: v }
+    }
+
+    pub(crate) fn sample(&self, rng: &mut SmallRng) -> u64 {
+        if self.lo == self.hi {
+            self.lo
+        } else {
+            rng.gen_range(self.lo..=self.hi)
+        }
+    }
+}
+
+/// Relative weights of the fault kinds a generated schedule draws from.
+/// A zero weight disables the kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultWeights {
+    /// Correlated crashes ([`dd_core::Fault::Crash`]), not revived unless
+    /// a [`dd_core::Fault::ReviveAll`] is also drawn — the durability
+    /// pressure cooker.
+    pub crash: u32,
+    /// Transient flaps ([`dd_core::Fault::Flap`]).
+    pub flap: u32,
+    /// Churn storms ([`dd_core::Fault::ChurnBurst`]).
+    pub churn_burst: u32,
+    /// Soft-layer wipe, always paired with a later rebuild
+    /// ([`dd_core::Fault::WipeSoftLayer`] / `RebuildSoftLayer`). Zero in
+    /// both stock profiles: a wipe legitimately forfeits the session
+    /// guarantees (read-your-writes, read-your-delete) until the rebuild
+    /// lands, and the audit's session checkers are not epoch-aware, so
+    /// any campaign that draws a wipe rediscovers that documented
+    /// limitation as a safety finding — the frozen corpus pins it once
+    /// instead. Raise this in a custom config to explore wipe behaviour.
+    pub wipe_soft: u32,
+    /// Tier-wide revival ([`dd_core::Fault::ReviveAll`]).
+    pub revive_all: u32,
+}
+
+/// Relative weights of the environment episodes a generated timeline
+/// draws from. A zero weight disables the episode kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnvWeights {
+    /// A latency-model switch ([`dd_core::EnvChange::Latency`]).
+    pub latency: u32,
+    /// A message-loss spike with recovery
+    /// ([`dd_core::EnvChange::DropProb`]).
+    pub drop_spike: u32,
+    /// A persist-layer partition with heal
+    /// ([`dd_core::EnvChange::PartitionPersist`] / `Heal`); at most one
+    /// per scenario so generated timelines never overlap partitions.
+    pub partition: u32,
+}
+
+/// Everything a fuzz campaign can tune: cluster bounds, scenario shape
+/// bounds, fault/environment weights, and the shrink budgets. Two stock
+/// profiles ship — [`FuzzConfig::smoke`] for the CI tier and
+/// [`FuzzConfig::soak`] for long campaigns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzConfig {
+    /// Persist-layer size range.
+    pub persist_n: Bounds,
+    /// Replication-degree range.
+    pub replication: Bounds,
+    /// Placements drawn uniformly.
+    pub placements: Vec<Placement>,
+    /// Serve-phase count (on top of the always-present load phase).
+    pub serve_phases: Bounds,
+    /// Per-phase duration in ticks.
+    pub phase_ticks: Bounds,
+    /// Per-phase operation budget.
+    pub ops_per_phase: Bounds,
+    /// Concurrent sessions per phase.
+    pub sessions: Bounds,
+    /// Pipeline depth per session.
+    pub depth: Bounds,
+    /// Items per batched write.
+    pub batch: Bounds,
+    /// Fault clauses per scenario.
+    pub faults: Bounds,
+    /// Environment episodes per scenario.
+    pub env_episodes: Bounds,
+    /// Fault-kind weights.
+    pub fault_weights: FaultWeights,
+    /// Environment-episode weights.
+    pub env_weights: EnvWeights,
+    /// Probability (percent) that a trailing idle repair phase is
+    /// appended, giving anti-entropy a window before the audit settle.
+    pub repair_tail_pct: u32,
+    /// Maximum oracle evaluations (full scenario re-runs) one shrink may
+    /// spend.
+    pub shrink_budget: u32,
+    /// How many non-safety (durability-warning) findings per campaign
+    /// are shrunk to minimal witnesses; the rest are censused only.
+    /// Safety violations and panics are always shrunk.
+    pub shrink_findings: u32,
+}
+
+impl FuzzConfig {
+    /// The CI tier: small clusters and short scenarios so a few hundred
+    /// seeds sweep in seconds, with tight shrink budgets.
+    #[must_use]
+    pub fn smoke() -> Self {
+        FuzzConfig {
+            persist_n: Bounds::new(8, 20),
+            replication: Bounds::new(2, 3),
+            placements: vec![
+                Placement::RangePartition,
+                Placement::Uniform,
+                Placement::TagCollocation,
+            ],
+            serve_phases: Bounds::new(0, 2),
+            phase_ticks: Bounds::new(600, 2_500),
+            ops_per_phase: Bounds::new(8, 48),
+            sessions: Bounds::new(1, 3),
+            depth: Bounds::new(1, 8),
+            batch: Bounds::new(2, 5),
+            faults: Bounds::new(0, 3),
+            env_episodes: Bounds::new(0, 2),
+            fault_weights: FaultWeights {
+                crash: 3,
+                flap: 3,
+                churn_burst: 2,
+                wipe_soft: 0,
+                revive_all: 2,
+            },
+            env_weights: EnvWeights { latency: 2, drop_spike: 2, partition: 3 },
+            repair_tail_pct: 50,
+            shrink_budget: 80,
+            shrink_findings: 2,
+        }
+    }
+
+    /// The soak profile: larger clusters, longer scenarios, heavier fault
+    /// schedules, generous shrink budgets — the long-running campaign the
+    /// `dd-fuzz` binary shards across seed ranges.
+    #[must_use]
+    pub fn soak() -> Self {
+        FuzzConfig {
+            persist_n: Bounds::new(12, 48),
+            replication: Bounds::new(2, 5),
+            placements: vec![
+                Placement::RangePartition,
+                Placement::Uniform,
+                Placement::TagCollocation,
+            ],
+            serve_phases: Bounds::new(1, 3),
+            phase_ticks: Bounds::new(1_000, 8_000),
+            ops_per_phase: Bounds::new(20, 160),
+            sessions: Bounds::new(1, 6),
+            depth: Bounds::new(1, 16),
+            batch: Bounds::new(2, 8),
+            faults: Bounds::new(0, 5),
+            env_episodes: Bounds::new(0, 3),
+            fault_weights: FaultWeights {
+                crash: 3,
+                flap: 3,
+                churn_burst: 3,
+                wipe_soft: 0,
+                revive_all: 3,
+            },
+            env_weights: EnvWeights { latency: 2, drop_spike: 3, partition: 3 },
+            repair_tail_pct: 60,
+            shrink_budget: 400,
+            shrink_findings: 8,
+        }
+    }
+}
+
+pub(crate) fn weighted_pick(rng: &mut SmallRng, weights: &[(u32, usize)]) -> Option<usize> {
+    let total: u64 = weights.iter().map(|&(w, _)| u64::from(w)).sum();
+    if total == 0 {
+        return None;
+    }
+    let mut roll = rng.gen_range(0..total);
+    for &(w, idx) in weights {
+        let w = u64::from(w);
+        if roll < w {
+            return Some(idx);
+        }
+        roll -= w;
+    }
+    unreachable!("roll bounded by the weight total")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bounds_sample_inclusively() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let b = Bounds::new(3, 5);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let v = b.sample(&mut rng);
+            assert!((3..=5).contains(&v));
+            seen.insert(v);
+        }
+        assert_eq!(seen.len(), 3, "all three values drawn");
+        assert_eq!(Bounds::exactly(7).sample(&mut rng), 7);
+    }
+
+    #[test]
+    fn zero_weights_disable_every_kind() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(weighted_pick(&mut rng, &[(0, 0), (0, 1)]), None);
+        for _ in 0..50 {
+            assert_eq!(weighted_pick(&mut rng, &[(0, 0), (4, 1)]), Some(1));
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! The `dd-fuzz` soak binary: sweep a seed range (optionally sharded),
+//! shrink every finding, write a JSON campaign summary, and exit nonzero
+//! if any safety violation or panic survives shrinking.
+//!
+//! ```text
+//! dd-fuzz [--config smoke|soak] [--seed-start N] [--seeds N]
+//!         [--budget-secs N] [--shard I:K] [--out PATH] [--quiet]
+//! ```
+
+use dd_fuzz::{run_campaign, CampaignPlan, FuzzConfig, Verdict};
+use std::time::Duration;
+
+struct Args {
+    config_name: String,
+    seed_start: u64,
+    seeds: u64,
+    budget_secs: Option<u64>,
+    shard: Option<(u64, u64)>,
+    out: String,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dd-fuzz [--config smoke|soak] [--seed-start N] [--seeds N]\n\
+         \x20              [--budget-secs N] [--shard I:K] [--out PATH] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        config_name: "soak".to_string(),
+        seed_start: 0,
+        seeds: 1_000,
+        budget_secs: None,
+        shard: None,
+        out: "BENCH_fuzz.json".to_string(),
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--config" => args.config_name = value("--config"),
+            "--seed-start" => {
+                args.seed_start = value("--seed-start").parse().unwrap_or_else(|_| usage())
+            }
+            "--seeds" => args.seeds = value("--seeds").parse().unwrap_or_else(|_| usage()),
+            "--budget-secs" => {
+                args.budget_secs = Some(value("--budget-secs").parse().unwrap_or_else(|_| usage()))
+            }
+            "--shard" => {
+                let spec = value("--shard");
+                let (i, k) = spec.split_once(':').unwrap_or_else(|| usage());
+                let i: u64 = i.parse().unwrap_or_else(|_| usage());
+                let k: u64 = k.parse().unwrap_or_else(|_| usage());
+                if k == 0 || i >= k {
+                    eprintln!("--shard {spec}: need I < K, K > 0");
+                    usage();
+                }
+                args.shard = Some((i, k));
+            }
+            "--out" => args.out = value("--out"),
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = match args.config_name.as_str() {
+        "smoke" => FuzzConfig::smoke(),
+        "soak" => FuzzConfig::soak(),
+        other => {
+            eprintln!("unknown config {other} (want smoke or soak)");
+            usage();
+        }
+    };
+    let mut plan = CampaignPlan::sweep(args.seed_start, args.seeds);
+    if let Some(secs) = args.budget_secs {
+        plan = plan.budget(Duration::from_secs(secs));
+    }
+    if let Some((i, k)) = args.shard {
+        plan = plan.shard(i, k);
+    }
+
+    // The campaign catches engine panics and classifies them; silence the
+    // default hook so a panicking case prints one census line instead of a
+    // backtrace per replay (this binary is single-threaded, so the global
+    // hook swap races nothing).
+    if args.quiet {
+        std::panic::set_hook(Box::new(|_| {}));
+    }
+    let summary = run_campaign(&cfg, &plan);
+    let _ = std::panic::take_hook();
+
+    println!(
+        "dd-fuzz {}: {} seeds in {:.1}s ({:.1} scenarios/s)",
+        args.config_name,
+        summary.seeds_run,
+        summary.elapsed.as_secs_f64(),
+        summary.scenarios_per_sec(),
+    );
+    println!(
+        "  clean {}  durability {}  safety {}  panics {}  rejected {}",
+        summary.clean, summary.durability, summary.safety, summary.panics, summary.rejected
+    );
+    for (kind, n) in &summary.kind_census {
+        println!("  census {kind}: {n} violations");
+    }
+    for finding in &summary.findings {
+        let label = match finding.verdict {
+            Verdict::Violating(kind) => format!("{kind}"),
+            Verdict::Panicked => "panic".to_string(),
+            _ => continue,
+        };
+        println!(
+            "  finding seed {} [{}]: size {} -> {} ({} evals)",
+            finding.seed,
+            label,
+            finding.stats.original_size,
+            finding.stats.final_size,
+            finding.stats.evaluations
+        );
+        if finding.verdict.is_safety_failure() {
+            println!("--- minimal repro ---\n{}---", finding.snippet());
+        }
+    }
+
+    if let Err(e) = std::fs::write(&args.out, summary.to_json(&args.config_name)) {
+        eprintln!("dd-fuzz: could not write {}: {e}", args.out);
+        std::process::exit(2);
+    }
+    println!("wrote {}", args.out);
+
+    let safety_findings = summary.safety_findings();
+    if !safety_findings.is_empty() {
+        eprintln!(
+            "dd-fuzz: {} safety finding(s) survived shrinking — failing",
+            safety_findings.len()
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,88 @@
+//! The CI fuzz tier: sweep a fixed window of a few hundred seeds under a
+//! wall-clock guard, and fail if any safety violation or engine panic
+//! survives shrinking. Durability warnings (LostWrite) are expected —
+//! the paper's design trades a bounded amount of durability under churn
+//! and unrevived crashes — and are censused, not failed.
+
+use dd_fuzz::{run_campaign, run_case, CampaignPlan, FuzzConfig, Verdict};
+use std::time::Duration;
+
+/// The fixed seed window CI sweeps. Moving it is a deliberate act (it
+/// changes which scenarios CI explores), not a side effect.
+const CI_SEED_START: u64 = 0;
+const CI_SEEDS: u64 = 250;
+
+#[test]
+fn smoke_campaign_has_no_unshrunk_safety_violations() {
+    let cfg = FuzzConfig::smoke();
+    let plan = CampaignPlan::sweep(CI_SEED_START, CI_SEEDS).budget(Duration::from_secs(600));
+    let summary = run_campaign(&cfg, &plan);
+    assert_eq!(
+        summary.seeds_run, CI_SEEDS,
+        "the wall budget cut the CI tier short — shrink the smoke profile"
+    );
+    assert_eq!(summary.rejected, 0, "generated cases must be valid by construction");
+    assert_eq!(summary.panics, 0, "no generated scenario may panic the engine");
+    let safety = summary.safety_findings();
+    assert!(
+        safety.is_empty(),
+        "{} safety finding(s) survived shrinking:\n{}",
+        safety.len(),
+        safety.iter().map(|f| f.snippet()).collect::<Vec<_>>().join("\n")
+    );
+    // The sweep must actually exercise the system: most seeds complete,
+    // and the fault schedules push some runs into durability territory.
+    assert!(summary.clean + summary.durability == CI_SEEDS);
+    assert!(summary.durability > 0, "smoke profile stopped generating interesting faults");
+    // Every shrunk finding got strictly smaller or stayed put, never grew.
+    for f in &summary.findings {
+        assert!(f.stats.final_size <= f.stats.original_size);
+        assert_eq!(f.case.scenario.validate(), Ok(()));
+    }
+}
+
+#[test]
+fn campaigns_replay_byte_identically() {
+    let cfg = FuzzConfig::smoke();
+    let plan = CampaignPlan::sweep(40, 25);
+    let a = run_campaign(&cfg, &plan);
+    let b = run_campaign(&cfg, &plan);
+    assert_eq!(a.seeds_run, b.seeds_run);
+    assert_eq!(
+        (a.clean, a.durability, a.safety, a.panics, a.rejected),
+        (b.clean, b.durability, b.safety, b.panics, b.rejected)
+    );
+    assert_eq!(a.kind_census, b.kind_census);
+    assert_eq!(a.findings.len(), b.findings.len());
+    for (fa, fb) in a.findings.iter().zip(&b.findings) {
+        assert_eq!(fa.seed, fb.seed);
+        assert_eq!(fa.verdict, fb.verdict);
+        assert_eq!(fa.case, fb.case, "shrinking must be deterministic");
+        assert_eq!(fa.stats, fb.stats);
+    }
+}
+
+#[test]
+fn emitted_minimal_cases_replay_byte_identically_and_keep_their_verdict() {
+    let summary = run_campaign(&FuzzConfig::smoke(), &CampaignPlan::sweep(0, 30));
+    let finding = summary.findings.first().expect("the smoke window starts with known findings");
+    let a = run_case(&finding.case);
+    let b = run_case(&finding.case);
+    assert_eq!(a.verdict, finding.verdict, "the minimal case witnesses the preserved verdict");
+    assert_eq!(a.report, b.report, "replaying the emitted scenario must be byte-identical");
+    let snippet = finding.snippet();
+    assert!(snippet.contains("run_scenario(&scenario)"));
+    assert!(snippet.contains(&format!("Cluster::new(config, {})", finding.seed)));
+}
+
+#[test]
+fn a_panicking_case_is_classified_not_propagated() {
+    // Scenario validation cannot see the cluster spec; a zero-node
+    // persist layer trips Cluster::new's assertion, which run_case must
+    // catch and classify rather than unwind.
+    let mut case = dd_fuzz::generate(&FuzzConfig::smoke(), 3);
+    case.persist_n = 0;
+    let result = run_case(&case);
+    assert_eq!(result.verdict, Verdict::Panicked);
+    assert!(result.panic_msg.expect("payload captured").contains("persist node"));
+}

@@ -17,7 +17,7 @@ use rand::Rng;
 use rand_distr::{Distribution, Exp};
 
 /// Parameters of the synthetic churn process.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChurnModel {
     /// Per-node failure rate: expected failures per node per
     /// `period` ticks. E.g. `0.01` with `period = 1000` means each node

@@ -19,6 +19,7 @@ pub use dd_core as core;
 pub use dd_dht as dht;
 pub use dd_epidemic as epidemic;
 pub use dd_estimation as estimation;
+pub use dd_fuzz as fuzz;
 pub use dd_membership as membership;
 pub use dd_overlay as overlay;
 pub use dd_sieve as sieve;
