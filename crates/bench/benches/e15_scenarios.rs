@@ -70,7 +70,7 @@ fn write_summary(cells: &[Cell]) {
                 "    {{\"scenario\": \"{}\", \"placement\": \"{}\", \"issued\": {}, \
                  \"availability\": {:.4}, \"staleness\": {:.4}, \"timeouts\": {}, \
                  \"partials\": {}, \"no_live_entry\": {}, \"latency_p50_ticks\": {:.1}, \
-                 \"latency_p95_ticks\": {:.1}, \"msgs\": {}}}",
+                 \"latency_p95_ticks\": {:.1}, \"latency_p99_ticks\": {:.1}, \"msgs\": {}}}",
                 r.name,
                 c.placement,
                 r.issued(),
@@ -81,6 +81,7 @@ fn write_summary(cells: &[Cell]) {
                 e.no_entry,
                 r.latency_p50,
                 r.latency_p95,
+                r.latency_p99,
                 r.msgs
             )
         })
@@ -102,7 +103,7 @@ fn experiment() {
     let cells = matrix();
     table_header(
         "E15: dependability matrix — placement x scenario (social-feed workload)",
-        &["scenario", "placement", "issued", "avail", "stale", "t/o", "part", "p50", "p95"],
+        &["scenario", "placement", "issued", "avail", "stale", "t/o", "part", "p50", "p95", "p99"],
     );
     for c in &cells {
         let r = &c.report;
@@ -117,6 +118,7 @@ fn experiment() {
             n(e.partials),
             f(r.latency_p50),
             f(r.latency_p95),
+            f(r.latency_p99),
         ]);
     }
     for placement in ["range", "tag"] {

@@ -1,0 +1,298 @@
+//! E19 — the tracing plane: zero cost when off, bounded overhead when on,
+//! and critical-path attribution that explains the tail.
+//!
+//! Each stock dependability drill runs twice against identical clusters —
+//! plain, then [`Scenario::traced`] — and the bench asserts the three
+//! acceptance gates:
+//!
+//! 1. **Tracing off = 0% regression.** The traced run's report core (with
+//!    the attached [`dd_trace::TraceReport`] detached) is bit-for-bit the
+//!    plain run's report: span capture is passive on the virtual-time
+//!    axis, so the executed run is byte-identical.
+//! 2. **Tracing on ≤ 10% ops/tick overhead** across the drill matrix
+//!    (virtual-time throughput; wall-clock recording cost is reported per
+//!    row but not gated).
+//! 3. **Attribution pins the tail on the fault.** In the churn-storm
+//!    drill the slowest ops' critical paths must be dominated by a wait
+//!    hop that was *never answered* — the replica the failure detector
+//!    eventually struck — not by healthy forwarding hops.
+//!
+//! Emits `BENCH_trace.json` at the workspace root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dd_bench::{f, n, table_header, table_row};
+use dd_core::scenario::library;
+use dd_core::{
+    Cluster, ClusterConfig, EnvChange, OpMix, Phase, Placement, Scenario, ScenarioReport,
+    WorkloadKind,
+};
+use dd_trace::TraceReport;
+
+const PERSIST_N: u64 = 36;
+const REPLICATION: u32 = 3;
+const SEED: u64 = 2_027;
+
+/// Maximum tolerated ops/tick regression of a traced run vs the same
+/// drill untraced (the issue's acceptance bound).
+const MAX_OPS_PER_TICK_REGRESSION: f64 = 0.10;
+
+struct Cell {
+    name: String,
+    plain: ScenarioReport,
+    traced: ScenarioReport,
+    wall_plain_ms: f64,
+    wall_traced_ms: f64,
+}
+
+impl Cell {
+    fn trace(&self) -> &TraceReport {
+        self.traced.trace.as_ref().expect("traced run attaches a trace report")
+    }
+
+    fn ops_per_tick(report: &ScenarioReport) -> f64 {
+        report.issued() as f64 / report.ticks as f64
+    }
+
+    fn regression(&self) -> f64 {
+        1.0 - Self::ops_per_tick(&self.traced) / Self::ops_per_tick(&self.plain)
+    }
+}
+
+fn run(scenario: &Scenario) -> (ScenarioReport, f64) {
+    let config = ClusterConfig::small()
+        .persist_n(PERSIST_N)
+        .replication(REPLICATION)
+        .placement(Placement::TagCollocation);
+    let mut c = Cluster::new(config, SEED);
+    c.settle();
+    let t0 = std::time::Instant::now();
+    let report = c.run_scenario(scenario);
+    (report, t0.elapsed().as_secs_f64() * 1_000.0)
+}
+
+/// The attribution showcase: a loss episode the failure detector cannot
+/// see. Crashes and partitions are detected within one pump quantum and
+/// routed around, but a silently dropped fetch (or its reply) leaves the
+/// coordinator waiting on a healthy-looking replica until the multi-op
+/// deadline sweep / client timeout fires — so tail ops' critical paths
+/// must be one long never-answered wait on the replica whose message was
+/// lost.
+fn drop_storm(seed: u64) -> Scenario {
+    Scenario::new("drop-storm", WorkloadKind::SocialFeed { users: 8 }, seed)
+        .phase(Phase::new("load", 6_000).mix(OpMix::idle().put(3).multi_put(1).batch(4)).ops(240))
+        .env(6_000, EnvChange::DropProb(0.15))
+        .phase(Phase::new("serve", 10_000).mix(OpMix::idle().get(3).multi_get(2)).ops(300))
+        .env(16_000, EnvChange::DropProb(0.0))
+}
+
+fn matrix() -> Vec<Cell> {
+    [
+        library::calm(SEED),
+        library::churn_storm(SEED),
+        library::partition_heal(SEED),
+        library::cascading_crash(SEED),
+        drop_storm(SEED),
+    ]
+    .into_iter()
+    .map(|drill| {
+        let (plain, wall_plain_ms) = run(&drill);
+        let (traced, wall_traced_ms) = run(&drill.traced());
+        Cell { name: plain.name.clone(), plain, traced, wall_plain_ms, wall_traced_ms }
+    })
+    .collect()
+}
+
+/// Hand-rolled JSON (the workspace has no serde), one row per drill.
+fn write_summary(cells: &[Cell]) {
+    let entries: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            let t = c.trace();
+            let top = t.hops.first();
+            let slowest = t.slowest.first();
+            format!(
+                "    {{\"scenario\": \"{}\", \"issued\": {}, \"ticks\": {}, \
+                 \"ops_per_tick_plain\": {:.5}, \"ops_per_tick_traced\": {:.5}, \
+                 \"ops_per_tick_regression\": {:.5}, \"ops_traced\": {}, \"spans\": {}, \
+                 \"top_hop\": \"{}\", \"top_hop_share\": {:.4}, \"slowest_op_ticks\": {}, \
+                 \"latency_p99_ticks\": {:.1}, \"wall_ms_plain\": {:.1}, \
+                 \"wall_ms_traced\": {:.1}}}",
+                c.name,
+                c.traced.issued(),
+                c.traced.ticks,
+                Cell::ops_per_tick(&c.plain),
+                Cell::ops_per_tick(&c.traced),
+                c.regression(),
+                t.ops,
+                t.spans,
+                top.map(|h| h.label.as_str()).unwrap_or("-"),
+                top.map(|h| h.share).unwrap_or(0.0),
+                slowest.map(|s| s.ticks).unwrap_or(0),
+                c.traced.latency_p99,
+                c.wall_plain_ms,
+                c.wall_traced_ms,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"e19_trace\",\n  \"cluster\": {{\"persist_n\": {PERSIST_N}, \
+         \"replication\": {REPLICATION}, \"seed\": {SEED}}},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("e19: could not write {path}: {e}");
+    } else {
+        println!("\nwrote machine-readable summary to BENCH_trace.json");
+    }
+}
+
+fn experiment() {
+    let cells = matrix();
+    table_header(
+        "E19: traced dependability drills — overhead and attribution",
+        &["scenario", "issued", "ops", "spans", "top hop", "share%", "regr%", "wall_ms"],
+    );
+    for c in &cells {
+        let t = c.trace();
+        let top = t.hops.first();
+        table_row(&[
+            c.name.clone(),
+            n(c.traced.issued()),
+            n(t.ops),
+            n(t.spans),
+            top.map(|h| h.label.clone()).unwrap_or_else(|| "-".into()),
+            f(top.map(|h| h.share * 100.0).unwrap_or(0.0)),
+            f(c.regression() * 100.0),
+            f(c.wall_traced_ms),
+        ]);
+    }
+    for c in &cells {
+        let t = c.trace();
+        // Gate 1 — passivity: detach the trace and the report core must
+        // equal the plain run bit for bit (f64 Debug is shortest-
+        // roundtrip, so Debug-equality below means bit-equality).
+        let mut core = c.traced.clone();
+        core.trace = None;
+        assert_eq!(core, c.plain, "{}: trace hooks perturbed the run", c.name);
+        assert_eq!(
+            format!("{core:?}"),
+            format!("{:?}", c.plain),
+            "{}: traced replay is not byte-identical",
+            c.name
+        );
+        assert_eq!(t.ops, c.traced.issued(), "{}: every issued op traced", c.name);
+        assert!(t.spans > t.ops, "{}: ops decomposed into span trees", c.name);
+        // Gate 2 — overhead: virtual-time throughput within the bound
+        // (capture is passive, so this is in fact 0%).
+        assert!(
+            c.regression() <= MAX_OPS_PER_TICK_REGRESSION,
+            "acceptance: {} traced ops/tick regressed {:.1}% (> {:.0}%)",
+            c.name,
+            c.regression() * 100.0,
+            MAX_OPS_PER_TICK_REGRESSION * 100.0
+        );
+    }
+    // Gate 3 — attribution: tail latency must be blamed on a wait for
+    // the replica that never replied (the churned/dead node), not on a
+    // healthy forwarding hop.
+    //
+    // 3a: the churn storm masks faults well, but its single slowest op —
+    // the p95+ tail — must still be pinned on an unanswered wait.
+    let storm = cells.iter().find(|c| c.name == "churn-storm").expect("storm cell");
+    let t = storm.trace();
+    let tail = t.slowest.first().expect("storm produced a slowest-ops digest");
+    let dom = tail.dominant().expect("tail op has a critical path");
+    assert!(
+        !dom.answered && dom.label.ends_with("_wait"),
+        "acceptance: storm tail op {} not pinned on a dead replica's wait \
+         (dominant hop {} on node {}, answered: {})\n{}",
+        tail.op,
+        dom.label,
+        dom.node,
+        dom.answered,
+        t.summary()
+    );
+    // 3b: under silent loss the blame must be unambiguous. Every slowest
+    // op's dominant step must be *never answered* (a request that
+    // vanished, or a wait on a replica whose reply was lost), the tail op
+    // must spend the majority of its life in that one step, and the set
+    // must contain deadline-length waits pinned on specific replicas.
+    let ds = cells.iter().find(|c| c.name == "drop-storm").expect("drop-storm cell");
+    let t = ds.trace();
+    let pinned =
+        t.slowest.iter().filter(|d| d.dominant().is_some_and(|step| !step.answered)).count();
+    assert!(
+        pinned * 2 > t.slowest.len(),
+        "acceptance: drop-storm tail not pinned on lost messages \
+         (only {pinned}/{} slowest ops dominated by a never-answered step)\n{}",
+        t.slowest.len(),
+        t.summary()
+    );
+    let tail = t.slowest.first().expect("drop-storm slowest op");
+    let dom = tail.dominant().expect("tail op has a critical path");
+    assert!(
+        dom.ticks() * 2 >= tail.ticks,
+        "acceptance: drop-storm tail op {} dominant hop {} covers only \
+         {}/{} ticks",
+        tail.op,
+        dom.label,
+        dom.ticks(),
+        tail.ticks
+    );
+    // The node-level blame: coordinators that lost a fetch (or its reply)
+    // sat out the full multi-op deadline waiting on one named replica —
+    // the span record the hedged-request work will key off.
+    let lost_waits = t
+        .set
+        .traces
+        .iter()
+        .flat_map(|tr| tr.spans.iter())
+        .filter(|s| s.label.ends_with("_wait") && !s.answered && s.ticks() >= 1_000)
+        .count();
+    assert!(
+        lost_waits > 0,
+        "acceptance: drop-storm recorded no deadline-length unanswered \
+         replica wait\n{}",
+        t.summary()
+    );
+    println!("\n{}", t.summary());
+    println!(
+        "\nshape check: tracing is free on the virtual-time axis (the traced \
+         report core is byte-identical), and the storm's tail latency is \
+         attributed to unanswered waits on churned replicas — exactly the \
+         per-hop evidence the hedged-request work needs."
+    );
+    write_summary(&cells);
+}
+
+/// A captured storm trace set for the analysis-kernel benchmarks.
+fn kernel_input() -> dd_trace::TraceSet {
+    let config = ClusterConfig::small().persist_n(12).placement(Placement::TagCollocation);
+    let mut c = Cluster::new(config, SEED);
+    c.settle();
+    c.begin_trace();
+    let report = c.run_scenario(&library::churn_storm(SEED));
+    assert!(report.issued() > 0);
+    c.end_trace().expect("recorder installed")
+}
+
+fn bench(c: &mut Criterion) {
+    experiment();
+    let mut g = c.benchmark_group("e19");
+    g.sample_size(10);
+    let set = kernel_input();
+    // The analysis kernel: critical paths + hop/tier aggregation over a
+    // real storm's span trees.
+    g.bench_function("build_storm_report", |b| {
+        b.iter(|| TraceReport::build(set.clone()).spans);
+    });
+    // The export kernel: Chrome trace-event JSON for the whole run.
+    g.bench_function("chrome_json_storm", |b| {
+        b.iter(|| set.to_chrome_json().len());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

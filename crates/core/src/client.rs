@@ -31,7 +31,7 @@ use crate::soft::SoftNode;
 use crate::tuple::{Key, StoredTuple, Tag, TupleSpec};
 use bytes::Bytes;
 use dd_audit::{OpDesc, OpFailure, Outcome};
-use dd_sim::Time;
+use dd_sim::{NodeId, Time, TraceCtx};
 use rand::rngs::SmallRng;
 use std::collections::HashMap;
 use std::fmt;
@@ -50,7 +50,13 @@ const RECV_QUANTUM: u64 = 50;
 pub enum OpError {
     /// No completion within [`OP_TIMEOUT`] virtual ticks of submission —
     /// e.g. the key's soft coordinator died mid-operation.
-    Timeout,
+    Timeout {
+        /// The replica the operation was still waiting on when it timed
+        /// out, per the soft tier's pending-op tables (`None` when no
+        /// soft node held pending state — e.g. the coordinator itself
+        /// was dead, or the op never reached one).
+        waiting_on: Option<NodeId>,
+    },
     /// A batched operation completed with fewer items than submitted
     /// (dead or unreachable key coordinators were given up on).
     PartialResult {
@@ -70,7 +76,12 @@ pub enum OpError {
 impl fmt::Display for OpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            OpError::Timeout => write!(f, "operation timed out after {OP_TIMEOUT} ticks"),
+            OpError::Timeout { waiting_on: Some(n) } => {
+                write!(f, "operation timed out after {OP_TIMEOUT} ticks waiting on node {}", n.0)
+            }
+            OpError::Timeout { waiting_on: None } => {
+                write!(f, "operation timed out after {OP_TIMEOUT} ticks")
+            }
             OpError::PartialResult { got, want } => {
                 write!(f, "batched operation completed {got} of {want} items")
             }
@@ -192,6 +203,19 @@ impl Kind {
             Kind::MultiGet => {
                 harvest::<ops::MultiGet>(soft, req, want, audit, Completion::MultiGet)
             }
+        }
+    }
+
+    /// The root span label of this kind's trace.
+    fn trace_label(self) -> &'static str {
+        match self {
+            Kind::Put => "client.put",
+            Kind::Get => "client.get",
+            Kind::Delete => "client.delete",
+            Kind::Scan => "client.scan",
+            Kind::Aggregate => "client.aggregate",
+            Kind::MultiPut => "client.multi_put",
+            Kind::MultiGet => "client.multi_get",
         }
     }
 
@@ -411,7 +435,7 @@ struct Outstanding {
 /// assert_eq!(client.recv(&mut cluster, r), Ok(None));
 /// let s = client.scan(&mut cluster, 0.0, 1.0);
 /// assert!(matches!(client.recv(&mut cluster, s), Ok(items) if items.is_empty()));
-/// # let _: fn(OpError) = |e| match e { OpError::Timeout => {}, _ => {} };
+/// # let _: fn(OpError) = |e| match e { OpError::Timeout { .. } => {}, _ => {} };
 /// ```
 #[derive(Debug)]
 pub struct Client {
@@ -442,13 +466,19 @@ impl Client {
         cluster: &mut Cluster,
         kind: Kind,
         want: usize,
-        make: impl FnOnce(u64) -> DropletMsg,
+        make: impl FnOnce(u64, Option<TraceCtx>) -> DropletMsg,
     ) -> u64 {
         let req = cluster.fresh_req();
         let issued = cluster.sim.now();
         let stillborn = match cluster.entry_for(&mut self.rng) {
             Some(entry) => {
-                cluster.sim.inject(entry, entry, make(req));
+                // Traced runs open the op's root span (always id 0) at the
+                // entry node; everything downstream nests under it.
+                let trace = cluster.sim.tracer_mut().map(|tr| {
+                    let span = tr.open(issued, entry, req, None, kind.trace_label());
+                    TraceCtx { op: req, span }
+                });
+                cluster.sim.inject(entry, entry, make(req, trace));
                 false
             }
             None => true,
@@ -481,12 +511,13 @@ impl Client {
             key: key.as_str().to_owned(),
             tag: tag.as_ref().map(|t| t.as_str().to_owned()),
         });
-        let req = self.submit(cluster, Kind::Put, 0, |req| DropletMsg::ClientPut {
+        let req = self.submit(cluster, Kind::Put, 0, |req, trace| DropletMsg::ClientPut {
             req,
             key,
             value,
             attr,
             tag,
+            trace,
         });
         if let Some(desc) = audit {
             cluster.record_invoke(req, self.session, desc);
@@ -499,7 +530,11 @@ impl Client {
     pub fn get(&mut self, cluster: &mut Cluster, key: impl Into<Key>) -> Pending<ops::Get> {
         let key = key.into();
         let audit = cluster.audit_enabled().then(|| OpDesc::Get { key: key.as_str().to_owned() });
-        let req = self.submit(cluster, Kind::Get, 0, |req| DropletMsg::ClientGet { req, key });
+        let req = self.submit(cluster, Kind::Get, 0, |req, trace| DropletMsg::ClientGet {
+            req,
+            key,
+            trace,
+        });
         if let Some(desc) = audit {
             cluster.record_invoke(req, self.session, desc);
         }
@@ -511,8 +546,11 @@ impl Client {
         let key = key.into();
         let audit =
             cluster.audit_enabled().then(|| OpDesc::Delete { key: key.as_str().to_owned() });
-        let req =
-            self.submit(cluster, Kind::Delete, 0, |req| DropletMsg::ClientDelete { req, key });
+        let req = self.submit(cluster, Kind::Delete, 0, |req, trace| DropletMsg::ClientDelete {
+            req,
+            key,
+            trace,
+        });
         if let Some(desc) = audit {
             cluster.record_invoke(req, self.session, desc);
         }
@@ -521,15 +559,21 @@ impl Client {
 
     /// Submits an attribute range scan over `[lo, hi]`.
     pub fn scan(&mut self, cluster: &mut Cluster, lo: f64, hi: f64) -> Pending<ops::Scan> {
-        let req = self.submit(cluster, Kind::Scan, 0, |req| DropletMsg::ClientScan { req, lo, hi });
+        let req = self.submit(cluster, Kind::Scan, 0, |req, trace| DropletMsg::ClientScan {
+            req,
+            lo,
+            hi,
+            trace,
+        });
         self.record_invoke(cluster, req, || OpDesc::Scan);
         Pending::new(req)
     }
 
     /// Submits an aggregate query over all stored tuples.
     pub fn aggregate(&mut self, cluster: &mut Cluster) -> Pending<ops::Aggregate> {
-        let req =
-            self.submit(cluster, Kind::Aggregate, 0, |req| DropletMsg::ClientAggregate { req });
+        let req = self.submit(cluster, Kind::Aggregate, 0, |req, trace| {
+            DropletMsg::ClientAggregate { req, trace }
+        });
         self.record_invoke(cluster, req, || OpDesc::Aggregate);
         Pending::new(req)
     }
@@ -554,8 +598,9 @@ impl Client {
                 .map(|t| t.as_str().to_owned());
             OpDesc::MultiPut { keys, tag }
         });
-        let req = self
-            .submit(cluster, Kind::MultiPut, want, |req| DropletMsg::ClientMultiPut { req, items });
+        let req = self.submit(cluster, Kind::MultiPut, want, |req, trace| {
+            DropletMsg::ClientMultiPut { req, items, trace }
+        });
         if let Some(desc) = audit {
             cluster.record_invoke(req, self.session, desc);
         }
@@ -568,8 +613,9 @@ impl Client {
     pub fn multi_get(&mut self, cluster: &mut Cluster, tag: &str) -> Pending<ops::MultiGet> {
         let audit = cluster.audit_enabled().then(|| OpDesc::MultiGet { tag: tag.to_owned() });
         let tag = Tag::from(tag);
-        let req =
-            self.submit(cluster, Kind::MultiGet, 0, |req| DropletMsg::ClientMultiGet { req, tag });
+        let req = self.submit(cluster, Kind::MultiGet, 0, |req, trace| {
+            DropletMsg::ClientMultiGet { req, tag, trace }
+        });
         if let Some(desc) = audit {
             cluster.record_invoke(req, self.session, desc);
         }
@@ -610,10 +656,11 @@ impl Client {
             }
         }
         if cluster.sim.now().since(o.issued).0 >= OP_TIMEOUT {
+            let waiting_on = cluster.blame_for(pending.req);
             self.retire(cluster, pending.req, None);
             cluster.sim.metrics_mut().incr("client.timeouts");
             cluster.record_failure(pending.req, OpFailure::Timeout);
-            return Some(Err(OpError::Timeout));
+            return Some(Err(OpError::Timeout { waiting_on }));
         }
         None
     }
@@ -667,10 +714,11 @@ impl Client {
                 }
                 done.push((req, completion));
             } else if now.since(o.issued).0 >= OP_TIMEOUT {
+                let waiting_on = cluster.blame_for(req);
                 self.retire(cluster, req, None);
                 cluster.sim.metrics_mut().incr("client.timeouts");
                 cluster.record_failure(req, OpFailure::Timeout);
-                done.push((req, o.kind.failed(OpError::Timeout)));
+                done.push((req, o.kind.failed(OpError::Timeout { waiting_on })));
             }
         }
         done
@@ -678,6 +726,12 @@ impl Client {
 
     fn retire(&mut self, cluster: &mut Cluster, req: u64, harvested_issue: Option<Time>) {
         self.outstanding.remove(&req);
+        // Close the op's root span (harvest = answered, timeout = not; a
+        // stillborn op has no trace and the close is ignored).
+        let now = cluster.sim.now();
+        if let Some(tr) = cluster.sim.tracer_mut() {
+            tr.close(now, req, 0, harvested_issue.is_some());
+        }
         if let Some(issued) = harvested_issue {
             let latency = cluster.sim.now().since(issued).0 as f64;
             let m = cluster.sim.metrics_mut();

@@ -419,6 +419,43 @@ impl Cluster {
         self.audit.is_some()
     }
 
+    /// Starts recording a causal trace of every client operation into a
+    /// fresh [`dd_trace::Recorder`]: one span tree per op, from the
+    /// client-side root through coordinator and per-replica waits down to
+    /// persist stores. Tracing is passive — it never touches the
+    /// simulation's RNG or message flow — so a traced run replays
+    /// byte-identically to an untraced one.
+    pub fn begin_trace(&mut self) {
+        self.sim.set_tracer(Box::<dd_trace::Recorder>::default());
+    }
+
+    /// Stops recording and returns the captured span trees (`None` when
+    /// [`Cluster::begin_trace`] was never called). Dangling spans — ops
+    /// still in flight — are closed unanswered at their trace's horizon.
+    pub fn end_trace(&mut self) -> Option<dd_trace::TraceSet> {
+        self.sim.take_tracer().map(|t| {
+            t.into_any()
+                .downcast::<dd_trace::Recorder>()
+                .expect("tracer installed by begin_trace")
+                .finish()
+        })
+    }
+
+    /// Whether a span recorder is installed.
+    #[must_use]
+    pub fn trace_enabled(&self) -> bool {
+        self.sim.tracer_installed()
+    }
+
+    /// The replica a timed-out operation was still waiting on, per the
+    /// soft tier's pending-op tables (`None` when no soft node holds
+    /// pending state for it — e.g. the coordinator itself is dead).
+    pub(crate) fn blame_for(&self, req: u64) -> Option<NodeId> {
+        self.soft_ids.iter().find_map(|&id| {
+            self.sim.node(id).and_then(DropletNode::as_soft).and_then(|s| s.blame(req))
+        })
+    }
+
     pub(crate) fn set_audit_phase(&mut self, phase: Option<u32>) {
         if let Some(a) = self.audit.as_mut() {
             a.set_phase(phase);
@@ -1033,7 +1070,11 @@ mod tests {
         c.sim.kill(victim);
         c.run_for(10);
         let w = s.put(&mut c, key, b"lost".to_vec(), None, None);
-        assert_eq!(s.recv(&mut c, w), Err(OpError::Timeout), "dead coordinator = timeout");
+        assert_eq!(
+            s.recv(&mut c, w),
+            Err(OpError::Timeout { waiting_on: None }),
+            "dead coordinator = timeout"
+        );
         assert_eq!(c.sim.metrics().counter("client.timeouts"), 1);
     }
 

@@ -349,7 +349,7 @@ impl Engine {
                     st.latencies.observe(now.since(op.issued).0 as f64);
                 } else {
                     match completion.err() {
-                        Some(OpError::Timeout) => st.timeouts += 1,
+                        Some(OpError::Timeout { .. }) => st.timeouts += 1,
                         Some(OpError::PartialResult { .. }) => st.partials += 1,
                         Some(OpError::NoLiveEntry) => st.no_entry += 1,
                         // Drain never yields AlreadyHarvested for its own

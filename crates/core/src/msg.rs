@@ -8,7 +8,7 @@ use dd_dht::Version;
 use dd_epidemic::antientropy::Summary;
 use dd_epidemic::push::RumorId;
 use dd_estimation::DistSketch;
-use dd_sim::NodeId;
+use dd_sim::{NodeId, TraceCtx};
 
 /// All DataDroplets messages.
 #[derive(Debug, Clone)]
@@ -30,6 +30,8 @@ pub enum DropletMsg {
         attr: Option<f64>,
         /// Optional correlation tag.
         tag: Option<Tag>,
+        /// Causal trace context (traced runs only; `None` otherwise).
+        trace: Option<TraceCtx>,
     },
     /// Read request.
     ClientGet {
@@ -37,6 +39,8 @@ pub enum DropletMsg {
         req: u64,
         /// Tuple key.
         key: Key,
+        /// Causal trace context (traced runs only; `None` otherwise).
+        trace: Option<TraceCtx>,
     },
     /// Delete request (versioned tombstone).
     ClientDelete {
@@ -44,6 +48,8 @@ pub enum DropletMsg {
         req: u64,
         /// Tuple key.
         key: Key,
+        /// Causal trace context (traced runs only; `None` otherwise).
+        trace: Option<TraceCtx>,
     },
     /// Range scan over the attribute domain `[lo, hi]`.
     ClientScan {
@@ -53,11 +59,15 @@ pub enum DropletMsg {
         lo: f64,
         /// Upper bound (inclusive).
         hi: f64,
+        /// Causal trace context (traced runs only; `None` otherwise).
+        trace: Option<TraceCtx>,
     },
     /// Aggregate over all stored tuples.
     ClientAggregate {
         /// Request id.
         req: u64,
+        /// Causal trace context (traced runs only; `None` otherwise).
+        trace: Option<TraceCtx>,
     },
     /// Batched write (the social-feed `mput`): the receiving soft node
     /// becomes the multi-op coordinator, splits the batch by key and
@@ -67,6 +77,8 @@ pub enum DropletMsg {
         req: u64,
         /// The batch.
         items: Vec<TupleSpec>,
+        /// Causal trace context (traced runs only; `None` otherwise).
+        trace: Option<TraceCtx>,
     },
     /// Tag-scoped read (the social-feed `mget`): fetch every live tuple
     /// carrying `tag`. Routed to the tag's soft coordinator, which
@@ -77,6 +89,8 @@ pub enum DropletMsg {
         req: u64,
         /// Correlation tag (verbatim, as written).
         tag: Tag,
+        /// Causal trace context (traced runs only; `None` otherwise).
+        trace: Option<TraceCtx>,
     },
 
     // ------------------------------------------------------------------
@@ -91,6 +105,8 @@ pub enum DropletMsg {
         origin: NodeId,
         /// The batch item.
         item: TupleSpec,
+        /// Causal trace context (traced runs only; `None` otherwise).
+        trace: Option<TraceCtx>,
     },
     /// Key coordinator → multi-op coordinator: the item was ordered (a
     /// version is assigned and dissemination has started).
@@ -109,6 +125,8 @@ pub enum DropletMsg {
         req: u64,
         /// Hash of the correlation tag.
         tag_hash: u64,
+        /// Causal trace context (traced runs only; `None` otherwise).
+        trace: Option<TraceCtx>,
     },
     /// Persist → coordinator: local live tuples with the tag.
     TagFetchReply {
@@ -130,6 +148,8 @@ pub enum DropletMsg {
         tuple: StoredTuple,
         /// Coordinator awaiting storage acks.
         coordinator: NodeId,
+        /// Causal trace context (traced runs only; `None` otherwise).
+        trace: Option<TraceCtx>,
     },
     /// Persist → coordinator: "my sieve accepted this tuple".
     StoredAck {
@@ -148,6 +168,9 @@ pub enum DropletMsg {
         tuples: Vec<StoredTuple>,
         /// Coordinator awaiting storage acks.
         coordinator: NodeId,
+        /// Per-tuple causal trace contexts, parallel to `tuples` (empty in
+        /// untraced runs).
+        traces: Vec<Option<TraceCtx>>,
     },
     /// Persist → coordinator: batched storage acks for a
     /// [`DropletMsg::DeliverBatch`], one `(key_hash, version)` per tuple
@@ -168,6 +191,8 @@ pub enum DropletMsg {
         key_hash: u64,
         /// Version required (the metadata's latest).
         version: Version,
+        /// Causal trace context (traced runs only; `None` otherwise).
+        trace: Option<TraceCtx>,
     },
     /// Persist → coordinator: fetch result.
     FetchReply {
@@ -188,6 +213,8 @@ pub enum DropletMsg {
         lo: f64,
         /// Upper bound.
         hi: f64,
+        /// Causal trace context (traced runs only; `None` otherwise).
+        trace: Option<TraceCtx>,
     },
     /// Persist → coordinator: local matches.
     ScanReply {
@@ -200,6 +227,8 @@ pub enum DropletMsg {
     AggReq {
         /// Request id.
         req: u64,
+        /// Causal trace context (traced runs only; `None` otherwise).
+        trace: Option<TraceCtx>,
     },
     /// Persist → coordinator: duplicate-tolerant local summary.
     AggReply {

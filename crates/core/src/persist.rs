@@ -12,7 +12,7 @@ use crate::tuple::StoredTuple;
 use dd_epidemic::antientropy::{Digest, Summary};
 use dd_epidemic::push::{PushConfig, PushState, RumorId};
 use dd_estimation::DistSketch;
-use dd_sim::{Ctx, Duration, NodeId, TimerTag};
+use dd_sim::{Ctx, Duration, NodeId, TimerTag, TraceCtx};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use std::collections::{HashMap, HashSet};
@@ -362,10 +362,22 @@ impl PersistNode {
         }
     }
 
+    /// Records an instantaneous span at this node for a traced request —
+    /// the persist-side store/serve marker that shows up as a leaf under
+    /// the coordinator's wait span. No-op when the run or op is untraced.
+    fn trace_event(ctx: &mut Ctx<'_, DropletMsg>, trace: Option<TraceCtx>, label: &'static str) {
+        let Some(tc) = trace else { return };
+        let now = ctx.now();
+        let me = ctx.id();
+        let Some(tr) = ctx.tracer() else { return };
+        let span = tr.open(now, me, tc.op, Some(tc.span), label);
+        tr.close(now, tc.op, span, true);
+    }
+
     /// Handles persist-layer messages; shared by the composite process.
     pub fn on_message(&mut self, ctx: &mut Ctx<'_, DropletMsg>, from: NodeId, msg: DropletMsg) {
         match msg {
-            DropletMsg::Disseminate { hops, tuple, coordinator } => {
+            DropletMsg::Disseminate { hops, tuple, coordinator, trace } => {
                 let id = RumorId(tuple.rumor_id());
                 let self_id = ctx.id();
                 let peers = self.peers.clone();
@@ -376,6 +388,7 @@ impl PersistNode {
                         let (key_hash, version) = (tuple.key_hash, tuple.version);
                         if self.apply(tuple.clone()) {
                             ctx.metrics().incr("persist.stored");
+                            Self::trace_event(ctx, trace, "persist.store");
                             ctx.send(coordinator, DropletMsg::StoredAck { key_hash, version });
                         }
                     }
@@ -388,20 +401,23 @@ impl PersistNode {
                             hops: hops + 1,
                             tuple: tuple.clone(),
                             coordinator,
+                            trace,
                         },
                     );
                 }
             }
-            DropletMsg::Fetch { req, key_hash, version } => {
+            DropletMsg::Fetch { req, key_hash, version, trace } => {
                 let found = self.store.get(&key_hash).filter(|t| t.version >= version).cloned();
                 ctx.metrics().incr("persist.fetches");
+                Self::trace_event(ctx, trace, "persist.serve");
                 ctx.send(from, DropletMsg::FetchReply { req, found });
             }
-            DropletMsg::TagFetch { req, tag_hash } => {
+            DropletMsg::TagFetch { req, tag_hash, trace } => {
                 ctx.metrics().incr("persist.tag_fetches");
+                Self::trace_event(ctx, trace, "persist.serve");
                 ctx.send(from, DropletMsg::TagFetchReply { req, items: self.by_tag(tag_hash) });
             }
-            DropletMsg::ScanReq { req, lo, hi } => {
+            DropletMsg::ScanReq { req, lo, hi, trace } => {
                 let items: Vec<StoredTuple> = self
                     .store
                     .values()
@@ -409,9 +425,10 @@ impl PersistNode {
                     .filter(|t| t.attr.is_some_and(|a| a >= lo && a <= hi))
                     .cloned()
                     .collect();
+                Self::trace_event(ctx, trace, "persist.serve");
                 ctx.send(from, DropletMsg::ScanReply { req, items });
             }
-            DropletMsg::AggReq { req } => {
+            DropletMsg::AggReq { req, trace } => {
                 let mut sketch = DistSketch::new(self.sketch_k);
                 let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
                 for t in self.store.values().filter(|t| !t.deleted) {
@@ -421,20 +438,22 @@ impl PersistNode {
                         max = max.max(a);
                     }
                 }
+                Self::trace_event(ctx, trace, "persist.serve");
                 ctx.send(from, DropletMsg::AggReply { req, sketch, min, max });
             }
-            DropletMsg::DeliverBatch { tuples, coordinator } => {
+            DropletMsg::DeliverBatch { tuples, coordinator, traces } => {
                 // Sieve-routed direct delivery: the coordinator already
                 // computed that our sieve accepts these, so in the common
                 // case every tuple is stored and acked in one batch.
                 let mut acked = Vec::with_capacity(tuples.len());
-                for tuple in tuples {
+                for (i, tuple) in tuples.into_iter().enumerate() {
                     ctx.metrics().incr("persist.received");
                     if self.wants(&tuple) {
                         let (key_hash, version) = (tuple.key_hash, tuple.version);
                         if self.apply(tuple) {
                             ctx.metrics().incr("persist.stored");
                         }
+                        Self::trace_event(ctx, traces.get(i).copied().flatten(), "persist.store");
                         // Ack even a no-op apply (we hold >= that version):
                         // redelivery after a heal must clear the
                         // coordinator's undelivered buffer.

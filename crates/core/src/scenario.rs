@@ -291,6 +291,7 @@ pub struct Scenario {
     pub(crate) faults: Vec<(u64, Fault)>,
     pub(crate) env: Vec<(u64, EnvChange)>,
     pub(crate) audited: bool,
+    pub(crate) traced: bool,
 }
 
 impl Scenario {
@@ -307,6 +308,7 @@ impl Scenario {
             faults: Vec::new(),
             env: Vec::new(),
             audited: false,
+            traced: false,
         }
     }
 
@@ -328,6 +330,24 @@ impl Scenario {
     #[must_use]
     pub fn is_audited(&self) -> bool {
         self.audited
+    }
+
+    /// Turns on causal tracing for this scenario: the run records every
+    /// client operation as a span tree (client root → coordinator hops →
+    /// per-replica waits → persist stores/serves) and attaches the
+    /// critical-path analysis as [`ScenarioReport::trace`]. Recording is
+    /// passive — the executed run (and the rest of the report) is
+    /// byte-identical to the untraced one.
+    #[must_use]
+    pub fn traced(mut self) -> Self {
+        self.traced = true;
+        self
+    }
+
+    /// Whether this scenario runs with tracing on.
+    #[must_use]
+    pub fn is_traced(&self) -> bool {
+        self.traced
     }
 
     /// Appends a workload phase (phases run back to back).
@@ -760,6 +780,9 @@ impl std::fmt::Display for Scenario {
         if self.audited {
             f.write_str("\n    .audited()")?;
         }
+        if self.traced {
+            f.write_str("\n    .traced()")?;
+        }
         Ok(())
     }
 }
@@ -812,6 +835,8 @@ pub struct PhaseReport {
     pub latency_p50: f64,
     /// 95th-percentile completion latency, in ticks.
     pub latency_p95: f64,
+    /// 99th-percentile completion latency, in ticks.
+    pub latency_p99: f64,
     /// Messages sent cluster-wide in the phase window (the last phase's
     /// window extends through the scenario's final drain).
     pub msgs: u64,
@@ -862,9 +887,14 @@ pub struct ScenarioReport {
     pub latency_p50: f64,
     /// 95th-percentile completion latency across all phases.
     pub latency_p95: f64,
+    /// 99th-percentile completion latency across all phases.
+    pub latency_p99: f64,
     /// The consistency-checker verdict, when the scenario ran
     /// [`Scenario::audited`]; `None` otherwise.
     pub audit: Option<dd_audit::AuditReport>,
+    /// The critical-path latency attribution, when the scenario ran
+    /// [`Scenario::traced`]; `None` otherwise.
+    pub trace: Option<dd_trace::TraceReport>,
 }
 
 impl ScenarioReport {
@@ -960,6 +990,9 @@ impl Cluster {
         if scenario.audited {
             self.begin_audit();
         }
+        if scenario.traced {
+            self.begin_trace();
+        }
         let harness = self.schedule_faults(scenario, start);
         self.schedule_env(scenario, start);
 
@@ -1050,6 +1083,12 @@ impl Cluster {
         contact_windows.push(self.sim.metrics_mut().take_window("multi_get.contacted_nodes"));
         let run_ticks = self.sim.now().since(start).0;
         let run_msgs = msgs_end - msgs_at_start;
+        // The trace closes with the drain (before the audit's settling)
+        // so span trees cover exactly the operations the report counts.
+        let trace = scenario.traced.then(|| {
+            let set = self.end_trace().expect("traced run installed a recorder");
+            dd_trace::TraceReport::build(set)
+        });
         let audit = scenario.audited.then(|| self.finish_audit());
         let mut phases = Vec::with_capacity(scenario.phases.len());
         let mut all_latencies = Reservoir::new();
@@ -1057,7 +1096,7 @@ impl Cluster {
             let msgs_start = starts[pi];
             let next_msgs = starts.get(pi + 1).copied().unwrap_or(msgs_end);
             let contacts = contact_windows[pi];
-            let q = st.latencies.quantiles(&[0.5, 0.95]);
+            let q = st.latencies.quantiles(&[0.5, 0.95, 0.99]);
             all_latencies.merge(&st.latencies);
             phases.push(PhaseReport {
                 name: phase.name.clone(),
@@ -1075,12 +1114,13 @@ impl Cluster {
                 tuples_read: st.tuples_read,
                 latency_p50: q[0].unwrap_or(0.0),
                 latency_p95: q[1].unwrap_or(0.0),
+                latency_p99: q[2].unwrap_or(0.0),
                 msgs: next_msgs - msgs_start,
                 contacts_mean: contacts.mean(),
                 contacts_max: contacts.max,
             });
         }
-        let q = all_latencies.quantiles(&[0.5, 0.95]);
+        let q = all_latencies.quantiles(&[0.5, 0.95, 0.99]);
         ScenarioReport {
             name: scenario.name.clone(),
             phases,
@@ -1088,7 +1128,9 @@ impl Cluster {
             msgs: run_msgs,
             latency_p50: q[0].unwrap_or(0.0),
             latency_p95: q[1].unwrap_or(0.0),
+            latency_p99: q[2].unwrap_or(0.0),
             audit,
+            trace,
         }
     }
 
@@ -1566,7 +1608,8 @@ mod tests {
             .phase(Phase::new("read", 1_500).mix(OpMix::gets()).sessions(2).depth(4))
             .fault(500, Fault::Crash { tier: Tier::Persist, count: 2 })
             .env(800, EnvChange::DropProb(0.05))
-            .audited();
+            .audited()
+            .traced();
         let snippet = sc.to_string();
         assert_eq!(
             snippet,
@@ -1575,7 +1618,8 @@ mod tests {
              .phase(Phase::new(\"read\", 1500).mix(OpMix::idle().get(1)).sessions(2).depth(4))\n    \
              .fault(500, Fault::Crash { tier: Tier::Persist, count: 2 })\n    \
              .env(800, EnvChange::DropProb(0.05))\n    \
-             .audited()"
+             .audited()\n    \
+             .traced()"
         );
         // The churn/latency forms carry their full constructor paths.
         let stormy = library::churn_storm(1)
@@ -1599,6 +1643,7 @@ mod tests {
             tuples_read: 0,
             latency_p50: 1.0,
             latency_p95: 2.0,
+            latency_p99: 3.0,
             msgs: 0,
             contacts_mean: 0.0,
             contacts_max: 0.0,

@@ -9,7 +9,7 @@ use dd_epidemic::required_fanout;
 use dd_estimation::ExtremaEstimator;
 use dd_sieve::TagSieve;
 use dd_sim::rng::stream_rng;
-use dd_sim::{Ctx, Duration, NodeId, Time, TimerTag};
+use dd_sim::{Ctx, Duration, NodeId, Time, TimerTag, TraceCtx};
 use rand::seq::SliceRandom;
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -266,9 +266,17 @@ pub struct SoftNode {
     /// Peers the local failure detector currently trusts. Maintained by
     /// [`DropletMsg::PeerDown`] / [`DropletMsg::PeerUp`] notices.
     reachable: HashSet<NodeId>,
-    /// Per-target dissemination batches awaiting a flush.
-    outbox: HashMap<NodeId, Vec<StoredTuple>>,
+    /// Per-target dissemination batches awaiting a flush, each tuple with
+    /// the trace context of the op that wrote it (`None` when untraced).
+    outbox: HashMap<NodeId, Vec<(StoredTuple, Option<TraceCtx>)>>,
     outbox_armed: bool,
+    /// Open coordinator span per in-flight traced op (req → span id).
+    /// Empty in untraced runs, so every tracing hook costs one emptiness
+    /// check when tracing is off.
+    trace_ops: HashMap<u64, u32>,
+    /// Open per-target wait spans per traced op, as `(target, span)` pairs
+    /// (a multi-put may wait on the same coordinator for several items).
+    trace_waits: HashMap<u64, Vec<(NodeId, u32)>>,
     /// Acked writes not yet confirmed stored at every owner, keyed by
     /// `(key_hash, version)`, plus insertion order for cap retirement.
     undelivered: HashMap<(u64, Version), Undelivered>,
@@ -318,6 +326,8 @@ impl SoftNode {
             reachable,
             outbox: HashMap::new(),
             outbox_armed: false,
+            trace_ops: HashMap::new(),
+            trace_waits: HashMap::new(),
             undelivered: HashMap::new(),
             undelivered_order: VecDeque::new(),
         }
@@ -497,12 +507,13 @@ impl SoftNode {
         ctx: &mut Ctx<'_, DropletMsg>,
         target: NodeId,
         tuple: StoredTuple,
+        trace: Option<TraceCtx>,
     ) {
         let queue = self.outbox.entry(target).or_default();
-        queue.push(tuple);
+        queue.push((tuple, trace));
         if queue.len() >= BATCH_MAX {
-            let tuples = self.outbox.remove(&target).expect("present");
-            self.send_batch(ctx, target, tuples);
+            let batch = self.outbox.remove(&target).expect("present");
+            self.send_batch(ctx, target, batch);
         } else if !self.outbox_armed {
             self.outbox_armed = true;
             ctx.set_timer(Duration(BATCH_FLUSH_TICKS), BATCH_TIMER);
@@ -513,12 +524,23 @@ impl SoftNode {
         &mut self,
         ctx: &mut Ctx<'_, DropletMsg>,
         target: NodeId,
-        tuples: Vec<StoredTuple>,
+        batch: Vec<(StoredTuple, Option<TraceCtx>)>,
     ) {
         let me = ctx.id();
         ctx.metrics().incr("soft.deliveries");
-        ctx.metrics().observe("soft.batch", tuples.len() as f64);
-        ctx.send(target, DropletMsg::DeliverBatch { tuples, coordinator: me });
+        ctx.metrics().observe("soft.batch", batch.len() as f64);
+        // The trace vec stays empty in untraced runs (no per-batch
+        // allocation on the zero-cost-when-off path).
+        let traced = batch.iter().any(|(_, t)| t.is_some());
+        let mut tuples = Vec::with_capacity(batch.len());
+        let mut traces = Vec::new();
+        for (tuple, trace) in batch {
+            if traced {
+                traces.push(trace);
+            }
+            tuples.push(tuple);
+        }
+        ctx.send(target, DropletMsg::DeliverBatch { tuples, coordinator: me, traces });
     }
 
     /// Flushes every queued batch, in sorted target order (hash-map
@@ -528,12 +550,17 @@ impl SoftNode {
         let mut targets: Vec<NodeId> = self.outbox.keys().copied().collect();
         targets.sort_unstable();
         for target in targets {
-            let tuples = self.outbox.remove(&target).expect("present");
-            self.send_batch(ctx, target, tuples);
+            let batch = self.outbox.remove(&target).expect("present");
+            self.send_batch(ctx, target, batch);
         }
     }
 
-    fn disseminate(&mut self, ctx: &mut Ctx<'_, DropletMsg>, tuple: StoredTuple) {
+    fn disseminate(
+        &mut self,
+        ctx: &mut Ctx<'_, DropletMsg>,
+        tuple: StoredTuple,
+        trace: Option<TraceCtx>,
+    ) {
         if self.persist_sieves.is_empty() {
             // Epidemic fallback: blind fanout into the persist layer,
             // relayed infect-and-die by the receivers.
@@ -545,7 +572,12 @@ impl SoftNode {
                 ctx.metrics().incr("soft.disseminations");
                 ctx.send(
                     t,
-                    DropletMsg::Disseminate { hops: 0, tuple: tuple.clone(), coordinator: me },
+                    DropletMsg::Disseminate {
+                        hops: 0,
+                        tuple: tuple.clone(),
+                        coordinator: me,
+                        trace,
+                    },
                 );
             }
             return;
@@ -557,7 +589,7 @@ impl SoftNode {
         self.track_undelivered(&tuple, &owners);
         for owner in owners {
             if self.reachable.contains(&owner) {
-                self.enqueue_delivery(ctx, owner, tuple.clone());
+                self.enqueue_delivery(ctx, owner, tuple.clone(), trace);
             }
         }
     }
@@ -571,6 +603,7 @@ impl SoftNode {
         ctx: &mut Ctx<'_, DropletMsg>,
         item: TupleSpec,
         delete: bool,
+        trace: Option<TraceCtx>,
     ) -> (u64, Version) {
         let key_hash = item.key.hash();
         let version = self.authority.assign(key_hash);
@@ -582,7 +615,8 @@ impl SoftNode {
         self.metadata.record_write(key_hash, version, &[]);
         self.cache.put(key_hash, version, tuple.clone());
         ctx.metrics().incr("soft.writes");
-        self.disseminate(ctx, tuple);
+        let order = self.trace_hop(ctx, trace, "soft.order");
+        self.disseminate(ctx, tuple, order);
         (key_hash, version)
     }
 
@@ -592,8 +626,9 @@ impl SoftNode {
         req: u64,
         item: TupleSpec,
         delete: bool,
+        trace: Option<TraceCtx>,
     ) {
-        let (key_hash, version) = self.order_and_disseminate(ctx, item, delete);
+        let (key_hash, version) = self.order_and_disseminate(ctx, item, delete, trace);
         self.put_index.insert((key_hash, version), req);
         if let Some((_, (old, kh))) =
             self.completed_puts.insert(req, (PutStatus { version, acks: 0 }, key_hash))
@@ -610,6 +645,7 @@ impl SoftNode {
         if p.versions.len() < p.want {
             ctx.metrics().incr("soft.multi_put_partials");
         }
+        self.trace_finish_op(ctx, req, p.versions.len() >= p.want);
         self.completed_multi_puts
             .insert(req, MultiPutStatus { items: p.versions.len(), versions: p.versions });
     }
@@ -621,6 +657,7 @@ impl SoftNode {
         if !p.full {
             ctx.metrics().incr("soft.multi_get_partials");
         }
+        self.trace_finish_op(ctx, req, p.full);
         self.completed_multi_gets.insert(req, (Self::finalize_gather(p.items), p.full));
     }
 
@@ -665,17 +702,168 @@ impl SoftNode {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Tracing hooks (dd-trace). Every hook is a no-op in untraced runs:
+    // no recorder is installed, the `trace` fields on messages are `None`,
+    // and the two span maps stay empty — so traced and untraced runs walk
+    // byte-identical protocol states.
+    // ------------------------------------------------------------------
+
+    /// Opens an instantaneous hop span (forwarding, ordering) under
+    /// `parent` and returns the re-parented context for downstream
+    /// messages.
+    fn trace_hop(
+        &mut self,
+        ctx: &mut Ctx<'_, DropletMsg>,
+        parent: Option<TraceCtx>,
+        label: &'static str,
+    ) -> Option<TraceCtx> {
+        let p = parent?;
+        let now = ctx.now();
+        let me = ctx.id();
+        let tr = ctx.tracer()?;
+        let span = tr.open(now, me, p.op, Some(p.span), label);
+        tr.close(now, p.op, span, true);
+        Some(TraceCtx { op: p.op, span })
+    }
+
+    /// Opens the coordinator span of a traced op at this node; it stays
+    /// open until [`SoftNode::trace_finish_op`].
+    fn trace_coord(
+        &mut self,
+        ctx: &mut Ctx<'_, DropletMsg>,
+        req: u64,
+        parent: Option<TraceCtx>,
+        label: &'static str,
+    ) {
+        let Some(p) = parent else { return };
+        let now = ctx.now();
+        let me = ctx.id();
+        let Some(tr) = ctx.tracer() else { return };
+        let span = tr.open(now, me, req, Some(p.span), label);
+        self.trace_ops.insert(req, span);
+    }
+
+    /// The op's open coordinator span as a context (`None` when untraced).
+    fn trace_ctx_of(&self, req: u64) -> Option<TraceCtx> {
+        self.trace_ops.get(&req).map(|&span| TraceCtx { op: req, span })
+    }
+
+    /// Opens a wait span on `target` under the op's coordinator span and
+    /// returns the context to embed in the outgoing request (`None` when
+    /// the op is untraced). The span closes when the reply lands, when the
+    /// op stops waiting, or — for a reply that never comes — at the trace
+    /// horizon, which is exactly what pins a timeout on the silent node.
+    fn trace_wait(
+        &mut self,
+        ctx: &mut Ctx<'_, DropletMsg>,
+        req: u64,
+        target: NodeId,
+        label: &'static str,
+    ) -> Option<TraceCtx> {
+        let parent = *self.trace_ops.get(&req)?;
+        let now = ctx.now();
+        let tr = ctx.tracer()?;
+        let span = tr.open(now, target, req, Some(parent), label);
+        self.trace_waits.entry(req).or_default().push((target, span));
+        Some(TraceCtx { op: req, span })
+    }
+
+    /// A reply from `from` landed: closes one of the op's wait spans on it
+    /// as answered.
+    fn trace_reply(&mut self, ctx: &mut Ctx<'_, DropletMsg>, req: u64, from: NodeId) {
+        if self.trace_waits.is_empty() {
+            return;
+        }
+        let Some(waits) = self.trace_waits.get_mut(&req) else { return };
+        let Some(pos) = waits.iter().position(|&(n, _)| n == from) else { return };
+        let (_, span) = waits.remove(pos);
+        let empty = waits.is_empty();
+        if empty {
+            self.trace_waits.remove(&req);
+        }
+        let now = ctx.now();
+        if let Some(tr) = ctx.tracer() {
+            tr.close(now, req, span, true);
+        }
+    }
+
+    /// The op stopped waiting on `peer` specifically (a death notice
+    /// struck it from the waiting list): closes its wait spans on that
+    /// peer as unanswered.
+    fn trace_unwait(&mut self, ctx: &mut Ctx<'_, DropletMsg>, req: u64, peer: NodeId) {
+        if self.trace_waits.is_empty() {
+            return;
+        }
+        let Some(waits) = self.trace_waits.get_mut(&req) else { return };
+        let now = ctx.now();
+        let Some(tr) = ctx.tracer() else { return };
+        waits.retain(|&(n, span)| {
+            if n == peer {
+                tr.close(now, req, span, false);
+                false
+            } else {
+                true
+            }
+        });
+        let empty = waits.is_empty();
+        if empty {
+            self.trace_waits.remove(&req);
+        }
+    }
+
+    /// The op completed at this coordinator: closes any wait span still
+    /// open as unanswered (deadline-swept stragglers), then the
+    /// coordinator span itself.
+    fn trace_finish_op(&mut self, ctx: &mut Ctx<'_, DropletMsg>, req: u64, answered: bool) {
+        if self.trace_ops.is_empty() && self.trace_waits.is_empty() {
+            return;
+        }
+        let waits = self.trace_waits.remove(&req);
+        let coord = self.trace_ops.remove(&req);
+        let now = ctx.now();
+        let Some(tr) = ctx.tracer() else { return };
+        for (_, span) in waits.into_iter().flatten() {
+            tr.close(now, req, span, false);
+        }
+        if let Some(span) = coord {
+            tr.close(now, req, span, answered);
+        }
+    }
+
+    /// The replica this node is still waiting on for `req`, if the op is
+    /// pending here — threaded into [`crate::OpError::Timeout`] so a
+    /// timed-out client learns *which* node never replied.
+    pub(crate) fn blame(&self, req: u64) -> Option<NodeId> {
+        if let Some(p) = self.pending_gets.get(&req) {
+            return p.waiting.first().or_else(|| p.unreached.first()).copied();
+        }
+        if let Some(p) = self.pending_multi_gets.get(&req) {
+            return p.waiting.first().copied();
+        }
+        if let Some(p) = self.pending_multi_puts.get(&req) {
+            return p.waiting.first().copied();
+        }
+        None
+    }
+
     /// The failure detector declared `peer` dead: stop waiting on it.
     /// Pending single reads park it on their `unreached` list (a heal
     /// re-fetches); multi-ops with their last outstanding reply on it
     /// complete eagerly instead of sitting out the deadline sweep.
     fn strike_peer(&mut self, ctx: &mut Ctx<'_, DropletMsg>, peer: NodeId) {
+        // Pending single reads keep their wait spans open: the op is still
+        // semantically waiting (a heal re-fetches), and a never-healed
+        // replica should show as the hop that never answered. Multi-ops
+        // genuinely stop waiting, so their spans close unanswered now.
+        let traced = !self.trace_waits.is_empty();
         for p in self.pending_gets.values_mut() {
             if let Some(pos) = p.waiting.iter().position(|&n| n == peer) {
                 p.waiting.remove(pos);
                 p.unreached.push(peer);
             }
         }
+        let mut touched: Vec<u64> = Vec::new();
         let struck_gets: Vec<u64> = self
             .pending_multi_gets
             .iter_mut()
@@ -685,23 +873,35 @@ impl SoftNode {
                 if p.waiting.len() == before {
                     return None;
                 }
+                if traced {
+                    touched.push(req);
+                }
                 p.full = false;
                 p.waiting.is_empty().then_some(req)
             })
             .collect();
-        for req in struck_gets {
-            let p = self.pending_multi_gets.remove(&req).expect("present");
-            self.complete_multi_get(ctx, req, p);
-        }
         let struck_puts: Vec<u64> = self
             .pending_multi_puts
             .iter_mut()
             .filter_map(|(&req, p)| {
                 let before = p.waiting.len();
                 p.waiting.retain(|&n| n != peer);
-                (p.waiting.len() < before && p.waiting.is_empty()).then_some(req)
+                if p.waiting.len() == before {
+                    return None;
+                }
+                if traced {
+                    touched.push(req);
+                }
+                p.waiting.is_empty().then_some(req)
             })
             .collect();
+        for req in touched {
+            self.trace_unwait(ctx, req, peer);
+        }
+        for req in struck_gets {
+            let p = self.pending_multi_gets.remove(&req).expect("present");
+            self.complete_multi_get(ctx, req, p);
+        }
         for req in struck_puts {
             let p = self.pending_multi_puts.remove(&req).expect("present");
             self.complete_multi_put(ctx, req, p);
@@ -723,7 +923,10 @@ impl SoftNode {
         }
         refetches.sort_unstable_by_key(|&(req, ..)| req);
         for (req, key_hash, version) in refetches {
-            ctx.send(peer, DropletMsg::Fetch { req, key_hash, version });
+            // A traced re-fetch opens a fresh wait span (the critical-path
+            // walk credits the retry, not the first attempt).
+            let trace = self.trace_wait(ctx, req, peer, "soft.fetch_wait");
+            ctx.send(peer, DropletMsg::Fetch { req, key_hash, version, trace });
         }
         let mut owed: Vec<(u64, Version)> = self
             .undelivered
@@ -736,7 +939,9 @@ impl SoftNode {
         owed.sort_unstable_by_key(|&(kh, v)| (kh, v.0));
         for id in owed {
             let tuple = self.undelivered[&id].tuple.clone();
-            self.enqueue_delivery(ctx, peer, tuple);
+            // Re-deliveries are untraced: the originating op was acked
+            // (and its trace closed) long before the heal.
+            self.enqueue_delivery(ctx, peer, tuple, None);
         }
     }
 
@@ -782,6 +987,7 @@ impl SoftNode {
         if latest == Version::ZERO {
             // Key never written through this (healthy) soft layer.
             self.completed_gets.insert(req, None);
+            self.trace_finish_op(ctx, req, true);
             return;
         }
         // §II: "the soft-layer always knows the most recent version … the
@@ -789,6 +995,7 @@ impl SoftNode {
         if let Some(t) = self.cache.get(key_hash, latest) {
             ctx.metrics().incr("soft.cache_hits");
             self.completed_gets.insert(req, (!t.deleted).then_some(t));
+            self.trace_finish_op(ctx, req, true);
             return;
         }
         ctx.metrics().incr("soft.cache_misses");
@@ -803,6 +1010,7 @@ impl SoftNode {
         }
         if targets.is_empty() {
             self.completed_gets.insert(req, None);
+            self.trace_finish_op(ctx, req, true);
             return;
         }
         // Fetch from the reachable replicas now; remember the unreachable
@@ -811,7 +1019,8 @@ impl SoftNode {
         let (waiting, unreached): (Vec<NodeId>, Vec<NodeId>) =
             targets.into_iter().partition(|t| self.reachable.contains(t));
         for &t in &waiting {
-            ctx.send(t, DropletMsg::Fetch { req, key_hash, version: latest });
+            let trace = self.trace_wait(ctx, req, t, "soft.fetch_wait");
+            ctx.send(t, DropletMsg::Fetch { req, key_hash, version: latest, trace });
         }
         self.pending_gets.insert(req, PendingGet { key_hash, version: latest, waiting, unreached });
     }
@@ -820,63 +1029,75 @@ impl SoftNode {
     pub fn on_message(&mut self, ctx: &mut Ctx<'_, DropletMsg>, from: NodeId, msg: DropletMsg) {
         let me = ctx.id();
         match msg {
-            DropletMsg::ClientPut { req, key, value, attr, tag } => {
+            DropletMsg::ClientPut { req, key, value, attr, tag, trace } => {
                 if self.is_coordinator(me, key.hash()) {
                     let item = TupleSpec { key, value, attr, tag };
-                    self.start_write(ctx, req, item, false);
+                    self.start_write(ctx, req, item, false, trace);
                 } else if let Some(c) = self.coordinator_of(key.hash()) {
-                    ctx.send(c, DropletMsg::ClientPut { req, key, value, attr, tag });
+                    let trace = self.trace_hop(ctx, trace, "soft.forward");
+                    ctx.send(c, DropletMsg::ClientPut { req, key, value, attr, tag, trace });
                 }
             }
-            DropletMsg::ClientDelete { req, key } => {
+            DropletMsg::ClientDelete { req, key, trace } => {
                 if self.is_coordinator(me, key.hash()) {
                     let item = TupleSpec { key, value: bytes::Bytes::new(), attr: None, tag: None };
-                    self.start_write(ctx, req, item, true);
+                    self.start_write(ctx, req, item, true, trace);
                 } else if let Some(c) = self.coordinator_of(key.hash()) {
-                    ctx.send(c, DropletMsg::ClientDelete { req, key });
+                    let trace = self.trace_hop(ctx, trace, "soft.forward");
+                    ctx.send(c, DropletMsg::ClientDelete { req, key, trace });
                 }
             }
-            DropletMsg::ClientGet { req, key } => {
+            DropletMsg::ClientGet { req, key, trace } => {
                 if self.is_coordinator(me, key.hash()) {
+                    self.trace_coord(ctx, req, trace, "soft.get");
                     self.start_read(ctx, req, &key);
                 } else if let Some(c) = self.coordinator_of(key.hash()) {
-                    ctx.send(c, DropletMsg::ClientGet { req, key });
+                    let trace = self.trace_hop(ctx, trace, "soft.forward");
+                    ctx.send(c, DropletMsg::ClientGet { req, key, trace });
                 }
             }
-            DropletMsg::ClientScan { req, lo, hi } => {
+            DropletMsg::ClientScan { req, lo, hi, trace } => {
                 let targets = self.persist_peers.clone();
+                self.trace_coord(ctx, req, trace, "soft.scan");
                 if targets.is_empty() {
                     self.completed_scans.insert(req, Vec::new());
+                    self.trace_finish_op(ctx, req, true);
                     return;
                 }
                 self.pending_scans
                     .insert(req, PendingGather { outstanding: targets.len(), items: Vec::new() });
                 for t in targets {
-                    ctx.send(t, DropletMsg::ScanReq { req, lo, hi });
+                    let trace = self.trace_wait(ctx, req, t, "soft.scan_wait");
+                    ctx.send(t, DropletMsg::ScanReq { req, lo, hi, trace });
                 }
             }
-            DropletMsg::ClientMultiPut { req, items } => {
+            DropletMsg::ClientMultiPut { req, items, trace } => {
                 ctx.metrics().incr("soft.multi_puts");
                 ctx.metrics().observe("multi_put.batch", items.len() as f64);
+                self.trace_coord(ctx, req, trace, "soft.multi_put");
                 if items.is_empty() {
                     self.completed_multi_puts.insert(req, MultiPutStatus::default());
+                    self.trace_finish_op(ctx, req, true);
                     return;
                 }
                 let want = items.len();
                 let started = ctx.now();
+                let coord_trace = self.trace_ctx_of(req);
                 let mut versions = Vec::new();
                 let mut waiting = Vec::new();
                 let mut forwards = 0u64;
                 for item in items {
                     let key_hash = item.key.hash();
                     if self.is_coordinator(me, key_hash) {
-                        let (kh, version) = self.order_and_disseminate(ctx, item, false);
+                        let (kh, version) =
+                            self.order_and_disseminate(ctx, item, false, coord_trace);
                         versions.push((kh, version));
                     } else if let Some(c) = self.coordinator_of(key_hash) {
                         if self.reachable.contains(&c) {
                             forwards += 1;
                             waiting.push(c);
-                            ctx.send(c, DropletMsg::SubPut { req, origin: me, item });
+                            let trace = self.trace_wait(ctx, req, c, "soft.subput_wait");
+                            ctx.send(c, DropletMsg::SubPut { req, origin: me, item, trace });
                         }
                         // Known-dead coordinator: its items cannot be
                         // ordered now — don't wait out the deadline for
@@ -892,18 +1113,20 @@ impl SoftNode {
                     ctx.set_timer(Duration(MULTI_OP_TIMEOUT), MULTI_OP_TIMER);
                 }
             }
-            DropletMsg::ClientMultiGet { req, tag } => {
+            DropletMsg::ClientMultiGet { req, tag, trace } => {
                 let tag_hash = tag.hash();
                 // Tag-scoped reads have a deterministic coordinator, like
                 // keys: route by the tag's position in the soft ring.
                 if !self.is_coordinator(me, tag_hash) {
                     if let Some(c) = self.coordinator_of(tag_hash) {
                         ctx.metrics().incr("soft.multi_get_forwards");
-                        ctx.send(c, DropletMsg::ClientMultiGet { req, tag });
+                        let trace = self.trace_hop(ctx, trace, "soft.forward");
+                        ctx.send(c, DropletMsg::ClientMultiGet { req, tag, trace });
                     }
                     return;
                 }
                 ctx.metrics().incr("soft.multi_gets");
+                self.trace_coord(ctx, req, trace, "soft.multi_get");
                 let targets = self.tag_read_targets(tag_hash);
                 // Only reachable slot-owners are contacted; skipping a
                 // known-dead one marks the result partial immediately
@@ -922,7 +1145,8 @@ impl SoftNode {
                     return;
                 }
                 for &t in &pending.waiting {
-                    ctx.send(t, DropletMsg::TagFetch { req, tag_hash });
+                    let trace = self.trace_wait(ctx, req, t, "soft.tagfetch_wait");
+                    ctx.send(t, DropletMsg::TagFetch { req, tag_hash, trace });
                 }
                 self.pending_multi_gets.insert(req, pending);
                 // Deadline: when this fires, this request (and any older
@@ -930,12 +1154,13 @@ impl SoftNode {
                 // arrived — a silently lost reply must not hang the read.
                 ctx.set_timer(Duration(MULTI_OP_TIMEOUT), MULTI_OP_TIMER);
             }
-            DropletMsg::SubPut { req, origin, item } => {
+            DropletMsg::SubPut { req, origin, item, trace } => {
                 ctx.metrics().incr("soft.sub_puts");
-                let (key_hash, version) = self.order_and_disseminate(ctx, item, false);
+                let (key_hash, version) = self.order_and_disseminate(ctx, item, false, trace);
                 ctx.send(origin, DropletMsg::SubPutAck { req, key_hash, version });
             }
             DropletMsg::SubPutAck { req, key_hash, version } => {
+                self.trace_reply(ctx, req, from);
                 self.note_sub_put_ack(ctx, req, Some(from), key_hash, version);
             }
             DropletMsg::TagFetchReply { req, items } => {
@@ -944,18 +1169,22 @@ impl SoftNode {
                 if let Some(pos) = p.waiting.iter().position(|&n| n == from) {
                     p.waiting.remove(pos);
                 }
-                if p.waiting.is_empty() {
+                let done = p.waiting.is_empty();
+                self.trace_reply(ctx, req, from);
+                if done {
                     let p = self.pending_multi_gets.remove(&req).expect("present");
                     self.complete_multi_get(ctx, req, p);
                 }
             }
-            DropletMsg::ClientAggregate { req } => {
+            DropletMsg::ClientAggregate { req, trace } => {
                 let targets = self.persist_peers.clone();
+                self.trace_coord(ctx, req, trace, "soft.agg");
                 if targets.is_empty() {
                     self.completed_aggs.insert(
                         req,
                         (dd_estimation::DistSketch::new(16), f64::INFINITY, f64::NEG_INFINITY),
                     );
+                    self.trace_finish_op(ctx, req, true);
                     return;
                 }
                 self.pending_aggs.insert(
@@ -968,7 +1197,8 @@ impl SoftNode {
                     },
                 );
                 for t in targets {
-                    ctx.send(t, DropletMsg::AggReq { req });
+                    let trace = self.trace_wait(ctx, req, t, "soft.agg_wait");
+                    ctx.send(t, DropletMsg::AggReq { req, trace });
                 }
             }
             DropletMsg::StoredAck { key_hash, version } => {
@@ -984,12 +1214,14 @@ impl SoftNode {
                 if let Some(pos) = p.waiting.iter().position(|&n| n == from) {
                     p.waiting.remove(pos);
                 }
+                self.trace_reply(ctx, req, from);
                 match found {
                     Some(t) => {
                         self.pending_gets.remove(&req);
                         self.metadata.add_holder(t.key_hash, t.version, from);
                         self.cache.put(t.key_hash, t.version, t.clone());
                         self.completed_gets.insert(req, (!t.deleted).then_some(t));
+                        self.trace_finish_op(ctx, req, true);
                     }
                     None => {
                         // Conclude "not found" only once every replica we
@@ -1003,6 +1235,7 @@ impl SoftNode {
                         {
                             self.pending_gets.remove(&req);
                             self.completed_gets.insert(req, None);
+                            self.trace_finish_op(ctx, req, true);
                         }
                     }
                 }
@@ -1019,9 +1252,12 @@ impl SoftNode {
                 let Some(p) = self.pending_scans.get_mut(&req) else { return };
                 p.items.extend(items);
                 p.outstanding -= 1;
-                if p.outstanding == 0 {
+                let done = p.outstanding == 0;
+                self.trace_reply(ctx, req, from);
+                if done {
                     let p = self.pending_scans.remove(&req).expect("present");
                     self.completed_scans.insert(req, Self::finalize_gather(p.items));
+                    self.trace_finish_op(ctx, req, true);
                 }
             }
             DropletMsg::AggReply { req, sketch, min, max } => {
@@ -1030,9 +1266,12 @@ impl SoftNode {
                 p.min = p.min.min(min);
                 p.max = p.max.max(max);
                 p.outstanding -= 1;
-                if p.outstanding == 0 {
+                let done = p.outstanding == 0;
+                self.trace_reply(ctx, req, from);
+                if done {
                     let p = self.pending_aggs.remove(&req).expect("present");
                     self.completed_aggs.insert(req, (p.sketch, p.min, p.max));
+                    self.trace_finish_op(ctx, req, true);
                 }
             }
             _ => {}
@@ -1108,6 +1347,8 @@ impl SoftNode {
         self.pending_multi_gets.clear();
         self.outbox.clear();
         self.outbox_armed = false;
+        self.trace_ops.clear();
+        self.trace_waits.clear();
         self.undelivered.clear();
         self.undelivered_order.clear();
         self.reachable = self.known_peers.iter().copied().collect();
@@ -1186,7 +1427,7 @@ mod tests {
             |ctx| {
                 for i in 0..(COMPLETION_RETENTION as u64 + 100) {
                     let spec = crate::tuple::TupleSpec::new(format!("k{i}"), vec![], None, None);
-                    n.start_write(ctx, i, spec, false);
+                    n.start_write(ctx, i, spec, false, None);
                 }
             },
         );

@@ -4,6 +4,7 @@ use crate::metrics::Metrics;
 use crate::net::{LatencyModel, NetConfig};
 use crate::rng::stream_rng;
 use crate::time::{Duration, Time};
+use crate::trace::Tracer;
 use crate::types::{NodeId, TimerTag};
 use rand::rngs::SmallRng;
 use std::cmp::Ordering;
@@ -52,6 +53,7 @@ pub struct Ctx<'a, M> {
     rng: &'a mut SmallRng,
     metrics: &'a mut Metrics,
     effects: &'a mut Vec<Effect<M>>,
+    tracer: Option<&'a mut (dyn Tracer + 'static)>,
 }
 
 impl<M> Ctx<'_, M> {
@@ -87,6 +89,13 @@ impl<M> Ctx<'_, M> {
     /// Shared metrics sink.
     pub fn metrics(&mut self) -> &mut Metrics {
         self.metrics
+    }
+
+    /// The installed span sink, when the run is traced ([`Sim::set_tracer`]);
+    /// `None` otherwise — traced code paths guard on this so tracing costs
+    /// one branch when off.
+    pub fn tracer(&mut self) -> Option<&mut (dyn Tracer + 'static)> {
+        self.tracer.as_deref_mut()
     }
 }
 
@@ -211,6 +220,8 @@ pub struct Sim<P: Process> {
     /// [`Sim::is_alive`] answers can only change when this does — the
     /// companion of [`NetConfig::topology_epoch`] for sweep gating.
     liveness_epoch: u64,
+    /// Span sink handed to every callback while a traced run is active.
+    tracer: Option<Box<dyn Tracer>>,
 }
 
 impl<P: Process> Sim<P> {
@@ -228,6 +239,7 @@ impl<P: Process> Sim<P> {
             net_rng: stream_rng(config.seed, u64::MAX),
             effects: Vec::new(),
             liveness_epoch: 0,
+            tracer: None,
         }
     }
 
@@ -304,6 +316,31 @@ impl<P: Process> Sim<P> {
     /// Mutable metrics sink (harness use).
     pub fn metrics_mut(&mut self) -> &mut Metrics {
         &mut self.metrics
+    }
+
+    /// Installs a span sink: every subsequent callback sees it through
+    /// [`Ctx::tracer`] until [`Sim::take_tracer`] removes it. Replaces any
+    /// sink already installed.
+    pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Removes and returns the installed span sink (downcast it via
+    /// [`Tracer::into_any`] to recover the concrete recorder).
+    pub fn take_tracer(&mut self) -> Option<Box<dyn Tracer>> {
+        self.tracer.take()
+    }
+
+    /// The installed span sink, if any (harness-side span bookkeeping —
+    /// e.g. opening an operation's root span at injection time).
+    pub fn tracer_mut(&mut self) -> Option<&mut (dyn Tracer + 'static)> {
+        self.tracer.as_deref_mut()
+    }
+
+    /// Whether a span sink is currently installed.
+    #[must_use]
+    pub fn tracer_installed(&self) -> bool {
+        self.tracer.is_some()
     }
 
     /// Takes the node down *now* (transient failure: state kept, timers and
@@ -468,6 +505,7 @@ impl<P: Process> Sim<P> {
                 rng: &mut slot.rng,
                 metrics: &mut self.metrics,
                 effects: &mut effects,
+                tracer: self.tracer.as_deref_mut(),
             };
             match kind {
                 Dispatch::Start => slot.proc.on_start(&mut ctx),
@@ -550,7 +588,7 @@ pub fn with_adhoc_ctx<M, R>(
 ) -> (R, Vec<AdhocEffect<M>>) {
     let mut effects: Vec<Effect<M>> = Vec::new();
     let r = {
-        let mut ctx = Ctx { id, now, rng, metrics, effects: &mut effects };
+        let mut ctx = Ctx { id, now, rng, metrics, effects: &mut effects, tracer: None };
         f(&mut ctx)
     };
     let out = effects

@@ -54,10 +54,12 @@ pub mod net;
 pub mod rng;
 pub mod runtime;
 pub mod time;
+pub mod trace;
 pub mod types;
 
 pub use engine::{Ctx, NetChange, Process, Sim, SimConfig};
 pub use metrics::Metrics;
 pub use net::{LatencyModel, NetConfig};
 pub use time::{Duration, Time};
+pub use trace::{TraceCtx, Tracer};
 pub use types::{NodeId, TimerTag};

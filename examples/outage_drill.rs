@@ -28,12 +28,12 @@ fn print_report(report: &ScenarioReport) {
         report.ticks
     );
     println!(
-        "{:>10} {:>7} {:>6} {:>6} {:>6} {:>6} {:>7} {:>7}",
-        "phase", "issued", "ok", "t/o", "noent", "found", "p50", "p95"
+        "{:>10} {:>7} {:>6} {:>6} {:>6} {:>6} {:>7} {:>7} {:>7}",
+        "phase", "issued", "ok", "t/o", "noent", "found", "p50", "p95", "p99"
     );
     for p in &report.phases {
         println!(
-            "{:>10} {:>7} {:>6} {:>6} {:>6} {:>6} {:>7.0} {:>7.0}",
+            "{:>10} {:>7} {:>6} {:>6} {:>6} {:>6} {:>7.0} {:>7.0} {:>7.0}",
             p.name,
             p.issued,
             p.ok,
@@ -41,7 +41,8 @@ fn print_report(report: &ScenarioReport) {
             p.errors.no_entry,
             p.reads_found,
             p.latency_p50,
-            p.latency_p95
+            p.latency_p95,
+            p.latency_p99
         );
     }
     println!("availability {:.4}, staleness {:.4}", report.availability(), report.staleness());

@@ -1,0 +1,68 @@
+//! Traced drill: run a dependability scenario with the tracing plane on,
+//! read the critical-path attribution, and export a Chrome trace.
+//!
+//! Act 1 runs the churn-storm drill traced: every client operation is
+//! recorded as a span tree (client submit → coordinator hops → per-replica
+//! waits → persist stores), and the attached [`dd_core::TraceReport`]
+//! breaks the run's critical-path time down per hop and digests the
+//! slowest ops. The storm's tail op must be pinned on a wait for a
+//! churned replica that never answered — the per-hop evidence a hedging
+//! policy would key off.
+//!
+//! Act 2 exports the whole run as Chrome trace-event JSON. Open the file
+//! in `chrome://tracing` or <https://ui.perfetto.dev>: each traced op is
+//! one track (tid = op id) on its node's process row, and the long bars
+//! under a churned node are the unanswered waits from act 1.
+//!
+//! ```sh
+//! cargo run --release --example traced_drill
+//! ```
+
+use dd_core::scenario::library;
+use dd_core::{Cluster, ClusterConfig, Placement};
+
+fn main() {
+    // Act 1 — the stock churn-storm drill, traced.
+    let config =
+        ClusterConfig::small().persist_n(36).replication(3).placement(Placement::TagCollocation);
+    let mut cluster = Cluster::new(config, 2_027);
+    cluster.settle();
+    let report = cluster.run_scenario(&library::churn_storm(2_027).traced());
+    let trace = report.trace.as_ref().expect("traced run attaches a trace report");
+
+    println!(
+        "scenario `{}` — {} ops, availability {:.4}, p50/p95/p99 latency \
+         {:.0}/{:.0}/{:.0} ticks\n",
+        report.name,
+        report.issued(),
+        report.availability(),
+        report.latency_p50,
+        report.latency_p95,
+        report.latency_p99,
+    );
+    println!("{}", trace.summary());
+
+    // The slowest op is the p95+ tail the summary explains: its critical
+    // path walks from submission to completion, and the dominant hop —
+    // the one segment whose removal would have sped the op up most — must
+    // be a wait that was never answered (the churned replica).
+    let tail = trace.slowest.first().expect("slowest-ops digest");
+    let dominant = tail.dominant().expect("critical path");
+    println!(
+        "tail op {} spent {}/{} ticks in `{}` waiting on node {} — {}",
+        tail.op,
+        dominant.ticks(),
+        tail.ticks,
+        dominant.label,
+        dominant.node,
+        if dominant.answered { "answered late" } else { "never answered" },
+    );
+    assert!(!dominant.answered, "the storm tail must be pinned on an unanswered wait");
+
+    // Act 2 — export for chrome://tracing / Perfetto.
+    let json = trace.set.to_chrome_json();
+    let path = std::env::temp_dir().join("dd_traced_drill.json");
+    std::fs::write(&path, &json).expect("write chrome trace");
+    println!("\nwrote {} traces ({} bytes) to {}", trace.ops, json.len(), path.display());
+    println!("open chrome://tracing (or https://ui.perfetto.dev) and load the file.");
+}

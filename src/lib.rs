@@ -11,7 +11,7 @@
 //! [`dd_core::Cluster::run_scenario`]) that drives whole experiments; the
 //! lower-level crates are re-exported for protocol-level experimentation.
 //! See the repository `README.md` for the workspace map, build
-//! instructions and the experiment catalogue (E1–E16 under
+//! instructions and the experiment catalogue (E1–E19 under
 //! `crates/bench/benches/`).
 
 pub use dd_audit as audit;
@@ -24,4 +24,5 @@ pub use dd_membership as membership;
 pub use dd_overlay as overlay;
 pub use dd_sieve as sieve;
 pub use dd_sim as sim;
+pub use dd_trace as trace;
 pub use dd_walks as walks;

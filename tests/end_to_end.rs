@@ -308,7 +308,11 @@ fn timeout_and_absent_key_are_distinct_outcomes() {
         c.sim.kill(id);
     }
     c.run_for(10);
-    assert_eq!(client.recv(&mut c, stuck), Err(OpError::Timeout), "dead tier = timeout");
+    assert_eq!(
+        client.recv(&mut c, stuck),
+        Err(OpError::Timeout { waiting_on: None }),
+        "dead tier = timeout (no live coordinator left to blame a replica)"
+    );
     let p = client.put(&mut c, "k", b"v".to_vec(), None, None);
     assert_eq!(client.recv(&mut c, p), Err(OpError::NoLiveEntry));
 }

@@ -47,7 +47,8 @@ fn every_example_is_covered_here() {
             "outage_drill",
             "quickstart",
             "social_feed",
-            "threaded_gossip"
+            "threaded_gossip",
+            "traced_drill"
         ],
         "examples/ changed — update examples_smoke.rs to cover the new set"
     );
@@ -96,6 +97,25 @@ fn outage_drill_runs_pure_scenarios() {
 #[test]
 fn threaded_gossip_runs() {
     run_example("threaded_gossip");
+}
+
+#[test]
+fn traced_drill_runs_the_tracing_plane() {
+    // The example must run a stock drill traced, pin the tail op on a
+    // never-answered wait, and export a Chrome trace file.
+    let out = run_example("traced_drill");
+    assert!(
+        out.contains("critical-path time by hop"),
+        "traced drill must print the per-hop breakdown; got:\n{out}"
+    );
+    assert!(
+        out.contains("never answered"),
+        "traced drill must pin the tail on an unanswered wait; got:\n{out}"
+    );
+    assert!(
+        out.contains("chrome://tracing"),
+        "traced drill must export a Chrome trace; got:\n{out}"
+    );
 }
 
 #[test]
