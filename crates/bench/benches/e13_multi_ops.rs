@@ -75,7 +75,7 @@ fn write_summary(rows: &[Row]) {
                 "    {{\"placement\": \"{}\", \"multi_puts\": {}, \"multi_gets\": {}, \
                  \"tuples_read\": {}, \"mean_contacted_nodes\": {:.3}, \
                  \"max_contacted_nodes\": {:.3}, \"msgs_per_multi_get\": {:.3}}}",
-                r.placement,
+                dd_sim::json_escape(r.placement),
                 r.multi_puts,
                 r.multi_gets,
                 r.tuples_read,

@@ -71,8 +71,8 @@ fn write_summary(cells: &[Cell]) {
                  \"availability\": {:.4}, \"staleness\": {:.4}, \"timeouts\": {}, \
                  \"partials\": {}, \"no_live_entry\": {}, \"latency_p50_ticks\": {:.1}, \
                  \"latency_p95_ticks\": {:.1}, \"latency_p99_ticks\": {:.1}, \"msgs\": {}}}",
-                r.name,
-                c.placement,
+                dd_sim::json_escape(&r.name),
+                dd_sim::json_escape(c.placement),
                 r.issued(),
                 r.availability(),
                 r.staleness(),

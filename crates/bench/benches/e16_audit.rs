@@ -88,7 +88,7 @@ fn write_summary(cells: &[Cell]) {
                  \"ops_per_tick_regression\": {:.5}, \"safety_violations\": {}, \
                  \"warnings\": {}, \"ops_recorded\": {}, \"wall_ms_plain\": {:.1}, \
                  \"wall_ms_audited\": {:.1}}}",
-                c.name,
+                dd_sim::json_escape(&c.name),
                 c.audited.issued(),
                 c.audited.ticks,
                 Cell::ops_per_tick(&c.plain),

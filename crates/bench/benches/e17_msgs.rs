@@ -100,8 +100,8 @@ fn write_summary(cells: &[Cell]) {
                 "    {{\"scenario\": \"{}\", \"placement\": \"{}\", \"issued\": {}, \
                  \"msgs\": {}, \"msgs_per_op\": {:.1}, \"baseline_msgs_per_op\": {:.1}, \
                  \"reduction\": {:.1}, \"availability\": {:.4}, \"staleness\": {:.4}}}",
-                r.name,
-                c.placement,
+                dd_sim::json_escape(&r.name),
+                dd_sim::json_escape(c.placement),
                 r.issued(),
                 r.msgs,
                 r.msgs as f64 / r.issued() as f64,

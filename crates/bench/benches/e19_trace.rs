@@ -117,7 +117,7 @@ fn write_summary(cells: &[Cell]) {
                  \"top_hop\": \"{}\", \"top_hop_share\": {:.4}, \"slowest_op_ticks\": {}, \
                  \"latency_p99_ticks\": {:.1}, \"wall_ms_plain\": {:.1}, \
                  \"wall_ms_traced\": {:.1}}}",
-                c.name,
+                dd_sim::json_escape(&c.name),
                 c.traced.issued(),
                 c.traced.ticks,
                 Cell::ops_per_tick(&c.plain),
@@ -125,7 +125,7 @@ fn write_summary(cells: &[Cell]) {
                 c.regression(),
                 t.ops,
                 t.spans,
-                top.map(|h| h.label.as_str()).unwrap_or("-"),
+                dd_sim::json_escape(top.map(|h| h.label.as_str()).unwrap_or("-")),
                 top.map(|h| h.share).unwrap_or(0.0),
                 slowest.map(|s| s.ticks).unwrap_or(0),
                 c.traced.latency_p99,

@@ -1,0 +1,299 @@
+//! E20 — the telemetry plane: zero cost when off, bounded overhead when
+//! sampling, and detectors that catch a seeded regression.
+//!
+//! Each stock dependability drill runs twice against identical clusters —
+//! plain, then [`Scenario::instrumented`] — and the bench asserts the
+//! three acceptance gates:
+//!
+//! 1. **Sampling off = 0% regression.** The instrumented run's report
+//!    core (with the attached [`dd_obs::TelemetryReport`] detached) is
+//!    bit-for-bit the plain run's report: gauges read state the run
+//!    already computes, on the virtual-time axis, so the executed run is
+//!    byte-identical.
+//! 2. **Sampling on ≤ 10% ops/tick overhead** across the drill matrix
+//!    (virtual-time throughput; wall-clock sampling cost is reported per
+//!    row but not gated).
+//! 3. **The leak detector catches a seeded regression.** With every soft
+//!    node's completion logs switched to the unbounded, never-evicting
+//!    shape of the PR 3 bug (`seed_completion_leak`), the monotonic-
+//!    growth detector must flag `cluster.completion_backlog` — and
+//!    nothing else — while every healthy drill stays leak-clean.
+//!
+//! Emits `BENCH_obs.json` and a `BENCH_obs.csv` sample dump at the
+//! workspace root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dd_bench::{f, n, table_header, table_row};
+use dd_core::cluster::DropletNode;
+use dd_core::scenario::library;
+use dd_core::{Cluster, ClusterConfig, Detector, Placement, Scenario, ScenarioReport};
+use dd_obs::{names, Label, Series, TelemetryReport};
+
+const PERSIST_N: u64 = 36;
+const REPLICATION: u32 = 3;
+const SEED: u64 = 2_027;
+
+/// Maximum tolerated ops/tick regression of an instrumented run vs the
+/// same drill uninstrumented (the issue's acceptance bound).
+const MAX_OPS_PER_TICK_REGRESSION: f64 = 0.10;
+
+struct Cell {
+    name: String,
+    plain: ScenarioReport,
+    instrumented: ScenarioReport,
+    wall_plain_ms: f64,
+    wall_instrumented_ms: f64,
+}
+
+impl Cell {
+    fn telemetry(&self) -> &TelemetryReport {
+        self.instrumented.telemetry.as_ref().expect("instrumented run attaches telemetry")
+    }
+
+    fn peak(t: &TelemetryReport, name: &'static str) -> f64 {
+        t.data.get(name, Label::None).map_or(0.0, Series::max)
+    }
+
+    fn ops_per_tick(report: &ScenarioReport) -> f64 {
+        report.issued() as f64 / report.ticks as f64
+    }
+
+    fn regression(&self) -> f64 {
+        1.0 - Self::ops_per_tick(&self.instrumented) / Self::ops_per_tick(&self.plain)
+    }
+}
+
+fn cluster() -> Cluster {
+    let config = ClusterConfig::small()
+        .persist_n(PERSIST_N)
+        .replication(REPLICATION)
+        .placement(Placement::TagCollocation);
+    let mut c = Cluster::new(config, SEED);
+    c.settle();
+    c
+}
+
+fn run(scenario: &Scenario) -> (ScenarioReport, f64) {
+    let mut c = cluster();
+    let t0 = std::time::Instant::now();
+    let report = c.run_scenario(scenario);
+    (report, t0.elapsed().as_secs_f64() * 1_000.0)
+}
+
+fn drills() -> Vec<Scenario> {
+    vec![
+        library::calm(SEED),
+        library::churn_storm(SEED),
+        library::partition_heal(SEED),
+        library::cascading_crash(SEED),
+    ]
+}
+
+fn matrix() -> Vec<Cell> {
+    drills()
+        .into_iter()
+        .map(|drill| {
+            let (plain, wall_plain_ms) = run(&drill);
+            let (instrumented, wall_instrumented_ms) = run(&drill.instrumented());
+            Cell {
+                name: plain.name.clone(),
+                plain,
+                instrumented,
+                wall_plain_ms,
+                wall_instrumented_ms,
+            }
+        })
+        .collect()
+}
+
+/// Gate 3's seeded regression: the same churn-storm drill, but with every
+/// soft node's completion logs flipped to the unbounded, never-evicting
+/// shape of the PR 3 bug. Client-visible results are unchanged (harvest
+/// still answers), so only the backlog gauge grows without bound.
+fn leaky_run() -> ScenarioReport {
+    let mut c = cluster();
+    let soft: Vec<_> = c.soft_ids().to_vec();
+    for id in soft {
+        c.sim
+            .node_mut(id)
+            .and_then(DropletNode::as_soft_mut)
+            .expect("soft node")
+            .seed_completion_leak();
+    }
+    c.run_scenario(&library::churn_storm(SEED).instrumented())
+}
+
+/// Hand-rolled JSON (the workspace has no serde), one row per drill.
+fn write_summary(cells: &[Cell], leaky: &TelemetryReport) {
+    let entries: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            let t = c.telemetry();
+            format!(
+                "    {{\"scenario\": \"{}\", \"issued\": {}, \"ticks\": {}, \
+                 \"ops_per_tick_plain\": {:.5}, \"ops_per_tick_instrumented\": {:.5}, \
+                 \"ops_per_tick_regression\": {:.5}, \"samples\": {}, \"series\": {}, \
+                 \"peak_queue_depth\": {:.0}, \"peak_store_bytes\": {:.0}, \
+                 \"findings\": {}, \"wall_ms_plain\": {:.1}, \"wall_ms_instrumented\": {:.1}}}",
+                dd_sim::json_escape(&c.name),
+                c.instrumented.issued(),
+                c.instrumented.ticks,
+                Cell::ops_per_tick(&c.plain),
+                Cell::ops_per_tick(&c.instrumented),
+                c.regression(),
+                t.samples,
+                t.summaries.len(),
+                Cell::peak(t, names::QUEUE_DEPTH),
+                Cell::peak(t, names::STORE_BYTES),
+                t.findings.len(),
+                c.wall_plain_ms,
+                c.wall_instrumented_ms,
+            )
+        })
+        .collect();
+    let leak_findings: Vec<String> = leaky
+        .findings_of(Detector::Leak)
+        .map(|f| format!("\"{}\"", dd_sim::json_escape(&f.series)))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"e20_obs\",\n  \"cluster\": {{\"persist_n\": {PERSIST_N}, \
+         \"replication\": {REPLICATION}, \"seed\": {SEED}}},\n  \
+         \"seeded_leak_flagged\": [{}],\n  \"rows\": [\n{}\n  ]\n}}\n",
+        leak_findings.join(", "),
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("e20: could not write {path}: {e}");
+    } else {
+        println!("\nwrote machine-readable summary to BENCH_obs.json");
+    }
+}
+
+/// The full sample dump of the churn-storm drill, for offline plotting.
+fn write_csv(cells: &[Cell]) {
+    let storm = cells.iter().find(|c| c.name == "churn-storm").expect("storm cell");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.csv");
+    if let Err(e) = std::fs::write(path, storm.telemetry().data.to_csv()) {
+        eprintln!("e20: could not write {path}: {e}");
+    } else {
+        println!("wrote churn-storm sample dump to BENCH_obs.csv");
+    }
+}
+
+fn experiment() {
+    let cells = matrix();
+    table_header(
+        "E20: instrumented dependability drills — overhead and detectors",
+        &["scenario", "issued", "samples", "series", "peak q", "findings", "regr%", "wall_ms"],
+    );
+    for c in &cells {
+        let t = c.telemetry();
+        table_row(&[
+            c.name.clone(),
+            n(c.instrumented.issued()),
+            n(t.samples),
+            n(t.summaries.len() as u64),
+            f(Cell::peak(t, names::QUEUE_DEPTH)),
+            n(t.findings.len() as u64),
+            f(c.regression() * 100.0),
+            f(c.wall_instrumented_ms),
+        ]);
+    }
+    for c in &cells {
+        let t = c.telemetry();
+        // Gate 1 — passivity: detach the telemetry and the report core
+        // must equal the plain run bit for bit (f64 Debug is shortest-
+        // roundtrip, so Debug-equality below means bit-equality).
+        let mut core = c.instrumented.clone();
+        core.telemetry = None;
+        assert_eq!(core, c.plain, "{}: sampler hooks perturbed the run", c.name);
+        assert_eq!(
+            format!("{core:?}"),
+            format!("{:?}", c.plain),
+            "{}: instrumented replay is not byte-identical",
+            c.name
+        );
+        assert!(t.samples > 0, "{}: sampler fired", c.name);
+        assert!(
+            t.data.get(names::QUEUE_DEPTH, Label::None).is_some(),
+            "{}: engine gauges sampled",
+            c.name
+        );
+        // Gate 2 — overhead: virtual-time throughput within the bound
+        // (sampling is passive on the virtual axis, so this is in fact
+        // 0%).
+        assert!(
+            c.regression() <= MAX_OPS_PER_TICK_REGRESSION,
+            "acceptance: {} instrumented ops/tick regressed {:.1}% (> {:.0}%)",
+            c.name,
+            c.regression() * 100.0,
+            MAX_OPS_PER_TICK_REGRESSION * 100.0
+        );
+        // Healthy drills are leak-clean: load-then-plateau store growth
+        // and churn-driven queue wobble must not trip the monotonic-
+        // growth detector.
+        let leaks: Vec<_> = t.findings_of(Detector::Leak).collect();
+        assert!(
+            leaks.is_empty(),
+            "acceptance: {} flagged a leak in a healthy run: {leaks:?}",
+            c.name,
+        );
+    }
+    // Gate 3 — the seeded regression: unbounded completion logs must be
+    // flagged as a leak on exactly the backlog gauge, nothing else.
+    let leaky = leaky_run();
+    let t = leaky.telemetry.as_ref().expect("instrumented run attaches telemetry");
+    let flagged: Vec<&str> = t.findings_of(Detector::Leak).map(|f| f.series.as_str()).collect();
+    assert_eq!(
+        flagged,
+        vec![names::COMPLETION_BACKLOG],
+        "acceptance: seeded completion-log leak not pinned on the backlog \
+         gauge\n{}",
+        t.summary()
+    );
+    println!("\n{}", t.summary());
+    println!(
+        "\nshape check: sampling is free on the virtual-time axis (the \
+         instrumented report core is byte-identical), healthy drills carry \
+         no leak findings, and the seeded unbounded completion log is \
+         flagged on exactly cluster.completion_backlog."
+    );
+    write_summary(&cells, t);
+    write_csv(&cells);
+}
+
+/// A captured storm telemetry set for the export-kernel benchmarks.
+fn kernel_input() -> dd_obs::Telemetry {
+    let config = ClusterConfig::small().persist_n(12).placement(Placement::TagCollocation);
+    let mut c = Cluster::new(config, SEED);
+    c.settle();
+    c.begin_instrument();
+    let report = c.run_scenario(&library::churn_storm(SEED));
+    assert!(report.issued() > 0);
+    c.end_instrument().expect("sampler installed")
+}
+
+fn bench(c: &mut Criterion) {
+    experiment();
+    let mut g = c.benchmark_group("e20");
+    g.sample_size(10);
+    let telemetry = kernel_input();
+    // The analysis kernel: summaries + detectors over a real storm's
+    // sampled series.
+    g.bench_function("build_storm_report", |b| {
+        b.iter(|| TelemetryReport::build(telemetry.clone()).summaries.len());
+    });
+    // The export kernels: Prometheus text exposition and the full CSV
+    // dump.
+    g.bench_function("prometheus_storm", |b| {
+        b.iter(|| telemetry.to_prometheus().len());
+    });
+    g.bench_function("csv_storm", |b| {
+        b.iter(|| telemetry.to_csv().len());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

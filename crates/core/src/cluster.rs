@@ -285,6 +285,113 @@ impl Process for DropletNode {
     }
 }
 
+/// The telemetry plane's collector: the kernel polls it through the
+/// [`dd_sim::Sampler`] hook, and every due sweep walks the live nodes
+/// feeding per-node gauges, cluster aggregates and counter rates into a
+/// [`dd_obs::Telemetry`]. The sampler only *reads* — node state, RNGs,
+/// the queue and the network model are untouched — so instrumented runs
+/// replay byte-identically (bench E20 asserts it bit for bit).
+struct ClusterSampler {
+    telemetry: dd_obs::Telemetry,
+}
+
+impl dd_sim::Sampler<DropletNode> for ClusterSampler {
+    fn period(&self) -> u64 {
+        self.telemetry.period()
+    }
+
+    fn sample(&mut self, sim: &Sim<DropletNode>) {
+        use dd_obs::{names, Label};
+        let tick = sim.now().0;
+        let t = &mut self.telemetry;
+
+        // Engine: event-queue depth and in-flight messages by kind.
+        t.gauge(tick, names::QUEUE_DEPTH, Label::None, sim.queue_depth() as f64);
+        let mut by_kind: std::collections::BTreeMap<&'static str, u64> = Default::default();
+        let mut in_flight = 0u64;
+        for m in sim.in_flight_msgs() {
+            *by_kind.entry(m.kind()).or_insert(0) += 1;
+            in_flight += 1;
+        }
+        t.gauge(tick, names::IN_FLIGHT, Label::None, in_flight as f64);
+        for (kind, n) in by_kind {
+            t.gauge(tick, names::IN_FLIGHT, Label::Kind(kind), n as f64);
+        }
+
+        // Counter rates: deltas since the previous sweep (the first sweep
+        // records 0 and baselines, so settle-era counts don't spike).
+        let m = sim.metrics();
+        t.rate(tick, names::NET_SENT, m.counter("net.sent"));
+        t.rate(tick, names::REPAIR_ROUNDS, m.counter("repair.syncs"));
+        t.rate(tick, names::REPAIR_CLEAN, m.counter("repair.clean"));
+        t.rate(tick, names::REPAIR_RECOVERED, m.counter("repair.recovered"));
+
+        // Per-node gauges and their cluster aggregates.
+        let mut backlog = 0u64;
+        let mut pending = 0u64;
+        let mut undelivered = 0u64;
+        let mut retired = 0u64;
+        let mut tuples = 0u64;
+        let mut bytes = 0u64;
+        let mut tombs = 0u64;
+        let mut fd_sum = 0u64;
+        let mut fanout_sum = 0u64;
+        let mut soft_n = 0u64;
+        for id in sim.alive_ids() {
+            let node = Label::Node(id.0);
+            match sim.node(id) {
+                Some(DropletNode::Soft(s)) => {
+                    let b = s.completion_backlog() as u64;
+                    let p = s.pending_ops() as u64;
+                    let u = s.undelivered_backlog() as u64;
+                    t.gauge(tick, "soft.completion_backlog", node, b as f64);
+                    t.gauge(tick, "soft.pending_ops", node, p as f64);
+                    t.gauge(tick, "soft.undelivered", node, u as f64);
+                    t.gauge(tick, "soft.outbox", node, s.outbox_depth() as f64);
+                    t.gauge(tick, "soft.fanout", node, f64::from(s.fanout));
+                    t.gauge(tick, "soft.fd_live", node, s.reachable_peers().len() as f64);
+                    backlog += b;
+                    pending += p;
+                    undelivered += u;
+                    retired += s.completions_retired();
+                    fd_sum += s.reachable_peers().len() as u64;
+                    fanout_sum += u64::from(s.fanout);
+                    soft_n += 1;
+                }
+                Some(DropletNode::Persist(p)) => {
+                    let n = p.store.len() as u64;
+                    let b = p.store_bytes() as u64;
+                    let d = p.tombstone_count() as u64;
+                    t.gauge(tick, "persist.store_tuples", node, n as f64);
+                    t.gauge(tick, "persist.store_bytes", node, b as f64);
+                    t.gauge(tick, "persist.tombstones", node, d as f64);
+                    t.gauge(tick, "persist.summary_occupancy", node, p.summary_occupancy() as f64);
+                    tuples += n;
+                    bytes += b;
+                    tombs += d;
+                }
+                None => {}
+            }
+        }
+        t.gauge(tick, names::COMPLETION_BACKLOG, Label::None, backlog as f64);
+        t.gauge(tick, names::PENDING_OPS, Label::None, pending as f64);
+        t.gauge(tick, names::UNDELIVERED, Label::None, undelivered as f64);
+        t.rate(tick, names::COMPLETIONS_RETIRED, retired);
+        t.gauge(tick, names::STORE_TUPLES, Label::None, tuples as f64);
+        t.gauge(tick, names::STORE_BYTES, Label::None, bytes as f64);
+        t.gauge(tick, names::TOMBSTONES, Label::None, tombs as f64);
+        if soft_n > 0 {
+            t.gauge(tick, names::FD_LIVE, Label::None, fd_sum as f64 / soft_n as f64);
+            t.gauge(tick, names::FANOUT, Label::None, fanout_sum as f64 / soft_n as f64);
+        }
+        t.mark_sample();
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
 /// A complete simulated DataDroplets deployment.
 pub struct Cluster {
     /// The underlying simulation (public for fault injection and metrics).
@@ -445,6 +552,41 @@ impl Cluster {
     #[must_use]
     pub fn trace_enabled(&self) -> bool {
         self.sim.tracer_installed()
+    }
+
+    /// Starts continuous telemetry sampling at the default period
+    /// ([`dd_obs::DEFAULT_SAMPLE_PERIOD`] ticks): every sweep walks the
+    /// live nodes and records per-node gauges (completion/pending/
+    /// undelivered backlogs, adaptive fanout, store size, tombstones,
+    /// summary occupancy), cluster aggregates, engine queue depth,
+    /// in-flight messages by kind, and counter rates. Sampling is
+    /// read-only on a detached collector, so an instrumented run replays
+    /// byte-identically to a plain one.
+    pub fn begin_instrument(&mut self) {
+        self.begin_instrument_with(dd_obs::Telemetry::default());
+    }
+
+    /// Starts telemetry sampling into a caller-configured collector
+    /// (custom period or ring capacity).
+    pub fn begin_instrument_with(&mut self, telemetry: dd_obs::Telemetry) {
+        self.sim.set_sampler(Box::new(ClusterSampler { telemetry }));
+    }
+
+    /// Stops sampling and returns the collected series (`None` when
+    /// [`Cluster::begin_instrument`] was never called).
+    pub fn end_instrument(&mut self) -> Option<dd_obs::Telemetry> {
+        self.sim.take_sampler().map(|s| {
+            s.into_any()
+                .downcast::<ClusterSampler>()
+                .expect("sampler installed by begin_instrument")
+                .telemetry
+        })
+    }
+
+    /// Whether a telemetry sampler is installed.
+    #[must_use]
+    pub fn instrument_enabled(&self) -> bool {
+        self.sim.sampler_installed()
     }
 
     /// The replica a timed-out operation was still waiting on, per the
@@ -610,6 +752,7 @@ impl Cluster {
                 }
             }
         }
+        self.sim.metrics_mut().add("fd.notices", notices.len() as u64);
         for (o, msg) in notices {
             self.sim.inject(o, o, msg);
         }

@@ -110,6 +110,7 @@ pub use cluster::{
     PutResult,
 };
 pub use dd_audit::{AuditReport, History, Violation, ViolationKind};
+pub use dd_obs::{Detector, Finding, Telemetry, TelemetryReport};
 pub use dd_trace::{PathStep, Recorder, Trace, TraceReport, TraceSet};
 pub use driver::OpMix;
 pub use msg::DropletMsg;

@@ -301,3 +301,40 @@ pub enum DropletMsg {
         NodeId,
     ),
 }
+
+impl DropletMsg {
+    /// The variant's name, for per-kind accounting (the telemetry plane's
+    /// in-flight-messages-by-kind series).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DropletMsg::ClientPut { .. } => "ClientPut",
+            DropletMsg::ClientGet { .. } => "ClientGet",
+            DropletMsg::ClientDelete { .. } => "ClientDelete",
+            DropletMsg::ClientScan { .. } => "ClientScan",
+            DropletMsg::ClientAggregate { .. } => "ClientAggregate",
+            DropletMsg::ClientMultiPut { .. } => "ClientMultiPut",
+            DropletMsg::ClientMultiGet { .. } => "ClientMultiGet",
+            DropletMsg::SubPut { .. } => "SubPut",
+            DropletMsg::SubPutAck { .. } => "SubPutAck",
+            DropletMsg::TagFetch { .. } => "TagFetch",
+            DropletMsg::TagFetchReply { .. } => "TagFetchReply",
+            DropletMsg::Disseminate { .. } => "Disseminate",
+            DropletMsg::StoredAck { .. } => "StoredAck",
+            DropletMsg::DeliverBatch { .. } => "DeliverBatch",
+            DropletMsg::StoredAckBatch { .. } => "StoredAckBatch",
+            DropletMsg::Fetch { .. } => "Fetch",
+            DropletMsg::FetchReply { .. } => "FetchReply",
+            DropletMsg::ScanReq { .. } => "ScanReq",
+            DropletMsg::ScanReply { .. } => "ScanReply",
+            DropletMsg::AggReq { .. } => "AggReq",
+            DropletMsg::AggReply { .. } => "AggReply",
+            DropletMsg::RepairDigest { .. } => "RepairDigest",
+            DropletMsg::RepairSummary { .. } => "RepairSummary",
+            DropletMsg::RepairPull { .. } => "RepairPull",
+            DropletMsg::RepairItems { .. } => "RepairItems",
+            DropletMsg::PeerDown(_) => "PeerDown",
+            DropletMsg::PeerUp(_) => "PeerUp",
+        }
+    }
+}

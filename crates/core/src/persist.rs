@@ -117,6 +117,28 @@ impl PersistNode {
         self.store.values().filter(|t| !t.deleted).count()
     }
 
+    /// Number of tombstones retained (deleted entries awaiting
+    /// supersession-evidence retirement).
+    #[must_use]
+    pub fn tombstone_count(&self) -> usize {
+        self.store.len() - self.live_count()
+    }
+
+    /// Total stored payload bytes across live tuples (tombstones carry
+    /// no value).
+    #[must_use]
+    pub fn store_bytes(&self) -> usize {
+        self.store.values().map(|t| t.value.len()).sum()
+    }
+
+    /// Occupied buckets in this node's self-projected repair [`Summary`]
+    /// — how much of the constant wire size a digest-first round
+    /// actually uses at the current store size.
+    #[must_use]
+    pub fn summary_occupancy(&self) -> usize {
+        self.shared_summary(&self.sieve).occupied()
+    }
+
     /// Applies a tuple if it supersedes what we hold (the deterministic
     /// [`StoredTuple::supersedes`] order), keeping the tag index in step.
     /// Returns `true` when the store changed.
@@ -488,6 +510,7 @@ impl PersistNode {
             DropletMsg::RepairPull { sieve, buckets, ids } => {
                 // Step 4: ship only the delta, and ask back for what the
                 // initiator has that we lack.
+                ctx.metrics().incr("repair.pulls");
                 let (items, want) = self.repair_delta(&sieve, &buckets, &ids);
                 if !items.is_empty() || !want.is_empty() {
                     ctx.send(from, DropletMsg::RepairItems { items, want });

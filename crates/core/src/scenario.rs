@@ -292,6 +292,7 @@ pub struct Scenario {
     pub(crate) env: Vec<(u64, EnvChange)>,
     pub(crate) audited: bool,
     pub(crate) traced: bool,
+    pub(crate) instrumented: bool,
 }
 
 impl Scenario {
@@ -309,6 +310,7 @@ impl Scenario {
             env: Vec::new(),
             audited: false,
             traced: false,
+            instrumented: false,
         }
     }
 
@@ -348,6 +350,25 @@ impl Scenario {
     #[must_use]
     pub fn is_traced(&self) -> bool {
         self.traced
+    }
+
+    /// Turns on continuous telemetry for this scenario: the run samples
+    /// per-node gauges (queue depth, in-flight messages, pending ops,
+    /// store occupancy, repair rates, …) every sampling period and
+    /// attaches the detector verdicts and exportable series as
+    /// [`ScenarioReport::telemetry`]. Sampling is passive — the executed
+    /// run (and the rest of the report) is byte-identical to the
+    /// uninstrumented one.
+    #[must_use]
+    pub fn instrumented(mut self) -> Self {
+        self.instrumented = true;
+        self
+    }
+
+    /// Whether this scenario runs with telemetry sampling on.
+    #[must_use]
+    pub fn is_instrumented(&self) -> bool {
+        self.instrumented
     }
 
     /// Appends a workload phase (phases run back to back).
@@ -783,6 +804,9 @@ impl std::fmt::Display for Scenario {
         if self.traced {
             f.write_str("\n    .traced()")?;
         }
+        if self.instrumented {
+            f.write_str("\n    .instrumented()")?;
+        }
         Ok(())
     }
 }
@@ -895,6 +919,9 @@ pub struct ScenarioReport {
     /// The critical-path latency attribution, when the scenario ran
     /// [`Scenario::traced`]; `None` otherwise.
     pub trace: Option<dd_trace::TraceReport>,
+    /// The sampled time-series and detector verdicts, when the scenario
+    /// ran [`Scenario::instrumented`]; `None` otherwise.
+    pub telemetry: Option<dd_obs::TelemetryReport>,
 }
 
 impl ScenarioReport {
@@ -938,6 +965,43 @@ impl ScenarioReport {
     #[must_use]
     pub fn issued(&self) -> u64 {
         self.phases.iter().map(|p| p.issued).sum()
+    }
+}
+
+impl std::fmt::Display for ScenarioReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scenario {:?}: {} ops over {} ticks, availability {:.2}%, \
+             staleness {:.2}%, p50/p95/p99 {:.0}/{:.0}/{:.0} ticks, {} msgs",
+            self.name,
+            self.issued(),
+            self.ticks,
+            self.availability() * 100.0,
+            self.staleness() * 100.0,
+            self.latency_p50,
+            self.latency_p95,
+            self.latency_p99,
+            self.msgs,
+        )?;
+        for p in &self.phases {
+            write!(
+                f,
+                "\n  phase {:?}: {} issued, {} ok, {} failed, p99 {:.0}",
+                p.name,
+                p.issued,
+                p.ok,
+                p.errors.total(),
+                p.latency_p99,
+            )?;
+        }
+        if let Some(audit) = &self.audit {
+            write!(f, "\n  audit: {}", if audit.is_clean() { "clean" } else { "VIOLATIONS" })?;
+        }
+        if let Some(telemetry) = &self.telemetry {
+            write!(f, "\n  {}", telemetry.digest())?;
+        }
+        Ok(())
     }
 }
 
@@ -992,6 +1056,9 @@ impl Cluster {
         }
         if scenario.traced {
             self.begin_trace();
+        }
+        if scenario.instrumented {
+            self.begin_instrument();
         }
         let harness = self.schedule_faults(scenario, start);
         self.schedule_env(scenario, start);
@@ -1089,6 +1156,13 @@ impl Cluster {
             let set = self.end_trace().expect("traced run installed a recorder");
             dd_trace::TraceReport::build(set)
         });
+        // Telemetry closes at the same boundary as the trace so its
+        // series cover exactly the run the report counts, not the
+        // audit's convergence settling.
+        let telemetry = scenario.instrumented.then(|| {
+            let data = self.end_instrument().expect("instrumented run installed a sampler");
+            dd_obs::TelemetryReport::build(data)
+        });
         let audit = scenario.audited.then(|| self.finish_audit());
         let mut phases = Vec::with_capacity(scenario.phases.len());
         let mut all_latencies = Reservoir::new();
@@ -1131,6 +1205,7 @@ impl Cluster {
             latency_p99: q[2].unwrap_or(0.0),
             audit,
             trace,
+            telemetry,
         }
     }
 

@@ -63,11 +63,14 @@ pub(crate) struct CompletionLog<T> {
     cap: usize,
     map: HashMap<u64, T>,
     order: VecDeque<u64>,
+    /// Records retired by the cap over the log's lifetime (telemetry: the
+    /// leak guard firing; 0 under well-behaved sessions).
+    retired: u64,
 }
 
 impl<T> CompletionLog<T> {
     fn new(cap: usize) -> Self {
-        CompletionLog { cap, map: HashMap::new(), order: VecDeque::new() }
+        CompletionLog { cap, map: HashMap::new(), order: VecDeque::new(), retired: 0 }
     }
 
     /// Records a completion; returns the record retired to stay within the
@@ -81,6 +84,7 @@ impl<T> CompletionLog<T> {
         }
         while let Some(old) = self.order.pop_front() {
             if let Some(v) = self.map.remove(&old) {
+                self.retired += 1;
                 return Some((old, v));
             }
         }
@@ -104,6 +108,15 @@ impl<T> CompletionLog<T> {
     /// Number of retained (un-harvested) completions.
     pub(crate) fn len(&self) -> usize {
         self.map.len()
+    }
+}
+
+impl<T: Clone> CompletionLog<T> {
+    /// Reads the completion for `req` *without* retiring it — the
+    /// regression shape [`SoftNode::seed_completion_leak`] re-introduces:
+    /// records accumulate forever because nothing ever removes them.
+    fn peek(&self, req: u64) -> Option<T> {
+        self.map.get(&req).cloned()
     }
 }
 
@@ -281,6 +294,11 @@ pub struct SoftNode {
     /// `(key_hash, version)`, plus insertion order for cap retirement.
     undelivered: HashMap<(u64, Version), Undelivered>,
     undelivered_order: VecDeque<(u64, Version)>,
+    /// Test-only regression seed for the telemetry plane's leak detector:
+    /// when set ([`SoftNode::seed_completion_leak`]), harvests stop
+    /// retiring completion records — the unbounded-completion-log bug
+    /// shape — so [`SoftNode::completion_backlog`] grows monotonically.
+    leak_completions: bool,
 }
 
 impl SoftNode {
@@ -330,6 +348,7 @@ impl SoftNode {
             trace_waits: HashMap::new(),
             undelivered: HashMap::new(),
             undelivered_order: VecDeque::new(),
+            leak_completions: false,
         }
     }
 
@@ -412,6 +431,9 @@ impl SoftNode {
     /// Harvests a completed write or delete, retiring the record and its
     /// ack-routing entry. Late storage acks still update metadata.
     pub(crate) fn take_put(&mut self, req: u64) -> Option<PutStatus> {
+        if self.leak_completions {
+            return self.completed_puts.peek(req).map(|(status, _)| status);
+        }
         let (status, key_hash) = self.completed_puts.take(req)?;
         self.put_index.remove(&(key_hash, status.version));
         Some(status)
@@ -419,21 +441,33 @@ impl SoftNode {
 
     /// Harvests a completed read.
     pub(crate) fn take_get(&mut self, req: u64) -> Option<Option<StoredTuple>> {
+        if self.leak_completions {
+            return self.completed_gets.peek(req);
+        }
         self.completed_gets.take(req)
     }
 
     /// Harvests a completed scan.
     pub(crate) fn take_scan(&mut self, req: u64) -> Option<Vec<StoredTuple>> {
+        if self.leak_completions {
+            return self.completed_scans.peek(req);
+        }
         self.completed_scans.take(req)
     }
 
     /// Harvests a completed aggregate.
     pub(crate) fn take_agg(&mut self, req: u64) -> Option<(dd_estimation::DistSketch, f64, f64)> {
+        if self.leak_completions {
+            return self.completed_aggs.peek(req);
+        }
         self.completed_aggs.take(req)
     }
 
     /// Harvests a completed batched write.
     pub(crate) fn take_multi_put(&mut self, req: u64) -> Option<MultiPutStatus> {
+        if self.leak_completions {
+            return self.completed_multi_puts.peek(req);
+        }
         self.completed_multi_puts.take(req)
     }
 
@@ -441,6 +475,9 @@ impl SoftNode {
     /// plus whether the replica union was complete (every contacted node
     /// answered) or cut short by the multi-op deadline.
     pub(crate) fn take_multi_get(&mut self, req: u64) -> Option<(Vec<StoredTuple>, bool)> {
+        if self.leak_completions {
+            return self.completed_multi_gets.peek(req);
+        }
         self.completed_multi_gets.take(req)
     }
 
@@ -455,6 +492,53 @@ impl SoftNode {
             + self.completed_aggs.len()
             + self.completed_multi_puts.len()
             + self.completed_multi_gets.len()
+    }
+
+    /// Completion records the retention cap has retired over this node's
+    /// lifetime (the leak guard firing; 0 under well-behaved sessions).
+    #[must_use]
+    pub fn completions_retired(&self) -> u64 {
+        self.completed_puts.retired
+            + self.completed_gets.retired
+            + self.completed_scans.retired
+            + self.completed_aggs.retired
+            + self.completed_multi_puts.retired
+            + self.completed_multi_gets.retired
+    }
+
+    /// Client operations currently in flight on this coordinator (pending
+    /// reads, scans, aggregates and multi-ops awaiting replica replies).
+    #[must_use]
+    pub fn pending_ops(&self) -> usize {
+        self.pending_gets.len()
+            + self.pending_scans.len()
+            + self.pending_aggs.len()
+            + self.pending_multi_puts.len()
+            + self.pending_multi_gets.len()
+    }
+
+    /// Tuples queued in the per-target dissemination outbox awaiting a
+    /// batch flush.
+    #[must_use]
+    pub fn outbox_depth(&self) -> usize {
+        self.outbox.values().map(Vec::len).sum()
+    }
+
+    /// **Test-only.** Re-introduces the unbounded-completion-log
+    /// regression (PR 3's bug shape) so the telemetry plane's leak
+    /// detector has a true positive to catch: harvests stop retiring
+    /// records (peek instead of take) and the caps stop
+    /// evicting, so [`SoftNode::completion_backlog`] grows monotonically
+    /// with every completed op. Client-visible results are unchanged —
+    /// a harvest returns the same value it would have removed.
+    pub fn seed_completion_leak(&mut self) {
+        self.leak_completions = true;
+        self.completed_puts.cap = usize::MAX;
+        self.completed_gets.cap = usize::MAX;
+        self.completed_scans.cap = usize::MAX;
+        self.completed_aggs.cap = usize::MAX;
+        self.completed_multi_puts.cap = usize::MAX;
+        self.completed_multi_gets.cap = usize::MAX;
     }
 
     fn is_coordinator(&self, me: NodeId, key_hash: u64) -> bool {

@@ -110,6 +110,14 @@ impl Summary {
         self.xors.len()
     }
 
+    /// Number of buckets at least one id folded into — the occupancy
+    /// gauge: near `len()` while ids are sparse, saturating towards
+    /// `bucket_count()` as the summarised set grows.
+    #[must_use]
+    pub fn occupied(&self) -> usize {
+        self.counts.iter().filter(|&&c| c != 0).count()
+    }
+
     /// Total ids folded in.
     #[must_use]
     pub fn len(&self) -> usize {

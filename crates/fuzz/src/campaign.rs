@@ -160,11 +160,12 @@ impl CampaignSummary {
             })
             .collect();
         format!(
-            "{{\n  \"bench\": \"fuzz_campaign\",\n  \"config\": \"{config_name}\",\n  \
+            "{{\n  \"bench\": \"fuzz_campaign\",\n  \"config\": {},\n  \
              \"seeds_run\": {},\n  \"clean\": {},\n  \"durability\": {},\n  \"safety\": {},\n  \
              \"panics\": {},\n  \"rejected\": {},\n  \"scenarios_per_sec\": {:.2},\n  \
              \"mean_shrink_ratio\": {:.4},\n  \"elapsed_ms\": {},\n  \
              \"kind_census\": [\n{}\n  ],\n  \"findings\": [\n{}\n  ]\n}}\n",
+            json_string(config_name),
             self.seeds_run,
             self.clean,
             self.durability,
@@ -180,24 +181,10 @@ impl CampaignSummary {
     }
 }
 
-/// Minimal JSON string escaping for snippets (quotes, backslashes,
-/// newlines, control characters).
+/// A quoted JSON string literal for `s` (escaping via the workspace-wide
+/// [`dd_sim::json_escape`], shared with the bench emitters).
 fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
+    format!("\"{}\"", dd_sim::json_escape(s))
 }
 
 /// Sweeps the plan's seed range under `cfg`: generate → run → classify,

@@ -46,6 +46,27 @@ pub trait Process: Sized {
     }
 }
 
+/// A periodic read-only observer of the running simulation — the hook the
+/// telemetry plane (`dd-obs`) installs with [`Sim::set_sampler`].
+///
+/// The engine polls the sampler once per processed event: whenever virtual
+/// time has reached the next sampling deadline, [`Sampler::sample`] runs
+/// against an immutable view of the simulation and the deadline advances
+/// by [`Sampler::period`] ticks. Sampling is passive — the sampler cannot
+/// send, schedule, or mutate node state, and the engine's RNGs and queue
+/// are untouched — so an instrumented run replays byte-identically, and
+/// when no sampler is installed the poll costs one branch.
+pub trait Sampler<P: Process> {
+    /// Virtual ticks between samples (values below 1 are treated as 1).
+    fn period(&self) -> u64;
+
+    /// Takes one sample at the current virtual time.
+    fn sample(&mut self, sim: &Sim<P>);
+
+    /// Recovers the concrete collector once detached ([`Sim::take_sampler`]).
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any>;
+}
+
 /// Side-effect handle passed to every [`Process`] callback.
 pub struct Ctx<'a, M> {
     id: NodeId,
@@ -222,6 +243,10 @@ pub struct Sim<P: Process> {
     liveness_epoch: u64,
     /// Span sink handed to every callback while a traced run is active.
     tracer: Option<Box<dyn Tracer>>,
+    /// Telemetry sampler polled by the run loop while instrumentation is
+    /// active, plus the virtual time the next sample falls due.
+    sampler: Option<Box<dyn Sampler<P>>>,
+    next_sample: Time,
 }
 
 impl<P: Process> Sim<P> {
@@ -240,6 +265,8 @@ impl<P: Process> Sim<P> {
             effects: Vec::new(),
             liveness_epoch: 0,
             tracer: None,
+            sampler: None,
+            next_sample: Time::ZERO,
         }
     }
 
@@ -343,6 +370,55 @@ impl<P: Process> Sim<P> {
         self.tracer.is_some()
     }
 
+    /// Installs a telemetry sampler: the run loop polls it as virtual time
+    /// advances, taking one sample every [`Sampler::period`] ticks starting
+    /// from the current time. Replaces any sampler already installed.
+    pub fn set_sampler(&mut self, sampler: Box<dyn Sampler<P>>) {
+        self.next_sample = self.now;
+        self.sampler = Some(sampler);
+    }
+
+    /// Removes and returns the installed sampler (downcast it via
+    /// [`Sampler::into_any`] to recover the concrete collector).
+    pub fn take_sampler(&mut self) -> Option<Box<dyn Sampler<P>>> {
+        self.sampler.take()
+    }
+
+    /// Whether a telemetry sampler is currently installed.
+    #[must_use]
+    pub fn sampler_installed(&self) -> bool {
+        self.sampler.is_some()
+    }
+
+    /// Depth of the event queue (scheduled deliveries, timers and
+    /// environment events) — the engine-level backlog gauge.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The payloads of every message currently in flight (scheduled for
+    /// delivery but not yet delivered), in no particular order.
+    pub fn in_flight_msgs(&self) -> impl Iterator<Item = &P::Msg> + '_ {
+        self.queue.iter().filter_map(|s| match &s.event {
+            Event::Deliver { msg, .. } => Some(msg),
+            _ => None,
+        })
+    }
+
+    /// Polls the installed sampler, taking a sample when one is due. The
+    /// sampler is detached while it runs (the field is `None`), so it gets
+    /// a clean immutable view of the simulation.
+    fn poll_sampler(&mut self) {
+        if self.sampler.is_none() || self.now < self.next_sample {
+            return;
+        }
+        let Some(mut s) = self.sampler.take() else { return };
+        s.sample(self);
+        self.next_sample = self.now + Duration(s.period().max(1));
+        self.sampler = Some(s);
+    }
+
     /// Takes the node down *now* (transient failure: state kept, timers and
     /// in-flight messages to it lost).
     pub fn kill(&mut self, id: NodeId) {
@@ -417,6 +493,7 @@ impl<P: Process> Sim<P> {
             self.step();
         }
         self.now = self.now.max(deadline);
+        self.poll_sampler();
     }
 
     /// Runs for `d` more ticks of virtual time.
@@ -433,6 +510,7 @@ impl<P: Process> Sim<P> {
         };
         debug_assert!(at >= self.now, "time went backwards");
         self.now = at;
+        self.poll_sampler();
         match event {
             Event::Start(id) => self.dispatch(id, Dispatch::Start),
             Event::Deliver { to, from, msg } => {

@@ -1,0 +1,63 @@
+//! The one JSON string-escaping helper the workspace's hand-rolled JSON
+//! writers share.
+//!
+//! The workspace has no serde: bench summaries (`BENCH_*.json`), the fuzz
+//! campaign census and the telemetry exporters all emit JSON by hand.
+//! Every one of them embeds strings it does not control — scenario names,
+//! config names, violation messages — and a stray quote or newline in any
+//! of them would corrupt the document. They all quote through this helper
+//! instead of carrying private copies of the escape table.
+
+/// Escapes `s` for embedding inside a JSON string literal. Returns the
+/// escaped *contents* — the caller supplies the surrounding quotes.
+///
+/// Escapes `"` and `\`, the common control characters by name, and any
+/// remaining control character as `\u00XX`, per RFC 8259 §7.
+///
+/// ```
+/// use dd_sim::json::json_escape;
+/// assert_eq!(json_escape("say \"hi\"\n"), "say \\\"hi\\\"\\n");
+/// assert_eq!(json_escape("plain"), "plain");
+/// ```
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json_escape;
+
+    #[test]
+    fn passes_plain_strings_through() {
+        assert_eq!(json_escape("churn-storm"), "churn-storm");
+        assert_eq!(json_escape(""), "");
+    }
+
+    #[test]
+    fn escapes_quotes_backslashes_and_named_controls() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("line1\nline2\tend\r"), "line1\\nline2\\tend\\r");
+    }
+
+    #[test]
+    fn escapes_remaining_controls_as_unicode() {
+        assert_eq!(json_escape("\u{1}\u{1f}"), "\\u0001\\u001f");
+        // Non-ASCII is legal raw inside JSON strings: leave it alone.
+        assert_eq!(json_escape("café"), "café");
+    }
+}

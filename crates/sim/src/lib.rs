@@ -49,6 +49,7 @@
 
 pub mod churn;
 pub mod engine;
+pub mod json;
 pub mod metrics;
 pub mod net;
 pub mod rng;
@@ -57,7 +58,8 @@ pub mod time;
 pub mod trace;
 pub mod types;
 
-pub use engine::{Ctx, NetChange, Process, Sim, SimConfig};
+pub use engine::{Ctx, NetChange, Process, Sampler, Sim, SimConfig};
+pub use json::json_escape;
 pub use metrics::Metrics;
 pub use net::{LatencyModel, NetConfig};
 pub use time::{Duration, Time};

@@ -651,6 +651,78 @@ mod tests {
     }
 
     #[test]
+    fn p99_of_empty_tiny_and_subsampled_series() {
+        // Empty: no answer, not a zero.
+        let m = Metrics::new();
+        assert_eq!(m.quantile("lat", 0.99), None);
+
+        // Tiny: nearest-rank at p99 lands on the last sorted sample, so
+        // 1–3 observations all answer with their maximum.
+        let mut m = Metrics::new();
+        m.observe("lat", 42.0);
+        assert_eq!(m.quantile("lat", 0.99), Some(42.0));
+        m.observe("lat", 7.0);
+        m.observe("lat", 99.0);
+        assert_eq!(m.quantile("lat", 0.99), Some(99.0));
+        assert_eq!(m.quantiles("lat", &[0.99]), quantiles_of(&[42.0, 7.0, 99.0], &[0.99]));
+
+        // Subsampled: past the cap the p99 is a uniform-reservoir
+        // estimate — still inside the observed range and near the true
+        // rank for a uniform ramp — while p100 stays exact (streaming
+        // max).
+        let mut m = Metrics::new();
+        let n = RESERVOIR_CAP * 8;
+        for i in 0..n {
+            m.observe("lat", i as f64);
+        }
+        assert!(!m.reservoir("lat").unwrap().is_exact());
+        let q = m.quantiles("lat", &[0.99, 1.0]);
+        let p99 = q[0].unwrap();
+        let truth = 0.99 * (n - 1) as f64;
+        assert!((p99 - truth).abs() < n as f64 * 0.02, "p99 estimate {p99} vs {truth}");
+        assert_eq!(q[1], Some((n - 1) as f64), "p100 answers from the exact max");
+    }
+
+    #[test]
+    fn windows_and_quantiles_are_independent_views() {
+        // Cutting windows mid-series never perturbs the quantile view,
+        // and each window sees exactly its own observations.
+        let mut m = Metrics::new();
+        for v in [5.0, 1.0, 3.0] {
+            m.observe("lat", v);
+        }
+        let before = m.quantiles("lat", &[0.5, 0.99]);
+        let w = m.take_window("lat");
+        assert_eq!((w.n, w.max), (3, 5.0));
+        assert_eq!(m.quantiles("lat", &[0.5, 0.99]), before);
+        for v in [9.0, 2.0] {
+            m.observe("lat", v);
+        }
+        let w = m.take_window("lat");
+        assert_eq!((w.n, w.sum, w.max), (2, 11.0, 9.0));
+        assert_eq!(m.quantile("lat", 0.99), Some(9.0), "run-wide view spans both windows");
+    }
+
+    #[test]
+    fn take_window_past_the_cap_stays_exact() {
+        // Windows accumulate streaming aggregates, so they are exact even
+        // after the run-wide reservoir has started subsampling.
+        let mut m = Metrics::new();
+        for i in 0..RESERVOIR_CAP {
+            m.observe("lat", i as f64);
+        }
+        m.take_window("lat");
+        for i in 0..100 {
+            m.observe("lat", (RESERVOIR_CAP + i) as f64);
+        }
+        let w = m.take_window("lat");
+        assert_eq!(w.n, 100);
+        assert_eq!(w.max, (RESERVOIR_CAP + 99) as f64);
+        let expected: f64 = (0..100).map(|i| (RESERVOIR_CAP + i) as f64).sum();
+        assert_eq!(w.sum, expected);
+    }
+
+    #[test]
     fn reservoir_merge_concatenates_while_exact() {
         let mut a = Reservoir::new();
         let mut b = Reservoir::new();

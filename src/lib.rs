@@ -11,7 +11,7 @@
 //! [`dd_core::Cluster::run_scenario`]) that drives whole experiments; the
 //! lower-level crates are re-exported for protocol-level experimentation.
 //! See the repository `README.md` for the workspace map, build
-//! instructions and the experiment catalogue (E1–E19 under
+//! instructions and the experiment catalogue (E1–E20 under
 //! `crates/bench/benches/`).
 
 pub use dd_audit as audit;
@@ -21,6 +21,7 @@ pub use dd_epidemic as epidemic;
 pub use dd_estimation as estimation;
 pub use dd_fuzz as fuzz;
 pub use dd_membership as membership;
+pub use dd_obs as obs;
 pub use dd_overlay as overlay;
 pub use dd_sieve as sieve;
 pub use dd_sim as sim;

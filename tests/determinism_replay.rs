@@ -15,11 +15,11 @@
 use dd_core::scenario::library;
 use dd_core::{Cluster, ClusterConfig, OpMix, Phase, Placement, Scenario, WorkloadKind};
 
-const CALM_SEED42: &str = "ScenarioReport { name: \"calm\", phases: [PhaseReport { name: \"load\", ticks: 6000, issued: 240, ok: 240, errors: ErrorCounts { timeouts: 0, partials: 0, no_entry: 0 }, reads_found: 0, reads_absent: 0, stale_reads: 0, tuples_read: 0, latency_p50: 25.0, latency_p95: 25.0, latency_p99: 25.0, msgs: 2944, contacts_mean: 0.0, contacts_max: 0.0 }, PhaseReport { name: \"serve\", ticks: 10000, issued: 420, ok: 420, errors: ErrorCounts { timeouts: 0, partials: 0, no_entry: 0 }, reads_found: 307, reads_absent: 0, stale_reads: 0, tuples_read: 3079, latency_p50: 25.0, latency_p95: 25.0, latency_p99: 25.0, msgs: 5347, contacts_mean: 32.0, contacts_max: 32.0 }, PhaseReport { name: \"readback\", ticks: 8000, issued: 200, ok: 200, errors: ErrorCounts { timeouts: 0, partials: 0, no_entry: 0 }, reads_found: 159, reads_absent: 0, stale_reads: 0, tuples_read: 2359, latency_p50: 25.0, latency_p95: 25.0, latency_p99: 25.0, msgs: 3520, contacts_mean: 32.0, contacts_max: 32.0 }], ticks: 24000, msgs: 11811, latency_p50: 25.0, latency_p95: 25.0, latency_p99: 25.0, audit: None, trace: None }";
+const CALM_SEED42: &str = "ScenarioReport { name: \"calm\", phases: [PhaseReport { name: \"load\", ticks: 6000, issued: 240, ok: 240, errors: ErrorCounts { timeouts: 0, partials: 0, no_entry: 0 }, reads_found: 0, reads_absent: 0, stale_reads: 0, tuples_read: 0, latency_p50: 25.0, latency_p95: 25.0, latency_p99: 25.0, msgs: 2944, contacts_mean: 0.0, contacts_max: 0.0 }, PhaseReport { name: \"serve\", ticks: 10000, issued: 420, ok: 420, errors: ErrorCounts { timeouts: 0, partials: 0, no_entry: 0 }, reads_found: 307, reads_absent: 0, stale_reads: 0, tuples_read: 3079, latency_p50: 25.0, latency_p95: 25.0, latency_p99: 25.0, msgs: 5347, contacts_mean: 32.0, contacts_max: 32.0 }, PhaseReport { name: \"readback\", ticks: 8000, issued: 200, ok: 200, errors: ErrorCounts { timeouts: 0, partials: 0, no_entry: 0 }, reads_found: 159, reads_absent: 0, stale_reads: 0, tuples_read: 2359, latency_p50: 25.0, latency_p95: 25.0, latency_p99: 25.0, msgs: 3520, contacts_mean: 32.0, contacts_max: 32.0 }], ticks: 24000, msgs: 11811, latency_p50: 25.0, latency_p95: 25.0, latency_p99: 25.0, audit: None, trace: None, telemetry: None }";
 
-const PARTITION_SEED7: &str = "ScenarioReport { name: \"partition-heal\", phases: [PhaseReport { name: \"load\", ticks: 6000, issued: 240, ok: 240, errors: ErrorCounts { timeouts: 0, partials: 0, no_entry: 0 }, reads_found: 0, reads_absent: 0, stale_reads: 0, tuples_read: 0, latency_p50: 25.0, latency_p95: 25.0, latency_p99: 25.0, msgs: 3338, contacts_mean: 0.0, contacts_max: 0.0 }, PhaseReport { name: \"serve\", ticks: 10000, issued: 420, ok: 420, errors: ErrorCounts { timeouts: 0, partials: 0, no_entry: 0 }, reads_found: 308, reads_absent: 0, stale_reads: 0, tuples_read: 1587, latency_p50: 25.0, latency_p95: 25.0, latency_p99: 25.0, msgs: 2118, contacts_mean: 1.421875, contacts_max: 3.0 }, PhaseReport { name: \"repair\", ticks: 10000, issued: 0, ok: 0, errors: ErrorCounts { timeouts: 0, partials: 0, no_entry: 0 }, reads_found: 0, reads_absent: 0, stale_reads: 0, tuples_read: 0, latency_p50: 0.0, latency_p95: 0.0, latency_p99: 0.0, msgs: 1718, contacts_mean: 0.0, contacts_max: 0.0 }, PhaseReport { name: \"readback\", ticks: 8000, issued: 200, ok: 200, errors: ErrorCounts { timeouts: 0, partials: 0, no_entry: 0 }, reads_found: 158, reads_absent: 0, stale_reads: 0, tuples_read: 2586, latency_p50: 25.0, latency_p95: 25.0, latency_p99: 25.0, msgs: 1138, contacts_mean: 3.0, contacts_max: 3.0 }], ticks: 34000, msgs: 8312, latency_p50: 25.0, latency_p95: 25.0, latency_p99: 25.0, audit: None, trace: None }";
+const PARTITION_SEED7: &str = "ScenarioReport { name: \"partition-heal\", phases: [PhaseReport { name: \"load\", ticks: 6000, issued: 240, ok: 240, errors: ErrorCounts { timeouts: 0, partials: 0, no_entry: 0 }, reads_found: 0, reads_absent: 0, stale_reads: 0, tuples_read: 0, latency_p50: 25.0, latency_p95: 25.0, latency_p99: 25.0, msgs: 3338, contacts_mean: 0.0, contacts_max: 0.0 }, PhaseReport { name: \"serve\", ticks: 10000, issued: 420, ok: 420, errors: ErrorCounts { timeouts: 0, partials: 0, no_entry: 0 }, reads_found: 308, reads_absent: 0, stale_reads: 0, tuples_read: 1587, latency_p50: 25.0, latency_p95: 25.0, latency_p99: 25.0, msgs: 2118, contacts_mean: 1.421875, contacts_max: 3.0 }, PhaseReport { name: \"repair\", ticks: 10000, issued: 0, ok: 0, errors: ErrorCounts { timeouts: 0, partials: 0, no_entry: 0 }, reads_found: 0, reads_absent: 0, stale_reads: 0, tuples_read: 0, latency_p50: 0.0, latency_p95: 0.0, latency_p99: 0.0, msgs: 1718, contacts_mean: 0.0, contacts_max: 0.0 }, PhaseReport { name: \"readback\", ticks: 8000, issued: 200, ok: 200, errors: ErrorCounts { timeouts: 0, partials: 0, no_entry: 0 }, reads_found: 158, reads_absent: 0, stale_reads: 0, tuples_read: 2586, latency_p50: 25.0, latency_p95: 25.0, latency_p99: 25.0, msgs: 1138, contacts_mean: 3.0, contacts_max: 3.0 }], ticks: 34000, msgs: 8312, latency_p50: 25.0, latency_p95: 25.0, latency_p99: 25.0, audit: None, trace: None, telemetry: None }";
 
-const MIXED_SEED9: &str = "ScenarioReport { name: \"mixed\", phases: [PhaseReport { name: \"load\", ticks: 4000, issued: 120, ok: 120, errors: ErrorCounts { timeouts: 0, partials: 0, no_entry: 0 }, reads_found: 0, reads_absent: 0, stale_reads: 0, tuples_read: 0, latency_p50: 25.0, latency_p95: 25.0, latency_p99: 25.0, msgs: 1610, contacts_mean: 0.0, contacts_max: 0.0 }, PhaseReport { name: \"serve\", ticks: 6000, issued: 200, ok: 200, errors: ErrorCounts { timeouts: 0, partials: 0, no_entry: 0 }, reads_found: 103, reads_absent: 5, stale_reads: 1, tuples_read: 1639, latency_p50: 25.0, latency_p95: 25.0, latency_p99: 25.0, msgs: 6146, contacts_mean: 32.0, contacts_max: 32.0 }], ticks: 10000, msgs: 7756, latency_p50: 25.0, latency_p95: 25.0, latency_p99: 25.0, audit: None, trace: None }";
+const MIXED_SEED9: &str = "ScenarioReport { name: \"mixed\", phases: [PhaseReport { name: \"load\", ticks: 4000, issued: 120, ok: 120, errors: ErrorCounts { timeouts: 0, partials: 0, no_entry: 0 }, reads_found: 0, reads_absent: 0, stale_reads: 0, tuples_read: 0, latency_p50: 25.0, latency_p95: 25.0, latency_p99: 25.0, msgs: 1610, contacts_mean: 0.0, contacts_max: 0.0 }, PhaseReport { name: \"serve\", ticks: 6000, issued: 200, ok: 200, errors: ErrorCounts { timeouts: 0, partials: 0, no_entry: 0 }, reads_found: 103, reads_absent: 5, stale_reads: 1, tuples_read: 1639, latency_p50: 25.0, latency_p95: 25.0, latency_p99: 25.0, msgs: 6146, contacts_mean: 32.0, contacts_max: 32.0 }], ticks: 10000, msgs: 7756, latency_p50: 25.0, latency_p95: 25.0, latency_p99: 25.0, audit: None, trace: None, telemetry: None }";
 
 #[test]
 fn calm_scenario_replays_byte_identically_to_pre_interning_report() {
@@ -84,5 +84,40 @@ fn traced_scenario_replays_byte_identically() {
     };
     let (a, b) = (run(), run());
     assert!(a.trace.is_some());
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}
+
+/// Telemetry sampling must be passive: an instrumented run's report core
+/// (and the run it measures) is bit-for-bit the uninstrumented run — only
+/// the attached [`dd_core::TelemetryReport`] differs from `None`.
+#[test]
+fn instrumented_run_core_is_bit_for_bit_the_uninstrumented_run() {
+    let mut c = Cluster::new(ClusterConfig::small(), 42);
+    c.settle();
+    let plain = c.run_scenario(&library::calm(11));
+
+    let mut c = Cluster::new(ClusterConfig::small(), 42);
+    c.settle();
+    let mut instrumented = c.run_scenario(&library::calm(11).instrumented());
+    let tel = instrumented.telemetry.take().expect("instrumented run attaches telemetry");
+    assert!(tel.samples > 0, "sampler fired");
+    // With the telemetry detached, the Debug rendering equals the frozen
+    // pre-telemetry string exactly (f64 Debug is shortest-roundtrip, so
+    // equal text means bit-equal floats).
+    assert_eq!(format!("{instrumented:?}"), CALM_SEED42);
+    assert_eq!(instrumented, plain);
+}
+
+/// Instrumented runs are themselves deterministic: same seed, same
+/// samples, same detector verdicts, byte for byte.
+#[test]
+fn instrumented_scenario_replays_byte_identically() {
+    let run = || {
+        let mut c = Cluster::new(ClusterConfig::small().placement(Placement::TagCollocation), 7);
+        c.settle();
+        c.run_scenario(&library::partition_heal(13).instrumented())
+    };
+    let (a, b) = (run(), run());
+    assert!(a.telemetry.is_some());
     assert_eq!(format!("{a:?}"), format!("{b:?}"));
 }

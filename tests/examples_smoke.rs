@@ -47,6 +47,7 @@ fn every_example_is_covered_here() {
             "outage_drill",
             "quickstart",
             "social_feed",
+            "telemetry_drill",
             "threaded_gossip",
             "traced_drill"
         ],
@@ -115,6 +116,30 @@ fn traced_drill_runs_the_tracing_plane() {
     assert!(
         out.contains("chrome://tracing"),
         "traced drill must export a Chrome trace; got:\n{out}"
+    );
+}
+
+#[test]
+fn telemetry_drill_runs_the_telemetry_plane() {
+    // The example must run a stock drill instrumented (clean detectors),
+    // catch the seeded completion-log leak on the backlog gauge, and
+    // export both wire formats.
+    let out = run_example("telemetry_drill");
+    assert!(
+        out.contains("cluster series (min/mean/max/last)"),
+        "telemetry drill must print the series table; got:\n{out}"
+    );
+    assert!(
+        out.contains("detectors: clean"),
+        "telemetry drill's healthy run must come out clean; got:\n{out}"
+    );
+    assert!(
+        out.contains("leak") && out.contains("cluster.completion_backlog"),
+        "telemetry drill must pin the seeded leak on the backlog gauge; got:\n{out}"
+    );
+    assert!(
+        out.contains("Prometheus") && out.contains("CSV"),
+        "telemetry drill must export both formats; got:\n{out}"
     );
 }
 
